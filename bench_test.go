@@ -1,0 +1,478 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (Section 6 and Appendix A.5), plus the core algorithmic
+// kernels. Each BenchmarkTableX/BenchmarkFigX target measures the
+// regeneration of that artifact on a miniature corpus and reports a
+// headline metric; `cmd/experiments` produces the full-size artifacts.
+package cawosched_test
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	cawosched "repro"
+	"repro/internal/dp"
+	"repro/internal/exact"
+	"repro/internal/experiments"
+	"repro/internal/npc"
+	"repro/internal/platform"
+	"repro/internal/power"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/wfgen"
+)
+
+// ---- shared miniature corpus -------------------------------------------
+
+var (
+	benchOnce    sync.Once
+	benchResults []experiments.Result
+	benchNames   []string
+	benchErr     error
+)
+
+func benchSpecs() []experiments.Spec {
+	var specs []experiments.Spec
+	for _, fam := range []wfgen.Family{wfgen.Bacass, wfgen.Eager} {
+		for _, cl := range []experiments.ClusterSize{experiments.Small, experiments.Large} {
+			for _, sc := range []power.Scenario{power.S1, power.S3} {
+				for _, df := range experiments.DeadlineFactors() {
+					specs = append(specs, experiments.Spec{
+						Family: fam, N: 60, Cluster: cl, Scenario: sc,
+						DeadlineFactor: df, Seed: 42,
+					})
+				}
+			}
+		}
+	}
+	return specs
+}
+
+func corpusResults(b *testing.B) ([]experiments.Result, []string) {
+	b.Helper()
+	benchOnce.Do(func() {
+		algos := experiments.LSAlgorithms()
+		benchNames = make([]string, len(algos))
+		for i, a := range algos {
+			benchNames[i] = a.Name
+		}
+		benchResults, benchErr = experiments.Run(benchSpecs(), algos, 0, nil)
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchResults, benchNames
+}
+
+func firstFloat(b *testing.B, cell string) float64 {
+	b.Helper()
+	v, err := strconv.ParseFloat(cell, 64)
+	if err != nil {
+		b.Fatalf("bad cell %q: %v", cell, err)
+	}
+	return v
+}
+
+// ---- Table 1 -------------------------------------------------------------
+
+func BenchmarkTable1ClusterBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.Table1Platform()
+		if len(t.Rows) != 6 {
+			b.Fatal("Table 1 wrong")
+		}
+		c := platform.Large(uint64(i))
+		if c.NumCompute() != 144 {
+			b.Fatal("cluster wrong")
+		}
+	}
+}
+
+// ---- Figures 1-6, 8, 12-17 (main corpus) ---------------------------------
+
+func BenchmarkFig1Ranks(b *testing.B) {
+	results, names := corpusResults(b)
+	b.ResetTimer()
+	var asapRankLast float64
+	for i := 0; i < b.N; i++ {
+		t := experiments.Fig1Ranks(results, names)
+		cell := strings.TrimSuffix(t.Rows[0][len(t.Rows[0])-1], "%")
+		asapRankLast = firstFloat(b, cell)
+	}
+	b.ReportMetric(asapRankLast, "ASAP_last_rank_%")
+}
+
+func BenchmarkFig2PerfProfile(b *testing.B) {
+	results, names := corpusResults(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := experiments.Fig2PerfProfile(results, names)
+		if len(t.Rows) != len(names) {
+			b.Fatal("fig2 wrong")
+		}
+	}
+}
+
+func BenchmarkFig3PerfProfileByDeadline(b *testing.B) {
+	results, names := corpusResults(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ts := experiments.Fig3PerfProfileByDeadline(results, names)
+		if len(ts) != 4 {
+			b.Fatal("fig3 wrong")
+		}
+	}
+}
+
+func BenchmarkFig4MedianCostRatio(b *testing.B) {
+	results, names := corpusResults(b)
+	b.ResetTimer()
+	var medianRatio float64
+	for i := 0; i < b.N; i++ {
+		t := experiments.Fig4MedianCostRatio(results, names)
+		medianRatio = firstFloat(b, t.Rows[len(t.Rows)-1][1]) // pressWR-LS
+	}
+	b.ReportMetric(medianRatio, "pressWR-LS_median_ratio")
+}
+
+func BenchmarkFig5CostRatioByDeadline(b *testing.B) {
+	results, names := corpusResults(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(experiments.Fig5CostRatioByDeadline(results, names)) != 4 {
+			b.Fatal("fig5 wrong")
+		}
+	}
+}
+
+func BenchmarkFig6BoxPlots(b *testing.B) {
+	results, names := corpusResults(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(experiments.Fig6BoxPlots(results, names).Rows) == 0 {
+			b.Fatal("fig6 wrong")
+		}
+	}
+}
+
+func BenchmarkFig8RunningTime(b *testing.B) {
+	results, names := corpusResults(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(experiments.Fig8RunningTime(results, names).Rows) != len(names) {
+			b.Fatal("fig8 wrong")
+		}
+	}
+}
+
+func BenchmarkFig12RunningTimeLarge(b *testing.B) {
+	results, names := corpusResults(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(experiments.Fig12RunningTimeLarge(results, names).Rows) == 0 {
+			b.Fatal("fig12 wrong")
+		}
+	}
+}
+
+func BenchmarkFig13RunningTimeByDeadline(b *testing.B) {
+	results, names := corpusResults(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(experiments.Fig13RunningTimeByDeadline(results, names).Columns) != 5 {
+			b.Fatal("fig13 wrong")
+		}
+	}
+}
+
+func BenchmarkFig14CostRatioByCluster(b *testing.B) {
+	results, names := corpusResults(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(experiments.Fig14CostRatioByCluster(results, names)) != 2 {
+			b.Fatal("fig14 wrong")
+		}
+	}
+}
+
+func BenchmarkFig15CostRatioByScenario(b *testing.B) {
+	results, names := corpusResults(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(experiments.Fig15CostRatioByScenario(results, names)) != 4 {
+			b.Fatal("fig15 wrong")
+		}
+	}
+}
+
+func BenchmarkFig16CostRatioBySize(b *testing.B) {
+	results, names := corpusResults(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(experiments.Fig16CostRatioBySize(results, names)) == 0 {
+			b.Fatal("fig16 wrong")
+		}
+	}
+}
+
+func BenchmarkFig17PerfProfileByCluster(b *testing.B) {
+	results, names := corpusResults(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(experiments.Fig17PerfProfileByCluster(results, names)) != 2 {
+			b.Fatal("fig17 wrong")
+		}
+	}
+}
+
+// ---- Figure 7 (exact comparison) ------------------------------------------
+
+func BenchmarkFig7ExactComparison(b *testing.B) {
+	algos := experiments.LSAlgorithms()
+	var optFrac string
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Fig7ExactComparison(7, algos, 5_000_000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(t.Rows) == 0 {
+			b.Fatal("fig7 empty")
+		}
+		optFrac = t.Rows[len(t.Rows)-1][4]
+	}
+	_ = optFrac
+}
+
+// ---- Table 2 (local search ablation) ---------------------------------------
+
+func BenchmarkTable2LocalSearchAblation(b *testing.B) {
+	specs := []experiments.Spec{
+		{Family: wfgen.Atacseq, N: 60, Cluster: experiments.Small, Scenario: power.S1, DeadlineFactor: 2, Seed: 42},
+		{Family: wfgen.Atacseq, N: 60, Cluster: experiments.Small, Scenario: power.S3, DeadlineFactor: 3, Seed: 42},
+		{Family: wfgen.Bacass, N: 57, Cluster: experiments.Small, Scenario: power.S1, DeadlineFactor: 2, Seed: 42},
+		{Family: wfgen.Bacass, N: 57, Cluster: experiments.Large, Scenario: power.S2, DeadlineFactor: 1.5, Seed: 42},
+	}
+	var avg float64
+	for i := 0; i < b.N; i++ {
+		results, err := experiments.Run(specs, experiments.Algorithms(), 0, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		t := experiments.Table2LocalSearchAblation(results)
+		if len(t.Rows) != 4 {
+			b.Fatal("table2 wrong")
+		}
+		avg = firstFloat(b, t.Rows[3][3])
+	}
+	b.ReportMetric(avg, "pressWR_LS_avg_ratio")
+}
+
+// ---- ablations and the Section 7 extension ---------------------------------
+
+func ablationBenchSpecs() []experiments.Spec {
+	return []experiments.Spec{
+		{Family: wfgen.Bacass, N: 50, Cluster: experiments.Small, Scenario: power.S1, DeadlineFactor: 2, Seed: 42},
+		{Family: wfgen.Eager, N: 50, Cluster: experiments.Small, Scenario: power.S3, DeadlineFactor: 1.5, Seed: 42},
+	}
+}
+
+func BenchmarkAblationK(b *testing.B) {
+	specs := ablationBenchSpecs()
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.AblationK(specs, []int{1, 3}, 0)
+		if err != nil || len(t.Rows) != 2 {
+			b.Fatalf("rows %d err %v", len(t.Rows), err)
+		}
+	}
+}
+
+func BenchmarkAblationMu(b *testing.B) {
+	specs := ablationBenchSpecs()
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.AblationMu(specs, []int64{5, 10}, 0)
+		if err != nil || len(t.Rows) != 2 {
+			b.Fatalf("rows %d err %v", len(t.Rows), err)
+		}
+	}
+}
+
+func BenchmarkAblationImprovers(b *testing.B) {
+	specs := ablationBenchSpecs()
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.AblationImprovers(specs, 0)
+		if err != nil || len(t.Rows) != 4 {
+			b.Fatalf("rows %d err %v", len(t.Rows), err)
+		}
+	}
+}
+
+func BenchmarkAblationOrdering(b *testing.B) {
+	specs := ablationBenchSpecs()
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.AblationOrdering(specs, 0)
+		if err != nil || len(t.Rows) != 8 {
+			b.Fatalf("rows %d err %v", len(t.Rows), err)
+		}
+	}
+}
+
+func BenchmarkAblationGreedies(b *testing.B) {
+	specs := ablationBenchSpecs()
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.AblationGreedies(specs, 0)
+		if err != nil || len(t.Rows) != 4 {
+			b.Fatalf("rows %d err %v", len(t.Rows), err)
+		}
+	}
+}
+
+func BenchmarkExtensionTwoPass(b *testing.B) {
+	specs := ablationBenchSpecs()
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.ExtensionTwoPass(specs, 0)
+		if err != nil || len(t.Rows) != 3 {
+			b.Fatalf("rows %d err %v", len(t.Rows), err)
+		}
+	}
+}
+
+// ---- robustness studies ------------------------------------------------------
+
+func BenchmarkRobustnessRuntime(b *testing.B) {
+	specs := ablationBenchSpecs()
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.RobustnessRuntime(specs, []float64{0, 0.2}, 0)
+		if err != nil || len(t.Rows) != 2 {
+			b.Fatalf("rows %d err %v", len(t.Rows), err)
+		}
+	}
+}
+
+func BenchmarkRobustnessForecast(b *testing.B) {
+	specs := ablationBenchSpecs()
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.RobustnessForecast(specs, []float64{0, 0.25}, 0)
+		if err != nil || len(t.Rows) != 2 {
+			b.Fatalf("rows %d err %v", len(t.Rows), err)
+		}
+	}
+}
+
+func BenchmarkSimulatorReplay(b *testing.B) {
+	inst, prof := benchInstance(b, 500)
+	plan := cawosched.ASAP(inst)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Replay(inst, plan, prof)
+		if err != nil || res.Shifted != 0 {
+			b.Fatalf("replay err %v shifted %d", err, res.Shifted)
+		}
+	}
+}
+
+// ---- theory: Theorem 4.1 and 4.3 --------------------------------------------
+
+func BenchmarkUniprocessorDP(b *testing.B) {
+	r := rng.New(5)
+	durs := make([]int64, 25)
+	var total int64
+	for i := range durs {
+		durs[i] = r.IntRange(1, 9)
+		total += durs[i]
+	}
+	prof, err := power.Generate(power.S1, total*2, 24, 0, 30, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := &dp.Problem{Dur: durs, Idle: 2, Work: 6, Prof: prof}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dp.Solve(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNPCReduction(b *testing.B) {
+	p := &npc.ThreePartition{X: []int64{6, 6, 8, 6, 7, 7}, B: 20}
+	for i := 0; i < b.N; i++ {
+		red, err := npc.Build(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, cost, err := exact.Solve(red.Instance, red.Profile, exact.Options{})
+		if err != nil || cost != 0 {
+			b.Fatalf("cost %d err %v", cost, err)
+		}
+	}
+}
+
+// ---- core kernels ------------------------------------------------------------
+
+func benchInstance(b *testing.B, n int) (*cawosched.Instance, *cawosched.Profile) {
+	b.Helper()
+	wf, err := cawosched.GenerateWorkflow(cawosched.Atacseq, n, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inst, err := cawosched.PlanHEFT(wf, cawosched.SmallCluster(42))
+	if err != nil {
+		b.Fatal(err)
+	}
+	D := cawosched.ASAPMakespan(inst)
+	prof, err := cawosched.ProfileForInstance(inst, cawosched.S1, 2*D, 24, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return inst, prof
+}
+
+func BenchmarkASAP500(b *testing.B) {
+	inst, _ := benchInstance(b, 500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cawosched.ASAP(inst)
+	}
+}
+
+func BenchmarkGreedySlack500(b *testing.B) {
+	inst, prof := benchInstance(b, 500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := cawosched.Run(inst, prof, cawosched.Options{Score: cawosched.ScoreSlack}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGreedyPressWR500(b *testing.B) {
+	inst, prof := benchInstance(b, 500)
+	opt := cawosched.Options{Score: cawosched.ScorePressureW, Refined: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := cawosched.Run(inst, prof, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPressWRLS500(b *testing.B) {
+	inst, prof := benchInstance(b, 500)
+	opt := cawosched.Options{Score: cawosched.ScorePressureW, Refined: true, LocalSearch: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := cawosched.Run(inst, prof, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCarbonCost500(b *testing.B) {
+	inst, prof := benchInstance(b, 500)
+	s := cawosched.ASAP(inst)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cawosched.CarbonCost(inst, s, prof)
+	}
+}

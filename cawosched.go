@@ -1,0 +1,315 @@
+// Package cawosched is a carbon-aware workflow scheduler: a Go
+// implementation of "Carbon-Aware Workflow Scheduling with Fixed Mapping
+// and Deadline Constraint" (Schweisgut, Benoit, Robert, Meyerhenke,
+// ICPP 2025).
+//
+// Given a workflow DAG, a fixed mapping and ordering of its tasks on a
+// heterogeneous cluster (e.g. produced by HEFT), a deadline, and a
+// time-varying green power profile, the scheduler shifts task start times
+// into low-carbon intervals while respecting every precedence constraint
+// and the deadline.
+//
+// # Typical usage
+//
+//	wf, _ := cawosched.GenerateWorkflow(cawosched.Methylseq, 1000, 42)
+//	cluster := cawosched.SmallCluster(42)
+//	inst, _ := cawosched.PlanHEFT(wf, cluster)
+//	D := cawosched.ASAPMakespan(inst)                  // tightest deadline
+//	prof, _ := cawosched.ProfileForInstance(inst, cawosched.S1, 2*D, 24, 42)
+//	sched, stats, _ := cawosched.Run(inst, prof, cawosched.Options{
+//		Score:       cawosched.ScorePressure,
+//		Refined:     true,
+//		LocalSearch: true,
+//	}) // the paper's best variant, pressWR-LS
+//	fmt.Println(stats.Cost, cawosched.CarbonCost(inst, sched, prof))
+//
+// The heavy lifting lives in the internal packages (dag, platform, power,
+// wfgen, heft, ceg, schedule, core, dp, exact, lp, milp, ilp, npc, stats,
+// experiments); this package is the stable surface intended for
+// downstream use.
+package cawosched
+
+import (
+	"io"
+
+	"repro/internal/ceg"
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/dp"
+	"repro/internal/exact"
+	"repro/internal/greenheft"
+	"repro/internal/heft"
+	"repro/internal/platform"
+	"repro/internal/power"
+	"repro/internal/rng"
+	"repro/internal/schedule"
+	"repro/internal/wfgen"
+)
+
+// Core types re-exported for the public API.
+type (
+	// DAG is a weighted workflow graph.
+	DAG = dag.DAG
+	// Cluster is the target platform (compute nodes + communication links).
+	Cluster = platform.Cluster
+	// ProcType describes a processor family (speed, idle and work power).
+	ProcType = platform.ProcType
+	// Profile is a green power profile over the horizon [0, T).
+	Profile = power.Profile
+	// Interval is one constant-budget window of a profile.
+	Interval = power.Interval
+	// Scenario selects a renewable-supply shape (S1..S4).
+	Scenario = power.Scenario
+	// Instance is a scheduling problem with fixed mapping and ordering.
+	Instance = ceg.Instance
+	// Mapping is the fixed task→processor assignment with per-processor
+	// order.
+	Mapping = ceg.Mapping
+	// Schedule assigns a start time to every task (and communication).
+	Schedule = schedule.Schedule
+	// Options selects a CaWoSched variant.
+	Options = core.Options
+	// Score is the greedy ordering criterion.
+	Score = core.Score
+	// Stats reports instrumentation from a scheduler run.
+	Stats = core.Stats
+	// Family identifies a synthetic workflow family.
+	Family = wfgen.Family
+	// HEFTResult is the reference schedule produced by HEFT.
+	HEFTResult = heft.Result
+)
+
+// Scenario constants (Section 6.1).
+const (
+	S1 = power.S1 // −x² solar-day shape
+	S2 = power.S2 // x² midday-start shape
+	S3 = power.S3 // sine over 24h
+	S4 = power.S4 // constant (storage / nuclear)
+)
+
+// Score constants (Section 5.2).
+const (
+	ScoreSlack     = core.ScoreSlack
+	ScoreSlackW    = core.ScoreSlackW
+	ScorePressure  = core.ScorePressure
+	ScorePressureW = core.ScorePressureW
+)
+
+// Workflow family constants.
+const (
+	Atacseq   = wfgen.Atacseq
+	Bacass    = wfgen.Bacass
+	Eager     = wfgen.Eager
+	Methylseq = wfgen.Methylseq
+)
+
+// NewWorkflow returns an empty workflow with n unit-weight tasks; add
+// edges and weights through the DAG methods.
+func NewWorkflow(n int) *DAG { return dag.New(n) }
+
+// ReadWorkflowDOT parses a workflow from GraphViz DOT syntax (as written
+// by WriteWorkflowDOT, or the bare edge-list subset of Nextflow exports).
+func ReadWorkflowDOT(r io.Reader) (*DAG, error) { return dag.ReadDOT(r) }
+
+// WriteWorkflowDOT serializes a workflow in GraphViz DOT syntax.
+func WriteWorkflowDOT(w io.Writer, d *DAG, name string) error { return d.WriteDOT(w, name) }
+
+// GenerateWorkflow synthesizes a workflow of the given family with exactly
+// n tasks (deterministic in the seed).
+func GenerateWorkflow(f Family, n int, seed uint64) (*DAG, error) {
+	return wfgen.Generate(f, n, seed)
+}
+
+// SmallCluster returns the paper's 72-node heterogeneous cluster.
+func SmallCluster(seed uint64) *Cluster { return platform.Small(seed) }
+
+// LargeCluster returns the paper's 144-node heterogeneous cluster.
+func LargeCluster(seed uint64) *Cluster { return platform.Large(seed) }
+
+// NewCluster builds a custom cluster from processor types and counts.
+func NewCluster(types []ProcType, counts []int, seed uint64) *Cluster {
+	return platform.New(types, counts, seed)
+}
+
+// PlanHEFT computes a HEFT mapping and ordering for the workflow and
+// builds the communication-enhanced scheduling instance from it. This is
+// the "given mapping" the carbon-aware scheduler then improves.
+func PlanHEFT(d *DAG, c *Cluster) (*Instance, error) {
+	h, err := heft.Schedule(d, c)
+	if err != nil {
+		return nil, err
+	}
+	return ceg.Build(d, ceg.FromHEFT(h.Proc, h.Order, h.Finish), c)
+}
+
+// HEFT exposes the raw HEFT result (mapping, order, reference times).
+func HEFT(d *DAG, c *Cluster) (*HEFTResult, error) { return heft.Schedule(d, c) }
+
+// BuildInstance builds a scheduling instance from an explicit mapping.
+func BuildInstance(d *DAG, m *Mapping, c *Cluster) (*Instance, error) {
+	return ceg.Build(d, m, c)
+}
+
+// ASAP returns the carbon-unaware baseline schedule (every task at its
+// earliest start time).
+func ASAP(inst *Instance) *Schedule { return core.ASAP(inst) }
+
+// ASAPMakespan returns D, the ASAP makespan — the tightest feasible
+// deadline for the instance.
+func ASAPMakespan(inst *Instance) int64 { return core.ASAPMakespan(inst) }
+
+// ProfileForInstance generates a green power profile for the instance's
+// platform: budgets follow the scenario shape within the paper's corridor
+// [Σ idle, Σ idle + 0.8·Σ work] over horizon T split into j intervals.
+func ProfileForInstance(inst *Instance, sc Scenario, T int64, j int, seed uint64) (*Profile, error) {
+	gmin, gmax := power.PlatformBounds(inst.TotalIdlePower(), inst.Cluster.ComputeWork())
+	return power.Generate(sc, T, j, gmin, gmax, rng.New(seed))
+}
+
+// ConstantProfile returns a single-interval profile (useful for tests and
+// as a deadline-only horizon).
+func ConstantProfile(T, budget int64) *Profile { return power.Constant(T, budget) }
+
+// Run executes one CaWoSched variant; the deadline is prof.T().
+func Run(inst *Instance, prof *Profile, opt Options) (*Schedule, Stats, error) {
+	return core.Run(inst, prof, opt)
+}
+
+// Variants returns the 8 greedy variants with the given local-search
+// setting; AllVariants returns all 16.
+func Variants(localSearch bool) []Options { return core.Variants(localSearch) }
+
+// AllVariants returns the paper's 16 heuristics.
+func AllVariants() []Options { return core.AllVariants() }
+
+// CarbonCost evaluates a schedule's total carbon cost under the profile
+// (polynomial interval sweep of Appendix A.1).
+func CarbonCost(inst *Instance, s *Schedule, prof *Profile) int64 {
+	return schedule.CarbonCost(inst, s, prof)
+}
+
+// Validate checks that s is feasible for inst with deadline T.
+func Validate(inst *Instance, s *Schedule, T int64) error {
+	return schedule.Validate(inst, s, T)
+}
+
+// Makespan returns the completion time of the schedule.
+func Makespan(inst *Instance, s *Schedule) int64 { return schedule.Makespan(inst, s) }
+
+// OptimalUniprocessor solves the single-processor case exactly with the
+// fully polynomial dynamic program of Theorem 4.1: tasks run in the given
+// order on one processor drawing idle power always and idle+work while
+// busy. It returns optimal start times and the optimal carbon cost.
+func OptimalUniprocessor(durations []int64, idle, work int64, prof *Profile) ([]int64, int64, error) {
+	res, err := dp.Solve(&dp.Problem{Dur: durations, Idle: idle, Work: work, Prof: prof})
+	if err != nil {
+		return nil, 0, err
+	}
+	return res.Start, res.Cost, nil
+}
+
+// OptimalSchedule computes a provably optimal schedule for a tiny instance
+// by branch-and-bound (roughly ≤ 12 tasks). maxNodes bounds the search
+// (0 = default); exact.ErrBudget is returned if it is exhausted.
+func OptimalSchedule(inst *Instance, prof *Profile, maxNodes int64) (*Schedule, int64, error) {
+	return exact.Solve(inst, prof, exact.Options{MaxNodes: maxNodes})
+}
+
+// ALAP returns the As-Late-As-Possible comparator schedule for deadline T.
+func ALAP(inst *Instance, T int64) (*Schedule, error) { return core.ALAP(inst, T) }
+
+// RunMarginal executes the exact-marginal-cost greedy (an alternative to
+// the paper's budget-based greedy; see internal/core.GreedyMarginal),
+// optionally followed by the local search.
+func RunMarginal(inst *Instance, prof *Profile, opt Options) (*Schedule, Stats, error) {
+	var st Stats
+	s, err := core.GreedyMarginal(inst, prof, opt, &st)
+	if err != nil {
+		return nil, st, err
+	}
+	if opt.LocalSearch {
+		core.LocalSearch(inst, prof, s, opt.EffectiveMu(), &st)
+	}
+	st.Cost = schedule.CarbonCost(inst, s, prof)
+	return s, st, nil
+}
+
+// AnnealOptions tunes the simulated-annealing improver.
+type AnnealOptions = core.AnnealOptions
+
+// Anneal improves a feasible schedule in place by simulated annealing (a
+// randomized alternative to the paper's hill climber) and returns the
+// final carbon cost. The result is never worse than the input.
+func Anneal(inst *Instance, prof *Profile, s *Schedule, opt AnnealOptions) int64 {
+	return core.Anneal(inst, prof, s, opt)
+}
+
+// MappingPolicy selects the processor-selection rule of the carbon-aware
+// mapping pass (the Section 7 two-pass extension).
+type MappingPolicy = greenheft.Policy
+
+// Mapping policies.
+const (
+	MapEFT           = greenheft.EFT
+	MapLowPower      = greenheft.LowPower
+	MapEnergyPerWork = greenheft.EnergyPerWork
+)
+
+// PlanGreen computes a carbon-aware mapping (the Section 7 extension) and
+// builds the scheduling instance from it. With MapEFT it is identical to
+// PlanHEFT.
+func PlanGreen(d *DAG, c *Cluster, policy MappingPolicy) (*Instance, error) {
+	m, err := greenheft.Schedule(d, c, greenheft.Options{Policy: policy})
+	if err != nil {
+		return nil, err
+	}
+	return ceg.Build(d, ceg.FromHEFT(m.Proc, m.Order, m.Finish), c)
+}
+
+// TracePoint is one sample of a grid carbon-intensity trace.
+type TracePoint = power.TracePoint
+
+// ReadIntensityCSV parses "offset,intensity" carbon-intensity samples.
+func ReadIntensityCSV(r io.Reader) ([]TracePoint, error) {
+	return power.ReadIntensityCSV(r)
+}
+
+// ProfileFromIntensity converts a carbon-intensity trace into a green
+// power profile over [0, T): cleaner grid → more green budget, scaled into
+// the platform corridor of the instance.
+func ProfileFromIntensity(inst *Instance, points []TracePoint, T int64) (*Profile, error) {
+	gmin, gmax := power.PlatformBounds(inst.TotalIdlePower(), inst.Cluster.ComputeWork())
+	return power.FromIntensity(points, T, gmin, gmax)
+}
+
+// ScheduleEntry is one node in the schedule export formats.
+type ScheduleEntry = schedule.Entry
+
+// ExportSchedule flattens a schedule into entries ordered by processor and
+// start time.
+func ExportSchedule(inst *Instance, s *Schedule) []ScheduleEntry {
+	return schedule.Export(inst, s)
+}
+
+// WriteScheduleJSON / WriteScheduleCSV serialize a schedule.
+func WriteScheduleJSON(w io.Writer, inst *Instance, s *Schedule) error {
+	return schedule.WriteJSON(w, inst, s)
+}
+
+// WriteScheduleCSV writes the schedule as CSV rows.
+func WriteScheduleCSV(w io.Writer, inst *Instance, s *Schedule) error {
+	return schedule.WriteCSV(w, inst, s)
+}
+
+// ReadScheduleJSON parses a schedule written with WriteScheduleJSON.
+func ReadScheduleJSON(r io.Reader, inst *Instance) (*Schedule, error) {
+	return schedule.ReadJSON(r, inst)
+}
+
+// GanttOptions tunes the ASCII Gantt rendering.
+type GanttOptions = schedule.GanttOptions
+
+// Gantt renders the schedule as an ASCII chart (debugging/teaching aid).
+func Gantt(inst *Instance, s *Schedule, horizon int64, opt GanttOptions) string {
+	return schedule.Gantt(inst, s, horizon, opt)
+}

@@ -1,0 +1,213 @@
+// Command cawosched schedules a single workflow instance with the
+// CaWoSched heuristics and reports the carbon cost of every variant
+// against the ASAP baseline.
+//
+// Usage:
+//
+//	cawosched [flags]
+//
+// The workflow is either synthesized (-family, -n) or loaded from a
+// GraphViz .dot file (-dot). The mapping and ordering always come from the
+// built-in HEFT implementation, as in the paper.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	cawosched "repro"
+	"repro/internal/wfgen"
+)
+
+func main() {
+	var (
+		family   = flag.String("family", "methylseq", "workflow family: atacseq | bacass | eager | methylseq")
+		n        = flag.Int("n", 200, "number of workflow tasks (ignored with -dot)")
+		dotFile  = flag.String("dot", "", "load the workflow from this GraphViz .dot file")
+		cluster  = flag.String("cluster", "small", "target cluster: small (72 nodes) | large (144 nodes)")
+		scenario = flag.String("scenario", "S1", "power scenario: S1 | S2 | S3 | S4")
+		factor   = flag.Float64("deadline-factor", 2, "deadline = factor x ASAP makespan (>= 1)")
+		variant  = flag.String("variant", "all", `heuristic to run: "all", "asap", or a name like pressWR-LS`)
+		seed     = flag.Uint64("seed", 42, "random seed for workflow/profile generation")
+		verbose  = flag.Bool("v", false, "print the schedule's start times")
+		gantt    = flag.Bool("gantt", false, "render an ASCII Gantt chart of the last variant's schedule")
+		jsonOut  = flag.String("json", "", "write the last variant's schedule to this JSON file")
+		csvOut   = flag.String("csv", "", "write the last variant's schedule to this CSV file")
+	)
+	flag.Parse()
+	if err := run(*family, *n, *dotFile, *cluster, *scenario, *factor, *variant, *seed, *verbose, *gantt, *jsonOut, *csvOut); err != nil {
+		fmt.Fprintln(os.Stderr, "cawosched:", err)
+		os.Exit(1)
+	}
+}
+
+func run(family string, n int, dotFile, clusterName, scenarioName string, factor float64, variant string, seed uint64, verbose, gantt bool, jsonOut, csvOut string) error {
+	wf, err := loadWorkflow(family, n, dotFile, seed)
+	if err != nil {
+		return err
+	}
+	var cluster *cawosched.Cluster
+	switch clusterName {
+	case "small":
+		cluster = cawosched.SmallCluster(seed)
+	case "large":
+		cluster = cawosched.LargeCluster(seed)
+	default:
+		return fmt.Errorf("unknown cluster %q", clusterName)
+	}
+	sc, err := parseScenario(scenarioName)
+	if err != nil {
+		return err
+	}
+	if factor < 1 {
+		return fmt.Errorf("deadline factor %v < 1", factor)
+	}
+
+	inst, err := cawosched.PlanHEFT(wf, cluster)
+	if err != nil {
+		return err
+	}
+	D := cawosched.ASAPMakespan(inst)
+	T := int64(float64(D)*factor + 0.5)
+	prof, err := cawosched.ProfileForInstance(inst, sc, T, 24, seed)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("workflow: %d tasks, %d nodes incl. communications\n", wf.N(), inst.N())
+	fmt.Printf("cluster:  %s (%d compute processors)\n", clusterName, cluster.NumCompute())
+	fmt.Printf("horizon:  D = %d, deadline T = %d, scenario %s, %d intervals\n\n", D, T, sc, prof.J())
+
+	asap := cawosched.ASAP(inst)
+	asapCost := cawosched.CarbonCost(inst, asap, prof)
+	fmt.Printf("%-12s  %12s  %8s  %10s\n", "variant", "carbon cost", "vs ASAP", "time")
+	fmt.Printf("%-12s  %12d  %8s  %10s\n", "ASAP", asapCost, "1.000", "-")
+
+	opts, err := selectVariants(variant)
+	if err != nil {
+		return err
+	}
+	var last *cawosched.Schedule
+	for _, opt := range opts {
+		start := time.Now()
+		s, st, err := cawosched.Run(inst, prof, opt)
+		if err != nil {
+			return fmt.Errorf("%s: %w", opt.Name(), err)
+		}
+		elapsed := time.Since(start)
+		ratio := "0.000"
+		if asapCost > 0 {
+			ratio = fmt.Sprintf("%.3f", float64(st.Cost)/float64(asapCost))
+		} else if st.Cost == 0 {
+			ratio = "1.000"
+		}
+		fmt.Printf("%-12s  %12d  %8s  %10s\n", opt.Name(), st.Cost, ratio, elapsed.Round(time.Millisecond))
+		if verbose {
+			printSchedule(inst, s)
+		}
+		last = s
+	}
+	if last == nil {
+		last = asap
+	}
+	if gantt {
+		fmt.Println()
+		fmt.Print(cawosched.Gantt(inst, last, T, cawosched.GanttOptions{Width: 100, MaxProcs: 12, Profile: prof}))
+	}
+	if jsonOut != "" {
+		f, err := os.Create(jsonOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := cawosched.WriteScheduleJSON(f, inst, last); err != nil {
+			return err
+		}
+	}
+	if csvOut != "" {
+		f, err := os.Create(csvOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := cawosched.WriteScheduleCSV(f, inst, last); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func loadWorkflow(family string, n int, dotFile string, seed uint64) (*cawosched.DAG, error) {
+	if dotFile != "" {
+		f, err := os.Open(dotFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return cawosched.ReadWorkflowDOT(f)
+	}
+	fam, err := parseFamily(family)
+	if err != nil {
+		return nil, err
+	}
+	return cawosched.GenerateWorkflow(fam, n, seed)
+}
+
+func parseFamily(name string) (cawosched.Family, error) {
+	for _, f := range wfgen.Families() {
+		if f.String() == name {
+			return f, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown family %q (want atacseq, bacass, eager or methylseq)", name)
+}
+
+func parseScenario(name string) (cawosched.Scenario, error) {
+	switch strings.ToUpper(name) {
+	case "S1":
+		return cawosched.S1, nil
+	case "S2":
+		return cawosched.S2, nil
+	case "S3":
+		return cawosched.S3, nil
+	case "S4":
+		return cawosched.S4, nil
+	}
+	return 0, fmt.Errorf("unknown scenario %q", name)
+}
+
+func selectVariants(name string) ([]cawosched.Options, error) {
+	if name == "asap" {
+		return nil, nil
+	}
+	all := cawosched.AllVariants()
+	if name == "all" {
+		return all, nil
+	}
+	for _, opt := range all {
+		if opt.Name() == name {
+			return []cawosched.Options{opt}, nil
+		}
+	}
+	var names []string
+	for _, opt := range all {
+		names = append(names, opt.Name())
+	}
+	sort.Strings(names)
+	return nil, fmt.Errorf("unknown variant %q (want all, asap, or one of %s)", name, strings.Join(names, ", "))
+}
+
+func printSchedule(inst *cawosched.Instance, s *cawosched.Schedule) {
+	for v := 0; v < inst.N(); v++ {
+		kind := "task"
+		if inst.IsComm(v) {
+			kind = "comm"
+		}
+		fmt.Printf("    %s %-24s proc %-4d start %-8d end %d\n",
+			kind, inst.G.Tasks[v].Name, inst.Proc[v], s.Start[v], s.Start[v]+inst.Dur[v])
+	}
+}

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseFamily(t *testing.T) {
+	for _, name := range []string{"atacseq", "bacass", "eager", "methylseq"} {
+		if f, err := parseFamily(name); err != nil || f.String() != name {
+			t.Errorf("parseFamily(%q) = %v, %v", name, f, err)
+		}
+	}
+	if _, err := parseFamily("montage"); err == nil {
+		t.Error("unknown family accepted")
+	}
+}
+
+func TestParseScenario(t *testing.T) {
+	for _, name := range []string{"S1", "s2", "S3", "s4"} {
+		if _, err := parseScenario(name); err != nil {
+			t.Errorf("parseScenario(%q): %v", name, err)
+		}
+	}
+	if _, err := parseScenario("S5"); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+}
+
+func TestSelectVariants(t *testing.T) {
+	all, err := selectVariants("all")
+	if err != nil || len(all) != 16 {
+		t.Errorf("all → %d variants, err %v", len(all), err)
+	}
+	one, err := selectVariants("pressWR-LS")
+	if err != nil || len(one) != 1 || one[0].Name() != "pressWR-LS" {
+		t.Errorf("pressWR-LS → %v, %v", one, err)
+	}
+	none, err := selectVariants("asap")
+	if err != nil || len(none) != 0 {
+		t.Errorf("asap → %v, %v", none, err)
+	}
+	if _, err := selectVariants("bogus"); err == nil {
+		t.Error("unknown variant accepted")
+	} else if !strings.Contains(err.Error(), "pressWR-LS") {
+		t.Errorf("error should list valid names: %v", err)
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "s.json")
+	csvPath := filepath.Join(dir, "s.csv")
+	err := run("bacass", 30, "", "small", "S1", 2, "pressWR-LS", 7, false, false, jsonPath, csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{jsonPath, csvPath} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Errorf("%s not written: %v", p, err)
+		} else if st.Size() == 0 {
+			t.Errorf("%s empty", p)
+		}
+	}
+}
+
+func TestRunRejectsBadInputs(t *testing.T) {
+	if err := run("bogus", 30, "", "small", "S1", 2, "all", 1, false, false, "", ""); err == nil {
+		t.Error("bad family accepted")
+	}
+	if err := run("bacass", 30, "", "medium", "S1", 2, "all", 1, false, false, "", ""); err == nil {
+		t.Error("bad cluster accepted")
+	}
+	if err := run("bacass", 30, "", "small", "S9", 2, "all", 1, false, false, "", ""); err == nil {
+		t.Error("bad scenario accepted")
+	}
+	if err := run("bacass", 30, "", "small", "S1", 0.5, "all", 1, false, false, "", ""); err == nil {
+		t.Error("deadline factor < 1 accepted")
+	}
+	if err := run("bacass", 30, "/nonexistent/path.dot", "small", "S1", 2, "all", 1, false, false, "", ""); err == nil {
+		t.Error("missing dot file accepted")
+	}
+}
+
+func TestRunFromDOTFile(t *testing.T) {
+	dir := t.TempDir()
+	dot := filepath.Join(dir, "wf.dot")
+	src := "n0 -> n1\nn0 -> n2\nn1 -> n3\nn2 -> n3\n"
+	if err := os.WriteFile(dot, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", 0, dot, "small", "S4", 1.5, "slack", 3, false, false, "", ""); err != nil {
+		t.Fatal(err)
+	}
+}

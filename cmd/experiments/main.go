@@ -1,0 +1,259 @@
+// Command experiments regenerates the paper's evaluation artifacts: every
+// table and figure of Section 6 (and Appendix A.5), printed as aligned
+// text tables and optionally written as CSV files for plotting.
+//
+// By default it runs a reduced corpus (workflows capped at -max-tasks) so
+// all artifacts regenerate in minutes; -max-tasks 0 runs the paper-scale
+// corpus (34 workflows up to 30,000 tasks — hours of compute).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		maxTasks = flag.Int("max-tasks", 500, "largest workflow size to include (0 = full paper corpus)")
+		seed     = flag.Uint64("seed", 42, "corpus seed")
+		workers  = flag.Int("workers", 0, "parallel instances (0 = GOMAXPROCS)")
+		outDir   = flag.String("out", "", "write CSV files to this directory (optional)")
+		only     = flag.String("only", "all", "comma-separated artifacts: table1,fig1,...,fig8,table2,fig12,...,fig17,fig7,ablations,robustness or all (ablations/robustness only run when named explicitly)")
+		quiet    = flag.Bool("q", false, "suppress progress output")
+		saveTo   = flag.String("save", "", "persist the main corpus raw results to this JSON file")
+	)
+	flag.Parse()
+	if err := run2(*maxTasks, *seed, *workers, *outDir, *only, *quiet, *saveTo); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+// run keeps the original signature for tests; run2 adds result saving.
+func run(maxTasks int, seed uint64, workers int, outDir, only string, quiet bool) error {
+	return run2(maxTasks, seed, workers, outDir, only, quiet, "")
+}
+
+func run2(maxTasks int, seed uint64, workers int, outDir, only string, quiet bool, saveTo string) error {
+	want := map[string]bool{}
+	for _, name := range strings.Split(only, ",") {
+		want[strings.TrimSpace(name)] = true
+	}
+	all := want["all"]
+	selected := func(name string) bool { return all || want[name] }
+
+	var emitted []*experiments.Table
+	emit := func(name string, t *experiments.Table) {
+		fmt.Println(t.String())
+		if outDir != "" {
+			path := filepath.Join(outDir, name+".csv")
+			if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "warning: writing %s: %v\n", path, err)
+			}
+		}
+		emitted = append(emitted, t)
+	}
+	if outDir != "" {
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			return err
+		}
+	}
+
+	if selected("table1") {
+		emit("table1", experiments.Table1Platform())
+	}
+
+	// The main corpus powers figures 1-6, 8, 12-17.
+	needMain := false
+	for _, name := range []string{"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig8", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17"} {
+		if selected(name) {
+			needMain = true
+		}
+	}
+	if needMain {
+		specs := experiments.Corpus(maxTasks, seed)
+		algos := experiments.LSAlgorithms()
+		names := algoNames(algos)
+		fmt.Printf("running main corpus: %d instances x %d algorithms (max %d tasks)\n",
+			len(specs), len(algos), maxTasks)
+		start := time.Now()
+		progress := func(done, total int) {
+			if !quiet && (done%25 == 0 || done == total) {
+				fmt.Printf("  %d/%d instances (%.0fs)\n", done, total, time.Since(start).Seconds())
+			}
+		}
+		results, err := experiments.Run(specs, algos, workers, progress)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("main corpus done in %s\n\n", time.Since(start).Round(time.Second))
+		if saveTo != "" {
+			f, err := os.Create(saveTo)
+			if err != nil {
+				return err
+			}
+			if err := experiments.WriteResults(f, results); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("raw results saved to %s\n\n", saveTo)
+		}
+
+		if selected("fig1") {
+			emit("fig1", experiments.Fig1Ranks(results, names))
+		}
+		if selected("fig2") {
+			emit("fig2", experiments.Fig2PerfProfile(results, names))
+		}
+		if selected("fig3") {
+			for i, t := range experiments.Fig3PerfProfileByDeadline(results, names) {
+				emit(fmt.Sprintf("fig3_%d", i), t)
+			}
+		}
+		if selected("fig4") {
+			emit("fig4", experiments.Fig4MedianCostRatio(results, names))
+		}
+		if selected("fig5") {
+			for i, t := range experiments.Fig5CostRatioByDeadline(results, names) {
+				emit(fmt.Sprintf("fig5_%d", i), t)
+			}
+		}
+		if selected("fig6") {
+			emit("fig6", experiments.Fig6BoxPlots(results, names))
+		}
+		if selected("fig8") {
+			emit("fig8", experiments.Fig8RunningTime(results, names))
+		}
+		if selected("fig12") {
+			emit("fig12", experiments.Fig12RunningTimeLarge(results, names))
+		}
+		if selected("fig13") {
+			emit("fig13", experiments.Fig13RunningTimeByDeadline(results, names))
+		}
+		if selected("fig14") {
+			for i, t := range experiments.Fig14CostRatioByCluster(results, names) {
+				emit(fmt.Sprintf("fig14_%d", i), t)
+			}
+		}
+		if selected("fig15") {
+			for i, t := range experiments.Fig15CostRatioByScenario(results, names) {
+				emit(fmt.Sprintf("fig15_%d", i), t)
+			}
+		}
+		if selected("fig16") {
+			for i, t := range experiments.Fig16CostRatioBySize(results, names) {
+				emit(fmt.Sprintf("fig16_%d", i), t)
+			}
+		}
+		if selected("fig17") {
+			for i, t := range experiments.Fig17PerfProfileByCluster(results, names) {
+				emit(fmt.Sprintf("fig17_%d", i), t)
+			}
+		}
+	}
+
+	if selected("table2") {
+		specs := experiments.AblationCorpus(maxTasks, seed)
+		fmt.Printf("running ablation corpus (Table 2): %d instances x 17 algorithms\n", len(specs))
+		start := time.Now()
+		results, err := experiments.Run(specs, experiments.Algorithms(), workers, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("ablation done in %s\n\n", time.Since(start).Round(time.Second))
+		emit("table2", experiments.Table2LocalSearchAblation(results))
+	}
+
+	if selected("fig7") {
+		fmt.Println("running exact-comparison corpus (Figure 7)")
+		t, err := experiments.Fig7ExactComparison(seed, experiments.LSAlgorithms(), 20_000_000)
+		if err != nil {
+			return err
+		}
+		emit("fig7", t)
+	}
+
+	// Ablations and the Section 7 extension run on a reduced corpus (they
+	// multiply the per-instance work by the sweep size) and are opt-in:
+	// they run only when named explicitly, not under "all".
+	if want["ablations"] {
+		cap := maxTasks
+		if cap <= 0 || cap > 500 {
+			cap = 500
+		}
+		specs := experiments.Corpus(cap, seed)
+		fmt.Printf("running ablations on %d instances\n", len(specs))
+		if t, err := experiments.AblationK(specs, []int{1, 2, 3, 4}, workers); err != nil {
+			return err
+		} else {
+			emit("ablation_k", t)
+		}
+		if t, err := experiments.AblationMu(specs, []int64{1, 5, 10, 20}, workers); err != nil {
+			return err
+		} else {
+			emit("ablation_mu", t)
+		}
+		if t, err := experiments.AblationImprovers(specs, workers); err != nil {
+			return err
+		} else {
+			emit("ablation_improvers", t)
+		}
+		if t, err := experiments.AblationGreedies(specs, workers); err != nil {
+			return err
+		} else {
+			emit("ablation_greedies", t)
+		}
+		if t, err := experiments.AblationOrdering(specs, workers); err != nil {
+			return err
+		} else {
+			emit("ablation_ordering", t)
+		}
+		if t, err := experiments.ExtensionTwoPass(specs, workers); err != nil {
+			return err
+		} else {
+			emit("extension_twopass", t)
+		}
+	}
+
+	// Robustness studies (runtime noise, forecast error) are opt-in too.
+	if want["robustness"] {
+		cap := maxTasks
+		if cap <= 0 || cap > 500 {
+			cap = 500
+		}
+		specs := experiments.Corpus(cap, seed)
+		fmt.Printf("running robustness studies on %d instances\n", len(specs))
+		if t, err := experiments.RobustnessRuntime(specs, []float64{0, 0.1, 0.2, 0.4}, workers); err != nil {
+			return err
+		} else {
+			emit("robustness_runtime", t)
+		}
+		if t, err := experiments.RobustnessForecast(specs, []float64{0, 0.1, 0.25, 0.5}, workers); err != nil {
+			return err
+		} else {
+			emit("robustness_forecast", t)
+		}
+	}
+
+	if len(emitted) == 0 {
+		return fmt.Errorf("no artifacts selected by -only=%q", only)
+	}
+	return nil
+}
+
+func algoNames(algos []experiments.Algorithm) []string {
+	names := make([]string, len(algos))
+	for i, a := range algos {
+		names[i] = a.Name
+	}
+	return names
+}

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunSingleArtifact(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(150, 42, 0, dir, "table1", true); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "table1.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Error("table1.csv empty")
+	}
+}
+
+func TestRunTinyCorpusFigures(t *testing.T) {
+	dir := t.TempDir()
+	// A tiny max-tasks keeps this fast: only the real bacass workflow
+	// fits under 100 tasks.
+	if err := run(100, 42, 0, dir, "fig1,fig4", true); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"fig1.csv", "fig4.csv"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Errorf("%s not written: %v", name, err)
+		}
+	}
+}
+
+func TestRunUnknownArtifact(t *testing.T) {
+	if err := run(100, 42, 0, "", "figZZ", true); err == nil {
+		t.Error("unknown artifact selection accepted")
+	}
+}
+
+func TestAlgoNames(t *testing.T) {
+	// Smoke check on the helper used for grid headers.
+	names := algoNames(nil)
+	if len(names) != 0 {
+		t.Errorf("algoNames(nil) = %v", names)
+	}
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	cawosched "repro"
+)
+
+func TestRunWritesParsableDOT(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "wf.dot")
+	if err := run("eager", 120, false, 5, out, false); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	d, err := cawosched.ReadWorkflowDOT(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.N() != 120 {
+		t.Errorf("generated %d tasks, want 120", d.N())
+	}
+}
+
+func TestRunRealSize(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "b.dot")
+	if err := run("bacass", 9999, true, 5, out, true); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// bacass real size is 57 tasks; the DOT must contain n56 but not n57.
+	if !strings.Contains(string(data), "n56 ") {
+		t.Error("n56 missing: real size not used")
+	}
+	if strings.Contains(string(data), "n57 ") {
+		t.Error("n57 present: -n not overridden by -real")
+	}
+}
+
+func TestRunUnknownFamily(t *testing.T) {
+	if err := run("nope", 10, false, 1, "", false); err == nil {
+		t.Error("unknown family accepted")
+	}
+}

@@ -1,0 +1,89 @@
+// Carbontrace: schedule against a measured grid signal instead of a
+// synthetic scenario. A 24-hour carbon-intensity trace (a typical
+// solar-heavy grid day: dirty overnight, clean around noon) is imported as
+// CSV, converted into a green-power profile, and an eager workflow is
+// scheduled against it. The ASCII Gantt shows the work huddling into the
+// clean midday hours.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	cawosched "repro"
+)
+
+// A day of hourly carbon intensity (gCO₂/kWh). One scheduler time unit =
+// 1/10 hour here, so hour h starts at offset 10·h.
+const intensityCSV = `offset,intensity
+0,520
+10,510
+20,500
+30,490
+40,470
+50,430
+60,360
+70,280
+80,210
+90,160
+100,130
+110,115
+120,110
+130,118
+140,140
+150,180
+160,240
+170,330
+180,420
+190,480
+200,510
+210,525
+220,530
+230,525
+`
+
+func main() {
+	wf, err := cawosched.GenerateWorkflow(cawosched.Eager, 300, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cluster := cawosched.SmallCluster(3)
+	inst, err := cawosched.PlanHEFT(wf, cluster)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	trace, err := cawosched.ReadIntensityCSV(strings.NewReader(intensityCSV))
+	if err != nil {
+		log.Fatal(err)
+	}
+	const T = 240 // the full trace day
+	D := cawosched.ASAPMakespan(inst)
+	if D > T {
+		log.Fatalf("workflow needs %d units, day has %d", D, T)
+	}
+	prof, err := cawosched.ProfileFromIntensity(inst, trace, T)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	asap := cawosched.ASAP(inst)
+	asapCost := cawosched.CarbonCost(inst, asap, prof)
+	sched, stats, err := cawosched.Run(inst, prof, cawosched.Options{
+		Score: cawosched.ScorePressureW, Refined: true, LocalSearch: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("eager workflow: %d tasks, ASAP makespan %d of %d-unit day\n", wf.N(), D, T)
+	fmt.Printf("ASAP carbon cost       : %d\n", asapCost)
+	fmt.Printf("pressWR-LS carbon cost : %d (%.1f%% of ASAP)\n\n",
+		stats.Cost, 100*float64(stats.Cost)/float64(asapCost))
+
+	fmt.Println("ASAP (busiest 6 processors):")
+	fmt.Print(cawosched.Gantt(inst, asap, T, cawosched.GanttOptions{Width: 96, MaxProcs: 6, Profile: prof}))
+	fmt.Println("\ncarbon-aware (same processors):")
+	fmt.Print(cawosched.Gantt(inst, sched, T, cawosched.GanttOptions{Width: 96, MaxProcs: 6, Profile: prof}))
+}

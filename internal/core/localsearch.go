@@ -1,0 +1,90 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/ceg"
+	"repro/internal/power"
+	"repro/internal/schedule"
+)
+
+// LocalSearch improves a feasible schedule in place with the hill climber
+// of Section 5.3: processors are visited in non-increasing work-power
+// order; on each processor, tasks are scanned left to right, and each task
+// tries every shift within ±mu time units (earliest candidate first). The
+// first legal move with a strictly positive carbon gain is applied. The
+// search stops after a full round without any gain. The schedule's cost
+// never increases.
+func LocalSearch(inst *ceg.Instance, prof *power.Profile, s *schedule.Schedule, mu int64, st *Stats) {
+	T := prof.T()
+	tl := schedule.NewTimeline(inst, s, prof)
+
+	// Processors sorted by non-increasing P_work, ties by id.
+	procs := make([]int, 0, len(inst.Order))
+	for p := range inst.Order {
+		procs = append(procs, p)
+	}
+	sort.Slice(procs, func(i, j int) bool {
+		wi := inst.Cluster.Proc(procs[i]).Type.Work
+		wj := inst.Cluster.Proc(procs[j]).Type.Work
+		if wi != wj {
+			return wi > wj
+		}
+		return procs[i] < procs[j]
+	})
+
+	g := inst.G
+	for {
+		improved := false
+		if st != nil {
+			st.LSRounds++
+		}
+		for _, p := range procs {
+			for _, v := range inst.Order[p] {
+				dur := inst.Dur[v]
+				cur := s.Start[v]
+				// Legal window from current neighbor placements.
+				lo := int64(0)
+				for _, ei := range g.InEdges(v) {
+					e := g.Edges[ei]
+					if f := s.Start[e.From] + inst.Dur[e.From]; f > lo {
+						lo = f
+					}
+				}
+				hi := T - dur
+				for _, ei := range g.OutEdges(v) {
+					e := g.Edges[ei]
+					if l := s.Start[e.To] - dur; l < hi {
+						hi = l
+					}
+				}
+				if lo < cur-mu {
+					lo = cur - mu
+				}
+				if hi > cur+mu {
+					hi = cur + mu
+				}
+				_, work := inst.ProcPower(v)
+				for cand := lo; cand <= hi; cand++ {
+					if cand == cur {
+						continue
+					}
+					if gain := tl.MoveGain(cur, cand, dur, work); gain > 0 {
+						tl.ApplyMove(cur, cand, dur, work)
+						s.Start[v] = cand
+						improved = true
+						if st != nil {
+							st.LSMoves++
+							st.LSGain += gain
+						}
+						break
+					}
+				}
+			}
+		}
+		if !improved {
+			return
+		}
+		tl.Compact()
+	}
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/ceg"
+	"repro/internal/power"
+	"repro/internal/schedule"
+)
+
+// GreedyMarginal is an alternative greedy that replaces the paper's
+// budget-based interval choice (Section 5.2) with the *exact marginal
+// carbon cost*: each task (processed in the same score order) starts at
+// the candidate position whose incremental cost on the partially built
+// power timeline is smallest (ties: earliest). Candidates are the same
+// interval beginnings the budget greedy considers, plus the EST fallback.
+//
+// The budget greedy approximates this quantity through remaining budgets;
+// the marginal greedy measures it. It is more expensive per placement —
+// O(candidates · timeline window) instead of a chunked max query — and
+// exists to quantify how much the budget approximation gives away (see
+// experiments.AblationGreedies).
+func GreedyMarginal(inst *ceg.Instance, prof *power.Profile, opt Options, st *Stats) (*schedule.Schedule, error) {
+	T := prof.T()
+	w, err := newWindows(inst, T)
+	if err != nil {
+		return nil, err
+	}
+	order := taskOrder(w, opt.Score)
+
+	// Static candidate start set: interval boundaries (and refinement
+	// points when requested), sorted.
+	pts := make([]int64, 0, prof.J()+1)
+	for _, iv := range prof.Intervals {
+		pts = append(pts, iv.Start)
+	}
+	if opt.Refined {
+		pts = append(pts, refinedPoints(inst, prof, opt.EffectiveK())...)
+		sort.Slice(pts, func(i, j int) bool { return pts[i] < pts[j] })
+		uniq := pts[:0]
+		for i, p := range pts {
+			if i == 0 || p != uniq[len(uniq)-1] {
+				uniq = append(uniq, p)
+			}
+		}
+		pts = uniq
+	}
+	if st != nil {
+		st.Intervals = len(pts)
+	}
+
+	tl := schedule.NewEmptyTimeline(inst, prof)
+	s := schedule.New(inst.N())
+	for _, v := range order {
+		est, lst := w.est[v], w.lst[v]
+		dur := inst.Dur[v]
+		_, work := inst.ProcPower(v)
+
+		probe := func(at int64) int64 {
+			before := tl.RangeCost(at, at+dur)
+			tl.Add(at, at+dur, work)
+			after := tl.RangeCost(at, at+dur)
+			tl.Remove(at, at+dur, work)
+			return after - before
+		}
+
+		best := est
+		bestDelta := probe(est)
+		lo := sort.Search(len(pts), func(i int) bool { return pts[i] >= est })
+		found := false
+		for i := lo; i < len(pts) && pts[i] <= lst; i++ {
+			if pts[i] == est {
+				found = true
+				continue // already probed
+			}
+			if d := probe(pts[i]); d < bestDelta {
+				bestDelta, best = d, pts[i]
+			}
+		}
+		if st != nil && !found && (lo >= len(pts) || lst < pts[lo]) {
+			st.FallbackStarts++
+		}
+		w.Fix(v, best)
+		s.Start[v] = best
+		tl.Add(best, best+dur, work)
+	}
+	if st != nil {
+		st.GreedyCost = schedule.CarbonCost(inst, s, prof)
+	}
+	return s, nil
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/ceg"
+	"repro/internal/power"
+)
+
+// refinedPoints computes the refined interval subdivision of Section 5.2:
+// on each processor, every block of at most k consecutive tasks is
+// tentatively aligned to start or end at each original interval boundary;
+// the implied start time of every task in the block becomes a subdivision
+// point. The paper motivates this with the uniprocessor optimality of
+// E-schedules (Lemma 4.2) and fixes k = 3 to bound the interval count.
+//
+// The returned slice is sorted, deduplicated, and restricted to (0, T);
+// the original boundaries are implicitly present in the budget structure.
+func refinedPoints(inst *ceg.Instance, prof *power.Profile, k int) []int64 {
+	if k < 1 {
+		k = 1
+	}
+	T := prof.T()
+	bounds := prof.Boundaries()
+	var pts []int64
+
+	// procs in deterministic order.
+	procIDs := make([]int, 0, len(inst.Order))
+	for p := range inst.Order {
+		procIDs = append(procIDs, p)
+	}
+	sort.Ints(procIDs)
+
+	for _, p := range procIDs {
+		tasks := inst.Order[p]
+		m := len(tasks)
+		for i := 0; i < m; i++ {
+			// prefix[j] = total duration of tasks[i..i+j-1].
+			var prefix int64
+			for L := 1; L <= k && i+L <= m; L++ {
+				blockDur := prefix + inst.Dur[tasks[i+L-1]]
+				// Candidate alignments of the block [i, i+L).
+				for _, e := range bounds {
+					// Block starts at e: task i+j starts at e + prefix(j).
+					var acc int64
+					for j := 0; j < L; j++ {
+						u := tasks[i+j]
+						s := e + acc
+						if s > 0 && s < T && s+inst.Dur[u] <= T {
+							pts = append(pts, s)
+						}
+						acc += inst.Dur[u]
+					}
+					// Block ends at e: last task ends at e, so task i+j
+					// starts at e − (blockDur − prefix(j)).
+					acc = 0
+					for j := 0; j < L; j++ {
+						u := tasks[i+j]
+						s := e - (blockDur - acc)
+						if s > 0 && s < T {
+							pts = append(pts, s)
+						}
+						acc += inst.Dur[u]
+					}
+				}
+				prefix = blockDur
+			}
+		}
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i] < pts[j] })
+	uniq := pts[:0]
+	for i, p := range pts {
+		if i == 0 || p != uniq[len(uniq)-1] {
+			uniq = append(uniq, p)
+		}
+	}
+	return uniq
+}

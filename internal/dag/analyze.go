@@ -1,0 +1,162 @@
+package dag
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Analysis summarizes the structural properties of a workflow DAG that
+// drive scheduling behaviour: depth, width, degree distribution, and the
+// weight split between computation and communication. The workflow
+// generator's tests use it to keep synthetic families within realistic
+// envelopes, and cmd/wfgen -stats prints it.
+type Analysis struct {
+	Tasks int
+	Edges int
+	// Depth is the number of levels (longest path in hops + 1).
+	Depth int
+	// MaxWidth is the largest number of tasks sharing a level.
+	MaxWidth int
+	// AvgWidth is Tasks / Depth.
+	AvgWidth float64
+	// Sources and Sinks count degree-0 endpoints.
+	Sources, Sinks int
+	// MaxIn and MaxOut are the largest in-/out-degrees.
+	MaxIn, MaxOut int
+	// CPLength is the critical path length in work units.
+	CPLength int64
+	// TotalWork and TotalComm are the weight sums.
+	TotalWork, TotalComm int64
+	// Parallelism is TotalWork / CPLength: the average exploitable
+	// width in work terms.
+	Parallelism float64
+}
+
+// Analyze computes the analysis. It panics on cyclic graphs (validate
+// first).
+func (d *DAG) Analyze() Analysis {
+	a := Analysis{Tasks: d.N(), Edges: d.M()}
+	if d.N() == 0 {
+		return a
+	}
+	levels := d.Levels()
+	widths := map[int]int{}
+	for _, l := range levels {
+		widths[l]++
+		if l+1 > a.Depth {
+			a.Depth = l + 1
+		}
+	}
+	for _, w := range widths {
+		if w > a.MaxWidth {
+			a.MaxWidth = w
+		}
+	}
+	a.AvgWidth = float64(a.Tasks) / float64(a.Depth)
+	a.Sources = len(d.Sources())
+	a.Sinks = len(d.Sinks())
+	for v := 0; v < d.N(); v++ {
+		if in := d.InDegree(v); in > a.MaxIn {
+			a.MaxIn = in
+		}
+		if out := d.OutDegree(v); out > a.MaxOut {
+			a.MaxOut = out
+		}
+	}
+	a.CPLength = d.CriticalPathLength()
+	a.TotalWork = d.TotalWork()
+	for _, e := range d.Edges {
+		a.TotalComm += e.Weight
+	}
+	if a.CPLength > 0 {
+		a.Parallelism = float64(a.TotalWork) / float64(a.CPLength)
+	}
+	return a
+}
+
+// String renders the analysis as a compact multi-line report.
+func (a Analysis) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "tasks %d, edges %d, depth %d\n", a.Tasks, a.Edges, a.Depth)
+	fmt.Fprintf(&b, "width max %d avg %.1f, sources %d, sinks %d\n", a.MaxWidth, a.AvgWidth, a.Sources, a.Sinks)
+	fmt.Fprintf(&b, "degrees in<=%d out<=%d\n", a.MaxIn, a.MaxOut)
+	fmt.Fprintf(&b, "work %d, comm %d, critical path %d, parallelism %.1f",
+		a.TotalWork, a.TotalComm, a.CPLength, a.Parallelism)
+	return b.String()
+}
+
+// WidthProfile returns the number of tasks per level, index = level.
+func (d *DAG) WidthProfile() []int {
+	levels := d.Levels()
+	depth := 0
+	for _, l := range levels {
+		if l+1 > depth {
+			depth = l + 1
+		}
+	}
+	prof := make([]int, depth)
+	for _, l := range levels {
+		prof[l]++
+	}
+	return prof
+}
+
+// DegreeHistogram returns sorted (degree, count) pairs for in- or
+// out-degrees.
+func (d *DAG) DegreeHistogram(out bool) [][2]int {
+	counts := map[int]int{}
+	for v := 0; v < d.N(); v++ {
+		deg := d.InDegree(v)
+		if out {
+			deg = d.OutDegree(v)
+		}
+		counts[deg]++
+	}
+	hist := make([][2]int, 0, len(counts))
+	for deg, c := range counts {
+		hist = append(hist, [2]int{deg, c})
+	}
+	sort.Slice(hist, func(i, j int) bool { return hist[i][0] < hist[j][0] })
+	return hist
+}
+
+// LongestPath returns one critical path (by task weights) as a vertex
+// sequence from a source to a sink.
+func (d *DAG) LongestPath() []int {
+	order, err := d.TopoOrder()
+	if err != nil {
+		panic("dag: LongestPath on cyclic graph: " + err.Error())
+	}
+	finish := make([]int64, d.N())
+	pred := make([]int, d.N())
+	for i := range pred {
+		pred[i] = -1
+	}
+	best := -1
+	var bestFinish int64
+	for _, v := range order {
+		var start int64
+		for _, ei := range d.InEdges(v) {
+			e := d.Edges[ei]
+			if f := finish[e.From]; f > start {
+				start = f
+				pred[v] = e.From
+			}
+		}
+		finish[v] = start + d.Tasks[v].Weight
+		if finish[v] > bestFinish {
+			bestFinish = finish[v]
+			best = v
+		}
+	}
+	var path []int
+	for v := best; v != -1; v = pred[v] {
+		path = append(path, v)
+	}
+	// Reverse.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path
+}

@@ -1,0 +1,147 @@
+package dag
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestAnalyzeDiamond(t *testing.T) {
+	d := diamond()
+	d.SetWeight(0, 2)
+	d.SetWeight(1, 3)
+	d.SetWeight(2, 10)
+	d.SetWeight(3, 1)
+	a := d.Analyze()
+	if a.Tasks != 4 || a.Edges != 4 {
+		t.Errorf("tasks/edges = %d/%d", a.Tasks, a.Edges)
+	}
+	if a.Depth != 3 {
+		t.Errorf("depth = %d, want 3", a.Depth)
+	}
+	if a.MaxWidth != 2 {
+		t.Errorf("max width = %d, want 2 (middle level)", a.MaxWidth)
+	}
+	if a.Sources != 1 || a.Sinks != 1 {
+		t.Errorf("sources/sinks = %d/%d", a.Sources, a.Sinks)
+	}
+	if a.MaxIn != 2 || a.MaxOut != 2 {
+		t.Errorf("degrees = %d/%d", a.MaxIn, a.MaxOut)
+	}
+	if a.CPLength != 13 {
+		t.Errorf("critical path = %d, want 13", a.CPLength)
+	}
+	if a.TotalWork != 16 {
+		t.Errorf("work = %d, want 16", a.TotalWork)
+	}
+	if a.TotalComm != 5+6+7+8 {
+		t.Errorf("comm = %d, want 26", a.TotalComm)
+	}
+	if a.Parallelism <= 1 || a.Parallelism > 2 {
+		t.Errorf("parallelism = %v, want in (1, 2]", a.Parallelism)
+	}
+	if !strings.Contains(a.String(), "critical path 13") {
+		t.Errorf("String() = %q", a.String())
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	a := New(0).Analyze()
+	if a.Tasks != 0 || a.Depth != 0 {
+		t.Errorf("empty analysis = %+v", a)
+	}
+}
+
+func TestWidthProfile(t *testing.T) {
+	d := diamond()
+	prof := d.WidthProfile()
+	want := []int{1, 2, 1}
+	if len(prof) != 3 {
+		t.Fatalf("profile = %v", prof)
+	}
+	for i := range want {
+		if prof[i] != want[i] {
+			t.Errorf("width[%d] = %d, want %d", i, prof[i], want[i])
+		}
+	}
+}
+
+func TestWidthProfileSumsToN(t *testing.T) {
+	r := rng.New(8)
+	f := func(seed uint64) bool {
+		rr := r.Derive(seed)
+		d := randomDAG(rr, 1+rr.Intn(50), 0.15)
+		sum := 0
+		for _, w := range d.WidthProfile() {
+			sum += w
+		}
+		return sum == d.N()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	d := diamond()
+	in := d.DegreeHistogram(false)
+	// In-degrees: 0 → one vertex (0), 1 → two (1, 2), 2 → one (3).
+	want := [][2]int{{0, 1}, {1, 2}, {2, 1}}
+	if len(in) != len(want) {
+		t.Fatalf("in histogram = %v", in)
+	}
+	for i := range want {
+		if in[i] != want[i] {
+			t.Errorf("in[%d] = %v, want %v", i, in[i], want[i])
+		}
+	}
+	out := d.DegreeHistogram(true)
+	total := 0
+	for _, h := range out {
+		total += h[1]
+	}
+	if total != d.N() {
+		t.Errorf("out histogram covers %d vertices, want %d", total, d.N())
+	}
+}
+
+func TestLongestPath(t *testing.T) {
+	d := diamond()
+	d.SetWeight(0, 2)
+	d.SetWeight(1, 3)
+	d.SetWeight(2, 10)
+	d.SetWeight(3, 1)
+	path := d.LongestPath()
+	want := []int{0, 2, 3}
+	if len(path) != len(want) {
+		t.Fatalf("path = %v, want %v", path, want)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Errorf("path[%d] = %d, want %d", i, path[i], want[i])
+		}
+	}
+}
+
+func TestLongestPathWeightEqualsCP(t *testing.T) {
+	r := rng.New(21)
+	f := func(seed uint64) bool {
+		rr := r.Derive(seed)
+		d := randomDAG(rr, 2+rr.Intn(40), 0.2)
+		path := d.LongestPath()
+		// Path must be connected and its weight equal the critical path.
+		var sum int64
+		for i, v := range path {
+			sum += d.Tasks[v].Weight
+			if i > 0 && !d.HasEdge(path[i-1], v) {
+				return false
+			}
+		}
+		return sum == d.CriticalPathLength()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

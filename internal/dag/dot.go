@@ -1,0 +1,143 @@
+package dag
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteDOT serializes the DAG in GraphViz DOT syntax. Task weights are
+// emitted as a "weight" attribute and communication volumes as edge
+// "weight" attributes, mirroring the .dot files the paper derives from
+// Nextflow workflow definitions.
+func (d *DAG) WriteDOT(w io.Writer, name string) error {
+	bw := bufio.NewWriter(w)
+	if name == "" {
+		name = "workflow"
+	}
+	fmt.Fprintf(bw, "digraph %q {\n", name)
+	for _, t := range d.Tasks {
+		fmt.Fprintf(bw, "  n%d [label=%q, weight=%d];\n", t.ID, t.Name, t.Weight)
+	}
+	for _, e := range d.SortedEdgeList() {
+		fmt.Fprintf(bw, "  n%d -> n%d [weight=%d];\n", e.From, e.To, e.Weight)
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}
+
+var (
+	dotNodeRe = regexp.MustCompile(`^\s*n(\d+)\s*\[label="((?:[^"\\]|\\.)*)",\s*weight=(\d+)\]\s*;?\s*$`)
+	dotEdgeRe = regexp.MustCompile(`^\s*n(\d+)\s*->\s*n(\d+)\s*(?:\[weight=(\d+)\])?\s*;?\s*$`)
+)
+
+// ReadDOT parses a DAG previously written by WriteDOT. It also accepts the
+// minimal subset of DOT used by Nextflow exports: bare "a -> b" edge lines
+// without attributes (these get communication weight 1 and unit task
+// weights). Unknown lines (graph attributes, comments) are ignored.
+func ReadDOT(r io.Reader) (*DAG, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+
+	type nodeInfo struct {
+		name   string
+		weight int64
+	}
+	nodes := map[int]nodeInfo{}
+	type edgeInfo struct {
+		from, to int
+		weight   int64
+	}
+	var edges []edgeInfo
+	maxID := -1
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "//") || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if m := dotNodeRe.FindStringSubmatch(line); m != nil {
+			id, err := strconv.Atoi(m[1])
+			if err != nil {
+				return nil, fmt.Errorf("dag: line %d: bad node id: %v", lineNo, err)
+			}
+			w, err := strconv.ParseInt(m[3], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("dag: line %d: bad node weight: %v", lineNo, err)
+			}
+			nodes[id] = nodeInfo{name: unescapeDOT(m[2]), weight: w}
+			if id > maxID {
+				maxID = id
+			}
+			continue
+		}
+		if m := dotEdgeRe.FindStringSubmatch(line); m != nil {
+			from, err1 := strconv.Atoi(m[1])
+			to, err2 := strconv.Atoi(m[2])
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("dag: line %d: bad edge endpoints", lineNo)
+			}
+			var w int64 = 1
+			if m[3] != "" {
+				w, err1 = strconv.ParseInt(m[3], 10, 64)
+				if err1 != nil {
+					return nil, fmt.Errorf("dag: line %d: bad edge weight: %v", lineNo, err1)
+				}
+			}
+			edges = append(edges, edgeInfo{from, to, w})
+			if from > maxID {
+				maxID = from
+			}
+			if to > maxID {
+				maxID = to
+			}
+			continue
+		}
+		// Ignore structural lines (digraph ... {, }) and attributes.
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	d := New(maxID + 1)
+	for id, info := range nodes {
+		d.Tasks[id].Name = info.name
+		d.Tasks[id].Weight = info.weight
+	}
+	// Deterministic edge insertion order regardless of map iteration.
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].from != edges[j].from {
+			return edges[i].from < edges[j].from
+		}
+		return edges[i].to < edges[j].to
+	})
+	for _, e := range edges {
+		d.AddEdge(e.from, e.to, e.weight)
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func unescapeDOT(s string) string {
+	var b strings.Builder
+	esc := false
+	for _, r := range s {
+		if esc {
+			b.WriteRune(r)
+			esc = false
+			continue
+		}
+		if r == '\\' {
+			esc = true
+			continue
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}

@@ -1,0 +1,38 @@
+package dag
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadDOT exercises the DOT parser with arbitrary input: it must never
+// panic, and whatever it accepts must be a valid DAG that round-trips
+// through WriteDOT.
+func FuzzReadDOT(f *testing.F) {
+	f.Add(`digraph g { n0 [label="a", weight=3]; n0 -> n1 [weight=2]; }`)
+	f.Add("n0 -> n1\nn1 -> n2\n")
+	f.Add("digraph x {}\n")
+	f.Add("n0 [label=\"esc\\\"aped\", weight=1];\n")
+	f.Add("n999999 -> n0")
+	f.Fuzz(func(t *testing.T, src string) {
+		d, err := ReadDOT(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		if err := d.Validate(); err != nil {
+			t.Fatalf("accepted invalid DAG: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := d.WriteDOT(&buf, "fuzz"); err != nil {
+			t.Fatalf("WriteDOT failed on accepted graph: %v", err)
+		}
+		d2, err := ReadDOT(&buf)
+		if err != nil {
+			t.Fatalf("own output rejected: %v", err)
+		}
+		if d2.N() != d.N() || d2.M() != d.M() {
+			t.Fatalf("round trip changed size: %d/%d → %d/%d", d.N(), d.M(), d2.N(), d2.M())
+		}
+	})
+}

@@ -1,0 +1,320 @@
+// Package dp implements the dynamic programming algorithms of Section 4.1
+// for the single-processor case: the pseudo-polynomial DP over all integer
+// end times, and the fully polynomial DP restricted to the end-time set E′
+// derived from block alignments (Lemma 4.2 / Appendix A.2).
+//
+// Both generalize the paper's recurrence to profiles where even the idle
+// platform exceeds the green budget: with F(t) the cumulative idle cost up
+// to time t,
+//
+//	Opt(i, t) = min_{s ≤ t−ω_i} { Opt(i−1, s) − F(s) } + F(t−ω_i) + execCost(i, t),
+//
+// which reduces to Eq. (1) when idle power never exceeds the budget. The
+// min is maintained as a running prefix minimum over the sorted candidate
+// end times, so each DP layer costs O(|candidates|·J).
+package dp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/power"
+)
+
+// Problem is a single-processor instance: tasks executed in fixed order
+// with the given durations, on a processor drawing Idle power always and
+// Idle+Work while active, under the profile's green budgets. The deadline
+// is the profile horizon.
+type Problem struct {
+	Dur  []int64
+	Idle int64
+	Work int64
+	Prof *power.Profile
+}
+
+// Validate checks the problem is well-formed and feasible.
+func (p *Problem) Validate() error {
+	if p.Prof == nil {
+		return fmt.Errorf("dp: nil profile")
+	}
+	if err := p.Prof.Validate(); err != nil {
+		return err
+	}
+	var sum int64
+	for i, d := range p.Dur {
+		if d <= 0 {
+			return fmt.Errorf("dp: task %d has non-positive duration %d", i, d)
+		}
+		sum += d
+	}
+	if sum > p.Prof.T() {
+		return fmt.Errorf("dp: total work %d exceeds horizon %d", sum, p.Prof.T())
+	}
+	if p.Idle < 0 || p.Work < 0 {
+		return fmt.Errorf("dp: negative power")
+	}
+	return nil
+}
+
+// Result is an optimal single-processor schedule.
+type Result struct {
+	Start []int64
+	Cost  int64
+}
+
+// costModel precomputes the two cost primitives of the recurrence.
+type costModel struct {
+	prof *power.Profile
+	idle int64
+	work int64
+	// idlePrefix[j] = idle cost accumulated over intervals 0..j-1.
+	idlePrefix []int64
+	// idleRate[j] = per-unit idle cost in interval j.
+	idleRate []int64
+	// activeRate[j] = per-unit active cost in interval j.
+	activeRate []int64
+}
+
+func newCostModel(p *Problem) *costModel {
+	J := p.Prof.J()
+	cm := &costModel{
+		prof:       p.Prof,
+		idle:       p.Idle,
+		work:       p.Work,
+		idlePrefix: make([]int64, J+1),
+		idleRate:   make([]int64, J),
+		activeRate: make([]int64, J),
+	}
+	for j, iv := range p.Prof.Intervals {
+		if over := p.Idle - iv.Budget; over > 0 {
+			cm.idleRate[j] = over
+		}
+		if over := p.Idle + p.Work - iv.Budget; over > 0 {
+			cm.activeRate[j] = over
+		}
+		cm.idlePrefix[j+1] = cm.idlePrefix[j] + cm.idleRate[j]*iv.Len()
+	}
+	return cm
+}
+
+// F returns the cumulative idle cost over [0, t).
+func (cm *costModel) F(t int64) int64 {
+	if t <= 0 {
+		return 0
+	}
+	T := cm.prof.T()
+	if t >= T {
+		return cm.idlePrefix[cm.prof.J()]
+	}
+	j := cm.prof.IndexAt(t)
+	return cm.idlePrefix[j] + cm.idleRate[j]*(t-cm.prof.Intervals[j].Start)
+}
+
+// execCost returns the active cost of running a task over [a, b).
+func (cm *costModel) execCost(a, b int64) int64 {
+	if a >= b {
+		return 0
+	}
+	var cost int64
+	j := cm.prof.IndexAt(a)
+	cur := a
+	for cur < b {
+		iv := cm.prof.Intervals[j]
+		end := iv.End
+		if end > b {
+			end = b
+		}
+		cost += cm.activeRate[j] * (end - cur)
+		cur = end
+		j++
+	}
+	return cost
+}
+
+const inf = int64(math.MaxInt64 / 4)
+
+// solveOver runs the DP restricted to the given sorted, deduplicated
+// candidate end times (which must include enough end times to contain an
+// optimal schedule — all of [1..T] for the pseudo-polynomial variant, E′
+// for the polynomial one).
+func solveOver(p *Problem, cands []int64) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(p.Dur)
+	cm := newCostModel(p)
+	T := p.Prof.T()
+	if n == 0 {
+		return &Result{Start: nil, Cost: cm.F(T)}, nil
+	}
+	m := len(cands)
+	if m == 0 {
+		return nil, fmt.Errorf("dp: empty candidate set")
+	}
+
+	prev := make([]int64, m) // Opt(i−1, cands[j])
+	cur := make([]int64, m)  // Opt(i, cands[j])
+	parent := make([][]int32, n)
+
+	// Layer 0 (task 0): Opt(0,t) = F(t−ω_0) + execCost over [t−ω_0, t).
+	for j, t := range cands {
+		s := t - p.Dur[0]
+		if s < 0 || t > T {
+			prev[j] = inf
+			continue
+		}
+		prev[j] = cm.F(s) + cm.execCost(s, t)
+	}
+
+	for i := 1; i < n; i++ {
+		parent[i] = make([]int32, m)
+		// prefix running minimum of Opt(i−1, s) − F(s) over sorted s.
+		best := inf
+		bestIdx := int32(-1)
+		k := 0
+		for j, t := range cands {
+			s := t - p.Dur[i]
+			// advance k while cands[k] ≤ s
+			for k < m && cands[k] <= s {
+				if prev[k] < inf {
+					if v := prev[k] - cm.F(cands[k]); v < best {
+						best = v
+						bestIdx = int32(k)
+					}
+				}
+				k++
+			}
+			if s < 0 || t > T || best >= inf {
+				cur[j] = inf
+				parent[i][j] = -1
+				continue
+			}
+			cur[j] = best + cm.F(s) + cm.execCost(s, t)
+			parent[i][j] = bestIdx
+		}
+		prev, cur = cur, prev
+	}
+
+	// Close with the idle tail F(T) − F(t).
+	bestCost := inf
+	bestEnd := -1
+	for j, t := range cands {
+		if prev[j] >= inf {
+			continue
+		}
+		total := prev[j] + cm.idlePrefix[p.Prof.J()] - cm.F(t)
+		if total < bestCost {
+			bestCost = total
+			bestEnd = j
+		}
+	}
+	if bestEnd < 0 {
+		return nil, fmt.Errorf("dp: no feasible schedule found")
+	}
+
+	// Reconstruct.
+	res := &Result{Start: make([]int64, n), Cost: bestCost}
+	j := bestEnd
+	for i := n - 1; i >= 0; i-- {
+		res.Start[i] = cands[j] - p.Dur[i]
+		if i > 0 {
+			j = int(parent[i][j])
+			if j < 0 {
+				return nil, fmt.Errorf("dp: broken parent chain at layer %d", i)
+			}
+		}
+	}
+	return res, nil
+}
+
+// SolvePseudo runs the pseudo-polynomial DP over every integer end time in
+// [1, T]. Exponential in the encoding size but exact; serves as the oracle
+// for Solve.
+func SolvePseudo(p *Problem) (*Result, error) {
+	T := p.Prof.T()
+	cands := make([]int64, T)
+	for t := int64(1); t <= T; t++ {
+		cands[t-1] = t
+	}
+	return solveOver(p, cands)
+}
+
+// Solve runs the fully polynomial DP restricted to the end-time set E′
+// (Appendix A.2). By Lemma 4.2 an optimal E-schedule exists, and every
+// task end time of an E-schedule lies in E′, so the result is optimal.
+func Solve(p *Problem) (*Result, error) {
+	return solveOver(p, EndTimes(p))
+}
+
+// EndTimes computes E′: for every block of consecutive tasks [r, s] and
+// every interval boundary e, the end time each task in the block would
+// have if the block started or ended exactly at e. The returned slice is
+// sorted, deduplicated and clipped to [1, T].
+func EndTimes(p *Problem) []int64 {
+	n := len(p.Dur)
+	T := p.Prof.T()
+	bounds := p.Prof.Boundaries()
+	var out []int64
+	add := func(t int64) {
+		if t >= 1 && t <= T {
+			out = append(out, t)
+		}
+	}
+	// Block starts at e: for start r, task u ∈ [r, n) ends at
+	// e + Σ_{i=r..u} ω_i.
+	for r := 0; r < n; r++ {
+		var cum int64
+		for u := r; u < n; u++ {
+			cum += p.Dur[u]
+			for _, e := range bounds {
+				add(e + cum)
+			}
+		}
+	}
+	// Block ends at e: for end s, task u ∈ [0, s] ends at
+	// e − Σ_{i=u+1..s} ω_i.
+	for s := 0; s < n; s++ {
+		var cum int64
+		for u := s; u >= 0; u-- {
+			for _, e := range bounds {
+				add(e - cum)
+			}
+			cum += p.Dur[u]
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	uniq := out[:0]
+	for i, t := range out {
+		if i == 0 || t != uniq[len(uniq)-1] {
+			uniq = append(uniq, t)
+		}
+	}
+	return uniq
+}
+
+// CostOf evaluates the carbon cost of an arbitrary feasible schedule for
+// the problem (used in tests and by callers comparing heuristics).
+func CostOf(p *Problem, start []int64) (int64, error) {
+	n := len(p.Dur)
+	if len(start) != n {
+		return 0, fmt.Errorf("dp: %d starts for %d tasks", len(start), n)
+	}
+	cm := newCostModel(p)
+	var cost int64
+	prevEnd := int64(0)
+	for i := 0; i < n; i++ {
+		if start[i] < prevEnd {
+			return 0, fmt.Errorf("dp: task %d starts at %d before previous end %d", i, start[i], prevEnd)
+		}
+		end := start[i] + p.Dur[i]
+		if end > p.Prof.T() {
+			return 0, fmt.Errorf("dp: task %d ends at %d past deadline %d", i, end, p.Prof.T())
+		}
+		cost += cm.F(start[i]) - cm.F(prevEnd) // idle gap
+		cost += cm.execCost(start[i], end)
+		prevEnd = end
+	}
+	cost += cm.F(p.Prof.T()) - cm.F(prevEnd)
+	return cost, nil
+}

@@ -1,0 +1,288 @@
+package dp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/power"
+	"repro/internal/rng"
+)
+
+func mustProfile(t testing.TB, lengths, budgets []int64) *power.Profile {
+	t.Helper()
+	p, err := power.NewProfile(lengths, budgets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestValidate(t *testing.T) {
+	prof := mustProfile(t, []int64{10}, []int64{5})
+	good := &Problem{Dur: []int64{3, 3}, Idle: 1, Work: 2, Prof: prof}
+	if err := good.Validate(); err != nil {
+		t.Errorf("good problem rejected: %v", err)
+	}
+	bad := &Problem{Dur: []int64{6, 6}, Idle: 1, Work: 2, Prof: prof}
+	if err := bad.Validate(); err == nil {
+		t.Error("overfull problem accepted")
+	}
+	if err := (&Problem{Dur: []int64{0}, Idle: 1, Work: 1, Prof: prof}).Validate(); err == nil {
+		t.Error("zero duration accepted")
+	}
+	if err := (&Problem{Dur: []int64{1}, Prof: nil}).Validate(); err == nil {
+		t.Error("nil profile accepted")
+	}
+}
+
+func TestCostModelF(t *testing.T) {
+	// Idle 5; budgets 2 and 10 → idle rates 3 and 0.
+	prof := mustProfile(t, []int64{4, 4}, []int64{2, 10})
+	cm := newCostModel(&Problem{Dur: nil, Idle: 5, Work: 1, Prof: prof})
+	cases := []struct{ t, want int64 }{
+		{0, 0}, {1, 3}, {4, 12}, {6, 12}, {8, 12}, {100, 12},
+	}
+	for _, c := range cases {
+		if got := cm.F(c.t); got != c.want {
+			t.Errorf("F(%d) = %d, want %d", c.t, got, c.want)
+		}
+	}
+}
+
+func TestCostModelExecCost(t *testing.T) {
+	// Idle 1, Work 4; budgets 2 and 10 → active rates 3 and 0.
+	prof := mustProfile(t, []int64{4, 4}, []int64{2, 10})
+	cm := newCostModel(&Problem{Idle: 1, Work: 4, Prof: prof})
+	if got := cm.execCost(1, 3); got != 6 {
+		t.Errorf("execCost(1,3) = %d, want 6", got)
+	}
+	if got := cm.execCost(2, 6); got != 6 {
+		t.Errorf("execCost(2,6) spanning boundary = %d, want 6", got)
+	}
+	if got := cm.execCost(5, 5); got != 0 {
+		t.Errorf("empty exec = %d, want 0", got)
+	}
+}
+
+func TestSolveSingleTaskPicksGreenInterval(t *testing.T) {
+	// One task of length 2; green only in [4, 8).
+	prof := mustProfile(t, []int64{4, 4}, []int64{0, 10})
+	p := &Problem{Dur: []int64{2}, Idle: 0, Work: 5, Prof: prof}
+	res, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost != 0 {
+		t.Errorf("cost = %d, want 0", res.Cost)
+	}
+	if res.Start[0] < 4 || res.Start[0]+2 > 8 {
+		t.Errorf("task scheduled at %d, want within [4, 6]", res.Start[0])
+	}
+}
+
+func TestSolveRespectsOrderAndDeadline(t *testing.T) {
+	prof := mustProfile(t, []int64{10}, []int64{3})
+	p := &Problem{Dur: []int64{3, 3, 4}, Idle: 1, Work: 2, Prof: prof}
+	res, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	end := int64(0)
+	for i, s := range res.Start {
+		if s < end {
+			t.Fatalf("task %d starts at %d before previous end %d", i, s, end)
+		}
+		end = s + p.Dur[i]
+	}
+	if end > 10 {
+		t.Errorf("schedule ends at %d past deadline", end)
+	}
+	// Zero slack: schedule is forced back-to-back; active rate is
+	// 1+2-3 = 0 → cost 0.
+	if res.Cost != 0 {
+		t.Errorf("cost = %d, want 0", res.Cost)
+	}
+}
+
+func TestSolveMatchesCostOf(t *testing.T) {
+	prof := mustProfile(t, []int64{5, 5, 5}, []int64{1, 8, 2})
+	p := &Problem{Dur: []int64{2, 3}, Idle: 2, Work: 4, Prof: prof}
+	res, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check, err := CostOf(p, res.Start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if check != res.Cost {
+		t.Errorf("reported cost %d != evaluated cost %d", res.Cost, check)
+	}
+}
+
+func TestSolveEmptyProblem(t *testing.T) {
+	prof := mustProfile(t, []int64{4}, []int64{1})
+	p := &Problem{Dur: nil, Idle: 3, Work: 1, Prof: prof}
+	res, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pure idle cost: (3-1)*4 = 8.
+	if res.Cost != 8 {
+		t.Errorf("empty cost = %d, want 8", res.Cost)
+	}
+	res2, err := SolvePseudo(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Cost != 8 {
+		t.Errorf("pseudo empty cost = %d, want 8", res2.Cost)
+	}
+}
+
+func TestEndTimesContainsAlignments(t *testing.T) {
+	prof := mustProfile(t, []int64{6, 6}, []int64{1, 2})
+	p := &Problem{Dur: []int64{2, 3}, Idle: 0, Work: 1, Prof: prof}
+	et := EndTimes(p)
+	want := map[int64]bool{
+		2:  true, // task 0 starts at boundary 0
+		8:  true, // task 0 starts at boundary 6
+		6:  true, // task 0 ends at boundary 6 (or block ends there)
+		5:  true, // block {0,1} starts at 0: task 1 ends at 5
+		11: true, // block {0,1} starts at 6 → 6+2+3
+		9:  true, // task 1 ends at... block {1} start at 6: 6+3=9
+		3:  true, // block {0,1} ends at 6: task 0 ends at 6−3=3
+		12: true, // block ends at 12
+	}
+	got := map[int64]bool{}
+	for _, e := range et {
+		got[e] = true
+	}
+	for w := range want {
+		if !got[w] {
+			t.Errorf("EndTimes missing %d: %v", w, et)
+		}
+	}
+	for i := 1; i < len(et); i++ {
+		if et[i-1] >= et[i] {
+			t.Fatal("EndTimes not sorted/unique")
+		}
+	}
+	for _, e := range et {
+		if e < 1 || e > 12 {
+			t.Errorf("end time %d outside [1, 12]", e)
+		}
+	}
+}
+
+func TestSolveEqualsPseudoHandCases(t *testing.T) {
+	cases := []*Problem{
+		{Dur: []int64{2}, Idle: 1, Work: 3,
+			Prof: mustProfile(t, []int64{3, 3, 3}, []int64{0, 5, 1})},
+		{Dur: []int64{1, 1, 1}, Idle: 0, Work: 2,
+			Prof: mustProfile(t, []int64{2, 2, 2, 2}, []int64{2, 0, 2, 0})},
+		{Dur: []int64{4, 2}, Idle: 3, Work: 3,
+			Prof: mustProfile(t, []int64{5, 5}, []int64{1, 6})},
+	}
+	for i, p := range cases {
+		exact, err := SolvePseudo(p)
+		if err != nil {
+			t.Fatalf("case %d pseudo: %v", i, err)
+		}
+		fast, err := Solve(p)
+		if err != nil {
+			t.Fatalf("case %d poly: %v", i, err)
+		}
+		if exact.Cost != fast.Cost {
+			t.Errorf("case %d: poly cost %d != pseudo cost %d", i, fast.Cost, exact.Cost)
+		}
+	}
+}
+
+func TestSolveEqualsPseudoProperty(t *testing.T) {
+	// Lemma 4.2 in executable form: the polynomial DP over E′ achieves
+	// the pseudo-polynomial optimum on random instances.
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 1 + r.Intn(5)
+		durs := make([]int64, n)
+		var total int64
+		for i := range durs {
+			durs[i] = r.IntRange(1, 5)
+			total += durs[i]
+		}
+		T := total + r.IntRange(0, 25)
+		maxJ := int64(5)
+		if T < maxJ {
+			maxJ = T
+		}
+		J := int(r.IntRange(1, maxJ))
+		lengths := make([]int64, J)
+		budgets := make([]int64, J)
+		rem := T
+		for j := 0; j < J; j++ {
+			if j == J-1 {
+				lengths[j] = rem
+			} else {
+				lengths[j] = r.IntRange(1, rem-int64(J-j-1))
+				rem -= lengths[j]
+			}
+			budgets[j] = r.IntRange(0, 8)
+		}
+		prof, err := power.NewProfile(lengths, budgets)
+		if err != nil {
+			return false
+		}
+		p := &Problem{Dur: durs, Idle: r.IntRange(0, 3), Work: r.IntRange(0, 5), Prof: prof}
+		exact, err1 := SolvePseudo(p)
+		fast, err2 := Solve(p)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if exact.Cost != fast.Cost {
+			return false
+		}
+		// Both must self-evaluate consistently.
+		c1, e1 := CostOf(p, exact.Start)
+		c2, e2 := CostOf(p, fast.Start)
+		return e1 == nil && e2 == nil && c1 == exact.Cost && c2 == fast.Cost
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCostOfRejectsBadSchedules(t *testing.T) {
+	prof := mustProfile(t, []int64{10}, []int64{5})
+	p := &Problem{Dur: []int64{3, 3}, Idle: 1, Work: 1, Prof: prof}
+	if _, err := CostOf(p, []int64{0, 2}); err == nil {
+		t.Error("overlap not caught")
+	}
+	if _, err := CostOf(p, []int64{0, 8}); err == nil {
+		t.Error("deadline violation not caught")
+	}
+	if _, err := CostOf(p, []int64{0}); err == nil {
+		t.Error("wrong length not caught")
+	}
+}
+
+func BenchmarkSolvePoly20Tasks(b *testing.B) {
+	r := rng.New(1)
+	durs := make([]int64, 20)
+	var total int64
+	for i := range durs {
+		durs[i] = r.IntRange(1, 8)
+		total += durs[i]
+	}
+	prof, err := power.Generate(power.S1, total*3, 12, 0, 20, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := &Problem{Dur: durs, Idle: 1, Work: 5, Prof: prof}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

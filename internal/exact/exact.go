@@ -1,0 +1,195 @@
+// Package exact provides a provably optimal solver for small instances of
+// the carbon-aware scheduling problem, via branch-and-bound over integer
+// start times.
+//
+// It plays the role of the paper's Gurobi-backed ILP in the quality
+// comparison of Figure 7: both compute the true optimum, and on tiny
+// instances it also cross-validates the time-indexed ILP model of
+// internal/ilp. The key pruning fact is that the objective
+// Σ_t max(P_t − G_t, 0) is monotone in added work power, so the cost of a
+// partial schedule (scheduled tasks only, full idle floor) lower-bounds
+// every completion.
+package exact
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ceg"
+	"repro/internal/power"
+	"repro/internal/schedule"
+)
+
+// Options bounds the search effort.
+type Options struct {
+	// MaxNodes aborts the search after this many search-tree nodes
+	// (0 = default of 50 million).
+	MaxNodes int64
+	// UpperBound primes the incumbent with a known feasible cost, e.g.
+	// from a heuristic. Use -1 (or leave the zero value with Incumbent ==
+	// nil) for "unknown".
+	Incumbent *schedule.Schedule
+}
+
+const defaultMaxNodes = 50_000_000
+
+// ErrBudget is returned when the node budget is exhausted before the
+// search space is covered; the result is then only an upper bound.
+var ErrBudget = fmt.Errorf("exact: node budget exhausted")
+
+// Solve finds a minimum-carbon-cost schedule for the instance under the
+// profile's deadline. It returns the optimal schedule and its cost.
+// Instances should be tiny (roughly ≤ 12 tasks and T ≤ 100): the search is
+// exponential.
+func Solve(inst *ceg.Instance, prof *power.Profile, opt Options) (*schedule.Schedule, int64, error) {
+	T := prof.T()
+	N := inst.N()
+	maxNodes := opt.MaxNodes
+	if maxNodes <= 0 {
+		maxNodes = defaultMaxNodes
+	}
+
+	order, err := inst.G.TopoOrder()
+	if err != nil {
+		return nil, 0, fmt.Errorf("exact: %w", err)
+	}
+
+	// Static latest start times (deadline feasibility).
+	lst := make([]int64, N)
+	for i := N - 1; i >= 0; i-- {
+		v := order[i]
+		limit := T
+		for _, ei := range inst.G.OutEdges(v) {
+			e := inst.G.Edges[ei]
+			if lst[e.To] < limit {
+				limit = lst[e.To]
+			}
+		}
+		lst[v] = limit - inst.Dur[v]
+		if lst[v] < 0 {
+			return nil, 0, fmt.Errorf("exact: deadline %d infeasible for node %d", T, v)
+		}
+	}
+
+	s := schedule.New(N)
+	best := schedule.New(N)
+	bestCost := int64(-1)
+	if opt.Incumbent != nil {
+		if err := schedule.Validate(inst, opt.Incumbent, T); err != nil {
+			return nil, 0, fmt.Errorf("exact: bad incumbent: %w", err)
+		}
+		copy(best.Start, opt.Incumbent.Start)
+		bestCost = schedule.CarbonCost(inst, opt.Incumbent, prof)
+	}
+
+	// Timeline holding only the scheduled prefix; floor is the idle-only
+	// cost, which every completion pays at least.
+	tl := schedule.NewEmptyTimeline(inst, prof)
+	floor := tl.TotalCost()
+
+	work := make([]int64, N)
+	for v := 0; v < N; v++ {
+		_, w := inst.ProcPower(v)
+		work[v] = w
+	}
+
+	// Symmetry breaking: independent tasks (no edges) with identical
+	// duration and processor power are interchangeable, so we may demand
+	// non-decreasing start times within each such group. symPred[v] is the
+	// previous member of v's group, or -1.
+	symPred := make([]int, N)
+	type symKey struct{ dur, idle, work int64 }
+	lastOfGroup := map[symKey]int{}
+	for v := 0; v < N; v++ {
+		symPred[v] = -1
+		if inst.G.InDegree(v) != 0 || inst.G.OutDegree(v) != 0 {
+			continue
+		}
+		idle, w := inst.ProcPower(v)
+		key := symKey{inst.Dur[v], idle, w}
+		if prev, ok := lastOfGroup[key]; ok {
+			symPred[v] = prev
+		}
+		lastOfGroup[key] = v
+	}
+
+	var nodes int64
+	var budgetHit bool
+	done := false // set when bestCost reaches the floor (global optimum)
+
+	var dfs func(depth int, partial int64)
+	dfs = func(depth int, partial int64) {
+		if budgetHit || done {
+			return
+		}
+		nodes++
+		if nodes > maxNodes {
+			budgetHit = true
+			return
+		}
+		if bestCost >= 0 && partial >= bestCost {
+			return // even the floor of this subtree is no better
+		}
+		if depth == N {
+			copy(best.Start, s.Start)
+			bestCost = partial
+			if bestCost == floor {
+				done = true // matches the global lower bound
+			}
+			return
+		}
+		v := order[depth]
+		est := int64(0)
+		for _, ei := range inst.G.InEdges(v) {
+			e := inst.G.Edges[ei]
+			if f := s.Start[e.From] + inst.Dur[e.From]; f > est {
+				est = f
+			}
+		}
+		if p := symPred[v]; p >= 0 && s.Start[p] > est {
+			est = s.Start[p] // interchangeable twin scheduled earlier
+		}
+		if est > lst[v] {
+			return
+		}
+		// Evaluate every candidate start's marginal cost, then branch in
+		// increasing marginal-cost order so good incumbents appear early.
+		type cand struct {
+			start int64
+			delta int64
+		}
+		cands := make([]cand, 0, lst[v]-est+1)
+		for st := est; st <= lst[v]; st++ {
+			before := tl.RangeCost(st, st+inst.Dur[v])
+			tl.Add(st, st+inst.Dur[v], work[v])
+			after := tl.RangeCost(st, st+inst.Dur[v])
+			tl.Remove(st, st+inst.Dur[v], work[v])
+			cands = append(cands, cand{st, after - before})
+		}
+		sort.SliceStable(cands, func(i, j int) bool { return cands[i].delta < cands[j].delta })
+		for _, c := range cands {
+			if bestCost >= 0 && partial+c.delta >= bestCost {
+				continue
+			}
+			s.Start[v] = c.start
+			tl.Add(c.start, c.start+inst.Dur[v], work[v])
+			dfs(depth+1, partial+c.delta)
+			tl.Remove(c.start, c.start+inst.Dur[v], work[v])
+			if budgetHit || done {
+				return
+			}
+		}
+	}
+	dfs(0, floor)
+
+	if bestCost < 0 {
+		return nil, 0, fmt.Errorf("exact: no feasible schedule found")
+	}
+	if err := schedule.Validate(inst, best, T); err != nil {
+		return nil, 0, fmt.Errorf("exact: internal error, invalid best schedule: %w", err)
+	}
+	if budgetHit {
+		return best, bestCost, ErrBudget
+	}
+	return best, bestCost, nil
+}

@@ -1,0 +1,388 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/ceg"
+	"repro/internal/core"
+	"repro/internal/greenheft"
+	"repro/internal/schedule"
+	"repro/internal/stats"
+)
+
+// This file contains ablation studies beyond the paper's figures: sweeps
+// over the two tuning parameters (block size k of the interval refinement
+// and radius µ of the local search, both fixed to 3 and 10 in Section 6.1),
+// a comparison of the paper's hill climber against simulated annealing, and
+// the two-pass carbon-aware-mapping extension sketched in Section 7.
+
+// AblationK sweeps the refinement block size k for the pressWR variant and
+// reports median cost ratio vs ASAP, median interval count J′ and median
+// scheduling time per k.
+func AblationK(specs []Spec, ks []int, workers int) (*Table, error) {
+	t := &Table{
+		Title:   "Ablation: refinement block size k (pressWR, no LS)",
+		Columns: []string{"k", "median_ratio", "q3_ratio", "median_J'", "median_s"},
+		Note:    fmt.Sprintf("%d instances; paper default k = 3", len(specs)),
+	}
+	for _, k := range ks {
+		k := k
+		algos := []Algorithm{baseline(), {
+			Name: fmt.Sprintf("pressWR-k%d", k),
+			Run: func(in *Instance) (*schedule.Schedule, error) {
+				s, _, err := core.Run(in.Inst, in.Prof, core.Options{
+					Score: core.ScorePressureW, Refined: true, K: k,
+				})
+				return s, err
+			},
+		}}
+		results, err := Run(specs, algos, workers, nil)
+		if err != nil {
+			return nil, err
+		}
+		g := buildGrid(results, []string{BaselineName, algos[1].Name})
+		ratios := ratiosVsBaseline(g)[algos[1].Name]
+		var times []float64
+		for i := range g.times {
+			times = append(times, g.times[i][1])
+		}
+		// J′ medians need a re-run with stats capture; cheaper: measure
+		// directly on each built instance.
+		var intervals []float64
+		for _, spec := range g.specs {
+			in, err := BuildInstance(spec)
+			if err != nil {
+				return nil, err
+			}
+			var st core.Stats
+			if _, err := core.Greedy(in.Inst, in.Prof, core.Options{
+				Score: core.ScorePressureW, Refined: true, K: k,
+			}, &st); err != nil {
+				return nil, err
+			}
+			intervals = append(intervals, float64(st.Intervals))
+		}
+		q1, med, q3 := stats.Quartiles(ratios)
+		_ = q1
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", k), f3(med), f3(q3),
+			fmt.Sprintf("%.0f", stats.Median(intervals)),
+			fmt.Sprintf("%.4f", stats.Median(times)),
+		})
+	}
+	return t, nil
+}
+
+// AblationMu sweeps the local-search radius µ for pressWR-LS and reports
+// median cost ratio vs ASAP and median scheduling time per µ.
+func AblationMu(specs []Spec, mus []int64, workers int) (*Table, error) {
+	t := &Table{
+		Title:   "Ablation: local search radius mu (pressWR-LS)",
+		Columns: []string{"mu", "median_ratio", "q3_ratio", "median_s"},
+		Note:    fmt.Sprintf("%d instances; paper default mu = 10", len(specs)),
+	}
+	for _, mu := range mus {
+		mu := mu
+		name := fmt.Sprintf("pressWR-LS-mu%d", mu)
+		algos := []Algorithm{baseline(), {
+			Name: name,
+			Run: func(in *Instance) (*schedule.Schedule, error) {
+				s, _, err := core.Run(in.Inst, in.Prof, core.Options{
+					Score: core.ScorePressureW, Refined: true,
+					LocalSearch: true, Mu: mu,
+				})
+				return s, err
+			},
+		}}
+		results, err := Run(specs, algos, workers, nil)
+		if err != nil {
+			return nil, err
+		}
+		g := buildGrid(results, []string{BaselineName, name})
+		ratios := ratiosVsBaseline(g)[name]
+		var times []float64
+		for i := range g.times {
+			times = append(times, g.times[i][1])
+		}
+		_, med, q3 := stats.Quartiles(ratios)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", mu), f3(med), f3(q3),
+			fmt.Sprintf("%.4f", stats.Median(times)),
+		})
+	}
+	return t, nil
+}
+
+// AblationImprovers compares the paper's first-improvement hill climber
+// (Section 5.3) with simulated annealing and with their combination, all
+// seeded by the same pressWR greedy schedule.
+func AblationImprovers(specs []Spec, workers int) (*Table, error) {
+	greedyOpt := core.Options{Score: core.ScorePressureW, Refined: true}
+	mk := func(name string, improve func(*Instance, *schedule.Schedule)) Algorithm {
+		return Algorithm{
+			Name: name,
+			Run: func(in *Instance) (*schedule.Schedule, error) {
+				s, err := core.Greedy(in.Inst, in.Prof, greedyOpt, nil)
+				if err != nil {
+					return nil, err
+				}
+				if improve != nil {
+					improve(in, s)
+				}
+				return s, nil
+			},
+		}
+	}
+	algos := []Algorithm{
+		baseline(),
+		mk("greedy-only", nil),
+		mk("hill-climb", func(in *Instance, s *schedule.Schedule) {
+			core.LocalSearch(in.Inst, in.Prof, s, core.DefaultMu, nil)
+		}),
+		mk("anneal", func(in *Instance, s *schedule.Schedule) {
+			core.Anneal(in.Inst, in.Prof, s, core.AnnealOptions{Seed: in.Spec.Seed})
+		}),
+		mk("hill+anneal", func(in *Instance, s *schedule.Schedule) {
+			core.LocalSearch(in.Inst, in.Prof, s, core.DefaultMu, nil)
+			core.Anneal(in.Inst, in.Prof, s, core.AnnealOptions{Seed: in.Spec.Seed})
+		}),
+	}
+	results, err := Run(specs, algos, workers, nil)
+	if err != nil {
+		return nil, err
+	}
+	names := algoNamesOf(algos)
+	g := buildGrid(results, names)
+	ratios := ratiosVsBaseline(g)
+	t := &Table{
+		Title:   "Ablation: schedule improvers on top of the pressWR greedy",
+		Columns: []string{"improver", "median_ratio", "q1", "q3", "median_s"},
+		Note:    fmt.Sprintf("%d instances; ratio vs ASAP", len(specs)),
+	}
+	for ai, name := range names {
+		rs, ok := ratios[name]
+		if !ok || len(rs) == 0 {
+			continue
+		}
+		q1, med, q3 := stats.Quartiles(rs)
+		var times []float64
+		for i := range g.times {
+			times = append(times, g.times[i][ai])
+		}
+		t.Rows = append(t.Rows, []string{name, f3(med), f3(q1), f3(q3),
+			fmt.Sprintf("%.4f", stats.Median(times))})
+	}
+	return t, nil
+}
+
+// AblationOrdering compares the paper's static task ordering (scores
+// computed once from the initial windows, Section 5.2) against a dynamic
+// ordering that re-scores tasks as windows shrink (core.GreedyDynamic),
+// for all four score bases without local search.
+func AblationOrdering(specs []Spec, workers int) (*Table, error) {
+	var algos []Algorithm
+	algos = append(algos, baseline())
+	for _, sc := range core.Scores() {
+		sc := sc
+		algos = append(algos,
+			Algorithm{
+				Name: sc.String() + "-static",
+				Run: func(in *Instance) (*schedule.Schedule, error) {
+					s, _, err := core.Run(in.Inst, in.Prof, core.Options{Score: sc})
+					return s, err
+				},
+			},
+			Algorithm{
+				Name: sc.String() + "-dynamic",
+				Run: func(in *Instance) (*schedule.Schedule, error) {
+					return core.GreedyDynamic(in.Inst, in.Prof, core.Options{Score: sc}, nil)
+				},
+			},
+		)
+	}
+	results, err := Run(specs, algos, workers, nil)
+	if err != nil {
+		return nil, err
+	}
+	names := algoNamesOf(algos)
+	g := buildGrid(results, names)
+	ratios := ratiosVsBaseline(g)
+	t := &Table{
+		Title:   "Ablation: static (paper) vs dynamic task ordering",
+		Columns: []string{"ordering", "median_ratio", "q1", "q3"},
+		Note:    fmt.Sprintf("%d instances; ratio vs ASAP; no local search", len(specs)),
+	}
+	for _, name := range names {
+		rs, ok := ratios[name]
+		if !ok || len(rs) == 0 {
+			continue
+		}
+		q1, med, q3 := stats.Quartiles(rs)
+		t.Rows = append(t.Rows, []string{name, f3(med), f3(q1), f3(q3)})
+	}
+	return t, nil
+}
+
+// AblationGreedies compares the paper's budget-based greedy with the
+// exact-marginal-cost greedy (core.GreedyMarginal), both in pressWR
+// configuration with and without the local search. The budget greedy
+// approximates the marginal cost through remaining per-interval budgets;
+// this table quantifies what the approximation costs (or saves in time).
+func AblationGreedies(specs []Spec, workers int) (*Table, error) {
+	opt := core.Options{Score: core.ScorePressureW, Refined: true}
+	mk := func(name string, marginal, ls bool) Algorithm {
+		return Algorithm{
+			Name: name,
+			Run: func(in *Instance) (*schedule.Schedule, error) {
+				var s *schedule.Schedule
+				var err error
+				if marginal {
+					s, err = core.GreedyMarginal(in.Inst, in.Prof, opt, nil)
+				} else {
+					s, err = core.Greedy(in.Inst, in.Prof, opt, nil)
+				}
+				if err != nil {
+					return nil, err
+				}
+				if ls {
+					core.LocalSearch(in.Inst, in.Prof, s, core.DefaultMu, nil)
+				}
+				return s, nil
+			},
+		}
+	}
+	algos := []Algorithm{
+		baseline(),
+		mk("budget", false, false),
+		mk("marginal", true, false),
+		mk("budget-LS", false, true),
+		mk("marginal-LS", true, true),
+	}
+	results, err := Run(specs, algos, workers, nil)
+	if err != nil {
+		return nil, err
+	}
+	names := algoNamesOf(algos)
+	g := buildGrid(results, names)
+	ratios := ratiosVsBaseline(g)
+	t := &Table{
+		Title:   "Ablation: budget-based vs exact-marginal greedy (pressWR config)",
+		Columns: []string{"greedy", "median_ratio", "q1", "q3", "median_s"},
+		Note:    fmt.Sprintf("%d instances; ratio vs ASAP", len(specs)),
+	}
+	for ai, name := range names {
+		rs, ok := ratios[name]
+		if !ok || len(rs) == 0 {
+			continue
+		}
+		q1, med, q3 := stats.Quartiles(rs)
+		var times []float64
+		for i := range g.times {
+			times = append(times, g.times[i][ai])
+		}
+		t.Rows = append(t.Rows, []string{name, f3(med), f3(q1), f3(q3),
+			fmt.Sprintf("%.4f", stats.Median(times))})
+	}
+	return t, nil
+}
+
+// ExtensionTwoPass evaluates the future-work idea of Section 7: replace
+// the carbon-unaware HEFT mapping with the carbon-aware mapping policies
+// of internal/greenheft, then run the second (CaWoSched) pass. For each
+// policy it reports the median carbon cost ratio relative to the standard
+// HEFT + pressWR-LS pipeline, and the median makespan inflation D/D_heft.
+func ExtensionTwoPass(specs []Spec, workers int) (*Table, error) {
+	type outcome struct {
+		cost float64
+		d    float64
+	}
+	// For each spec and each policy, build the instance with the mapped
+	// policy and run pressWR-LS.
+	opt := core.Options{Score: core.ScorePressureW, Refined: true, LocalSearch: true}
+	perPolicy := map[greenheft.Policy][]outcome{}
+	for _, spec := range specs {
+		var ref outcome
+		for _, pol := range greenheft.Policies() {
+			in, err := buildWithPolicy(spec, pol)
+			if err != nil {
+				return nil, err
+			}
+			s, st, err := core.Run(in.Inst, in.Prof, opt)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: two-pass %v on %s: %w", pol, spec, err)
+			}
+			_ = s
+			o := outcome{cost: float64(st.Cost), d: float64(in.D)}
+			if pol == greenheft.EFT {
+				ref = o
+			}
+			perPolicy[pol] = append(perPolicy[pol], o)
+		}
+		// Normalize this spec's outcomes by the EFT reference.
+		for _, pol := range greenheft.Policies() {
+			os := perPolicy[pol]
+			last := &os[len(os)-1]
+			if ref.cost > 0 {
+				last.cost /= ref.cost
+			} else if last.cost == 0 {
+				last.cost = 1
+			} else {
+				last.cost = -1 // mark +inf-ish, excluded below
+			}
+			last.d /= ref.d
+		}
+	}
+	_ = workers
+	t := &Table{
+		Title:   "Extension (Section 7): carbon-aware mapping + CaWoSched second pass",
+		Columns: []string{"mapping", "median_cost_vs_heft", "median_D_vs_heft", "instances"},
+		Note:    "both passes end with pressWR-LS; cost ratio < 1 means the greener mapping also lowers final carbon",
+	}
+	for _, pol := range greenheft.Policies() {
+		var costs, ds []float64
+		for _, o := range perPolicy[pol] {
+			if o.cost >= 0 {
+				costs = append(costs, o.cost)
+			}
+			ds = append(ds, o.d)
+		}
+		t.Rows = append(t.Rows, []string{
+			pol.String(), f3(stats.Median(costs)), f3(stats.Median(ds)),
+			fmt.Sprintf("%d", len(costs)),
+		})
+	}
+	return t, nil
+}
+
+// buildWithPolicy is BuildInstance with a selectable mapping policy.
+func buildWithPolicy(s Spec, pol greenheft.Policy) (*Instance, error) {
+	in, err := buildMapped(s, pol)
+	if err != nil {
+		return nil, err
+	}
+	return in, nil
+}
+
+func buildMapped(s Spec, pol greenheft.Policy) (*Instance, error) {
+	d, cluster, err := materialize(s)
+	if err != nil {
+		return nil, err
+	}
+	m, err := greenheft.Schedule(d, cluster, greenheft.Options{Policy: pol})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s: mapping: %w", s, err)
+	}
+	inst, err := ceg.Build(d, ceg.FromHEFT(m.Proc, m.Order, m.Finish), cluster)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s: %w", s, err)
+	}
+	return finishInstance(s, inst)
+}
+
+func algoNamesOf(algos []Algorithm) []string {
+	names := make([]string, len(algos))
+	for i, a := range algos {
+		names[i] = a.Name
+	}
+	return names
+}

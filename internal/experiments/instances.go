@@ -1,0 +1,218 @@
+// Package experiments reproduces the simulation study of Section 6: the
+// instance corpus (34 workflows × 2 clusters × 16 power profiles), the
+// algorithm roster (ASAP + 16 CaWoSched variants), parallel experiment
+// execution, and the per-figure/table aggregation.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/ceg"
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/heft"
+	"repro/internal/platform"
+	"repro/internal/power"
+	"repro/internal/rng"
+	"repro/internal/wfgen"
+)
+
+// ClusterSize selects one of the two target platforms of Section 6.1.
+type ClusterSize int
+
+const (
+	Small ClusterSize = iota // 72 compute nodes (12 per type)
+	Large                    // 144 compute nodes (24 per type)
+)
+
+func (c ClusterSize) String() string {
+	if c == Large {
+		return "large"
+	}
+	return "small"
+}
+
+// DeadlineFactors are the paper's four deadline tolerances: T = factor·D
+// where D is the ASAP makespan.
+func DeadlineFactors() []float64 { return []float64{1, 1.5, 2, 3} }
+
+// ProfileIntervals is the number of intervals per generated power profile
+// (24 "hours" over the horizon).
+const ProfileIntervals = 24
+
+// Spec identifies one simulation instance deterministically.
+type Spec struct {
+	Family         wfgen.Family
+	N              int // 0 → the family's real-world size
+	Cluster        ClusterSize
+	Scenario       power.Scenario
+	DeadlineFactor float64
+	Seed           uint64
+}
+
+// Tasks returns the actual vertex count of the workflow.
+func (s Spec) Tasks() int {
+	if s.N == 0 {
+		return s.Family.RealSize()
+	}
+	return s.N
+}
+
+// WorkflowName names the workflow like the paper's corpus entries.
+func (s Spec) WorkflowName() string {
+	if s.N == 0 {
+		return fmt.Sprintf("%s-real", s.Family)
+	}
+	return fmt.Sprintf("%s-%d", s.Family, s.N)
+}
+
+func (s Spec) String() string {
+	return fmt.Sprintf("%s/%s/%s/x%.1f", s.WorkflowName(), s.Cluster, s.Scenario, s.DeadlineFactor)
+}
+
+// SizeClass buckets workflows like Figure 16: small (≤ 4,000 tasks),
+// medium (≤ 18,000), large (> 18,000).
+func (s Spec) SizeClass() string {
+	n := s.Tasks()
+	switch {
+	case n <= 4000:
+		return "small"
+	case n <= 18000:
+		return "medium"
+	default:
+		return "large"
+	}
+}
+
+// Instance is a fully materialized simulation input.
+type Instance struct {
+	Spec Spec
+	Inst *ceg.Instance
+	Prof *power.Profile
+	D    int64 // ASAP makespan (the tightest deadline)
+}
+
+// BuildInstance constructs the instance for a spec: generate the workflow,
+// compute the HEFT mapping on the chosen cluster, build the
+// communication-enhanced DAG, measure D, and generate the power profile
+// over T = factor·D with the paper's green-power corridor.
+func BuildInstance(s Spec) (*Instance, error) {
+	d, cluster, err := materialize(s)
+	if err != nil {
+		return nil, err
+	}
+	h, err := heft.Schedule(d, cluster)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s: HEFT: %w", s, err)
+	}
+	inst, err := ceg.Build(d, ceg.FromHEFT(h.Proc, h.Order, h.Finish), cluster)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s: %w", s, err)
+	}
+	return finishInstance(s, inst)
+}
+
+// materialize generates the workflow and target cluster of a spec.
+func materialize(s Spec) (*dag.DAG, *platform.Cluster, error) {
+	d, err := wfgen.Generate(s.Family, s.Tasks(), s.Seed)
+	if err != nil {
+		return nil, nil, fmt.Errorf("experiments: %s: %w", s, err)
+	}
+	var cluster *platform.Cluster
+	if s.Cluster == Large {
+		cluster = platform.Large(s.Seed)
+	} else {
+		cluster = platform.Small(s.Seed)
+	}
+	return d, cluster, nil
+}
+
+// finishInstance derives the deadline and power profile for a mapped
+// instance (the part of BuildInstance independent of the mapping policy).
+func finishInstance(s Spec, inst *ceg.Instance) (*Instance, error) {
+	D := core.ASAPMakespan(inst)
+	T := int64(float64(D)*s.DeadlineFactor + 0.5)
+	if T < D {
+		T = D
+	}
+	gmin, gmax := power.PlatformBounds(inst.TotalIdlePower(), inst.Cluster.ComputeWork())
+	profSeed := rng.Mix(s.Seed, uint64(s.Scenario)<<32|uint64(uint32(T)))
+	prof, err := power.Generate(s.Scenario, T, ProfileIntervals, gmin, gmax, rng.New(profSeed))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s: profile: %w", s, err)
+	}
+	return &Instance{Spec: s, Inst: inst, Prof: prof, D: D}, nil
+}
+
+// Corpus builds the full experiment grid. Workflow sizes above maxTasks
+// are dropped (maxTasks ≤ 0 keeps the paper's full corpus, up to 30,000
+// tasks). With the full corpus the grid has 34 workflows × 2 clusters ×
+// 4 scenarios × 4 deadlines = 1088 instances, exactly Section 6.1.
+func Corpus(maxTasks int, seed uint64) []Spec {
+	var specs []Spec
+	for _, fam := range wfgen.Families() {
+		sizes := []int{0} // real-world version
+		for _, n := range fam.ScaledSizes() {
+			if maxTasks <= 0 || n <= maxTasks {
+				sizes = append(sizes, n)
+			}
+		}
+		for _, n := range sizes {
+			if maxTasks > 0 && n == 0 && fam.RealSize() > maxTasks {
+				continue
+			}
+			for _, cl := range []ClusterSize{Small, Large} {
+				for _, sc := range power.Scenarios() {
+					for _, df := range DeadlineFactors() {
+						specs = append(specs, Spec{
+							Family:         fam,
+							N:              n,
+							Cluster:        cl,
+							Scenario:       sc,
+							DeadlineFactor: df,
+							Seed:           seed,
+						})
+					}
+				}
+			}
+		}
+	}
+	return specs
+}
+
+// AblationCorpus is the Table 2 subset: all atacseq variants plus bacass
+// ("more than 400 experiments per algorithm variant").
+func AblationCorpus(maxTasks int, seed uint64) []Spec {
+	var specs []Spec
+	for _, s := range Corpus(maxTasks, seed) {
+		if s.Family == wfgen.Atacseq || s.Family == wfgen.Bacass {
+			specs = append(specs, s)
+		}
+	}
+	return specs
+}
+
+// TinyCorpus is the Figure 7 subset: instances small enough for the exact
+// solver (the paper restricts to ≤ 200 tasks for Gurobi; our
+// branch-and-bound handles ≤ maxTasks ~ 8-10 tasks, so we generate
+// dedicated miniature workflows).
+func TinyCorpus(seed uint64) []Spec {
+	var specs []Spec
+	for _, fam := range wfgen.Families() {
+		for _, n := range []int{6, 8} {
+			for _, sc := range power.Scenarios() {
+				for _, df := range []float64{1.5, 2} {
+					specs = append(specs, Spec{
+						Family:         fam,
+						N:              n,
+						Cluster:        Small,
+						Scenario:       sc,
+						DeadlineFactor: df,
+						Seed:           seed,
+					})
+				}
+			}
+		}
+	}
+	return specs
+}

@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/power"
+	"repro/internal/wfgen"
+)
+
+// resultRecord is the JSON wire form of a Result: Spec fields are
+// flattened into stable, human-auditable strings so result files survive
+// refactors of the in-memory types.
+type resultRecord struct {
+	Family         string  `json:"family"`
+	N              int     `json:"n"`
+	Cluster        string  `json:"cluster"`
+	Scenario       string  `json:"scenario"`
+	DeadlineFactor float64 `json:"deadline_factor"`
+	Seed           uint64  `json:"seed"`
+	Algo           string  `json:"algo"`
+	Cost           int64   `json:"cost"`
+	ElapsedMicros  int64   `json:"elapsed_us"`
+}
+
+// WriteResults serializes experiment results as a JSON array, so a run
+// can be archived and the figures regenerated later without recomputing
+// (cmd/experiments writes one file per run when asked).
+func WriteResults(w io.Writer, results []Result) error {
+	records := make([]resultRecord, len(results))
+	for i, r := range results {
+		records[i] = resultRecord{
+			Family:         r.Spec.Family.String(),
+			N:              r.Spec.N,
+			Cluster:        r.Spec.Cluster.String(),
+			Scenario:       r.Spec.Scenario.String(),
+			DeadlineFactor: r.Spec.DeadlineFactor,
+			Seed:           r.Spec.Seed,
+			Algo:           r.Algo,
+			Cost:           r.Cost,
+			ElapsedMicros:  r.Elapsed.Microseconds(),
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(records)
+}
+
+// ReadResults parses a result file written by WriteResults.
+func ReadResults(r io.Reader) ([]Result, error) {
+	var records []resultRecord
+	if err := json.NewDecoder(r).Decode(&records); err != nil {
+		return nil, fmt.Errorf("experiments: decoding results: %w", err)
+	}
+	out := make([]Result, len(records))
+	for i, rec := range records {
+		fam, err := familyByName(rec.Family)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: record %d: %w", i, err)
+		}
+		sc, err := scenarioByName(rec.Scenario)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: record %d: %w", i, err)
+		}
+		cl := Small
+		switch rec.Cluster {
+		case "small":
+		case "large":
+			cl = Large
+		default:
+			return nil, fmt.Errorf("experiments: record %d: unknown cluster %q", i, rec.Cluster)
+		}
+		if rec.DeadlineFactor < 1 {
+			return nil, fmt.Errorf("experiments: record %d: deadline factor %v", i, rec.DeadlineFactor)
+		}
+		if rec.Cost < 0 {
+			return nil, fmt.Errorf("experiments: record %d: negative cost", i)
+		}
+		out[i] = Result{
+			Spec: Spec{
+				Family:         fam,
+				N:              rec.N,
+				Cluster:        cl,
+				Scenario:       sc,
+				DeadlineFactor: rec.DeadlineFactor,
+				Seed:           rec.Seed,
+			},
+			Algo:    rec.Algo,
+			Cost:    rec.Cost,
+			Elapsed: time.Duration(rec.ElapsedMicros) * time.Microsecond,
+		}
+	}
+	return out, nil
+}
+
+func familyByName(name string) (wfgen.Family, error) {
+	for _, f := range wfgen.Families() {
+		if f.String() == name {
+			return f, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown family %q", name)
+}
+
+func scenarioByName(name string) (power.Scenario, error) {
+	for _, s := range power.Scenarios() {
+		if s.String() == name {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown scenario %q", name)
+}

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/power"
+	"repro/internal/wfgen"
+)
+
+func TestResultsRoundTrip(t *testing.T) {
+	in := []Result{
+		{
+			Spec: Spec{Family: wfgen.Eager, N: 200, Cluster: Large,
+				Scenario: power.S3, DeadlineFactor: 1.5, Seed: 9},
+			Algo: "pressWR-LS", Cost: 1234, Elapsed: 1500 * time.Microsecond,
+		},
+		{
+			Spec: Spec{Family: wfgen.Bacass, N: 0, Cluster: Small,
+				Scenario: power.S1, DeadlineFactor: 3, Seed: 9},
+			Algo: BaselineName, Cost: 0, Elapsed: 10 * time.Microsecond,
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteResults(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadResults(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("round trip length %d, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Errorf("record %d: %+v != %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestResultsFeedFigures(t *testing.T) {
+	// A persisted run must be usable for figure regeneration.
+	results, names := smallRun(t)
+	var buf bytes.Buffer
+	if err := WriteResults(&buf, results); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadResults(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := Fig4MedianCostRatio(results, names)
+	replay := Fig4MedianCostRatio(loaded, names)
+	if orig.String() != replay.String() {
+		t.Error("figure from persisted results differs from the live run")
+	}
+}
+
+func TestReadResultsRejectsCorruption(t *testing.T) {
+	cases := []string{
+		"{",
+		`[{"family":"nope","cluster":"small","scenario":"S1","deadline_factor":2}]`,
+		`[{"family":"eager","cluster":"tiny","scenario":"S1","deadline_factor":2}]`,
+		`[{"family":"eager","cluster":"small","scenario":"S9","deadline_factor":2}]`,
+		`[{"family":"eager","cluster":"small","scenario":"S1","deadline_factor":0.2}]`,
+		`[{"family":"eager","cluster":"small","scenario":"S1","deadline_factor":2,"cost":-4}]`,
+	}
+	for _, src := range cases {
+		if _, err := ReadResults(strings.NewReader(src)); err == nil {
+			t.Errorf("input %q accepted", src)
+		}
+	}
+}

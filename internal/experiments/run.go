@@ -1,0 +1,221 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/schedule"
+)
+
+// BaselineName is the name of the carbon-unaware competitor.
+const BaselineName = "ASAP"
+
+// Algorithm is a named scheduler under test.
+type Algorithm struct {
+	Name string
+	Run  func(*Instance) (*schedule.Schedule, error)
+}
+
+// Algorithms returns the full roster of Section 6.2: the ASAP baseline
+// followed by the 16 CaWoSched variants (8 greedy × {with, without} local
+// search), in the paper's presentation order with the LS variants last.
+func Algorithms() []Algorithm {
+	algos := []Algorithm{baseline()}
+	for _, opt := range core.AllVariants() {
+		algos = append(algos, fromOptions(opt))
+	}
+	return algos
+}
+
+// LSAlgorithms returns ASAP plus only the 8 local-search variants, the
+// roster used for most figures ("we first compare the solution quality
+// when the local search is applied").
+func LSAlgorithms() []Algorithm {
+	algos := []Algorithm{baseline()}
+	for _, opt := range core.Variants(true) {
+		algos = append(algos, fromOptions(opt))
+	}
+	return algos
+}
+
+func baseline() Algorithm {
+	return Algorithm{
+		Name: BaselineName,
+		Run: func(in *Instance) (*schedule.Schedule, error) {
+			return core.ASAP(in.Inst), nil
+		},
+	}
+}
+
+func fromOptions(opt core.Options) Algorithm {
+	return Algorithm{
+		Name: opt.Name(),
+		Run: func(in *Instance) (*schedule.Schedule, error) {
+			s, _, err := core.Run(in.Inst, in.Prof, opt)
+			return s, err
+		},
+	}
+}
+
+// Result is one (instance, algorithm) measurement.
+type Result struct {
+	Spec    Spec
+	Algo    string
+	Cost    int64
+	Elapsed time.Duration
+}
+
+// Run executes every algorithm on every spec, in parallel across specs
+// (workers ≤ 0 uses GOMAXPROCS). The instance is built once per spec and
+// shared by its algorithms; scheduling time excludes instance
+// construction, matching the paper's running-time measurements. progress,
+// if non-nil, is called after each completed instance.
+func Run(specs []Spec, algos []Algorithm, workers int, progress func(done, total int)) ([]Result, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	type item struct {
+		idx  int
+		spec Spec
+	}
+	jobs := make(chan item)
+	resultsPer := make([][]Result, len(specs))
+	errs := make([]error, len(specs))
+	var done int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for it := range jobs {
+				rs, err := runOne(it.spec, algos)
+				resultsPer[it.idx] = rs
+				errs[it.idx] = err
+				if progress != nil {
+					mu.Lock()
+					done++
+					progress(done, len(specs))
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i, s := range specs {
+		jobs <- item{i, s}
+	}
+	close(jobs)
+	wg.Wait()
+
+	var out []Result
+	for i := range specs {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		out = append(out, resultsPer[i]...)
+	}
+	return out, nil
+}
+
+func runOne(spec Spec, algos []Algorithm) ([]Result, error) {
+	in, err := BuildInstance(spec)
+	if err != nil {
+		return nil, err
+	}
+	rs := make([]Result, 0, len(algos))
+	for _, a := range algos {
+		start := time.Now()
+		s, err := a.Run(in)
+		elapsed := time.Since(start)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s on %s: %w", a.Name, spec, err)
+		}
+		if err := schedule.Validate(in.Inst, s, in.Prof.T()); err != nil {
+			return nil, fmt.Errorf("experiments: %s on %s produced invalid schedule: %w", a.Name, spec, err)
+		}
+		rs = append(rs, Result{
+			Spec:    spec,
+			Algo:    a.Name,
+			Cost:    schedule.CarbonCost(in.Inst, s, in.Prof),
+			Elapsed: elapsed,
+		})
+	}
+	return rs, nil
+}
+
+// grid organizes results as instance-major cost rows over a fixed
+// algorithm order, the shape the stats package consumes.
+type grid struct {
+	algos []string
+	specs []Spec
+	costs [][]float64 // [instance][algorithm]
+	times [][]float64 // seconds, same shape
+}
+
+// buildGrid collects the results into a dense grid. Results for unknown
+// algorithms are ignored; instances missing any algorithm are dropped.
+func buildGrid(results []Result, algos []string) *grid {
+	idx := map[string]int{}
+	for i, a := range algos {
+		idx[a] = i
+	}
+	type key = Spec
+	rows := map[key][]float64{}
+	trows := map[key][]float64{}
+	count := map[key]int{}
+	for _, r := range results {
+		ai, ok := idx[r.Algo]
+		if !ok {
+			continue
+		}
+		if _, ok := rows[r.Spec]; !ok {
+			rows[r.Spec] = make([]float64, len(algos))
+			trows[r.Spec] = make([]float64, len(algos))
+		}
+		rows[r.Spec][ai] = float64(r.Cost)
+		trows[r.Spec][ai] = r.Elapsed.Seconds()
+		count[r.Spec]++
+	}
+	g := &grid{algos: algos}
+	for spec, row := range rows {
+		if count[spec] != len(algos) {
+			continue
+		}
+		g.specs = append(g.specs, spec)
+		g.costs = append(g.costs, row)
+		g.times = append(g.times, trows[spec])
+	}
+	// Deterministic order.
+	order := make([]int, len(g.specs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool {
+		return g.specs[order[i]].String() < g.specs[order[j]].String()
+	})
+	specs := make([]Spec, len(order))
+	costs := make([][]float64, len(order))
+	times := make([][]float64, len(order))
+	for i, o := range order {
+		specs[i], costs[i], times[i] = g.specs[o], g.costs[o], g.times[o]
+	}
+	g.specs, g.costs, g.times = specs, costs, times
+	return g
+}
+
+// filter returns a sub-grid with only instances matching pred.
+func (g *grid) filter(pred func(Spec) bool) *grid {
+	out := &grid{algos: g.algos}
+	for i, s := range g.specs {
+		if pred(s) {
+			out.specs = append(out.specs, s)
+			out.costs = append(out.costs, g.costs[i])
+			out.times = append(out.times, g.times[i])
+		}
+	}
+	return out
+}

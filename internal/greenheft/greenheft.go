@@ -1,0 +1,286 @@
+// Package greenheft implements the two-pass approach sketched in the
+// paper's conclusion (Section 7): "a first pass devoted to mapping and
+// ordering, but without a finalized schedule, and a second pass devoted to
+// optimizing the schedule through the approach followed in this paper."
+//
+// The first pass is a carbon-aware variant of HEFT whose processor
+// selection trades earliest finish time against the processor's power
+// draw; the second pass is CaWoSched. The package exists to quantify how
+// much a greener *mapping* adds on top of carbon-aware *scheduling* — the
+// paper's stated future work, reproduced here as an executable experiment
+// (see experiments.ExtensionTwoPass).
+package greenheft
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dag"
+	"repro/internal/platform"
+)
+
+// Policy selects the processor-selection rule of the mapping pass.
+type Policy int
+
+const (
+	// EFT is classic HEFT: minimize earliest finish time. It reproduces
+	// exactly the mapping the paper's experiments start from.
+	EFT Policy = iota
+	// LowPower minimizes finish_time × (P_idle + P_work)^alpha: a greedy
+	// compromise between speed and power draw. With alpha = 0 it
+	// degenerates to EFT.
+	LowPower
+	// EnergyPerWork minimizes the energy the task itself consumes
+	// (duration × (P_idle + P_work)), breaking ties by finish time. It is
+	// the most aggressive green policy and can lengthen the makespan
+	// considerably.
+	EnergyPerWork
+)
+
+// String returns a short identifier for result tables.
+func (p Policy) String() string {
+	switch p {
+	case EFT:
+		return "heft"
+	case LowPower:
+		return "lowpower"
+	case EnergyPerWork:
+		return "energy"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Policies lists all mapping policies.
+func Policies() []Policy { return []Policy{EFT, LowPower, EnergyPerWork} }
+
+// Options tunes the mapping pass.
+type Options struct {
+	Policy Policy
+	// Alpha is the power exponent of the LowPower policy (default 1).
+	Alpha float64
+}
+
+// Result mirrors heft.Result: the fixed mapping, ordering and reference
+// times that the second (CaWoSched) pass consumes.
+type Result struct {
+	Proc     []int
+	Start    []int64
+	Finish   []int64
+	Order    [][]int
+	Makespan int64
+}
+
+type slot struct {
+	start, end int64
+	task       int
+}
+
+// Schedule runs the carbon-aware mapping pass. The task prioritization is
+// HEFT's upward rank (unchanged — it encodes the critical path); only the
+// processor selection differs by policy.
+func Schedule(d *dag.DAG, c *platform.Cluster, opt Options) (*Result, error) {
+	n := d.N()
+	if n == 0 {
+		return nil, fmt.Errorf("greenheft: empty workflow")
+	}
+	P := c.NumCompute()
+	if P == 0 {
+		return nil, fmt.Errorf("greenheft: cluster has no compute processors")
+	}
+	alpha := opt.Alpha
+	if alpha == 0 {
+		alpha = 1
+	}
+
+	wbar := make([]float64, n)
+	for v := 0; v < n; v++ {
+		var sum int64
+		for p := 0; p < P; p++ {
+			sum += c.ExecTime(d.Tasks[v].Weight, p)
+		}
+		wbar[v] = float64(sum) / float64(P)
+	}
+	order, err := d.TopoOrder()
+	if err != nil {
+		return nil, fmt.Errorf("greenheft: %w", err)
+	}
+	rank := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		v := order[i]
+		var best float64
+		for _, ei := range d.OutEdges(v) {
+			e := d.Edges[ei]
+			if r := float64(c.CommTime(e.Weight)) + rank[e.To]; r > best {
+				best = r
+			}
+		}
+		rank[v] = wbar[v] + best
+	}
+	prio := make([]int, n)
+	for i := range prio {
+		prio[i] = i
+	}
+	sort.SliceStable(prio, func(i, j int) bool {
+		if rank[prio[i]] != rank[prio[j]] {
+			return rank[prio[i]] > rank[prio[j]]
+		}
+		return prio[i] < prio[j]
+	})
+
+	res := &Result{
+		Proc:   make([]int, n),
+		Start:  make([]int64, n),
+		Finish: make([]int64, n),
+		Order:  make([][]int, P),
+	}
+	timeline := make([][]slot, P)
+	scheduled := make([]bool, n)
+
+	for _, v := range prio {
+		bestProc := -1
+		var bestStart, bestFinish int64
+		bestObjective := 0.0
+		for p := 0; p < P; p++ {
+			ready := int64(0)
+			for _, ei := range d.InEdges(v) {
+				e := d.Edges[ei]
+				if !scheduled[e.From] {
+					return nil, fmt.Errorf("greenheft: priority order visited %d before predecessor %d", v, e.From)
+				}
+				arr := res.Finish[e.From]
+				if res.Proc[e.From] != p {
+					arr += c.CommTime(e.Weight)
+				}
+				if arr > ready {
+					ready = arr
+				}
+			}
+			dur := c.ExecTime(d.Tasks[v].Weight, p)
+			start := insertionStart(timeline[p], ready, dur)
+			finish := start + dur
+			pw := c.Proc(p).Type.Idle + c.Proc(p).Type.Work
+			obj := objective(opt.Policy, alpha, finish, dur, pw)
+			if bestProc == -1 || obj < bestObjective ||
+				(obj == bestObjective && finish < bestFinish) {
+				bestProc, bestStart, bestFinish, bestObjective = p, start, finish, obj
+			}
+		}
+		res.Proc[v] = bestProc
+		res.Start[v] = bestStart
+		res.Finish[v] = bestFinish
+		scheduled[v] = true
+		timeline[bestProc] = insertSlot(timeline[bestProc], slot{bestStart, bestFinish, v})
+		if bestFinish > res.Makespan {
+			res.Makespan = bestFinish
+		}
+	}
+	for p := 0; p < P; p++ {
+		for _, s := range timeline[p] {
+			res.Order[p] = append(res.Order[p], s.task)
+		}
+	}
+	return res, nil
+}
+
+func objective(policy Policy, alpha float64, finish, dur, power int64) float64 {
+	switch policy {
+	case EFT:
+		return float64(finish)
+	case LowPower:
+		return float64(finish) * pow(float64(power), alpha)
+	case EnergyPerWork:
+		return float64(dur * power)
+	default:
+		panic("greenheft: unknown policy")
+	}
+}
+
+// pow is a minimal positive-base power function (x > 0); alpha is small
+// and usually 1, so the loop/specialization is enough without math.Pow's
+// edge cases.
+func pow(x, alpha float64) float64 {
+	switch alpha {
+	case 0:
+		return 1
+	case 1:
+		return x
+	case 2:
+		return x * x
+	default:
+		// General case via exp/log would need math; integer-ish alphas
+		// cover the ablation sweep, interpolate multiplicatively for the
+		// rest.
+		r := 1.0
+		for alpha >= 1 {
+			r *= x
+			alpha--
+		}
+		if alpha > 0 {
+			// linear interpolation between x^0 and x^1 on the residue
+			r *= 1 + alpha*(x-1)
+		}
+		return r
+	}
+}
+
+func insertionStart(tl []slot, ready, dur int64) int64 {
+	cur := ready
+	for _, s := range tl {
+		if s.end <= cur {
+			continue
+		}
+		if s.start >= cur+dur {
+			return cur
+		}
+		if s.end > cur {
+			cur = s.end
+		}
+	}
+	return cur
+}
+
+func insertSlot(tl []slot, s slot) []slot {
+	i := sort.Search(len(tl), func(i int) bool { return tl[i].start >= s.start })
+	tl = append(tl, slot{})
+	copy(tl[i+1:], tl[i:])
+	tl[i] = s
+	return tl
+}
+
+// Validate checks the same legality conditions as heft.Result.Validate.
+func (r *Result) Validate(d *dag.DAG, c *platform.Cluster) error {
+	n := d.N()
+	if len(r.Proc) != n || len(r.Start) != n || len(r.Finish) != n {
+		return fmt.Errorf("greenheft: result arrays sized %d,%d,%d, want %d",
+			len(r.Proc), len(r.Start), len(r.Finish), n)
+	}
+	for v := 0; v < n; v++ {
+		if r.Proc[v] < 0 || r.Proc[v] >= c.NumCompute() {
+			return fmt.Errorf("greenheft: task %d mapped to invalid processor %d", v, r.Proc[v])
+		}
+		if want := r.Start[v] + c.ExecTime(d.Tasks[v].Weight, r.Proc[v]); r.Finish[v] != want {
+			return fmt.Errorf("greenheft: task %d finish %d inconsistent", v, r.Finish[v])
+		}
+		if r.Start[v] < 0 {
+			return fmt.Errorf("greenheft: task %d starts at %d", v, r.Start[v])
+		}
+	}
+	for _, e := range d.Edges {
+		arr := r.Finish[e.From]
+		if r.Proc[e.From] != r.Proc[e.To] {
+			arr += c.CommTime(e.Weight)
+		}
+		if r.Start[e.To] < arr {
+			return fmt.Errorf("greenheft: edge %d→%d violated", e.From, e.To)
+		}
+	}
+	for p, tasks := range r.Order {
+		for i := 1; i < len(tasks); i++ {
+			if r.Finish[tasks[i-1]] > r.Start[tasks[i]] {
+				return fmt.Errorf("greenheft: processor %d overlap", p)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,217 @@
+// Package heft implements the HEFT list-scheduling algorithm (Topcuoglu,
+// Hariri, Wu — "Performance-effective and low-complexity task scheduling
+// for heterogeneous computing", IEEE TPDS 2002).
+//
+// In this repository HEFT plays the role it plays in the paper: it produces
+// the *given* mapping and ordering of tasks (and, implicitly, of
+// communications) that the carbon-aware scheduler then improves by shifting
+// start times. Following Section 6.1, it is a basic implementation without
+// special tie-breaking techniques, because HEFT is not carbon-aware either
+// way.
+package heft
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dag"
+	"repro/internal/platform"
+)
+
+// Result is a HEFT schedule: a mapping of tasks to compute processors, the
+// per-processor execution order, and the reference start/finish times that
+// define the ordering of communications on each link.
+type Result struct {
+	Proc     []int   // task → compute processor id
+	Start    []int64 // HEFT start time of each task
+	Finish   []int64 // HEFT finish time of each task
+	Order    [][]int // per processor: task ids in execution order
+	Makespan int64
+}
+
+// slot is an occupied interval on a processor's timeline.
+type slot struct {
+	start, end int64
+	task       int
+}
+
+// Schedule runs HEFT for the workflow on the cluster's compute processors.
+// Communication between distinct processors costs the platform's CommTime
+// of the edge weight; co-located tasks communicate for free. HEFT assumes
+// contention-free links (the full-duplex fully connected topology of
+// Section 3), so overlapping communications are allowed here; serializing
+// them per link is the job of the communication-enhanced DAG.
+func Schedule(d *dag.DAG, c *platform.Cluster) (*Result, error) {
+	n := d.N()
+	if n == 0 {
+		return nil, fmt.Errorf("heft: empty workflow")
+	}
+	P := c.NumCompute()
+	if P == 0 {
+		return nil, fmt.Errorf("heft: cluster has no compute processors")
+	}
+
+	// Mean execution cost per task over all processors.
+	wbar := make([]float64, n)
+	for v := 0; v < n; v++ {
+		var sum int64
+		for p := 0; p < P; p++ {
+			sum += c.ExecTime(d.Tasks[v].Weight, p)
+		}
+		wbar[v] = float64(sum) / float64(P)
+	}
+
+	// Upward rank, computed in reverse topological order.
+	order, err := d.TopoOrder()
+	if err != nil {
+		return nil, fmt.Errorf("heft: %w", err)
+	}
+	rank := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		v := order[i]
+		var best float64
+		for _, ei := range d.OutEdges(v) {
+			e := d.Edges[ei]
+			r := float64(c.CommTime(e.Weight)) + rank[e.To]
+			if r > best {
+				best = r
+			}
+		}
+		rank[v] = wbar[v] + best
+	}
+
+	// Priority list: non-increasing rank, ties by task id.
+	prio := make([]int, n)
+	for i := range prio {
+		prio[i] = i
+	}
+	sort.SliceStable(prio, func(i, j int) bool {
+		if rank[prio[i]] != rank[prio[j]] {
+			return rank[prio[i]] > rank[prio[j]]
+		}
+		return prio[i] < prio[j]
+	})
+
+	res := &Result{
+		Proc:   make([]int, n),
+		Start:  make([]int64, n),
+		Finish: make([]int64, n),
+		Order:  make([][]int, P),
+	}
+	timeline := make([][]slot, P)
+	scheduled := make([]bool, n)
+
+	for _, v := range prio {
+		// HEFT's priority order is a topological order (rank decreases
+		// along edges), so all predecessors are already scheduled.
+		bestProc, bestStart := -1, int64(0)
+		bestFinish := int64(-1)
+		for p := 0; p < P; p++ {
+			ready := int64(0)
+			for _, ei := range d.InEdges(v) {
+				e := d.Edges[ei]
+				if !scheduled[e.From] {
+					return nil, fmt.Errorf("heft: priority order visited %d before predecessor %d", v, e.From)
+				}
+				arr := res.Finish[e.From]
+				if res.Proc[e.From] != p {
+					arr += c.CommTime(e.Weight)
+				}
+				if arr > ready {
+					ready = arr
+				}
+			}
+			dur := c.ExecTime(d.Tasks[v].Weight, p)
+			start := insertionStart(timeline[p], ready, dur)
+			finish := start + dur
+			if bestFinish < 0 || finish < bestFinish {
+				bestProc, bestStart, bestFinish = p, start, finish
+			}
+		}
+		res.Proc[v] = bestProc
+		res.Start[v] = bestStart
+		res.Finish[v] = bestFinish
+		scheduled[v] = true
+		timeline[bestProc] = insertSlot(timeline[bestProc], slot{bestStart, bestFinish, v})
+		if bestFinish > res.Makespan {
+			res.Makespan = bestFinish
+		}
+	}
+
+	for p := 0; p < P; p++ {
+		for _, s := range timeline[p] {
+			res.Order[p] = append(res.Order[p], s.task)
+		}
+	}
+	return res, nil
+}
+
+// insertionStart returns the earliest start ≥ ready on the timeline such
+// that a task of length dur fits without overlapping existing slots
+// (HEFT's insertion-based scheduling policy).
+func insertionStart(tl []slot, ready, dur int64) int64 {
+	cur := ready
+	for _, s := range tl {
+		if s.end <= cur {
+			continue
+		}
+		if s.start >= cur+dur {
+			return cur // gap before this slot fits
+		}
+		// Overlaps the candidate window; retry after this slot.
+		if s.end > cur {
+			cur = s.end
+		}
+	}
+	return cur
+}
+
+// insertSlot inserts s keeping the timeline sorted by start time.
+func insertSlot(tl []slot, s slot) []slot {
+	i := sort.Search(len(tl), func(i int) bool { return tl[i].start >= s.start })
+	tl = append(tl, slot{})
+	copy(tl[i+1:], tl[i:])
+	tl[i] = s
+	return tl
+}
+
+// Validate checks that the result is a legal schedule for d on c:
+// precedence respected (with communication delays), no overlap on any
+// processor, durations consistent with processor speeds.
+func (r *Result) Validate(d *dag.DAG, c *platform.Cluster) error {
+	n := d.N()
+	if len(r.Proc) != n || len(r.Start) != n || len(r.Finish) != n {
+		return fmt.Errorf("heft: result arrays sized %d,%d,%d, want %d",
+			len(r.Proc), len(r.Start), len(r.Finish), n)
+	}
+	for v := 0; v < n; v++ {
+		if r.Proc[v] < 0 || r.Proc[v] >= c.NumCompute() {
+			return fmt.Errorf("heft: task %d mapped to invalid processor %d", v, r.Proc[v])
+		}
+		if want := r.Start[v] + c.ExecTime(d.Tasks[v].Weight, r.Proc[v]); r.Finish[v] != want {
+			return fmt.Errorf("heft: task %d finish %d inconsistent with start+dur %d", v, r.Finish[v], want)
+		}
+		if r.Start[v] < 0 {
+			return fmt.Errorf("heft: task %d starts at %d", v, r.Start[v])
+		}
+	}
+	for _, e := range d.Edges {
+		arr := r.Finish[e.From]
+		if r.Proc[e.From] != r.Proc[e.To] {
+			arr += c.CommTime(e.Weight)
+		}
+		if r.Start[e.To] < arr {
+			return fmt.Errorf("heft: edge %d→%d violated: start %d < arrival %d",
+				e.From, e.To, r.Start[e.To], arr)
+		}
+	}
+	for p, tasks := range r.Order {
+		for i := 1; i < len(tasks); i++ {
+			prev, cur := tasks[i-1], tasks[i]
+			if r.Finish[prev] > r.Start[cur] {
+				return fmt.Errorf("heft: processor %d tasks %d and %d overlap", p, prev, cur)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,244 @@
+package heft
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dag"
+	"repro/internal/platform"
+	"repro/internal/wfgen"
+)
+
+// twoProcCluster builds a tiny cluster: one slow cheap node, one fast
+// expensive node.
+func twoProcCluster() *platform.Cluster {
+	types := []platform.ProcType{
+		{Name: "slow", Speed: 1, Idle: 1, Work: 1},
+		{Name: "fast", Speed: 4, Idle: 4, Work: 4},
+	}
+	return platform.New(types, []int{1, 1}, 1)
+}
+
+func TestScheduleSingleTask(t *testing.T) {
+	d := dag.New(1)
+	d.SetWeight(0, 8)
+	c := twoProcCluster()
+	r, err := Schedule(d, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The fast processor (id 1, speed 4) finishes at 2; the slow at 8.
+	if r.Proc[0] != 1 {
+		t.Errorf("task mapped to proc %d, want fast proc 1", r.Proc[0])
+	}
+	if r.Makespan != 2 {
+		t.Errorf("makespan = %d, want 2", r.Makespan)
+	}
+	if err := r.Validate(d, c); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScheduleChainRespectsPrecedence(t *testing.T) {
+	d := dag.New(3)
+	d.AddEdge(0, 1, 2)
+	d.AddEdge(1, 2, 2)
+	for i := 0; i < 3; i++ {
+		d.SetWeight(i, 4)
+	}
+	c := twoProcCluster()
+	r, err := Schedule(d, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Validate(d, c); err != nil {
+		t.Error(err)
+	}
+	if r.Start[1] < r.Finish[0] || r.Start[2] < r.Finish[1] {
+		t.Errorf("chain order violated: %v / %v", r.Start, r.Finish)
+	}
+}
+
+func TestScheduleEmptyWorkflow(t *testing.T) {
+	if _, err := Schedule(dag.New(0), twoProcCluster()); err == nil {
+		t.Error("empty workflow not rejected")
+	}
+}
+
+func TestScheduleParallelTasksSpread(t *testing.T) {
+	// Many independent equal tasks: HEFT must use both processors.
+	d := dag.New(8)
+	for i := 0; i < 8; i++ {
+		d.SetWeight(i, 4)
+	}
+	c := twoProcCluster()
+	r, err := Schedule(d, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	used := map[int]bool{}
+	for _, p := range r.Proc {
+		used[p] = true
+	}
+	if len(used) != 2 {
+		t.Errorf("independent tasks all on one processor: %v", r.Proc)
+	}
+	if err := r.Validate(d, c); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInsertionPolicyFillsGaps(t *testing.T) {
+	tl := []slot{{start: 0, end: 2, task: 0}, {start: 10, end: 12, task: 1}}
+	if got := insertionStart(tl, 0, 3); got != 2 {
+		t.Errorf("insertionStart = %d, want 2 (gap [2,10))", got)
+	}
+	if got := insertionStart(tl, 0, 9); got != 12 {
+		t.Errorf("insertionStart dur=9 = %d, want 12 (after everything)", got)
+	}
+	if got := insertionStart(tl, 3, 3); got != 3 {
+		t.Errorf("insertionStart ready=3 = %d, want 3", got)
+	}
+	if got := insertionStart(nil, 5, 1); got != 5 {
+		t.Errorf("insertionStart empty = %d, want 5", got)
+	}
+}
+
+func TestInsertSlotKeepsOrder(t *testing.T) {
+	var tl []slot
+	for _, s := range []slot{{5, 6, 0}, {1, 2, 1}, {3, 4, 2}} {
+		tl = insertSlot(tl, s)
+	}
+	for i := 1; i < len(tl); i++ {
+		if tl[i-1].start > tl[i].start {
+			t.Fatalf("timeline out of order: %+v", tl)
+		}
+	}
+}
+
+func TestOrderMatchesStartTimes(t *testing.T) {
+	d, err := wfgen.Generate(wfgen.Eager, 150, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := platform.Small(1)
+	r, err := Schedule(d, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p, tasks := range r.Order {
+		for i := 1; i < len(tasks); i++ {
+			if r.Start[tasks[i-1]] > r.Start[tasks[i]] {
+				t.Fatalf("proc %d order not by start time", p)
+			}
+		}
+	}
+}
+
+func TestMakespanLowerBound(t *testing.T) {
+	// Makespan can never beat the critical path executed at max speed.
+	d, err := wfgen.Generate(wfgen.Methylseq, 200, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := platform.Small(1)
+	r, err := Schedule(d, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cheap sanity bound: total work / total speed ≤ makespan.
+	var totalSpeed int64
+	for p := 0; p < c.NumCompute(); p++ {
+		totalSpeed += c.Proc(p).Type.Speed
+	}
+	lb := d.TotalWork() / totalSpeed
+	if r.Makespan < lb {
+		t.Errorf("makespan %d below aggregate-speed bound %d", r.Makespan, lb)
+	}
+}
+
+func TestScheduleWorkflowsValidProperty(t *testing.T) {
+	f := func(seed uint64, famRaw uint8, sizeRaw uint16) bool {
+		fam := wfgen.Families()[int(famRaw)%4]
+		n := 10 + int(sizeRaw%400)
+		d, err := wfgen.Generate(fam, n, seed)
+		if err != nil {
+			return false
+		}
+		c := platform.Small(seed)
+		r, err := Schedule(d, c)
+		if err != nil {
+			return false
+		}
+		return r.Validate(d, c) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHeterogeneityPreference(t *testing.T) {
+	// A single heavy chain should gravitate to the fastest processors
+	// (HEFT minimizes EFT, ignoring power).
+	d := dag.New(4)
+	d.AddEdge(0, 1, 1)
+	d.AddEdge(1, 2, 1)
+	d.AddEdge(2, 3, 1)
+	for i := range d.Tasks {
+		d.SetWeight(i, 320)
+	}
+	c := platform.Small(1)
+	r, err := Schedule(d, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, p := range r.Proc {
+		if c.Proc(p).Type.Name != "PT6" {
+			t.Errorf("task %d on %s, want PT6 (fastest wins a chain)", v, c.Proc(p).Type.Name)
+		}
+	}
+}
+
+func TestDeterministicSchedule(t *testing.T) {
+	d, _ := wfgen.Generate(wfgen.Atacseq, 120, 9)
+	c1 := platform.Small(2)
+	c2 := platform.Small(2)
+	r1, err1 := Schedule(d, c1)
+	r2, err2 := Schedule(d, c2)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	for v := range r1.Proc {
+		if r1.Proc[v] != r2.Proc[v] || r1.Start[v] != r2.Start[v] {
+			t.Fatalf("HEFT not deterministic at task %d", v)
+		}
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	d, _ := wfgen.Generate(wfgen.Bacass, 57, 3)
+	c := platform.Small(1)
+	r, err := Schedule(d, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Start[0] = -5
+	r.Finish[0] = r.Start[0] + c.ExecTime(d.Tasks[0].Weight, r.Proc[0])
+	if err := r.Validate(d, c); err == nil {
+		t.Error("negative start not caught")
+	}
+}
+
+func BenchmarkHEFT1000Small(b *testing.B) {
+	d, err := wfgen.Generate(wfgen.Atacseq, 1000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := platform.Small(1)
+		if _, err := Schedule(d, c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,336 @@
+// Package lp implements a dense two-phase primal simplex solver for linear
+// programs in inequality form:
+//
+//	minimize cᵀx  subject to  Ax {≤,=,≥} b,  x ≥ 0.
+//
+// It is the bottom layer of the repository's Gurobi substitute: the MILP
+// branch-and-bound of internal/milp solves its node relaxations here, and
+// internal/ilp builds the paper's time-indexed model (Appendix A.4) on top.
+// The implementation favours robustness over speed — models in this
+// repository are tiny — and uses Bland's rule to guarantee termination.
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sense is a constraint relation.
+type Sense int
+
+const (
+	LE Sense = iota // ≤
+	GE              // ≥
+	EQ              // =
+)
+
+// Constraint is a single linear constraint Σ Coef[i]·x_{Var[i]} (Sense) RHS.
+// Var/Coef form a sparse row; duplicate variable indices are summed.
+type Constraint struct {
+	Var   []int
+	Coef  []float64
+	Sense Sense
+	RHS   float64
+}
+
+// Problem is an LP: minimize Obj·x subject to Cons, x ≥ 0.
+type Problem struct {
+	NumVars int
+	Obj     []float64
+	Cons    []Constraint
+}
+
+// AddConstraint appends a constraint built from parallel slices.
+func (p *Problem) AddConstraint(vars []int, coefs []float64, sense Sense, rhs float64) {
+	p.Cons = append(p.Cons, Constraint{
+		Var:   append([]int(nil), vars...),
+		Coef:  append([]float64(nil), coefs...),
+		Sense: sense,
+		RHS:   rhs,
+	})
+}
+
+// Validate checks index bounds and shape.
+func (p *Problem) Validate() error {
+	if p.NumVars <= 0 {
+		return fmt.Errorf("lp: NumVars = %d", p.NumVars)
+	}
+	if len(p.Obj) != p.NumVars {
+		return fmt.Errorf("lp: objective has %d coefficients for %d variables", len(p.Obj), p.NumVars)
+	}
+	for ci, c := range p.Cons {
+		if len(c.Var) != len(c.Coef) {
+			return fmt.Errorf("lp: constraint %d has %d vars but %d coefs", ci, len(c.Var), len(c.Coef))
+		}
+		for _, v := range c.Var {
+			if v < 0 || v >= p.NumVars {
+				return fmt.Errorf("lp: constraint %d references variable %d", ci, v)
+			}
+		}
+	}
+	return nil
+}
+
+// Status reports the outcome of a solve.
+type Status int
+
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Solution holds the result of a solve. X and Obj are meaningful only when
+// Status == Optimal.
+type Solution struct {
+	Status Status
+	X      []float64
+	Obj    float64
+}
+
+const eps = 1e-9
+
+// Solve runs the two-phase simplex method.
+func Solve(p *Problem) (*Solution, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := p.NumVars
+	m := len(p.Cons)
+
+	// Standard form: x ≥ 0, rows with non-negative rhs.
+	// Column layout: [0,n) original, [n, n+numSlack) slack/surplus,
+	// [n+numSlack, total) artificial.
+	type rowSpec struct {
+		coefs []float64 // dense over original vars
+		rhs   float64
+		sense Sense
+	}
+	rows := make([]rowSpec, m)
+	numSlack := 0
+	for i, c := range p.Cons {
+		r := rowSpec{coefs: make([]float64, n), rhs: c.RHS, sense: c.Sense}
+		for k, v := range c.Var {
+			r.coefs[v] += c.Coef[k]
+		}
+		if r.rhs < 0 {
+			for j := range r.coefs {
+				r.coefs[j] = -r.coefs[j]
+			}
+			r.rhs = -r.rhs
+			switch r.sense {
+			case LE:
+				r.sense = GE
+			case GE:
+				r.sense = LE
+			}
+		}
+		if r.sense != EQ {
+			numSlack++
+		}
+		rows[i] = r
+	}
+	numArt := 0
+	for _, r := range rows {
+		if r.sense != LE {
+			numArt++ // GE and EQ need an artificial
+		}
+	}
+	total := n + numSlack + numArt
+
+	// Build tableau: m rows × (total+1) columns (last = rhs).
+	tab := make([][]float64, m)
+	basis := make([]int, m)
+	slackIdx := n
+	artIdx := n + numSlack
+	artCols := make([]bool, total)
+	for i, r := range rows {
+		row := make([]float64, total+1)
+		copy(row, r.coefs)
+		row[total] = r.rhs
+		switch r.sense {
+		case LE:
+			row[slackIdx] = 1
+			basis[i] = slackIdx
+			slackIdx++
+		case GE:
+			row[slackIdx] = -1
+			slackIdx++
+			row[artIdx] = 1
+			basis[i] = artIdx
+			artCols[artIdx] = true
+			artIdx++
+		case EQ:
+			row[artIdx] = 1
+			basis[i] = artIdx
+			artCols[artIdx] = true
+			artIdx++
+		}
+		tab[i] = row
+	}
+
+	// Phase 1: minimize the sum of artificials.
+	if numArt > 0 {
+		obj := make([]float64, total+1)
+		for j := n + numSlack; j < total; j++ {
+			obj[j] = 1
+		}
+		// Make reduced costs consistent with the starting basis.
+		for i, b := range basis {
+			if artCols[b] {
+				for j := 0; j <= total; j++ {
+					obj[j] -= tab[i][j]
+				}
+			}
+		}
+		st := iterate(tab, obj, basis, nil)
+		if st == Unbounded {
+			return nil, fmt.Errorf("lp: phase 1 unbounded (internal error)")
+		}
+		if -obj[total] > 1e-7 {
+			return &Solution{Status: Infeasible}, nil
+		}
+		// Pivot remaining artificials out of the basis where possible.
+		for i := 0; i < m; i++ {
+			if !artCols[basis[i]] {
+				continue
+			}
+			pivoted := false
+			for j := 0; j < n+numSlack; j++ {
+				if math.Abs(tab[i][j]) > 1e-7 {
+					pivot(tab, obj, basis, i, j)
+					pivoted = true
+					break
+				}
+			}
+			if !pivoted {
+				// Redundant row: the artificial stays basic at value 0;
+				// ban re-entry of all artificials below.
+				continue
+			}
+		}
+	}
+
+	// Phase 2: original objective.
+	obj := make([]float64, total+1)
+	copy(obj, p.Obj)
+	for i, b := range basis {
+		if obj[b] != 0 {
+			cb := obj[b]
+			for j := 0; j <= total; j++ {
+				obj[j] -= cb * tab[i][j]
+			}
+		}
+	}
+	st := iterate(tab, obj, basis, artCols)
+	if st == Unbounded {
+		return &Solution{Status: Unbounded}, nil
+	}
+
+	x := make([]float64, n)
+	for i, b := range basis {
+		if b < n {
+			x[b] = tab[i][total]
+		}
+	}
+	objVal := 0.0
+	for j := 0; j < n; j++ {
+		objVal += p.Obj[j] * x[j]
+	}
+	return &Solution{Status: Optimal, X: x, Obj: objVal}, nil
+}
+
+// iterate runs simplex pivots until optimality or unboundedness.
+// banned columns (artificials in phase 2) never enter the basis.
+func iterate(tab [][]float64, obj []float64, basis []int, banned []bool) Status {
+	m := len(tab)
+	total := len(obj) - 1
+	iterations := 0
+	blandAfter := 50 * (m + total) // switch to Bland's rule if cycling is likely
+	for {
+		iterations++
+		useBland := iterations > blandAfter
+		// Entering column.
+		enter := -1
+		best := -eps
+		for j := 0; j < total; j++ {
+			if banned != nil && banned[j] {
+				continue
+			}
+			if obj[j] < -eps {
+				if useBland {
+					enter = j
+					break
+				}
+				if obj[j] < best {
+					best = obj[j]
+					enter = j
+				}
+			}
+		}
+		if enter == -1 {
+			return Optimal
+		}
+		// Ratio test (Bland tie-break on basis index).
+		leave := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < m; i++ {
+			a := tab[i][enter]
+			if a > eps {
+				ratio := tab[i][total] / a
+				if ratio < bestRatio-eps || (ratio < bestRatio+eps && (leave == -1 || basis[i] < basis[leave])) {
+					bestRatio = ratio
+					leave = i
+				}
+			}
+		}
+		if leave == -1 {
+			return Unbounded
+		}
+		pivot(tab, obj, basis, leave, enter)
+	}
+}
+
+// pivot performs a full tableau pivot on (row, col).
+func pivot(tab [][]float64, obj []float64, basis []int, row, col int) {
+	total := len(obj) - 1
+	p := tab[row][col]
+	inv := 1 / p
+	for j := 0; j <= total; j++ {
+		tab[row][j] *= inv
+	}
+	tab[row][col] = 1 // exactness
+	for i := range tab {
+		if i == row {
+			continue
+		}
+		f := tab[i][col]
+		if f == 0 {
+			continue
+		}
+		for j := 0; j <= total; j++ {
+			tab[i][j] -= f * tab[row][j]
+		}
+		tab[i][col] = 0
+	}
+	if f := obj[col]; f != 0 {
+		for j := 0; j <= total; j++ {
+			obj[j] -= f * tab[row][j]
+		}
+		obj[col] = 0
+	}
+	basis[row] = col
+}

@@ -1,0 +1,243 @@
+package lp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func TestSimple2D(t *testing.T) {
+	// minimize -x - 2y s.t. x + y <= 4, x <= 3, y <= 2 → x=2, y=2, obj -6.
+	p := &Problem{NumVars: 2, Obj: []float64{-1, -2}}
+	p.AddConstraint([]int{0, 1}, []float64{1, 1}, LE, 4)
+	p.AddConstraint([]int{0}, []float64{1}, LE, 3)
+	p.AddConstraint([]int{1}, []float64{1}, LE, 2)
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if !approx(sol.Obj, -6) {
+		t.Errorf("obj = %v, want -6", sol.Obj)
+	}
+	if !approx(sol.X[0], 2) || !approx(sol.X[1], 2) {
+		t.Errorf("x = %v, want [2 2]", sol.X)
+	}
+}
+
+func TestEqualityAndGE(t *testing.T) {
+	// minimize x + y s.t. x + y = 5, x >= 2 → obj 5, x in [2,5].
+	p := &Problem{NumVars: 2, Obj: []float64{1, 1}}
+	p.AddConstraint([]int{0, 1}, []float64{1, 1}, EQ, 5)
+	p.AddConstraint([]int{0}, []float64{1}, GE, 2)
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || !approx(sol.Obj, 5) {
+		t.Fatalf("status %v obj %v, want optimal 5", sol.Status, sol.Obj)
+	}
+	if sol.X[0] < 2-1e-6 {
+		t.Errorf("x0 = %v violates x0 >= 2", sol.X[0])
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := &Problem{NumVars: 1, Obj: []float64{1}}
+	p.AddConstraint([]int{0}, []float64{1}, LE, 1)
+	p.AddConstraint([]int{0}, []float64{1}, GE, 2)
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Infeasible {
+		t.Errorf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := &Problem{NumVars: 1, Obj: []float64{-1}}
+	p.AddConstraint([]int{0}, []float64{1}, GE, 0)
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Unbounded {
+		t.Errorf("status = %v, want unbounded", sol.Status)
+	}
+}
+
+func TestNegativeRHS(t *testing.T) {
+	// x - y <= -2 with minimize x + y → x=0, y=2.
+	p := &Problem{NumVars: 2, Obj: []float64{1, 1}}
+	p.AddConstraint([]int{0, 1}, []float64{1, -1}, LE, -2)
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || !approx(sol.Obj, 2) {
+		t.Fatalf("status %v obj %v, want optimal 2", sol.Status, sol.Obj)
+	}
+}
+
+func TestDegenerateDoesNotCycle(t *testing.T) {
+	// Beale's classic cycling example (terminates with Bland's rule).
+	p := &Problem{NumVars: 4, Obj: []float64{-0.75, 150, -0.02, 6}}
+	p.AddConstraint([]int{0, 1, 2, 3}, []float64{0.25, -60, -0.04, 9}, LE, 0)
+	p.AddConstraint([]int{0, 1, 2, 3}, []float64{0.5, -90, -0.02, 3}, LE, 0)
+	p.AddConstraint([]int{2}, []float64{1}, LE, 1)
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || !approx(sol.Obj, -0.05) {
+		t.Errorf("status %v obj %v, want optimal -0.05", sol.Status, sol.Obj)
+	}
+}
+
+func TestDuplicateVarIndicesSummed(t *testing.T) {
+	// 2x (written as x + x) <= 4 minimized with -x → x = 2.
+	p := &Problem{NumVars: 1, Obj: []float64{-1}}
+	p.AddConstraint([]int{0, 0}, []float64{1, 1}, LE, 4)
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(sol.X[0], 2) {
+		t.Errorf("x = %v, want 2", sol.X[0])
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	if _, err := Solve(&Problem{NumVars: 0}); err == nil {
+		t.Error("zero vars accepted")
+	}
+	p := &Problem{NumVars: 2, Obj: []float64{1}}
+	if _, err := Solve(p); err == nil {
+		t.Error("objective length mismatch accepted")
+	}
+	p2 := &Problem{NumVars: 1, Obj: []float64{1}}
+	p2.AddConstraint([]int{5}, []float64{1}, LE, 1)
+	if _, err := Solve(p2); err == nil {
+		t.Error("out-of-range variable accepted")
+	}
+}
+
+func TestTransportation(t *testing.T) {
+	// 2 supplies (10, 20), 2 demands (15, 15); costs [[1,3],[2,1]].
+	// Optimal: x00=10, x10=5, x11=15 → 10 + 10 + 15 = 35.
+	p := &Problem{NumVars: 4, Obj: []float64{1, 3, 2, 1}}
+	p.AddConstraint([]int{0, 1}, []float64{1, 1}, LE, 10)
+	p.AddConstraint([]int{2, 3}, []float64{1, 1}, LE, 20)
+	p.AddConstraint([]int{0, 2}, []float64{1, 1}, EQ, 15)
+	p.AddConstraint([]int{1, 3}, []float64{1, 1}, EQ, 15)
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || !approx(sol.Obj, 35) {
+		t.Errorf("status %v obj %v, want optimal 35", sol.Status, sol.Obj)
+	}
+}
+
+// TestFeasibleNotWorseProperty: construct LPs with a known feasible point;
+// the solver must return a feasible solution at least as good.
+func TestFeasibleNotWorseProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 1 + r.Intn(4)
+		m := 1 + r.Intn(5)
+		// Known feasible point.
+		xstar := make([]float64, n)
+		for i := range xstar {
+			xstar[i] = float64(r.IntRange(0, 5))
+		}
+		p := &Problem{NumVars: n, Obj: make([]float64, n)}
+		for i := range p.Obj {
+			p.Obj[i] = float64(r.IntRange(-3, 3))
+		}
+		for c := 0; c < m; c++ {
+			vars := make([]int, 0, n)
+			coefs := make([]float64, 0, n)
+			lhs := 0.0
+			for i := 0; i < n; i++ {
+				co := float64(r.IntRange(-2, 3))
+				if co != 0 {
+					vars = append(vars, i)
+					coefs = append(coefs, co)
+					lhs += co * xstar[i]
+				}
+			}
+			if len(vars) == 0 {
+				continue
+			}
+			// Make xstar satisfy the constraint with slack.
+			p.AddConstraint(vars, coefs, LE, lhs+float64(r.IntRange(0, 4)))
+		}
+		// Box to keep it bounded.
+		for i := 0; i < n; i++ {
+			p.AddConstraint([]int{i}, []float64{1}, LE, 20)
+		}
+		sol, err := Solve(p)
+		if err != nil || sol.Status != Optimal {
+			return false
+		}
+		// Check feasibility of the returned point.
+		for _, c := range p.Cons {
+			lhs := 0.0
+			for k, v := range c.Var {
+				lhs += c.Coef[k] * sol.X[v]
+			}
+			if lhs > c.RHS+1e-6 {
+				return false
+			}
+		}
+		for _, x := range sol.X {
+			if x < -1e-9 {
+				return false
+			}
+		}
+		// Not worse than the known feasible point.
+		ref := 0.0
+		for i := range xstar {
+			ref += p.Obj[i] * xstar[i]
+		}
+		return sol.Obj <= ref+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSolveMedium(b *testing.B) {
+	r := rng.New(1)
+	n, m := 40, 60
+	p := &Problem{NumVars: n, Obj: make([]float64, n)}
+	for i := range p.Obj {
+		p.Obj[i] = r.Float64() - 0.5
+	}
+	for c := 0; c < m; c++ {
+		vars := make([]int, n)
+		coefs := make([]float64, n)
+		for i := 0; i < n; i++ {
+			vars[i] = i
+			coefs[i] = r.Float64()
+		}
+		p.AddConstraint(vars, coefs, LE, 10+r.Float64()*10)
+	}
+	for i := 0; i < n; i++ {
+		p.AddConstraint([]int{i}, []float64{1}, LE, 5)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

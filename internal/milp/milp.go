@@ -1,0 +1,139 @@
+// Package milp implements a branch-and-bound mixed-integer linear program
+// solver on top of the simplex solver in internal/lp. Together they replace
+// Gurobi for the paper's exact ILP baseline (Section 4.3 / Appendix A.4).
+//
+// The solver is deliberately simple: depth-first branch-and-bound, most
+// fractional branching, LP-relaxation bounds. It is intended for the tiny
+// model-validation instances used in this repository, not for production
+// optimization.
+package milp
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/lp"
+)
+
+// Problem is a MILP: the embedded LP plus integrality markers.
+type Problem struct {
+	lp.Problem
+	// Integer[i] demands that variable i take an integer value.
+	Integer []bool
+}
+
+// Options bounds the search.
+type Options struct {
+	// MaxNodes limits the number of branch-and-bound nodes
+	// (0 = default 200000).
+	MaxNodes int
+}
+
+const defaultMaxNodes = 200000
+
+// ErrBudget is returned when the node budget is exhausted; any solution
+// returned alongside it is feasible but possibly suboptimal.
+var ErrBudget = fmt.Errorf("milp: node budget exhausted")
+
+// Solution is the result of a MILP solve.
+type Solution struct {
+	Status lp.Status
+	X      []float64
+	Obj    float64
+	Nodes  int
+}
+
+const intTol = 1e-6
+
+// Solve runs branch-and-bound and returns an optimal integer solution.
+func Solve(p *Problem, opt Options) (*Solution, error) {
+	if len(p.Integer) != p.NumVars {
+		return nil, fmt.Errorf("milp: Integer has %d entries for %d variables", len(p.Integer), p.NumVars)
+	}
+	maxNodes := opt.MaxNodes
+	if maxNodes <= 0 {
+		maxNodes = defaultMaxNodes
+	}
+
+	best := &Solution{Status: lp.Infeasible, Obj: math.Inf(1)}
+	nodes := 0
+	budgetHit := false
+
+	// A node is the base problem plus extra bound constraints.
+	type bound struct {
+		v     int
+		sense lp.Sense // LE x <= k or GE x >= k+1
+		rhs   float64
+	}
+	var rec func(bounds []bound)
+	rec = func(bounds []bound) {
+		if budgetHit {
+			return
+		}
+		nodes++
+		if nodes > maxNodes {
+			budgetHit = true
+			return
+		}
+		node := &lp.Problem{NumVars: p.NumVars, Obj: p.Obj, Cons: append([]lp.Constraint(nil), p.Cons...)}
+		for _, b := range bounds {
+			node.AddConstraint([]int{b.v}, []float64{1}, b.sense, b.rhs)
+		}
+		rel, err := lp.Solve(node)
+		if err != nil || rel.Status != lp.Optimal {
+			return // infeasible subtree (or numerically broken: prune)
+		}
+		if rel.Obj >= best.Obj-1e-9 {
+			return // bound: cannot improve
+		}
+		// Find the most fractional integer variable.
+		branchVar := -1
+		worst := intTol
+		for i := 0; i < p.NumVars; i++ {
+			if !p.Integer[i] {
+				continue
+			}
+			f := rel.X[i] - math.Floor(rel.X[i])
+			frac := math.Min(f, 1-f)
+			if frac > worst {
+				worst = frac
+				branchVar = i
+			}
+		}
+		if branchVar == -1 {
+			// Integral: new incumbent.
+			x := append([]float64(nil), rel.X...)
+			for i := range x {
+				if p.Integer[i] {
+					x[i] = math.Round(x[i])
+				}
+			}
+			best.Status = lp.Optimal
+			best.X = x
+			best.Obj = rel.Obj
+			return
+		}
+		fl := math.Floor(rel.X[branchVar])
+		// Explore the "down" branch first (≤ floor), then "up".
+		rec(append(bounds, bound{branchVar, lp.LE, fl}))
+		rec(append(bounds, bound{branchVar, lp.GE, fl + 1}))
+	}
+	rec(nil)
+
+	best.Nodes = nodes
+	if budgetHit {
+		if best.Status == lp.Optimal {
+			return best, ErrBudget
+		}
+		return nil, ErrBudget
+	}
+	if best.Status != lp.Optimal {
+		// Distinguish infeasible from unbounded via the root relaxation.
+		rel, err := lp.Solve(&p.Problem)
+		if err == nil && rel.Status == lp.Unbounded {
+			return &Solution{Status: lp.Unbounded, Nodes: nodes}, nil
+		}
+		return &Solution{Status: lp.Infeasible, Nodes: nodes}, nil
+	}
+	return best, nil
+}

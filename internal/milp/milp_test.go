@@ -1,0 +1,214 @@
+package milp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/lp"
+	"repro/internal/rng"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func TestKnapsack(t *testing.T) {
+	// maximize 10x0 + 6x1 + 4x2 (binary) s.t. x0+x1+x2 <= 2,
+	// 5x0+4x1+3x2 <= 8 → take x0, x2 (weight 8): value 14 (minimize the
+	// negation; {x0,x1} has weight 9 and is infeasible).
+	p := &Problem{
+		Problem: lp.Problem{NumVars: 3, Obj: []float64{-10, -6, -4}},
+		Integer: []bool{true, true, true},
+	}
+	p.AddConstraint([]int{0, 1, 2}, []float64{1, 1, 1}, lp.LE, 2)
+	p.AddConstraint([]int{0, 1, 2}, []float64{5, 4, 3}, lp.LE, 8)
+	for i := 0; i < 3; i++ {
+		p.AddConstraint([]int{i}, []float64{1}, lp.LE, 1)
+	}
+	sol, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != lp.Optimal || !approx(sol.Obj, -14) {
+		t.Fatalf("status %v obj %v, want optimal -14", sol.Status, sol.Obj)
+	}
+	if !approx(sol.X[0], 1) || !approx(sol.X[1], 0) || !approx(sol.X[2], 1) {
+		t.Errorf("x = %v, want [1 0 1]", sol.X)
+	}
+}
+
+func TestIntegerRounding(t *testing.T) {
+	// minimize -x s.t. 2x <= 5, x integer → x = 2 (LP gives 2.5).
+	p := &Problem{
+		Problem: lp.Problem{NumVars: 1, Obj: []float64{-1}},
+		Integer: []bool{true},
+	}
+	p.AddConstraint([]int{0}, []float64{2}, lp.LE, 5)
+	sol, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(sol.X[0], 2) {
+		t.Errorf("x = %v, want 2", sol.X[0])
+	}
+}
+
+func TestMixedIntegerContinuous(t *testing.T) {
+	// minimize -x - y, x integer, y continuous; x <= 2.5, y <= 1.5,
+	// x + y <= 3.2 → x = 2, y = 1.2 → obj -3.2.
+	p := &Problem{
+		Problem: lp.Problem{NumVars: 2, Obj: []float64{-1, -1}},
+		Integer: []bool{true, false},
+	}
+	p.AddConstraint([]int{0}, []float64{1}, lp.LE, 2.5)
+	p.AddConstraint([]int{1}, []float64{1}, lp.LE, 1.5)
+	p.AddConstraint([]int{0, 1}, []float64{1, 1}, lp.LE, 3.2)
+	sol, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != lp.Optimal || !approx(sol.Obj, -3.2) {
+		t.Fatalf("obj = %v, want -3.2", sol.Obj)
+	}
+	if !approx(sol.X[0], 2) {
+		t.Errorf("x0 = %v, want 2", sol.X[0])
+	}
+}
+
+func TestInfeasibleInteger(t *testing.T) {
+	// 0.4 <= x <= 0.6 has no integer point.
+	p := &Problem{
+		Problem: lp.Problem{NumVars: 1, Obj: []float64{1}},
+		Integer: []bool{true},
+	}
+	p.AddConstraint([]int{0}, []float64{1}, lp.GE, 0.4)
+	p.AddConstraint([]int{0}, []float64{1}, lp.LE, 0.6)
+	sol, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != lp.Infeasible {
+		t.Errorf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestValidateLength(t *testing.T) {
+	p := &Problem{Problem: lp.Problem{NumVars: 2, Obj: []float64{1, 1}}, Integer: []bool{true}}
+	if _, err := Solve(p, Options{}); err == nil {
+		t.Error("Integer length mismatch accepted")
+	}
+}
+
+func TestBudgetExhaustion(t *testing.T) {
+	// A problem needing more than one node with MaxNodes = 1.
+	p := &Problem{
+		Problem: lp.Problem{NumVars: 1, Obj: []float64{-1}},
+		Integer: []bool{true},
+	}
+	p.AddConstraint([]int{0}, []float64{2}, lp.LE, 5)
+	_, err := Solve(p, Options{MaxNodes: 1})
+	if err != ErrBudget {
+		t.Errorf("err = %v, want ErrBudget", err)
+	}
+}
+
+// TestAgainstBruteForceProperty: random small pure-binary problems solved
+// by enumeration must match branch-and-bound.
+func TestAgainstBruteForceProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 1 + r.Intn(4) // up to 4 binaries → 16 assignments
+		m := 1 + r.Intn(4)
+		p := &Problem{
+			Problem: lp.Problem{NumVars: n, Obj: make([]float64, n)},
+			Integer: make([]bool, n),
+		}
+		for i := 0; i < n; i++ {
+			p.Obj[i] = float64(r.IntRange(-5, 5))
+			p.Integer[i] = true
+			p.AddConstraint([]int{i}, []float64{1}, lp.LE, 1)
+		}
+		type row struct {
+			coefs []float64
+			rhs   float64
+		}
+		var rows []row
+		for c := 0; c < m; c++ {
+			coefs := make([]float64, n)
+			vars := make([]int, n)
+			for i := 0; i < n; i++ {
+				coefs[i] = float64(r.IntRange(-3, 3))
+				vars[i] = i
+			}
+			rhs := float64(r.IntRange(-2, 5))
+			p.AddConstraint(vars, coefs, lp.LE, rhs)
+			rows = append(rows, row{coefs, rhs})
+		}
+		// Brute force.
+		bestObj := math.Inf(1)
+		for mask := 0; mask < 1<<n; mask++ {
+			feasible := true
+			for _, rw := range rows {
+				lhs := 0.0
+				for i := 0; i < n; i++ {
+					if mask&(1<<i) != 0 {
+						lhs += rw.coefs[i]
+					}
+				}
+				if lhs > rw.rhs+1e-9 {
+					feasible = false
+					break
+				}
+			}
+			if !feasible {
+				continue
+			}
+			obj := 0.0
+			for i := 0; i < n; i++ {
+				if mask&(1<<i) != 0 {
+					obj += p.Obj[i]
+				}
+			}
+			if obj < bestObj {
+				bestObj = obj
+			}
+		}
+		sol, err := Solve(p, Options{})
+		if err != nil {
+			return false
+		}
+		if math.IsInf(bestObj, 1) {
+			return sol.Status == lp.Infeasible
+		}
+		return sol.Status == lp.Optimal && approx(sol.Obj, bestObj)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkKnapsack10(b *testing.B) {
+	r := rng.New(2)
+	n := 10
+	p := &Problem{
+		Problem: lp.Problem{NumVars: n, Obj: make([]float64, n)},
+		Integer: make([]bool, n),
+	}
+	weights := make([]float64, n)
+	for i := 0; i < n; i++ {
+		p.Obj[i] = -float64(r.IntRange(1, 20))
+		p.Integer[i] = true
+		weights[i] = float64(r.IntRange(1, 10))
+		p.AddConstraint([]int{i}, []float64{1}, lp.LE, 1)
+	}
+	vars := make([]int, n)
+	for i := range vars {
+		vars[i] = i
+	}
+	p.AddConstraint(vars, weights, lp.LE, 25)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(p, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,220 @@
+// Package platform models the target computing platform of Section 3: a
+// cluster of P heterogeneous compute processors plus (conceptually) P(P−1)
+// fictional link processors, one per directed communication link of the
+// fully connected, full-duplex topology.
+//
+// Every processor draws Idle power each time unit and an additional Work
+// power while it executes a task or a communication. Link processors are
+// materialized lazily: a link that never carries a communication contributes
+// zero power, which Section 3 explicitly allows ("we could set the static
+// power of a link that is never used to 0").
+package platform
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// ProcType describes one of the processor families of Table 1.
+type ProcType struct {
+	Name  string
+	Speed int64 // normalized speed; runtime = ceil(weight / Speed)
+	Idle  int64 // P_idle, power drawn every time unit
+	Work  int64 // P_work, additional power while active
+}
+
+// Table1 returns the six processor types of the paper's Table 1.
+func Table1() []ProcType {
+	return []ProcType{
+		{Name: "PT1", Speed: 4, Idle: 40, Work: 10},
+		{Name: "PT2", Speed: 6, Idle: 60, Work: 30},
+		{Name: "PT3", Speed: 8, Idle: 80, Work: 40},
+		{Name: "PT4", Speed: 12, Idle: 120, Work: 50},
+		{Name: "PT5", Speed: 16, Idle: 150, Work: 70},
+		{Name: "PT6", Speed: 32, Idle: 200, Work: 100},
+	}
+}
+
+// Processor is a compute node or a (materialized) communication link.
+type Processor struct {
+	ID    int
+	Type  ProcType
+	IsLnk bool
+	// For link processors, Src and Dst identify the directed link.
+	Src, Dst int
+}
+
+// IsLink reports whether the processor is a communication link.
+func (p *Processor) IsLink() bool { return p.IsLnk }
+
+// Cluster is a set of compute processors plus lazily materialized links.
+type Cluster struct {
+	procs    []Processor
+	nCompute int
+	links    map[[2]int]int // (src, dst) → processor id
+	linkSeed uint64         // deterministic link power derivation
+}
+
+// New creates a cluster with the given processor type counts. counts[i]
+// nodes of types[i] are created, in order, so processor ids are stable.
+// linkSeed parameterizes the deterministic pseudo-random power of links.
+func New(types []ProcType, counts []int, linkSeed uint64) *Cluster {
+	if len(types) != len(counts) {
+		panic("platform: types and counts length mismatch")
+	}
+	c := &Cluster{links: map[[2]int]int{}, linkSeed: linkSeed}
+	id := 0
+	for i, pt := range types {
+		if pt.Speed <= 0 {
+			panic(fmt.Sprintf("platform: processor type %q has non-positive speed", pt.Name))
+		}
+		for j := 0; j < counts[i]; j++ {
+			c.procs = append(c.procs, Processor{ID: id, Type: pt})
+			id++
+		}
+	}
+	c.nCompute = id
+	return c
+}
+
+// Small returns the paper's small cluster: 12 nodes of each of the six
+// Table 1 types (72 compute nodes).
+func Small(linkSeed uint64) *Cluster {
+	return New(Table1(), []int{12, 12, 12, 12, 12, 12}, linkSeed)
+}
+
+// Large returns the paper's large cluster: 24 nodes of each type
+// (144 compute nodes).
+func Large(linkSeed uint64) *Cluster {
+	return New(Table1(), []int{24, 24, 24, 24, 24, 24}, linkSeed)
+}
+
+// NumCompute returns the number of compute processors P.
+func (c *Cluster) NumCompute() int { return c.nCompute }
+
+// NumProcs returns the number of materialized processors (compute + links
+// created so far).
+func (c *Cluster) NumProcs() int { return len(c.procs) }
+
+// Proc returns the processor with the given id.
+func (c *Cluster) Proc(id int) *Processor { return &c.procs[id] }
+
+// Procs returns all materialized processors. The slice must not be modified.
+func (c *Cluster) Procs() []Processor { return c.procs }
+
+// Link returns the id of the link processor for the directed link src→dst,
+// materializing it on first use. Its idle and work power are each drawn
+// deterministically from {1, 2} as in Section 6.1 ("we draw the values for
+// Pidle and Pwork randomly between 1 and 2 for communication links").
+func (c *Cluster) Link(src, dst int) int {
+	if src == dst {
+		panic("platform: Link(src, src) requested; same-processor edges have no link")
+	}
+	if src < 0 || src >= c.nCompute || dst < 0 || dst >= c.nCompute {
+		panic(fmt.Sprintf("platform: Link(%d, %d) out of range for %d compute procs", src, dst, c.nCompute))
+	}
+	key := [2]int{src, dst}
+	if id, ok := c.links[key]; ok {
+		return id
+	}
+	h := rng.Mix(c.linkSeed, uint64(src)<<32|uint64(uint32(dst)))
+	idle := int64(1 + h&1)
+	work := int64(1 + (h>>1)&1)
+	id := len(c.procs)
+	c.procs = append(c.procs, Processor{
+		ID:    id,
+		Type:  ProcType{Name: fmt.Sprintf("link-%d-%d", src, dst), Speed: 1, Idle: idle, Work: work},
+		IsLnk: true,
+		Src:   src,
+		Dst:   dst,
+	})
+	c.links[key] = id
+	return id
+}
+
+// ExecTime returns the running time ω of a task with the given work weight
+// on processor id: ceil(weight / speed), at least 1 time unit.
+func (c *Cluster) ExecTime(weight int64, id int) int64 {
+	sp := c.procs[id].Type.Speed
+	t := (weight + sp - 1) / sp
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+// CommTime returns the communication time of a data volume over a link.
+// Network bandwidth is normalized to 1 (Section 6.1), so the time equals
+// the volume, with a minimum of 1 time unit for non-empty transfers.
+func (c *Cluster) CommTime(volume int64) int64 {
+	if volume < 1 {
+		return 1
+	}
+	return volume
+}
+
+// TotalIdle returns the sum of idle power over all materialized processors.
+// This is the constant floor of the platform's power draw.
+func (c *Cluster) TotalIdle() int64 {
+	var sum int64
+	for i := range c.procs {
+		sum += c.procs[i].Type.Idle
+	}
+	return sum
+}
+
+// ComputeIdle returns the summed idle power of compute processors only.
+func (c *Cluster) ComputeIdle() int64 {
+	var sum int64
+	for i := 0; i < c.nCompute; i++ {
+		sum += c.procs[i].Type.Idle
+	}
+	return sum
+}
+
+// ComputeWork returns the summed work power of compute processors only.
+func (c *Cluster) ComputeWork() int64 {
+	var sum int64
+	for i := 0; i < c.nCompute; i++ {
+		sum += c.procs[i].Type.Work
+	}
+	return sum
+}
+
+// MaxPower returns the maximum possible instantaneous power draw: total idle
+// plus the work power of every materialized processor. It is the Big-M bound
+// used by the ILP (Appendix A.4).
+func (c *Cluster) MaxPower() int64 {
+	var sum int64
+	for i := range c.procs {
+		sum += c.procs[i].Type.Idle + c.procs[i].Type.Work
+	}
+	return sum
+}
+
+// MaxTotalPower returns max_j(P_idle(j) + P_work(j)) over compute
+// processors, the normalization constant of the weighting factor wf(i)
+// in Section 5.2.
+func (c *Cluster) MaxTotalPower() int64 {
+	var max int64
+	for i := 0; i < c.nCompute; i++ {
+		if s := c.procs[i].Type.Idle + c.procs[i].Type.Work; s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// WeightFactor returns wf(i) = (P_idle(i)+P_work(i)) / max_j(P_idle(j)+P_work(j))
+// from Section 5.2, used by the weighted slack and pressure scores. The
+// maximum is taken over compute processors; link processors get their own
+// (tiny) numerator so communication tasks are nearly weightless.
+func (c *Cluster) WeightFactor(id int) float64 {
+	den := c.MaxTotalPower()
+	if den == 0 {
+		return 1
+	}
+	num := c.procs[id].Type.Idle + c.procs[id].Type.Work
+	return float64(num) / float64(den)
+}

@@ -1,0 +1,49 @@
+package power
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadIntensityCSV exercises the trace parser with arbitrary input:
+// no panics, and accepted traces must be sorted, duplicate-free, and
+// convertible into a valid profile.
+func FuzzReadIntensityCSV(f *testing.F) {
+	f.Add("offset,intensity\n0,450\n60,300\n")
+	f.Add("0,1\n")
+	f.Add("# comment\n0,0.5\n10,0.25\n")
+	f.Add("bogus header\n0,1\n5,2\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		pts, err := ReadIntensityCSV(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		for i := 1; i < len(pts); i++ {
+			if pts[i-1].Offset >= pts[i].Offset {
+				t.Fatalf("accepted unsorted/duplicate offsets: %v", pts)
+			}
+		}
+		if pts[0].Offset == 0 {
+			prof, err := FromIntensity(pts, pts[len(pts)-1].Offset+10, 0, 100)
+			if err != nil {
+				t.Fatalf("accepted trace not convertible: %v", err)
+			}
+			if err := prof.Validate(); err != nil {
+				t.Fatalf("conversion produced invalid profile: %v", err)
+			}
+		}
+		// Round trip through the writer.
+		var buf bytes.Buffer
+		if err := WriteIntensityCSV(&buf, pts); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadIntensityCSV(&buf)
+		if err != nil {
+			t.Fatalf("own output rejected: %v", err)
+		}
+		if len(back) != len(pts) {
+			t.Fatalf("round trip changed length: %d → %d", len(pts), len(back))
+		}
+	})
+}

@@ -1,0 +1,164 @@
+// Package power models the time-varying green energy supply of Section 3:
+// the horizon [0, T) is divided into J intervals, each with a constant green
+// power budget per time unit. Power drawn above the budget is brown
+// (carbon-emitting) power, whose total is the carbon cost to minimize.
+package power
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Interval is a half-open window [Start, End) with a constant green power
+// budget per time unit.
+type Interval struct {
+	Start, End int64
+	Budget     int64
+}
+
+// Len returns the interval length.
+func (iv Interval) Len() int64 { return iv.End - iv.Start }
+
+// Profile is a sequence of contiguous intervals covering [0, T).
+type Profile struct {
+	Intervals []Interval
+}
+
+// NewProfile builds a profile from interval lengths and budgets. The
+// intervals are laid out contiguously from time 0.
+func NewProfile(lengths, budgets []int64) (*Profile, error) {
+	if len(lengths) != len(budgets) {
+		return nil, fmt.Errorf("power: %d lengths but %d budgets", len(lengths), len(budgets))
+	}
+	if len(lengths) == 0 {
+		return nil, fmt.Errorf("power: empty profile")
+	}
+	p := &Profile{Intervals: make([]Interval, len(lengths))}
+	var t int64
+	for i := range lengths {
+		if lengths[i] <= 0 {
+			return nil, fmt.Errorf("power: interval %d has non-positive length %d", i, lengths[i])
+		}
+		if budgets[i] < 0 {
+			return nil, fmt.Errorf("power: interval %d has negative budget %d", i, budgets[i])
+		}
+		p.Intervals[i] = Interval{Start: t, End: t + lengths[i], Budget: budgets[i]}
+		t += lengths[i]
+	}
+	return p, nil
+}
+
+// Constant returns a single-interval profile over [0, T) with the given
+// budget.
+func Constant(T, budget int64) *Profile {
+	p, err := NewProfile([]int64{T}, []int64{budget})
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// T returns the horizon length (the deadline).
+func (p *Profile) T() int64 { return p.Intervals[len(p.Intervals)-1].End }
+
+// J returns the number of intervals.
+func (p *Profile) J() int { return len(p.Intervals) }
+
+// Validate checks the contiguity and positivity invariants.
+func (p *Profile) Validate() error {
+	if len(p.Intervals) == 0 {
+		return fmt.Errorf("power: empty profile")
+	}
+	if p.Intervals[0].Start != 0 {
+		return fmt.Errorf("power: profile starts at %d, want 0", p.Intervals[0].Start)
+	}
+	for i, iv := range p.Intervals {
+		if iv.Len() <= 0 {
+			return fmt.Errorf("power: interval %d has non-positive length", i)
+		}
+		if iv.Budget < 0 {
+			return fmt.Errorf("power: interval %d has negative budget", i)
+		}
+		if i > 0 && iv.Start != p.Intervals[i-1].End {
+			return fmt.Errorf("power: gap between intervals %d and %d", i-1, i)
+		}
+	}
+	return nil
+}
+
+// IndexAt returns the index of the interval containing time t.
+// It panics if t is outside [0, T).
+func (p *Profile) IndexAt(t int64) int {
+	if t < 0 || t >= p.T() {
+		panic(fmt.Sprintf("power: time %d outside horizon [0, %d)", t, p.T()))
+	}
+	// Binary search for the first interval with End > t.
+	i := sort.Search(len(p.Intervals), func(i int) bool { return p.Intervals[i].End > t })
+	return i
+}
+
+// BudgetAt returns the green budget at time t.
+func (p *Profile) BudgetAt(t int64) int64 {
+	return p.Intervals[p.IndexAt(t)].Budget
+}
+
+// Boundaries returns the set E = {b_1=0, e_1, ..., e_J=T} of interval
+// boundary times, in increasing order (J+1 values).
+func (p *Profile) Boundaries() []int64 {
+	bs := make([]int64, 0, len(p.Intervals)+1)
+	bs = append(bs, p.Intervals[0].Start)
+	for _, iv := range p.Intervals {
+		bs = append(bs, iv.End)
+	}
+	return bs
+}
+
+// TotalGreen returns the total green energy over the horizon
+// (Σ budget_j · len_j).
+func (p *Profile) TotalGreen() int64 {
+	var sum int64
+	for _, iv := range p.Intervals {
+		sum += iv.Budget * iv.Len()
+	}
+	return sum
+}
+
+// MaxBudget returns the maximum per-unit budget over all intervals.
+func (p *Profile) MaxBudget() int64 {
+	var max int64
+	for _, iv := range p.Intervals {
+		if iv.Budget > max {
+			max = iv.Budget
+		}
+	}
+	return max
+}
+
+// Clip returns a profile truncated or extended to horizon T. Extension
+// repeats the last interval's budget. Used when a deadline differs from the
+// generated horizon.
+func (p *Profile) Clip(T int64) *Profile {
+	if T <= 0 {
+		panic("power: Clip to non-positive horizon")
+	}
+	var out []Interval
+	for _, iv := range p.Intervals {
+		if iv.Start >= T {
+			break
+		}
+		end := iv.End
+		if end > T {
+			end = T
+		}
+		out = append(out, Interval{Start: iv.Start, End: end, Budget: iv.Budget})
+	}
+	if last := out[len(out)-1]; last.End < T {
+		out = append(out, Interval{Start: last.End, End: T, Budget: last.Budget})
+	}
+	return &Profile{Intervals: out}
+}
+
+// Clone returns a deep copy of the profile.
+func (p *Profile) Clone() *Profile {
+	return &Profile{Intervals: append([]Interval(nil), p.Intervals...)}
+}

@@ -1,0 +1,134 @@
+package power
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// TracePoint is one sample of a grid carbon-intensity trace: from Offset
+// (in scheduler time units) onward, the grid emits Intensity grams CO₂ per
+// kWh (or any consistent intensity unit) until the next sample.
+type TracePoint struct {
+	Offset    int64
+	Intensity float64
+}
+
+// ReadIntensityCSV parses a two-column CSV of "offset,intensity" samples,
+// the shape of electricityMap/WattTime-style exports after timestamps are
+// converted to scheduler time units. A header line is skipped if the first
+// field is not numeric; blank lines and '#' comments are ignored. Samples
+// are returned sorted by offset.
+func ReadIntensityCSV(r io.Reader) ([]TracePoint, error) {
+	sc := bufio.NewScanner(r)
+	var pts []TracePoint
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, ",")
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("power: line %d: want offset,intensity", lineNo)
+		}
+		off, err := strconv.ParseInt(strings.TrimSpace(fields[0]), 10, 64)
+		if err != nil {
+			if lineNo == 1 {
+				continue // header
+			}
+			return nil, fmt.Errorf("power: line %d: bad offset: %v", lineNo, err)
+		}
+		in, err := strconv.ParseFloat(strings.TrimSpace(fields[1]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("power: line %d: bad intensity: %v", lineNo, err)
+		}
+		if off < 0 {
+			return nil, fmt.Errorf("power: line %d: negative offset %d", lineNo, off)
+		}
+		if in < 0 || math.IsNaN(in) || math.IsInf(in, 0) {
+			return nil, fmt.Errorf("power: line %d: bad intensity %v", lineNo, in)
+		}
+		pts = append(pts, TracePoint{Offset: off, Intensity: in})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(pts) == 0 {
+		return nil, fmt.Errorf("power: empty intensity trace")
+	}
+	sort.SliceStable(pts, func(i, j int) bool { return pts[i].Offset < pts[j].Offset })
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Offset == pts[i-1].Offset {
+			return nil, fmt.Errorf("power: duplicate offset %d", pts[i].Offset)
+		}
+	}
+	return pts, nil
+}
+
+// FromIntensity converts an intensity trace into a green power profile
+// over [0, T): low carbon intensity means much green power. Budgets are an
+// affine map of intensity into [gmin, gmax] — the trace minimum maps to
+// gmax, the maximum to gmin (a constant trace maps to the midpoint). The
+// first sample must be at offset 0; samples at or beyond T are dropped,
+// and the last surviving sample extends to T.
+func FromIntensity(points []TracePoint, T int64, gmin, gmax int64) (*Profile, error) {
+	if T <= 0 {
+		return nil, fmt.Errorf("power: horizon %d", T)
+	}
+	if gmax < gmin {
+		return nil, fmt.Errorf("power: gmax %d < gmin %d", gmax, gmin)
+	}
+	if len(points) == 0 {
+		return nil, fmt.Errorf("power: empty trace")
+	}
+	if points[0].Offset != 0 {
+		return nil, fmt.Errorf("power: trace must start at offset 0, got %d", points[0].Offset)
+	}
+	kept := points[:0:0]
+	for _, p := range points {
+		if p.Offset < T {
+			kept = append(kept, p)
+		}
+	}
+	lo, hi := kept[0].Intensity, kept[0].Intensity
+	for _, p := range kept[1:] {
+		lo = math.Min(lo, p.Intensity)
+		hi = math.Max(hi, p.Intensity)
+	}
+	span := float64(gmax - gmin)
+	budgetOf := func(intensity float64) int64 {
+		frac := 0.5
+		if hi > lo {
+			frac = 1 - (intensity-lo)/(hi-lo)
+		}
+		g := float64(gmin) + frac*span
+		return int64(math.Round(g))
+	}
+	lengths := make([]int64, len(kept))
+	budgets := make([]int64, len(kept))
+	for i, p := range kept {
+		end := T
+		if i+1 < len(kept) {
+			end = kept[i+1].Offset
+		}
+		lengths[i] = end - p.Offset
+		budgets[i] = budgetOf(p.Intensity)
+	}
+	return NewProfile(lengths, budgets)
+}
+
+// WriteIntensityCSV writes a trace in the format ReadIntensityCSV parses.
+func WriteIntensityCSV(w io.Writer, points []TracePoint) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "offset,intensity")
+	for _, p := range points {
+		fmt.Fprintf(bw, "%d,%g\n", p.Offset, p.Intensity)
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,142 @@
+package power
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestReadIntensityCSV(t *testing.T) {
+	src := `offset,intensity
+# morning coal
+0,450.5
+60,300
+
+120,120.25
+`
+	pts, err := ReadIntensityCSV(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("parsed %d points, want 3", len(pts))
+	}
+	if pts[0].Offset != 0 || pts[0].Intensity != 450.5 {
+		t.Errorf("first point = %+v", pts[0])
+	}
+	if pts[2].Offset != 120 || pts[2].Intensity != 120.25 {
+		t.Errorf("last point = %+v", pts[2])
+	}
+}
+
+func TestReadIntensityCSVSortsAndValidates(t *testing.T) {
+	pts, err := ReadIntensityCSV(strings.NewReader("60,1\n0,2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts[0].Offset != 0 {
+		t.Error("points not sorted")
+	}
+	for _, bad := range []string{
+		"",               // empty
+		"0,abc\n",        // bad intensity
+		"x,1\n5,abc\n",   // bad value after header
+		"0,1\n0,2\n",     // duplicate offset
+		"-5,1\n",         // negative offset
+		"0,-3\n",         // negative intensity
+		"justonefield\n", // missing column
+	} {
+		if _, err := ReadIntensityCSV(strings.NewReader(bad)); err == nil {
+			t.Errorf("input %q accepted", bad)
+		}
+	}
+}
+
+func TestFromIntensityMapping(t *testing.T) {
+	pts := []TracePoint{
+		{Offset: 0, Intensity: 400}, // dirtiest → gmin
+		{Offset: 10, Intensity: 100},
+		{Offset: 20, Intensity: 50}, // cleanest → gmax
+	}
+	prof, err := FromIntensity(pts, 30, 10, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.T() != 30 || prof.J() != 3 {
+		t.Fatalf("profile shape T=%d J=%d", prof.T(), prof.J())
+	}
+	if got := prof.BudgetAt(0); got != 10 {
+		t.Errorf("dirtiest budget = %d, want gmin 10", got)
+	}
+	if got := prof.BudgetAt(25); got != 80 {
+		t.Errorf("cleanest budget = %d, want gmax 80", got)
+	}
+	mid := prof.BudgetAt(15)
+	if mid <= 10 || mid >= 80 {
+		t.Errorf("mid budget = %d, want strictly inside (10, 80)", mid)
+	}
+	if err := prof.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFromIntensityConstantTrace(t *testing.T) {
+	pts := []TracePoint{{Offset: 0, Intensity: 200}}
+	prof, err := FromIntensity(pts, 10, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := prof.BudgetAt(5); got != 50 {
+		t.Errorf("constant trace budget = %d, want midpoint 50", got)
+	}
+}
+
+func TestFromIntensityClipsBeyondHorizon(t *testing.T) {
+	pts := []TracePoint{
+		{Offset: 0, Intensity: 100},
+		{Offset: 5, Intensity: 200},
+		{Offset: 50, Intensity: 300}, // beyond T, dropped
+	}
+	prof, err := FromIntensity(pts, 20, 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.J() != 2 || prof.T() != 20 {
+		t.Errorf("clip failed: J=%d T=%d", prof.J(), prof.T())
+	}
+}
+
+func TestFromIntensityErrors(t *testing.T) {
+	good := []TracePoint{{Offset: 0, Intensity: 1}}
+	if _, err := FromIntensity(good, 0, 0, 1); err == nil {
+		t.Error("T=0 accepted")
+	}
+	if _, err := FromIntensity(good, 10, 5, 1); err == nil {
+		t.Error("gmax<gmin accepted")
+	}
+	if _, err := FromIntensity(nil, 10, 0, 1); err == nil {
+		t.Error("empty trace accepted")
+	}
+	late := []TracePoint{{Offset: 3, Intensity: 1}}
+	if _, err := FromIntensity(late, 10, 0, 1); err == nil {
+		t.Error("trace not starting at 0 accepted")
+	}
+}
+
+func TestIntensityCSVRoundTrip(t *testing.T) {
+	pts := []TracePoint{
+		{Offset: 0, Intensity: 123.5},
+		{Offset: 60, Intensity: 77},
+	}
+	var buf bytes.Buffer
+	if err := WriteIntensityCSV(&buf, pts); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadIntensityCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != pts[0] || got[1] != pts[1] {
+		t.Errorf("round trip = %+v, want %+v", got, pts)
+	}
+}

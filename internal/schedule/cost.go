@@ -1,0 +1,98 @@
+package schedule
+
+import (
+	"sort"
+
+	"repro/internal/ceg"
+	"repro/internal/power"
+)
+
+// CarbonCost computes the total carbon cost of the schedule with the
+// polynomial sweep of Appendix A.1: merge all task start/end events with
+// the profile's interval boundaries; within each resulting subinterval the
+// consumed power is constant, so the cost is
+// max(Σ_i P_i − G_j, 0) · length, summed over subintervals.
+//
+// Σ_i P_i is the constant total idle power of all materialized processors
+// plus the work power of the nodes active in the subinterval.
+func CarbonCost(inst *ceg.Instance, s *Schedule, prof *power.Profile) int64 {
+	type event struct {
+		t int64
+		d int64 // work power delta
+	}
+	N := inst.N()
+	events := make([]event, 0, 2*N)
+	for v := 0; v < N; v++ {
+		_, work := inst.ProcPower(v)
+		events = append(events, event{s.Start[v], work})
+		events = append(events, event{s.Start[v] + inst.Dur[v], -work})
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i].t < events[j].t })
+
+	idle := inst.TotalIdlePower()
+	var cost int64
+	var workPower int64
+	ei := 0
+	// Apply events at or before time 0 (a valid schedule has none before 0,
+	// but be robust).
+	for ei < len(events) && events[ei].t <= 0 {
+		workPower += events[ei].d
+		ei++
+	}
+	cur := int64(0)
+	for _, iv := range prof.Intervals {
+		for cur < iv.End {
+			next := iv.End
+			if ei < len(events) && events[ei].t < next {
+				next = events[ei].t
+			}
+			if next > cur {
+				if over := idle + workPower - iv.Budget; over > 0 {
+					cost += over * (next - cur)
+				}
+				cur = next
+			}
+			for ei < len(events) && events[ei].t == cur {
+				workPower += events[ei].d
+				ei++
+			}
+		}
+	}
+	return cost
+}
+
+// CarbonCostBrute evaluates the cost time unit by time unit, exactly as the
+// definition in Section 3 states it (CC = Σ_t max(P_t − G_j, 0)). It is
+// pseudo-polynomial and exists as the ground-truth oracle for tests.
+func CarbonCostBrute(inst *ceg.Instance, s *Schedule, prof *power.Profile) int64 {
+	idle := inst.TotalIdlePower()
+	var cost int64
+	for t := int64(0); t < prof.T(); t++ {
+		var workPower int64
+		for v := 0; v < inst.N(); v++ {
+			if s.Start[v] <= t && t < s.Start[v]+inst.Dur[v] {
+				_, w := inst.ProcPower(v)
+				workPower += w
+			}
+		}
+		if over := idle + workPower - prof.BudgetAt(t); over > 0 {
+			cost += over
+		}
+	}
+	return cost
+}
+
+// GreenFloorCost returns the unavoidable carbon cost of keeping the
+// platform idle over the whole horizon: Σ_j max(Σidle − G_j, 0)·len_j.
+// Any schedule's cost is at least this floor. With the paper's profile
+// generation (budgets ≥ Σidle) the floor is zero.
+func GreenFloorCost(inst *ceg.Instance, prof *power.Profile) int64 {
+	idle := inst.TotalIdlePower()
+	var cost int64
+	for _, iv := range prof.Intervals {
+		if over := idle - iv.Budget; over > 0 {
+			cost += over * iv.Len()
+		}
+	}
+	return cost
+}

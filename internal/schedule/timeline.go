@@ -1,0 +1,189 @@
+package schedule
+
+import (
+	"sort"
+
+	"repro/internal/ceg"
+	"repro/internal/power"
+)
+
+// Timeline maintains the platform's total work-power draw as a piecewise
+// constant function of time and answers carbon-cost queries over arbitrary
+// ranges. The local search uses it to evaluate the gain of moving a single
+// task without re-sweeping the whole horizon.
+//
+// Representation: sorted breakpoint times t[0] < t[1] < ... with w[i] the
+// total work power over [t[i], t[i+1]) (and w implicitly 0 before t[0] and
+// after the last breakpoint). The constant idle power of the platform is
+// added inside cost queries.
+type Timeline struct {
+	prof *power.Profile
+	idle int64
+	t    []int64
+	w    []int64
+}
+
+// NewEmptyTimeline builds a timeline with no tasks placed: only the idle
+// floor of the platform draws power. Callers (e.g. branch-and-bound) add
+// tasks incrementally.
+func NewEmptyTimeline(inst *ceg.Instance, prof *power.Profile) *Timeline {
+	return &Timeline{
+		prof: prof,
+		idle: inst.TotalIdlePower(),
+		t:    []int64{0, prof.T()},
+		w:    []int64{0, 0},
+	}
+}
+
+// NewTimeline builds the power timeline of a schedule.
+func NewTimeline(inst *ceg.Instance, s *Schedule, prof *power.Profile) *Timeline {
+	tl := &Timeline{
+		prof: prof,
+		idle: inst.TotalIdlePower(),
+		t:    []int64{0, prof.T()},
+		w:    []int64{0, 0},
+	}
+	for v := 0; v < inst.N(); v++ {
+		_, work := inst.ProcPower(v)
+		tl.Add(s.Start[v], s.Start[v]+inst.Dur[v], work)
+	}
+	return tl
+}
+
+// find returns the index i with t[i] <= x < t[i+1] (or the last index if x
+// is beyond the end). x must be >= t[0].
+func (tl *Timeline) find(x int64) int {
+	// First index with t > x, minus one.
+	i := sort.Search(len(tl.t), func(i int) bool { return tl.t[i] > x }) - 1
+	if i < 0 {
+		panic("schedule: timeline query before time origin")
+	}
+	return i
+}
+
+// ensureBreak inserts a breakpoint at time x (if not present) and returns
+// its index.
+func (tl *Timeline) ensureBreak(x int64) int {
+	i := tl.find(x)
+	if tl.t[i] == x {
+		return i
+	}
+	// Split segment i at x; the new segment inherits the level.
+	tl.t = append(tl.t, 0)
+	tl.w = append(tl.w, 0)
+	copy(tl.t[i+2:], tl.t[i+1:])
+	copy(tl.w[i+2:], tl.w[i+1:])
+	tl.t[i+1] = x
+	tl.w[i+1] = tl.w[i]
+	return i + 1
+}
+
+// Add increases the work power by p over [a, b).
+func (tl *Timeline) Add(a, b, p int64) {
+	if a >= b {
+		return
+	}
+	ia := tl.ensureBreak(a)
+	ib := tl.ensureBreak(b)
+	for i := ia; i < ib; i++ {
+		tl.w[i] += p
+	}
+}
+
+// Remove decreases the work power by p over [a, b).
+func (tl *Timeline) Remove(a, b, p int64) { tl.Add(a, b, -p) }
+
+// RangeCost returns the carbon cost accumulated over [a, b) under the
+// current power levels: Σ max(idle + w(t) − G(t), 0) over that window.
+func (tl *Timeline) RangeCost(a, b int64) int64 {
+	if a < 0 {
+		a = 0
+	}
+	if b > tl.prof.T() {
+		b = tl.prof.T()
+	}
+	if a >= b {
+		return 0
+	}
+	var cost int64
+	i := tl.find(a)
+	j := tl.prof.IndexAt(a)
+	cur := a
+	for cur < b {
+		segEnd := b
+		if i+1 < len(tl.t) && tl.t[i+1] < segEnd {
+			segEnd = tl.t[i+1]
+		}
+		iv := tl.prof.Intervals[j]
+		if iv.End < segEnd {
+			segEnd = iv.End
+		}
+		if over := tl.idle + tl.w[i] - iv.Budget; over > 0 {
+			cost += over * (segEnd - cur)
+		}
+		cur = segEnd
+		if i+1 < len(tl.t) && tl.t[i+1] == cur {
+			i++
+		}
+		if iv.End == cur {
+			j++
+		}
+	}
+	return cost
+}
+
+// TotalCost returns the carbon cost over the whole horizon.
+func (tl *Timeline) TotalCost() int64 {
+	return tl.RangeCost(0, tl.prof.T())
+}
+
+// MoveGain returns the carbon-cost reduction (positive = improvement) of
+// moving a task with work power p from [oldA, oldA+dur) to [newA,
+// newA+dur), without changing the timeline.
+func (tl *Timeline) MoveGain(oldA, newA, dur, p int64) int64 {
+	if oldA == newA {
+		return 0
+	}
+	lo, hi := oldA, newA
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	hi += dur
+	before := tl.RangeCost(lo, hi)
+	tl.Remove(oldA, oldA+dur, p)
+	tl.Add(newA, newA+dur, p)
+	after := tl.RangeCost(lo, hi)
+	// Undo.
+	tl.Remove(newA, newA+dur, p)
+	tl.Add(oldA, oldA+dur, p)
+	return before - after
+}
+
+// ApplyMove commits a task move on the timeline.
+func (tl *Timeline) ApplyMove(oldA, newA, dur, p int64) {
+	tl.Remove(oldA, oldA+dur, p)
+	tl.Add(newA, newA+dur, p)
+}
+
+// Compact merges adjacent segments with equal levels; useful to bound
+// growth across many moves.
+func (tl *Timeline) Compact() {
+	if len(tl.t) == 0 {
+		return
+	}
+	outT := tl.t[:1]
+	outW := tl.w[:1]
+	for i := 1; i < len(tl.t); i++ {
+		if tl.w[i] == outW[len(outW)-1] && i != len(tl.t)-1 {
+			continue
+		}
+		outT = append(outT, tl.t[i])
+		outW = append(outW, tl.w[i])
+	}
+	tl.t = outT
+	tl.w = outW
+}
+
+// NumSegments returns the current number of breakpoints (for tests and
+// instrumentation).
+func (tl *Timeline) NumSegments() int { return len(tl.t) }

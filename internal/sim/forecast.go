@@ -1,0 +1,50 @@
+package sim
+
+import (
+	"math"
+
+	"repro/internal/power"
+	"repro/internal/rng"
+)
+
+// ForecastError perturbs a "true" profile into the forecast a planner
+// would have seen, following the forecast-accuracy axis of Wiesner et
+// al.'s workload-shifting study: per-interval multiplicative noise whose
+// amplitude grows with the lead time (forecasts further in the future are
+// worse).
+type ForecastError struct {
+	// Base is the relative error at lead time zero (e.g. 0.05).
+	Base float64
+	// Growth is the additional relative error per unit of normalized lead
+	// time (interval start / horizon), e.g. 0.2 means the last interval's
+	// error amplitude is Base+0.2.
+	Growth float64
+	// Seed drives the noise.
+	Seed uint64
+}
+
+// Forecast derives the forecast profile from the true one. Budgets stay
+// non-negative; interval boundaries are unchanged (grid forecasts come in
+// the same hourly resolution as the actuals).
+func (fe ForecastError) Forecast(actual *power.Profile) *power.Profile {
+	out := actual.Clone()
+	if fe.Base == 0 && fe.Growth == 0 {
+		return out
+	}
+	r := rng.New(rng.Mix(fe.Seed, 0xf03eca57))
+	T := float64(actual.T())
+	for j := range out.Intervals {
+		lead := float64(out.Intervals[j].Start) / T
+		amp := fe.Base + fe.Growth*lead
+		f := 1 + amp*(2*r.Float64()-1)
+		if f < 0 {
+			f = 0
+		}
+		b := int64(math.Round(float64(out.Intervals[j].Budget) * f))
+		if b < 0 {
+			b = 0
+		}
+		out.Intervals[j].Budget = b
+	}
+	return out
+}

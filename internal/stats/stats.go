@@ -1,0 +1,229 @@
+// Package stats implements the evaluation statistics of Section 6:
+// competition ranking of algorithm variants, performance profiles, cost
+// ratios with medians and quartiles, and boxplot summaries (the role
+// simexpal plays for the paper's C++ experiments).
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Median returns the median of xs (NaN for empty input). Infinities are
+// handled by position, like sort treats them.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	m := len(s) / 2
+	if len(s)%2 == 1 {
+		return s[m]
+	}
+	return (s[m-1] + s[m]) / 2
+}
+
+// Mean returns the arithmetic mean (NaN for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// MinMax returns the minimum and maximum of xs (NaNs for empty input).
+func MinMax(xs []float64) (min, max float64) {
+	if len(xs) == 0 {
+		return math.NaN(), math.NaN()
+	}
+	min, max = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return min, max
+}
+
+// Quartiles returns (Q1, median, Q3) using the median-of-halves (Tukey)
+// method.
+func Quartiles(xs []float64) (q1, med, q3 float64) {
+	if len(xs) == 0 {
+		return math.NaN(), math.NaN(), math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	med = Median(s)
+	m := len(s) / 2
+	lower := s[:m]
+	upper := s[m:]
+	if len(s)%2 == 1 {
+		upper = s[m+1:]
+	}
+	if len(lower) == 0 {
+		lower = s[:1]
+	}
+	if len(upper) == 0 {
+		upper = s[len(s)-1:]
+	}
+	return Median(lower), med, Median(upper)
+}
+
+// BoxPlot is a five-number summary with 1.5·IQR whiskers and outliers, the
+// format of the paper's Figures 6, 14, 15 and 16.
+type BoxPlot struct {
+	Min, Q1, Median, Q3, Max float64
+	WhiskerLo, WhiskerHi     float64
+	Outliers                 []float64
+}
+
+// NewBoxPlot computes the summary of xs.
+func NewBoxPlot(xs []float64) BoxPlot {
+	var b BoxPlot
+	if len(xs) == 0 {
+		nan := math.NaN()
+		return BoxPlot{Min: nan, Q1: nan, Median: nan, Q3: nan, Max: nan, WhiskerLo: nan, WhiskerHi: nan}
+	}
+	b.Q1, b.Median, b.Q3 = Quartiles(xs)
+	b.Min, b.Max = MinMax(xs)
+	iqr := b.Q3 - b.Q1
+	loFence := b.Q1 - 1.5*iqr
+	hiFence := b.Q3 + 1.5*iqr
+	b.WhiskerLo, b.WhiskerHi = math.Inf(1), math.Inf(-1)
+	for _, x := range xs {
+		if x < loFence || x > hiFence {
+			b.Outliers = append(b.Outliers, x)
+			continue
+		}
+		if x < b.WhiskerLo {
+			b.WhiskerLo = x
+		}
+		if x > b.WhiskerHi {
+			b.WhiskerHi = x
+		}
+	}
+	sort.Float64s(b.Outliers)
+	return b
+}
+
+// Ranks assigns competition ranks ("1224") to the given costs: the
+// smallest cost gets rank 1; equal costs share a rank; the next distinct
+// cost gets rank 1 + (number of strictly better entries).
+func Ranks(costs []float64) []int {
+	n := len(costs)
+	ranks := make([]int, n)
+	for i := range costs {
+		r := 1
+		for j := range costs {
+			if costs[j] < costs[i] {
+				r++
+			}
+		}
+		ranks[i] = r
+	}
+	return ranks
+}
+
+// RankDistribution computes, per algorithm, the fraction of instances on
+// which it achieved each rank. costs[i][a] is algorithm a's cost on
+// instance i. The result is indexed [algorithm][rank−1].
+func RankDistribution(costs [][]float64) [][]float64 {
+	if len(costs) == 0 {
+		return nil
+	}
+	nAlgo := len(costs[0])
+	dist := make([][]float64, nAlgo)
+	for a := range dist {
+		dist[a] = make([]float64, nAlgo)
+	}
+	for _, row := range costs {
+		ranks := Ranks(row)
+		for a, r := range ranks {
+			dist[a][r-1]++
+		}
+	}
+	inv := 1 / float64(len(costs))
+	for a := range dist {
+		for r := range dist[a] {
+			dist[a][r] *= inv
+		}
+	}
+	return dist
+}
+
+// PerfRatio is the performance-profile ratio of Figure 2: best cost
+// divided by the algorithm's own cost, with the conventions of the paper
+// (0/0 → 1; positive cost when the best is 0 → 0).
+func PerfRatio(best, own float64) float64 {
+	if own == 0 {
+		return 1
+	}
+	return best / own
+}
+
+// PerfProfile computes performance-profile curves. costs[i][a] is
+// algorithm a's cost on instance i; taus is the grid of thresholds. The
+// result is indexed [algorithm][tau]: the fraction of instances whose
+// ratio is ≥ tau. Higher curves are better.
+func PerfProfile(costs [][]float64, taus []float64) [][]float64 {
+	if len(costs) == 0 {
+		return nil
+	}
+	nAlgo := len(costs[0])
+	curves := make([][]float64, nAlgo)
+	for a := range curves {
+		curves[a] = make([]float64, len(taus))
+	}
+	for _, row := range costs {
+		best := row[0]
+		for _, c := range row[1:] {
+			if c < best {
+				best = c
+			}
+		}
+		for a, c := range row {
+			ratio := PerfRatio(best, c)
+			for ti, tau := range taus {
+				if ratio >= tau {
+					curves[a][ti]++
+				}
+			}
+		}
+	}
+	inv := 1 / float64(len(costs))
+	for a := range curves {
+		for ti := range curves[a] {
+			curves[a][ti] *= inv
+		}
+	}
+	return curves
+}
+
+// CostRatio returns cost/base with the conventions used for
+// baseline-relative ratios (Figures 4–6): 0/0 → 1, x/0 → +Inf.
+func CostRatio(cost, base float64) float64 {
+	if base == 0 {
+		if cost == 0 {
+			return 1
+		}
+		return math.Inf(1)
+	}
+	return cost / base
+}
+
+// DefaultTaus is the τ grid used for the performance-profile figures.
+func DefaultTaus() []float64 {
+	taus := make([]float64, 0, 21)
+	for i := 0; i <= 20; i++ {
+		taus = append(taus, float64(i)/20)
+	}
+	return taus
+}

@@ -1,0 +1,242 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestMedian(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{[]float64{1}, 1},
+		{[]float64{1, 3}, 2},
+		{[]float64{3, 1, 2}, 2},
+		{[]float64{4, 1, 3, 2}, 2.5},
+	}
+	for _, c := range cases {
+		if got := Median(c.in); got != c.want {
+			t.Errorf("Median(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	if !math.IsNaN(Median(nil)) {
+		t.Error("Median(nil) should be NaN")
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	in := []float64{3, 1, 2}
+	Median(in)
+	if in[0] != 3 {
+		t.Error("Median mutated its input")
+	}
+}
+
+func TestMeanAndMinMax(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Errorf("Mean = %v, want 2.5", got)
+	}
+	min, max := MinMax([]float64{3, -1, 7, 0})
+	if min != -1 || max != 7 {
+		t.Errorf("MinMax = %v, %v, want -1, 7", min, max)
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("Mean(nil) should be NaN")
+	}
+}
+
+func TestQuartiles(t *testing.T) {
+	q1, med, q3 := Quartiles([]float64{1, 2, 3, 4, 5, 6, 7, 8})
+	if q1 != 2.5 || med != 4.5 || q3 != 6.5 {
+		t.Errorf("Quartiles = %v, %v, %v, want 2.5, 4.5, 6.5", q1, med, q3)
+	}
+	q1, med, q3 = Quartiles([]float64{1, 2, 3, 4, 5})
+	if q1 != 1.5 || med != 3 || q3 != 4.5 {
+		t.Errorf("odd Quartiles = %v, %v, %v, want 1.5, 3, 4.5", q1, med, q3)
+	}
+	q1, med, q3 = Quartiles([]float64{7})
+	if q1 != 7 || med != 7 || q3 != 7 {
+		t.Errorf("singleton Quartiles = %v, %v, %v", q1, med, q3)
+	}
+}
+
+func TestBoxPlot(t *testing.T) {
+	// Data with one clear outlier.
+	xs := []float64{1, 2, 2, 3, 3, 3, 4, 4, 5, 100}
+	b := NewBoxPlot(xs)
+	if b.Median != 3 {
+		t.Errorf("median = %v, want 3", b.Median)
+	}
+	if len(b.Outliers) != 1 || b.Outliers[0] != 100 {
+		t.Errorf("outliers = %v, want [100]", b.Outliers)
+	}
+	if b.WhiskerHi != 5 {
+		t.Errorf("upper whisker = %v, want 5", b.WhiskerHi)
+	}
+	if b.WhiskerLo != 1 {
+		t.Errorf("lower whisker = %v, want 1", b.WhiskerLo)
+	}
+	if b.Max != 100 || b.Min != 1 {
+		t.Errorf("min/max = %v/%v", b.Min, b.Max)
+	}
+}
+
+func TestBoxPlotEmpty(t *testing.T) {
+	b := NewBoxPlot(nil)
+	if !math.IsNaN(b.Median) {
+		t.Error("empty boxplot should be NaN-filled")
+	}
+}
+
+func TestRanksCompetition(t *testing.T) {
+	// Costs 5, 1, 1, 3 → ranks 4, 1, 1, 3 (rank 2 skipped).
+	got := Ranks([]float64{5, 1, 1, 3})
+	want := []int{4, 1, 1, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Ranks[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRanksAllEqual(t *testing.T) {
+	for _, r := range Ranks([]float64{2, 2, 2}) {
+		if r != 1 {
+			t.Errorf("equal costs should all rank 1, got %d", r)
+		}
+	}
+}
+
+func TestRankDistribution(t *testing.T) {
+	costs := [][]float64{
+		{1, 2}, // algo0 rank 1, algo1 rank 2
+		{2, 1}, // algo0 rank 2, algo1 rank 1
+		{1, 1}, // both rank 1
+	}
+	d := RankDistribution(costs)
+	if d[0][0] != 2.0/3 || d[0][1] != 1.0/3 {
+		t.Errorf("algo0 dist = %v", d[0])
+	}
+	if d[1][0] != 2.0/3 || d[1][1] != 1.0/3 {
+		t.Errorf("algo1 dist = %v", d[1])
+	}
+}
+
+func TestRankDistributionRowsSumToOne(t *testing.T) {
+	r := rng.New(4)
+	f := func(seed uint64) bool {
+		rr := r.Derive(seed)
+		nInst := 1 + rr.Intn(20)
+		nAlgo := 1 + rr.Intn(6)
+		costs := make([][]float64, nInst)
+		for i := range costs {
+			costs[i] = make([]float64, nAlgo)
+			for a := range costs[i] {
+				costs[i][a] = float64(rr.IntRange(0, 5))
+			}
+		}
+		d := RankDistribution(costs)
+		for a := range d {
+			sum := 0.0
+			for _, f := range d[a] {
+				sum += f
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPerfRatioConventions(t *testing.T) {
+	if PerfRatio(0, 0) != 1 {
+		t.Error("0/0 should be 1")
+	}
+	if PerfRatio(0, 5) != 0 {
+		t.Error("best 0 vs own 5 should be 0")
+	}
+	if PerfRatio(2, 4) != 0.5 {
+		t.Error("2/4 should be 0.5")
+	}
+}
+
+func TestPerfProfile(t *testing.T) {
+	costs := [][]float64{
+		{1, 2},
+		{4, 2},
+	}
+	taus := []float64{0, 0.5, 1.0}
+	curves := PerfProfile(costs, taus)
+	// algo0 ratios: 1/1=1, 2/4=0.5. algo1 ratios: 1/2=0.5, 2/2=1.
+	if curves[0][2] != 0.5 || curves[1][2] != 0.5 {
+		t.Errorf("tau=1 fractions = %v, %v, want 0.5, 0.5", curves[0][2], curves[1][2])
+	}
+	if curves[0][1] != 1 || curves[1][1] != 1 {
+		t.Errorf("tau=0.5 fractions = %v, %v, want 1, 1", curves[0][1], curves[1][1])
+	}
+	if curves[0][0] != 1 || curves[1][0] != 1 {
+		t.Error("tau=0 fraction must be 1")
+	}
+}
+
+func TestPerfProfileMonotone(t *testing.T) {
+	r := rng.New(9)
+	f := func(seed uint64) bool {
+		rr := r.Derive(seed)
+		nInst := 1 + rr.Intn(15)
+		nAlgo := 1 + rr.Intn(5)
+		costs := make([][]float64, nInst)
+		for i := range costs {
+			costs[i] = make([]float64, nAlgo)
+			for a := range costs[i] {
+				costs[i][a] = float64(rr.IntRange(0, 9))
+			}
+		}
+		curves := PerfProfile(costs, DefaultTaus())
+		for a := range curves {
+			for ti := 1; ti < len(curves[a]); ti++ {
+				if curves[a][ti] > curves[a][ti-1]+1e-12 {
+					return false // must be non-increasing in tau
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCostRatio(t *testing.T) {
+	if CostRatio(3, 6) != 0.5 {
+		t.Error("3/6 should be 0.5")
+	}
+	if CostRatio(0, 0) != 1 {
+		t.Error("0/0 should be 1")
+	}
+	if !math.IsInf(CostRatio(2, 0), 1) {
+		t.Error("2/0 should be +Inf")
+	}
+	if CostRatio(0, 5) != 0 {
+		t.Error("0/5 should be 0")
+	}
+}
+
+func TestDefaultTaus(t *testing.T) {
+	taus := DefaultTaus()
+	if len(taus) != 21 || taus[0] != 0 || taus[20] != 1 {
+		t.Errorf("DefaultTaus = %v", taus)
+	}
+	if !sort.Float64sAreSorted(taus) {
+		t.Error("taus not sorted")
+	}
+}

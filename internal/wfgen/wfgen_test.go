@@ -1,0 +1,214 @@
+package wfgen
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFamilyNames(t *testing.T) {
+	want := map[Family]string{
+		Atacseq: "atacseq", Bacass: "bacass", Eager: "eager", Methylseq: "methylseq",
+	}
+	for f, name := range want {
+		if f.String() != name {
+			t.Errorf("%d.String() = %q, want %q", f, f.String(), name)
+		}
+	}
+}
+
+func TestCorpusShape(t *testing.T) {
+	// The paper evaluates 34 workflows: 12 atacseq, 12 methylseq,
+	// 1 bacass, 9 eager.
+	total := 0
+	for _, f := range Families() {
+		total += 1 + len(f.ScaledSizes()) // real + scaled
+	}
+	if total != 34 {
+		t.Errorf("corpus has %d workflows, want 34", total)
+	}
+	if len(Atacseq.ScaledSizes()) != 11 {
+		t.Errorf("atacseq scaled sizes = %d, want 11", len(Atacseq.ScaledSizes()))
+	}
+	if len(Eager.ScaledSizes()) != 8 {
+		t.Errorf("eager scaled sizes = %d, want 8", len(Eager.ScaledSizes()))
+	}
+	if sz := Eager.ScaledSizes(); sz[len(sz)-1] != 18000 {
+		t.Errorf("eager max scaled size = %d, want 18000", sz[len(sz)-1])
+	}
+	if len(Bacass.ScaledSizes()) != 0 {
+		t.Error("bacass should have no scaled sizes")
+	}
+}
+
+func TestGenerateExactSize(t *testing.T) {
+	for _, f := range Families() {
+		for _, n := range []int{10, 57, 200, 1000} {
+			d, err := Generate(f, n, 7)
+			if err != nil {
+				t.Fatalf("%v n=%d: %v", f, n, err)
+			}
+			if d.N() != n {
+				t.Errorf("%v: generated %d tasks, want %d", f, d.N(), n)
+			}
+			if err := d.Validate(); err != nil {
+				t.Errorf("%v n=%d: invalid DAG: %v", f, n, err)
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(Eager, 200, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(Eager, 200, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.N() != b.N() || a.M() != b.M() {
+		t.Fatal("same seed produced structurally different graphs")
+	}
+	for i := range a.Tasks {
+		if a.Tasks[i].Weight != b.Tasks[i].Weight {
+			t.Fatalf("task %d weight differs between runs", i)
+		}
+	}
+	for i := range a.Edges {
+		if a.Edges[i] != b.Edges[i] {
+			t.Fatalf("edge %d differs between runs", i)
+		}
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	a, _ := Generate(Atacseq, 200, 1)
+	b, _ := Generate(Atacseq, 200, 2)
+	same := true
+	for i := range a.Tasks {
+		if a.Tasks[i].Weight != b.Tasks[i].Weight {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical weights")
+	}
+}
+
+func TestGenerateTooSmall(t *testing.T) {
+	if _, err := Generate(Atacseq, 3, 1); err == nil {
+		t.Error("n=3 not rejected")
+	}
+}
+
+func TestGenerateReal(t *testing.T) {
+	for _, f := range Families() {
+		d, err := GenerateReal(f, 9)
+		if err != nil {
+			t.Fatalf("%v: %v", f, err)
+		}
+		if d.N() != f.RealSize() {
+			t.Errorf("%v real size = %d, want %d", f, d.N(), f.RealSize())
+		}
+	}
+}
+
+func TestWeightRegime(t *testing.T) {
+	// Vertex weights must in general dominate edge weights (Section 6.1).
+	d, err := Generate(Methylseq, 1000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tSum, eSum int64
+	for _, task := range d.Tasks {
+		if task.Weight < taskWeightMin {
+			t.Fatalf("task weight %d below minimum", task.Weight)
+		}
+		tSum += task.Weight
+	}
+	for _, e := range d.Edges {
+		if e.Weight < edgeWeightMin {
+			t.Fatalf("edge weight %d below minimum", e.Weight)
+		}
+		eSum += e.Weight
+	}
+	tMean := float64(tSum) / float64(d.N())
+	eMean := float64(eSum) / float64(d.M())
+	if tMean < 4*eMean {
+		t.Errorf("mean task weight %.1f not clearly above mean edge weight %.1f", tMean, eMean)
+	}
+}
+
+func TestStructureHasPipelineShape(t *testing.T) {
+	d, err := Generate(Atacseq, 500, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Single setup source, single gather sink.
+	if s := d.Sources(); len(s) != 1 {
+		t.Errorf("sources = %v, want exactly one (prepare_genome)", s)
+	}
+	if s := d.Sinks(); len(s) != 1 {
+		t.Errorf("sinks = %v, want exactly one (multiqc)", s)
+	}
+	// Depth must reflect the lane structure: at least lane length + 2.
+	lv := d.Levels()
+	maxLv := 0
+	for _, l := range lv {
+		if l > maxLv {
+			maxLv = l
+		}
+	}
+	if maxLv < len(laneStages(Atacseq)) {
+		t.Errorf("max level %d too shallow for %d lane stages", maxLv, len(laneStages(Atacseq)))
+	}
+	// Parallel width: the gather must collect many lanes.
+	sink := d.Sinks()[0]
+	if d.InDegree(sink) < 10 {
+		t.Errorf("gather in-degree %d; expected wide fan-in", d.InDegree(sink))
+	}
+}
+
+func TestForkJoinPresent(t *testing.T) {
+	// Eager's damage_analysis stage forks 3-wide inside each lane: some
+	// task must have out-degree >= 3 (other than the setup source).
+	d, err := Generate(Eager, 113, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := d.Sources()[0]
+	found := false
+	for v := 0; v < d.N(); v++ {
+		if v != src && d.OutDegree(v) >= 3 {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("no fork-join structure found in eager workflow")
+	}
+}
+
+func TestGenerateSizeProperty(t *testing.T) {
+	f := func(raw uint16, fam uint8, seed uint64) bool {
+		n := 4 + int(raw%3000)
+		family := Families()[int(fam)%4]
+		d, err := Generate(family, n, seed)
+		if err != nil {
+			return false
+		}
+		return d.N() == n && d.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkGenerate1000(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(Atacseq, 1000, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
