@@ -5,9 +5,20 @@
 // By default it runs a reduced corpus (workflows capped at -max-tasks) so
 // all artifacts regenerate in minutes; -max-tasks 0 runs the paper-scale
 // corpus (34 workflows up to 30,000 tasks — hours of compute).
+//
+// With -parallel N the command switches to sweep mode: the full grid
+// (family × size × cluster × scenario S1–S4 × 17 algorithms × -seeds
+// replicates) runs as independent jobs on an N-worker pool, streaming one
+// JSONL record per job to -out in deterministic grid order. A job that
+// panics or exceeds -job-timeout is recorded in-band and the sweep
+// continues; -resume skips every job already completed in -out and
+// appends only the missing ones. A summary aggregation (median cost ratio
+// vs ASAP, running times) is printed when the sweep finishes.
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,16 +34,138 @@ func main() {
 		maxTasks = flag.Int("max-tasks", 500, "largest workflow size to include (0 = full paper corpus)")
 		seed     = flag.Uint64("seed", 42, "corpus seed")
 		workers  = flag.Int("workers", 0, "parallel instances (0 = GOMAXPROCS)")
-		outDir   = flag.String("out", "", "write CSV files to this directory (optional)")
+		outDir   = flag.String("out", "", "artifact mode: CSV directory; sweep mode: JSONL results path (default results.jsonl)")
 		only     = flag.String("only", "all", "comma-separated artifacts: table1,fig1,...,fig8,table2,fig12,...,fig17,fig7,ablations,robustness or all (ablations/robustness only run when named explicitly)")
 		quiet    = flag.Bool("q", false, "suppress progress output")
 		saveTo   = flag.String("save", "", "persist the main corpus raw results to this JSON file")
+		parallel = flag.Int("parallel", 0, "sweep mode: run the full grid on N workers, streaming JSONL (0 = artifact mode)")
+		resume   = flag.Bool("resume", false, "sweep mode: skip jobs already completed in the -out file and append the rest")
+		seeds    = flag.Int("seeds", 1, "sweep mode: replicate seeds per grid cell")
+		timeout  = flag.Duration("job-timeout", 0, "sweep mode: per-job wall-clock cap, e.g. 30s (0 = none)")
 	)
 	flag.Parse()
-	if err := run2(*maxTasks, *seed, *workers, *outDir, *only, *quiet, *saveTo); err != nil {
+	var err error
+	if *parallel > 0 {
+		err = runSweep(*maxTasks, *seed, *parallel, *outDir, *resume, *seeds, *timeout, *quiet)
+	} else {
+		err = run2(*maxTasks, *seed, *workers, *outDir, *only, *quiet, *saveTo)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
+}
+
+// runSweep is the -parallel path: grid generation, worker-pool execution
+// with JSONL streaming/resume, then a paper-style aggregation over every
+// record on disk (including ones from earlier resumed runs).
+func runSweep(maxTasks int, seed uint64, parallel int, outPath string, resume bool, seeds int, timeout time.Duration, quiet bool) error {
+	if outPath == "" {
+		outPath = "results.jsonl"
+	}
+	roster := experiments.Algorithms()
+	names := algoNames(roster)
+	jobs := experiments.Grid(maxTasks, seed, seeds, names)
+
+	var skip map[string]bool
+	needNewline := false
+	if resume {
+		data, err := os.ReadFile(outPath)
+		switch {
+		case os.IsNotExist(err):
+			// Nothing to resume; run fresh.
+		case err != nil:
+			return err
+		default:
+			recs, rerr := experiments.ReadSweepRecords(bytes.NewReader(data))
+			if rerr != nil {
+				return fmt.Errorf("resuming from %s: %w", outPath, rerr)
+			}
+			skip = experiments.SweepDoneKeys(recs)
+			// A killed sweep can leave a torn final line. If it is a
+			// complete record that only lost its newline, terminate it;
+			// otherwise cut it so the stitched file stays valid JSONL
+			// (the torn job re-runs — its key is not in the skip set).
+			if i := bytes.LastIndexByte(data, '\n'); i+1 < len(data) {
+				tail := bytes.TrimSpace(data[i+1:])
+				if len(tail) > 0 && tail[0] == '{' && json.Valid(tail) {
+					needNewline = true
+				} else if err := os.Truncate(outPath, int64(i+1)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+
+	mode := os.O_CREATE | os.O_WRONLY
+	if resume {
+		mode |= os.O_APPEND
+	} else {
+		mode |= os.O_TRUNC
+	}
+	f, err := os.OpenFile(outPath, mode, 0o644)
+	if err != nil {
+		return err
+	}
+	if needNewline {
+		if _, err := f.WriteString("\n"); err != nil {
+			f.Close()
+			return err
+		}
+	}
+
+	if !quiet {
+		fmt.Printf("sweep: %d jobs (%d skipped), %d workers, streaming to %s\n",
+			len(jobs), len(skip), parallel, outPath)
+	}
+	start := time.Now()
+	progress := func(done, total int) {
+		if !quiet && total > 0 && (done%100 == 0 || done == total) {
+			fmt.Printf("  %d/%d jobs (%.0fs)\n", done, total, time.Since(start).Seconds())
+		}
+	}
+	_, err = experiments.Sweep(jobs, roster, f, experiments.SweepOptions{
+		Workers:  parallel,
+		Timeout:  timeout,
+		Skip:     skip,
+		Progress: progress,
+	})
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	if !quiet {
+		fmt.Printf("sweep done in %s\n\n", time.Since(start).Round(time.Second))
+	}
+
+	// Aggregate everything on disk, so resumed sweeps report the union.
+	rf, err := os.Open(outPath)
+	if err != nil {
+		return err
+	}
+	recs, err := experiments.ReadSweepRecords(rf)
+	rf.Close()
+	if err != nil {
+		return err
+	}
+	failed := 0
+	for _, rec := range recs {
+		if rec.Err != "" {
+			failed++
+		}
+	}
+	if failed > 0 {
+		fmt.Printf("warning: %d/%d jobs failed (see err fields in %s)\n\n", failed, len(recs), outPath)
+	}
+	results, err := experiments.SweepResults(recs)
+	if err != nil {
+		return err
+	}
+	fmt.Println(experiments.Fig4MedianCostRatio(results, names).String())
+	fmt.Println(experiments.Fig8RunningTime(results, names).String())
+	return nil
 }
 
 // run keeps the original signature for tests; run2 adds result saving.

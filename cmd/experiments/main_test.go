@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -38,6 +39,77 @@ func TestRunUnknownArtifact(t *testing.T) {
 	if err := run(100, 42, 0, "", "figZZ", true); err == nil {
 		t.Error("unknown artifact selection accepted")
 	}
+}
+
+func TestRunSweepStreamsAndResumes(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "results.jsonl")
+	if err := runSweep(100, 42, 4, out, false, 1, 0, true); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := string(data)
+	if len(first) == 0 {
+		t.Fatal("sweep wrote no records")
+	}
+	// Resuming over a complete file must run zero jobs and leave it as is.
+	if err := runSweep(100, 42, 4, out, true, 1, 0, true); err != nil {
+		t.Fatal(err)
+	}
+	data, err = os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != first {
+		t.Error("resume over a complete sweep modified the results file")
+	}
+}
+
+func TestRunSweepResumesTornFile(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "results.jsonl")
+	if err := runSweep(100, 42, 2, out, false, 1, 0, true); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullLines := len(splitLines(data))
+	// Simulate a kill mid-write: keep 10 full lines plus half a record.
+	lines := splitLines(data)
+	torn := append([]byte{}, []byte(joinLines(lines[:10]))...)
+	torn = append(torn, lines[10][:len(lines[10])/2]...)
+	if err := os.WriteFile(out, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runSweep(100, 42, 2, out, true, 1, 0, true); err != nil {
+		t.Fatalf("resume over torn file: %v", err)
+	}
+	data, err = os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(splitLines(data)); got != fullLines {
+		t.Errorf("recovered file has %d lines, want %d", got, fullLines)
+	}
+	// Every line must be valid JSON again (the torn half-record is gone).
+	for i, l := range splitLines(data) {
+		if len(l) == 0 || l[0] != '{' || l[len(l)-1] != '}' {
+			t.Fatalf("line %d malformed after recovery: %q", i, l)
+		}
+	}
+}
+
+func splitLines(data []byte) []string {
+	return strings.Split(strings.TrimSuffix(string(data), "\n"), "\n")
+}
+
+func joinLines(lines []string) string {
+	return strings.Join(lines, "\n") + "\n"
 }
 
 func TestAlgoNames(t *testing.T) {

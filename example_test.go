@@ -94,3 +94,32 @@ func ExampleReadIntensityCSV() {
 	// Output:
 	// 2 samples, first intensity 400
 }
+
+// ExampleProfileFromIntensity turns a parsed intensity trace into a green
+// power profile scaled to a platform's corridor: the cleanest sample gets
+// the most green budget.
+func ExampleProfileFromIntensity() {
+	wf := cawosched.NewWorkflow(1)
+	wf.SetWeight(0, 4)
+	cluster := cawosched.NewCluster([]cawosched.ProcType{
+		{Name: "node", Speed: 1, Idle: 1, Work: 10},
+	}, []int{1}, 1)
+	inst, err := cawosched.PlanHEFT(wf, cluster)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pts, err := cawosched.ReadIntensityCSV(strings.NewReader("offset,intensity\n0,400\n5,100\n"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	prof, err := cawosched.ProfileFromIntensity(inst, pts, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, iv := range prof.Intervals {
+		fmt.Printf("[%d,%d) budget %d\n", iv.Start, iv.End, iv.Budget)
+	}
+	// Output:
+	// [0,5) budget 1
+	// [5,10) budget 9
+}

@@ -39,12 +39,16 @@ func (o AnnealOptions) cooling() float64 {
 
 // Anneal improves a feasible schedule in place by simulated annealing: a
 // randomized alternative to the paper's hill climber used for the
-// local-search ablation. A proposal moves one random task to a uniform
-// random start inside its current legal window (bounded by its scheduled
-// neighbors, as in Section 5.3 but without the ±µ radius); worse moves are
-// accepted with the Metropolis probability exp(−Δ/temperature). The best
-// schedule seen is restored at the end, so the result is never worse than
-// the input. Returns the final carbon cost.
+// local-search ablation. A proposal moves one random task to a start drawn
+// uniformly from the candidate boundary starts of its current legal window
+// (bounded by its scheduled neighbors, as in Section 5.3 but without the
+// ±µ radius); worse moves are accepted with the Metropolis probability
+// exp(−Δ/temperature). Restricting proposals to candidate starts loses
+// nothing: the gain is linear between consecutive candidates (see
+// schedule.CandidateStarts), so every locally optimal shift is a
+// candidate, and the proposal space shrinks from O(window) to
+// O(#breakpoints). The best schedule seen is restored at the end, so the
+// result is never worse than the input. Returns the final carbon cost.
 func Anneal(inst *ceg.Instance, prof *power.Profile, s *schedule.Schedule, opt AnnealOptions) int64 {
 	T := prof.T()
 	N := inst.N()
@@ -62,6 +66,7 @@ func Anneal(inst *ceg.Instance, prof *power.Profile, s *schedule.Schedule, opt A
 	g := inst.G
 
 	iters := opt.iterations(N)
+	var candBuf []int64
 	for it := 0; it < iters; it++ {
 		v := r.Intn(N)
 		dur := inst.Dur[v]
@@ -83,7 +88,8 @@ func Anneal(inst *ceg.Instance, prof *power.Profile, s *schedule.Schedule, opt A
 			temp *= cooling
 			continue
 		}
-		cand := lo + r.Int63n(hi-lo+1)
+		candBuf = tl.AppendCandidateStarts(candBuf[:0], lo, hi, dur)
+		cand := candBuf[r.Intn(len(candBuf))]
 		if cand == s.Start[v] {
 			temp *= cooling
 			continue

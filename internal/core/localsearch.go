@@ -8,18 +8,9 @@ import (
 	"repro/internal/schedule"
 )
 
-// LocalSearch improves a feasible schedule in place with the hill climber
-// of Section 5.3: processors are visited in non-increasing work-power
-// order; on each processor, tasks are scanned left to right, and each task
-// tries every shift within ±mu time units (earliest candidate first). The
-// first legal move with a strictly positive carbon gain is applied. The
-// search stops after a full round without any gain. The schedule's cost
-// never increases.
-func LocalSearch(inst *ceg.Instance, prof *power.Profile, s *schedule.Schedule, mu int64, st *Stats) {
-	T := prof.T()
-	tl := schedule.NewTimeline(inst, s, prof)
-
-	// Processors sorted by non-increasing P_work, ties by id.
+// powerOrder returns the processors sorted by non-increasing P_work, ties
+// by id — the visit order of the Section 5.3 hill climber.
+func powerOrder(inst *ceg.Instance) []int {
 	procs := make([]int, 0, len(inst.Order))
 	for p := range inst.Order {
 		procs = append(procs, p)
@@ -32,8 +23,59 @@ func LocalSearch(inst *ceg.Instance, prof *power.Profile, s *schedule.Schedule, 
 		}
 		return procs[i] < procs[j]
 	})
+	return procs
+}
 
+// moveWindow returns the legal shift window [lo, hi] for task v: bounded
+// by the finish times of its predecessors, the start times of its
+// successors, the horizon, and the ±mu search radius around the current
+// start.
+func moveWindow(inst *ceg.Instance, s *schedule.Schedule, v int, T, mu int64) (lo, hi int64) {
 	g := inst.G
+	dur := inst.Dur[v]
+	cur := s.Start[v]
+	lo = 0
+	for _, ei := range g.InEdges(v) {
+		e := g.Edges[ei]
+		if f := s.Start[e.From] + inst.Dur[e.From]; f > lo {
+			lo = f
+		}
+	}
+	hi = T - dur
+	for _, ei := range g.OutEdges(v) {
+		e := g.Edges[ei]
+		if l := s.Start[e.To] - dur; l < hi {
+			hi = l
+		}
+	}
+	if lo < cur-mu {
+		lo = cur - mu
+	}
+	if hi > cur+mu {
+		hi = cur + mu
+	}
+	return lo, hi
+}
+
+// LocalSearch improves a feasible schedule in place with the hill climber
+// of Section 5.3: processors are visited in non-increasing work-power
+// order; on each processor, tasks are scanned left to right, and each task
+// tries every shift within ±mu time units (earliest candidate first). The
+// first legal move with a strictly positive carbon gain is applied. The
+// search stops after a full round without any gain. The schedule's cost
+// never increases.
+//
+// Candidates are enumerated by interval jumping rather than unit steps:
+// the gain of a shift is piecewise linear in the new start, with slope
+// changes only where a task edge crosses a timeline breakpoint or profile
+// boundary, so only those O(#breakpoints in window) starts are evaluated
+// (see schedule.FirstImprovingMove). The accepted moves — and therefore
+// the final schedule — are identical to the unit-step scan's, kept as
+// LocalSearchUnitStep for differential testing and benchmarking.
+func LocalSearch(inst *ceg.Instance, prof *power.Profile, s *schedule.Schedule, mu int64, st *Stats) {
+	T := prof.T()
+	tl := schedule.NewTimeline(inst, s, prof)
+	procs := powerOrder(inst)
 	for {
 		improved := false
 		if st != nil {
@@ -43,27 +85,45 @@ func LocalSearch(inst *ceg.Instance, prof *power.Profile, s *schedule.Schedule, 
 			for _, v := range inst.Order[p] {
 				dur := inst.Dur[v]
 				cur := s.Start[v]
-				// Legal window from current neighbor placements.
-				lo := int64(0)
-				for _, ei := range g.InEdges(v) {
-					e := g.Edges[ei]
-					if f := s.Start[e.From] + inst.Dur[e.From]; f > lo {
-						lo = f
+				lo, hi := moveWindow(inst, s, v, T, mu)
+				_, work := inst.ProcPower(v)
+				if cand, gain, ok := tl.FirstImprovingMove(cur, lo, hi, dur, work); ok {
+					tl.ApplyMove(cur, cand, dur, work)
+					s.Start[v] = cand
+					improved = true
+					if st != nil {
+						st.LSMoves++
+						st.LSGain += gain
 					}
 				}
-				hi := T - dur
-				for _, ei := range g.OutEdges(v) {
-					e := g.Edges[ei]
-					if l := s.Start[e.To] - dur; l < hi {
-						hi = l
-					}
-				}
-				if lo < cur-mu {
-					lo = cur - mu
-				}
-				if hi > cur+mu {
-					hi = cur + mu
-				}
+			}
+		}
+		if !improved {
+			return
+		}
+		tl.Compact()
+	}
+}
+
+// LocalSearchUnitStep is the original O(mu) candidate scan: every integer
+// shift in the ±mu window is probed left to right. It accepts exactly the
+// same moves as LocalSearch and is retained as the reference
+// implementation for the equivalence property test and the
+// BenchmarkLocalSearch speedup baseline.
+func LocalSearchUnitStep(inst *ceg.Instance, prof *power.Profile, s *schedule.Schedule, mu int64, st *Stats) {
+	T := prof.T()
+	tl := schedule.NewTimeline(inst, s, prof)
+	procs := powerOrder(inst)
+	for {
+		improved := false
+		if st != nil {
+			st.LSRounds++
+		}
+		for _, p := range procs {
+			for _, v := range inst.Order[p] {
+				dur := inst.Dur[v]
+				cur := s.Start[v]
+				lo, hi := moveWindow(inst, s, v, T, mu)
 				_, work := inst.ProcPower(v)
 				for cand := lo; cand <= hi; cand++ {
 					if cand == cur {

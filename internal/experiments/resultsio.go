@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"bufio"
 	"encoding/json"
 	"fmt"
 	"io"
+	"strings"
 	"time"
 
 	"repro/internal/power"
@@ -25,23 +27,67 @@ type resultRecord struct {
 	ElapsedMicros  int64   `json:"elapsed_us"`
 }
 
+// recordOf flattens a Result into its wire form.
+func recordOf(r Result) resultRecord {
+	return resultRecord{
+		Family:         r.Spec.Family.String(),
+		N:              r.Spec.N,
+		Cluster:        r.Spec.Cluster.String(),
+		Scenario:       r.Spec.Scenario.String(),
+		DeadlineFactor: r.Spec.DeadlineFactor,
+		Seed:           r.Spec.Seed,
+		Algo:           r.Algo,
+		Cost:           r.Cost,
+		ElapsedMicros:  r.Elapsed.Microseconds(),
+	}
+}
+
+// resultOf parses and validates a wire record back into a Result.
+func resultOf(rec resultRecord) (Result, error) {
+	fam, err := familyByName(rec.Family)
+	if err != nil {
+		return Result{}, err
+	}
+	sc, err := scenarioByName(rec.Scenario)
+	if err != nil {
+		return Result{}, err
+	}
+	cl := Small
+	switch rec.Cluster {
+	case "small":
+	case "large":
+		cl = Large
+	default:
+		return Result{}, fmt.Errorf("unknown cluster %q", rec.Cluster)
+	}
+	if rec.DeadlineFactor < 1 {
+		return Result{}, fmt.Errorf("deadline factor %v", rec.DeadlineFactor)
+	}
+	if rec.Cost < 0 {
+		return Result{}, fmt.Errorf("negative cost")
+	}
+	return Result{
+		Spec: Spec{
+			Family:         fam,
+			N:              rec.N,
+			Cluster:        cl,
+			Scenario:       sc,
+			DeadlineFactor: rec.DeadlineFactor,
+			Seed:           rec.Seed,
+		},
+		Algo:    rec.Algo,
+		Cost:    rec.Cost,
+		Elapsed: time.Duration(rec.ElapsedMicros) * time.Microsecond,
+	}, nil
+}
+
 // WriteResults serializes experiment results as a JSON array, so a run
 // can be archived and the figures regenerated later without recomputing
 // (cmd/experiments writes one file per run when asked).
 func WriteResults(w io.Writer, results []Result) error {
 	records := make([]resultRecord, len(results))
 	for i, r := range results {
-		records[i] = resultRecord{
-			Family:         r.Spec.Family.String(),
-			N:              r.Spec.N,
-			Cluster:        r.Spec.Cluster.String(),
-			Scenario:       r.Spec.Scenario.String(),
-			DeadlineFactor: r.Spec.DeadlineFactor,
-			Seed:           r.Spec.Seed,
-			Algo:           r.Algo,
-			Cost:           r.Cost,
-			ElapsedMicros:  r.Elapsed.Microseconds(),
-		}
+		records[i] = recordOf(r)
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
@@ -56,41 +102,98 @@ func ReadResults(r io.Reader) ([]Result, error) {
 	}
 	out := make([]Result, len(records))
 	for i, rec := range records {
-		fam, err := familyByName(rec.Family)
+		res, err := resultOf(rec)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: record %d: %w", i, err)
 		}
-		sc, err := scenarioByName(rec.Scenario)
+		out[i] = res
+	}
+	return out, nil
+}
+
+// SweepRecord is the JSONL wire form of one sweep job: a flattened Result
+// plus an error slot, so failed jobs (panic, timeout, invalid schedule)
+// are archived in-band without aborting the sweep.
+type SweepRecord struct {
+	resultRecord
+	Err string `json:"err,omitempty"`
+}
+
+// writeSweepRecord appends one record as a single JSONL line.
+func writeSweepRecord(w io.Writer, rec SweepRecord) error {
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// ReadSweepRecords parses a JSONL stream written by Sweep. Blank lines are
+// skipped, and a malformed final line — the torn tail a killed sweep can
+// leave behind — is dropped so the file resumes cleanly (the lost job
+// simply re-runs); corruption anywhere earlier is still an error.
+func ReadSweepRecords(r io.Reader) ([]SweepRecord, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var recs []SweepRecord
+	lineNo := 0
+	var badErr error
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if badErr != nil {
+			return nil, badErr
+		}
+		var rec SweepRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			// Defer the error: fatal only if another record follows.
+			badErr = fmt.Errorf("experiments: sweep line %d: %w", lineNo, err)
+			continue
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return recs, nil
+}
+
+// SweepDoneKeys returns the job keys of every successfully completed
+// record, the skip set a resumed Sweep consumes. Malformed or failed
+// records are left out so they re-run.
+func SweepDoneKeys(recs []SweepRecord) map[string]bool {
+	done := make(map[string]bool, len(recs))
+	for _, rec := range recs {
+		if rec.Err != "" {
+			continue
+		}
+		res, err := resultOf(rec.resultRecord)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: record %d: %w", i, err)
+			continue
 		}
-		cl := Small
-		switch rec.Cluster {
-		case "small":
-		case "large":
-			cl = Large
-		default:
-			return nil, fmt.Errorf("experiments: record %d: unknown cluster %q", i, rec.Cluster)
+		done[jobKey(res.Spec, res.Algo)] = true
+	}
+	return done
+}
+
+// SweepResults converts the successful records of a sweep back into
+// Results for aggregation; failed records are dropped.
+func SweepResults(recs []SweepRecord) ([]Result, error) {
+	var out []Result
+	for i, rec := range recs {
+		if rec.Err != "" {
+			continue
 		}
-		if rec.DeadlineFactor < 1 {
-			return nil, fmt.Errorf("experiments: record %d: deadline factor %v", i, rec.DeadlineFactor)
+		res, err := resultOf(rec.resultRecord)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: sweep record %d: %w", i, err)
 		}
-		if rec.Cost < 0 {
-			return nil, fmt.Errorf("experiments: record %d: negative cost", i)
-		}
-		out[i] = Result{
-			Spec: Spec{
-				Family:         fam,
-				N:              rec.N,
-				Cluster:        cl,
-				Scenario:       sc,
-				DeadlineFactor: rec.DeadlineFactor,
-				Seed:           rec.Seed,
-			},
-			Algo:    rec.Algo,
-			Cost:    rec.Cost,
-			Elapsed: time.Duration(rec.ElapsedMicros) * time.Microsecond,
-		}
+		out = append(out, res)
 	}
 	return out, nil
 }

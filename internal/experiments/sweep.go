@@ -1,0 +1,282 @@
+package experiments
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/rng"
+	"repro/internal/schedule"
+)
+
+// The sweep engine runs the full evaluation grid — family × size × cluster
+// × scenario × deadline × variant × seed — as independent jobs on a worker
+// pool. Each job is isolated (panics and timeouts become in-band error
+// records instead of aborting the sweep), results stream as JSONL in
+// deterministic grid order regardless of worker interleaving, and a
+// finished or interrupted stream can be resumed by skipping the job keys
+// already on disk.
+
+// Job is one cell of the sweep grid: a fully specified instance plus one
+// algorithm name from the roster.
+type Job struct {
+	Spec Spec
+	Algo string
+}
+
+// Key identifies the job across runs; resume matches keys of completed
+// records against the grid.
+func (j Job) Key() string { return jobKey(j.Spec, j.Algo) }
+
+func jobKey(s Spec, algo string) string {
+	return fmt.Sprintf("%s|seed%d|%s", s, s.Seed, algo)
+}
+
+// ReplicateSeed derives the deterministic seed of replicate r from the
+// base seed: replicate 0 is the base itself (so single-seed sweeps match
+// the classic corpus), later replicates are splitmix-derived. The seed
+// depends only on (base, r), never on worker scheduling.
+func ReplicateSeed(base uint64, r int) uint64 {
+	if r == 0 {
+		return base
+	}
+	return rng.Mix(base, uint64(r))
+}
+
+// Grid enumerates the sweep deterministically: replicate seeds × corpus
+// specs (family × size × cluster × scenario × deadline) × algorithms,
+// spec-major so consecutive jobs share one instance build. maxTasks caps
+// the workflow sizes exactly like Corpus.
+func Grid(maxTasks int, baseSeed uint64, replicates int, algos []string) []Job {
+	if replicates < 1 {
+		replicates = 1
+	}
+	var jobs []Job
+	for r := 0; r < replicates; r++ {
+		for _, spec := range Corpus(maxTasks, ReplicateSeed(baseSeed, r)) {
+			for _, a := range algos {
+				jobs = append(jobs, Job{Spec: spec, Algo: a})
+			}
+		}
+	}
+	return jobs
+}
+
+// SweepOptions tunes a Sweep run.
+type SweepOptions struct {
+	// Workers is the worker-pool size (≤ 0 uses GOMAXPROCS).
+	Workers int
+	// Timeout caps each job's scheduling wall-clock time; 0 means no cap.
+	// A timed-out job is recorded with an error and the sweep moves on.
+	Timeout time.Duration
+	// Skip holds job keys to leave out (resume: SweepDoneKeys of the
+	// records already on disk). Skipped jobs emit no record.
+	Skip map[string]bool
+	// Progress, if non-nil, is called after each job's record is written.
+	Progress func(done, total int)
+}
+
+// sweepItem carries one finished job from a worker to the sequencer.
+type sweepItem struct {
+	seq    int // emission position among non-skipped jobs
+	jobIdx int
+	rec    SweepRecord
+	res    Result
+	ok     bool
+}
+
+// Sweep executes the jobs on a worker pool and streams one JSONL record
+// per job to w in grid order (a sequencer reorders worker output, so the
+// stream is byte-stable across worker counts except for timing fields).
+// Instances are built once per run of consecutive jobs sharing a spec.
+// Job failures — scheduler errors, invalid schedules, panics, timeouts —
+// are recorded in-band and excluded from the returned Results; Sweep
+// itself fails only on I/O errors.
+func Sweep(jobs []Job, roster []Algorithm, w io.Writer, opt SweepOptions) ([]Result, error) {
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	byName := make(map[string]Algorithm, len(roster))
+	for _, a := range roster {
+		byName[a.Name] = a
+	}
+
+	// Partition into runs of consecutive jobs on the same spec and assign
+	// emission order to the jobs that will actually run.
+	type group struct {
+		spec Spec
+		idxs []int
+	}
+	var groups []group
+	emitSeq := make([]int, len(jobs))
+	total := 0
+	for i, j := range jobs {
+		if opt.Skip[j.Key()] {
+			emitSeq[i] = -1
+			continue
+		}
+		emitSeq[i] = total
+		total++
+		if len(groups) == 0 || groups[len(groups)-1].spec != j.Spec {
+			groups = append(groups, group{spec: j.Spec})
+		}
+		g := &groups[len(groups)-1]
+		g.idxs = append(g.idxs, i)
+	}
+
+	items := make(chan sweepItem, workers)
+	groupCh := make(chan group)
+	var wg sync.WaitGroup
+	for n := 0; n < workers; n++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for g := range groupCh {
+				runSweepGroup(g.spec, g.idxs, jobs, byName, opt.Timeout, emitSeq, items)
+			}
+		}()
+	}
+	go func() {
+		for _, g := range groups {
+			groupCh <- g
+		}
+		close(groupCh)
+		wg.Wait()
+		close(items)
+	}()
+
+	// Sequencer: buffer out-of-order items and write strictly in grid
+	// order, so the JSONL stream is deterministic under any -parallel N.
+	bw := bufio.NewWriter(w)
+	pending := make(map[int]sweepItem)
+	resOK := make([]bool, len(jobs))
+	resVal := make([]Result, len(jobs))
+	next, done := 0, 0
+	var ioErr error
+	for it := range items {
+		pending[it.seq] = it
+		for {
+			cur, found := pending[next]
+			if !found {
+				break
+			}
+			delete(pending, next)
+			if cur.ok {
+				resOK[cur.jobIdx] = true
+				resVal[cur.jobIdx] = cur.res
+			}
+			if ioErr == nil {
+				ioErr = writeSweepRecord(bw, cur.rec)
+				if ioErr == nil {
+					ioErr = bw.Flush() // stream line by line
+				}
+			}
+			next++
+			done++
+			if opt.Progress != nil {
+				opt.Progress(done, total)
+			}
+		}
+	}
+	if ioErr != nil {
+		return nil, fmt.Errorf("experiments: sweep output: %w", ioErr)
+	}
+	var out []Result
+	for i := range jobs {
+		if resOK[i] {
+			out = append(out, resVal[i])
+		}
+	}
+	return out, nil
+}
+
+// runSweepGroup builds the group's instance once and runs each of its
+// jobs, emitting exactly one item per job.
+func runSweepGroup(spec Spec, idxs []int, jobs []Job, byName map[string]Algorithm, timeout time.Duration, emitSeq []int, out chan<- sweepItem) {
+	in, buildErr := buildInstanceSafe(spec)
+	for _, ji := range idxs {
+		j := jobs[ji]
+		rec := SweepRecord{resultRecord: recordOf(Result{Spec: j.Spec, Algo: j.Algo})}
+		var res Result
+		ok := false
+		a, known := byName[j.Algo]
+		switch {
+		case buildErr != nil:
+			rec.Err = buildErr.Error()
+		case !known:
+			rec.Err = fmt.Sprintf("unknown algorithm %q", j.Algo)
+		default:
+			cost, elapsed, errMsg := runJob(in, a, timeout)
+			rec.ElapsedMicros = elapsed.Microseconds()
+			if errMsg != "" {
+				rec.Err = errMsg
+			} else {
+				rec.Cost = cost
+				res = Result{Spec: j.Spec, Algo: j.Algo, Cost: cost, Elapsed: elapsed}
+				ok = true
+			}
+		}
+		out <- sweepItem{seq: emitSeq[ji], jobIdx: ji, rec: rec, res: res, ok: ok}
+	}
+}
+
+func buildInstanceSafe(spec Spec) (in *Instance, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			in, err = nil, fmt.Errorf("building instance: panic: %v", p)
+		}
+	}()
+	return BuildInstance(spec)
+}
+
+// runJob executes one algorithm with panic isolation and an optional
+// wall-clock cap. On timeout the scheduling goroutine is abandoned (Go
+// offers no preemptive kill for CPU-bound work); its eventual result is
+// dropped.
+func runJob(in *Instance, a Algorithm, timeout time.Duration) (int64, time.Duration, string) {
+	if timeout <= 0 {
+		return runJobDirect(in, a)
+	}
+	type jobOut struct {
+		cost    int64
+		elapsed time.Duration
+		errMsg  string
+	}
+	ch := make(chan jobOut, 1)
+	go func() {
+		c, e, m := runJobDirect(in, a)
+		ch <- jobOut{c, e, m}
+	}()
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case o := <-ch:
+		return o.cost, o.elapsed, o.errMsg
+	case <-timer.C:
+		return 0, timeout, fmt.Sprintf("timeout after %s", timeout)
+	}
+}
+
+// runJobDirect measures only the scheduling time, excluding instance
+// construction, matching the paper's running-time methodology.
+func runJobDirect(in *Instance, a Algorithm) (cost int64, elapsed time.Duration, errMsg string) {
+	defer func() {
+		if p := recover(); p != nil {
+			errMsg = fmt.Sprintf("panic: %v", p)
+		}
+	}()
+	start := time.Now()
+	s, err := a.Run(in)
+	elapsed = time.Since(start)
+	if err != nil {
+		return 0, elapsed, err.Error()
+	}
+	if err := schedule.Validate(in.Inst, s, in.Prof.T()); err != nil {
+		return 0, elapsed, fmt.Sprintf("invalid schedule: %v", err)
+	}
+	return schedule.CarbonCost(in.Inst, s, in.Prof), elapsed, ""
+}

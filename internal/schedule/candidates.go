@@ -1,0 +1,248 @@
+package schedule
+
+import "sort"
+
+// Candidate enumeration for the interval-jumping local search (Section
+// 5.3, accelerated): when a task of duration dur slides across the window
+// [lo, hi], its carbon cost is piecewise linear in the start time. The
+// slope can only change where the task's left or right edge crosses a
+// level change of the rest of the platform draw — a timeline breakpoint or
+// a profile interval boundary. Enumerating those O(#breakpoints in window)
+// starts replaces the unit-step scan over all hi−lo+1 integer starts, and
+// a single sweep over the window evaluates the gain at every candidate at
+// once instead of one MoveGain probe per start.
+
+// appendCandidateStarts appends the candidate starts in [lo, hi] to dst,
+// sorted and deduplicated. See CandidateStarts.
+func (tl *Timeline) appendCandidateStarts(dst []int64, lo, hi, dur int64) []int64 {
+	if hi < lo {
+		return dst
+	}
+	base := len(dst)
+	dst = append(dst, lo)
+	add := func(x int64) {
+		if x > lo && x < hi {
+			dst = append(dst, x)
+		}
+	}
+	// Timeline breakpoints crossed by the left edge: b ∈ (lo, hi).
+	for i := sort.Search(len(tl.t), func(i int) bool { return tl.t[i] > lo }); i < len(tl.t) && tl.t[i] < hi; i++ {
+		add(tl.t[i])
+	}
+	// ... and by the right edge: b ∈ (lo+dur, hi+dur).
+	for i := sort.Search(len(tl.t), func(i int) bool { return tl.t[i] > lo+dur }); i < len(tl.t) && tl.t[i] < hi+dur; i++ {
+		add(tl.t[i] - dur)
+	}
+	// Profile boundaries, both alignments. Interval starts coincide with
+	// the previous interval's end, so the ends (plus time 0, which can
+	// never be interior to (lo, hi) with lo ≥ 0) cover all boundaries.
+	ivs := tl.prof.Intervals
+	for i := sort.Search(len(ivs), func(i int) bool { return ivs[i].End > lo }); i < len(ivs) && ivs[i].End < hi; i++ {
+		add(ivs[i].End)
+	}
+	for i := sort.Search(len(ivs), func(i int) bool { return ivs[i].End > lo+dur }); i < len(ivs) && ivs[i].End < hi+dur; i++ {
+		add(ivs[i].End - dur)
+	}
+	if hi > lo {
+		dst = append(dst, hi)
+	}
+	// The window holds only a handful of candidates; insertion sort avoids
+	// sort.Slice's interface overhead on this hot path.
+	out := dst[base:]
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	n := 1
+	for i := 1; i < len(out); i++ {
+		if out[i] != out[n-1] {
+			out[n] = out[i]
+			n++
+		}
+	}
+	return dst[:base+n]
+}
+
+// CandidateStarts returns the sorted, deduplicated start positions in
+// [lo, hi] at which the gain of placing a task of duration dur can change
+// slope: the window bounds plus every breakpoint b of the timeline or the
+// profile, aligned to the task's left edge (start = b) and right edge
+// (start = b − dur). Between consecutive candidates the gain is linear in
+// the start, so every optimum over the window is attained at a candidate.
+func (tl *Timeline) CandidateStarts(lo, hi, dur int64) []int64 {
+	if hi < lo {
+		return nil
+	}
+	return tl.appendCandidateStarts(nil, lo, hi, dur)
+}
+
+// AppendCandidateStarts is CandidateStarts appending into dst (which may
+// be nil or a reused buffer), for callers that query candidates in a loop
+// and want to stay allocation-free.
+func (tl *Timeline) AppendCandidateStarts(dst []int64, lo, hi, dur int64) []int64 {
+	return tl.appendCandidateStarts(dst, lo, hi, dur)
+}
+
+// windowCosts returns, for each ascending query start q in qs, the cost of
+// running a task of power p over [q, q+dur) on top of the current draw:
+// W(q) = Σ over [q, q+dur) of max(lvl+p, 0) − max(lvl, 0), where lvl is
+// the platform overdraw idle + w − budget. Time at or beyond the horizon
+// contributes nothing. The whole batch is answered by one merged sweep of
+// timeline segments and profile intervals, two prefix integrals per query.
+func (tl *Timeline) windowCosts(qs []int64, dur, p int64) []int64 {
+	k := len(qs)
+	dc := resize(&tl.dcBuf, k) // prefix integral at q
+	dd := resize(&tl.ddBuf, k) // prefix integral at q+dur
+	T := tl.prof.T()
+	x := qs[0]
+	ti := tl.find(x)
+	pi := 0
+	if x < T {
+		pi = tl.prof.IndexAt(x)
+	}
+	var acc int64
+	advance := func(to int64) {
+		for x < to {
+			if x >= T {
+				x = to
+				return
+			}
+			segEnd := to
+			if ti+1 < len(tl.t) && tl.t[ti+1] < segEnd {
+				segEnd = tl.t[ti+1]
+			}
+			iv := tl.prof.Intervals[pi]
+			if iv.End < segEnd {
+				segEnd = iv.End
+			}
+			lvl := tl.idle + tl.w[ti] - iv.Budget
+			with, without := lvl+p, lvl
+			if with < 0 {
+				with = 0
+			}
+			if without < 0 {
+				without = 0
+			}
+			acc += (with - without) * (segEnd - x)
+			x = segEnd
+			if ti+1 < len(tl.t) && tl.t[ti+1] == x {
+				ti++
+			}
+			if iv.End == x && pi+1 < len(tl.prof.Intervals) {
+				pi++
+			}
+		}
+	}
+	for i, j := 0, 0; i < k || j < k; {
+		if i < k && (j >= k || qs[i] <= qs[j]+dur) {
+			advance(qs[i])
+			dc[i] = acc
+			i++
+		} else {
+			advance(qs[j] + dur)
+			dd[j] = acc
+			j++
+		}
+	}
+	ws := resize(&tl.wsBuf, k)
+	for i := range ws {
+		ws[i] = dd[i] - dc[i]
+	}
+	return ws
+}
+
+// resize returns *buf with length n, reusing its capacity.
+func resize(buf *[]int64, n int) []int64 {
+	if cap(*buf) < n {
+		*buf = make([]int64, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+// FirstImprovingMove returns the earliest start newA ∈ [lo, hi], newA ≠
+// cur, with MoveGain(cur, newA, dur, p) > 0, together with that gain. It
+// is an exact drop-in for the unit-step scan
+//
+//	for newA := lo; newA <= hi; newA++ { if MoveGain(...) > 0 { ... } }
+//
+// but lifts the task off the timeline once, evaluates the gain at every
+// CandidateStarts position with a single windowCosts sweep, and recovers
+// an interior first crossing from the endpoint gains in closed form (the
+// gain is linear between consecutive candidates). The timeline is left
+// unchanged.
+func (tl *Timeline) FirstImprovingMove(cur, lo, hi, dur, p int64) (int64, int64, bool) {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi < lo || dur <= 0 {
+		return 0, 0, false
+	}
+	qs := tl.appendCandidateStarts(tl.candBuf[:0], lo, hi, dur)
+	// Pin cur as a query point: gain(c) = W(cur) − W(c) needs W at the
+	// current start, and a candidate at cur anchors the linear pieces on
+	// both sides of it.
+	curIdx := sort.Search(len(qs), func(i int) bool { return qs[i] >= cur })
+	if curIdx == len(qs) || qs[curIdx] != cur {
+		qs = append(qs, 0)
+		copy(qs[curIdx+1:], qs[curIdx:])
+		qs[curIdx] = cur
+	}
+	tl.candBuf = qs
+
+	tl.Remove(cur, cur+dur, p)
+	ws := tl.windowCosts(qs, dur, p)
+	tl.Add(cur, cur+dur, p)
+	wcur := ws[curIdx]
+
+	// scanPiece is the defensive fallback when a piece turns out not to be
+	// linear (which the candidate set should rule out): unit-step over the
+	// open interval (a, b).
+	scanPiece := func(a, b int64) (int64, int64, bool) {
+		for cand := a + 1; cand < b; cand++ {
+			if cand == cur {
+				continue
+			}
+			if g := tl.MoveGain(cur, cand, dur, p); g > 0 {
+				return cand, g, true
+			}
+		}
+		return 0, 0, false
+	}
+
+	prev := -1
+	for qi, c := range qs {
+		if c < lo || c > hi { // cur pinned outside the window
+			continue
+		}
+		g := wcur - ws[qi]
+		if prev >= 0 {
+			a, ga := qs[prev], wcur-ws[prev]
+			// ga ≤ 0 here (a positive candidate returns immediately), so a
+			// first improving start interior to (a, c) needs a positive
+			// slope, i.e. g > ga.
+			if span := c - a; span > 1 && g > ga {
+				if diff := g - ga; diff%span == 0 {
+					slope := diff / span
+					if cand := a + (-ga)/slope + 1; cand < c {
+						if cg := tl.MoveGain(cur, cand, dur, p); cg > 0 {
+							return cand, cg, true
+						}
+						// Linearity violated; fall back to scanning.
+						if fc, fg, ok := scanPiece(a, c); ok {
+							return fc, fg, true
+						}
+					}
+				} else if fc, fg, ok := scanPiece(a, c); ok {
+					return fc, fg, true
+				}
+			}
+		}
+		if g > 0 && c != cur {
+			return c, g, true
+		}
+		prev = qi
+	}
+	return 0, 0, false
+}

@@ -21,6 +21,13 @@ type Timeline struct {
 	idle int64
 	t    []int64
 	w    []int64
+
+	// Scratch buffers reused by FirstImprovingMove/windowCosts so the
+	// local search's hot path stays allocation-free.
+	candBuf []int64
+	dcBuf   []int64
+	ddBuf   []int64
+	wsBuf   []int64
 }
 
 // NewEmptyTimeline builds a timeline with no tasks placed: only the idle
