@@ -6,6 +6,8 @@
 package cawosched_test
 
 import (
+	"context"
+
 	"strconv"
 	"strings"
 	"sync"
@@ -58,7 +60,7 @@ func corpusResults(b *testing.B) ([]experiments.Result, []string) {
 		for i, a := range algos {
 			benchNames[i] = a.Name
 		}
-		benchResults, benchErr = experiments.Run(benchSpecs(), algos, 0, nil)
+		benchResults, benchErr = experiments.Run(context.Background(), benchSpecs(), algos, 0, nil)
 	})
 	if benchErr != nil {
 		b.Fatal(benchErr)
@@ -233,7 +235,7 @@ func BenchmarkFig7ExactComparison(b *testing.B) {
 	algos := experiments.LSAlgorithms()
 	var optFrac string
 	for i := 0; i < b.N; i++ {
-		t, err := experiments.Fig7ExactComparison(7, algos, 5_000_000)
+		t, err := experiments.Fig7ExactComparison(context.Background(), 7, algos, 5_000_000)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -256,7 +258,7 @@ func BenchmarkTable2LocalSearchAblation(b *testing.B) {
 	}
 	var avg float64
 	for i := 0; i < b.N; i++ {
-		results, err := experiments.Run(specs, experiments.Algorithms(), 0, nil)
+		results, err := experiments.Run(context.Background(), specs, experiments.Algorithms(), 0, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -281,7 +283,7 @@ func ablationBenchSpecs() []experiments.Spec {
 func BenchmarkAblationK(b *testing.B) {
 	specs := ablationBenchSpecs()
 	for i := 0; i < b.N; i++ {
-		t, err := experiments.AblationK(specs, []int{1, 3}, 0)
+		t, err := experiments.AblationK(context.Background(), specs, []int{1, 3}, 0)
 		if err != nil || len(t.Rows) != 2 {
 			b.Fatalf("rows %d err %v", len(t.Rows), err)
 		}
@@ -291,7 +293,7 @@ func BenchmarkAblationK(b *testing.B) {
 func BenchmarkAblationMu(b *testing.B) {
 	specs := ablationBenchSpecs()
 	for i := 0; i < b.N; i++ {
-		t, err := experiments.AblationMu(specs, []int64{5, 10}, 0)
+		t, err := experiments.AblationMu(context.Background(), specs, []int64{5, 10}, 0)
 		if err != nil || len(t.Rows) != 2 {
 			b.Fatalf("rows %d err %v", len(t.Rows), err)
 		}
@@ -301,7 +303,7 @@ func BenchmarkAblationMu(b *testing.B) {
 func BenchmarkAblationImprovers(b *testing.B) {
 	specs := ablationBenchSpecs()
 	for i := 0; i < b.N; i++ {
-		t, err := experiments.AblationImprovers(specs, 0)
+		t, err := experiments.AblationImprovers(context.Background(), specs, 0)
 		if err != nil || len(t.Rows) != 4 {
 			b.Fatalf("rows %d err %v", len(t.Rows), err)
 		}
@@ -311,7 +313,7 @@ func BenchmarkAblationImprovers(b *testing.B) {
 func BenchmarkAblationOrdering(b *testing.B) {
 	specs := ablationBenchSpecs()
 	for i := 0; i < b.N; i++ {
-		t, err := experiments.AblationOrdering(specs, 0)
+		t, err := experiments.AblationOrdering(context.Background(), specs, 0)
 		if err != nil || len(t.Rows) != 8 {
 			b.Fatalf("rows %d err %v", len(t.Rows), err)
 		}
@@ -321,7 +323,7 @@ func BenchmarkAblationOrdering(b *testing.B) {
 func BenchmarkAblationGreedies(b *testing.B) {
 	specs := ablationBenchSpecs()
 	for i := 0; i < b.N; i++ {
-		t, err := experiments.AblationGreedies(specs, 0)
+		t, err := experiments.AblationGreedies(context.Background(), specs, 0)
 		if err != nil || len(t.Rows) != 4 {
 			b.Fatalf("rows %d err %v", len(t.Rows), err)
 		}
@@ -331,7 +333,7 @@ func BenchmarkAblationGreedies(b *testing.B) {
 func BenchmarkExtensionTwoPass(b *testing.B) {
 	specs := ablationBenchSpecs()
 	for i := 0; i < b.N; i++ {
-		t, err := experiments.ExtensionTwoPass(specs, 0)
+		t, err := experiments.ExtensionTwoPass(context.Background(), specs, 0)
 		if err != nil || len(t.Rows) != 3 {
 			b.Fatalf("rows %d err %v", len(t.Rows), err)
 		}
@@ -343,7 +345,7 @@ func BenchmarkExtensionTwoPass(b *testing.B) {
 func BenchmarkRobustnessRuntime(b *testing.B) {
 	specs := ablationBenchSpecs()
 	for i := 0; i < b.N; i++ {
-		t, err := experiments.RobustnessRuntime(specs, []float64{0, 0.2}, 0)
+		t, err := experiments.RobustnessRuntime(context.Background(), specs, []float64{0, 0.2}, 0)
 		if err != nil || len(t.Rows) != 2 {
 			b.Fatalf("rows %d err %v", len(t.Rows), err)
 		}
@@ -353,7 +355,7 @@ func BenchmarkRobustnessRuntime(b *testing.B) {
 func BenchmarkRobustnessForecast(b *testing.B) {
 	specs := ablationBenchSpecs()
 	for i := 0; i < b.N; i++ {
-		t, err := experiments.RobustnessForecast(specs, []float64{0, 0.25}, 0)
+		t, err := experiments.RobustnessForecast(context.Background(), specs, []float64{0, 0.25}, 0)
 		if err != nil || len(t.Rows) != 2 {
 			b.Fatalf("rows %d err %v", len(t.Rows), err)
 		}
@@ -402,7 +404,7 @@ func BenchmarkNPCReduction(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		_, cost, err := exact.Solve(red.Instance, red.Profile, exact.Options{})
+		_, cost, err := exact.Solve(context.Background(), red.Instance, red.Profile, exact.Options{})
 		if err != nil || cost != 0 {
 			b.Fatalf("cost %d err %v", cost, err)
 		}
@@ -489,7 +491,7 @@ func BenchmarkLocalSearch(b *testing.B) {
 	inst, prof, s := localSearchInput(b, 500)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		core.LocalSearch(inst, prof, s.Clone(), core.DefaultMu, nil)
+		core.LocalSearch(context.Background(), inst, prof, s.Clone(), core.DefaultMu, nil)
 	}
 }
 
@@ -497,7 +499,7 @@ func BenchmarkLocalSearchUnitStep(b *testing.B) {
 	inst, prof, s := localSearchInput(b, 500)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		core.LocalSearchUnitStep(inst, prof, s.Clone(), core.DefaultMu, nil)
+		core.LocalSearchUnitStep(context.Background(), inst, prof, s.Clone(), core.DefaultMu, nil)
 	}
 }
 

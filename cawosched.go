@@ -30,6 +30,7 @@
 package cawosched
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/ceg"
@@ -171,8 +172,20 @@ func ProfileForInstance(inst *Instance, sc Scenario, T int64, j int, seed uint64
 func ConstantProfile(T, budget int64) *Profile { return power.Constant(T, budget) }
 
 // Run executes one CaWoSched variant; the deadline is prof.T().
+//
+// Deprecated: use RunContext, or a Solver for the full request/response
+// pipeline (memoized planning, cancellation, structured errors). Run
+// delegates to RunContext with context.Background().
 func Run(inst *Instance, prof *Profile, opt Options) (*Schedule, Stats, error) {
-	return core.Run(inst, prof, opt)
+	return RunContext(context.Background(), inst, prof, opt)
+}
+
+// RunContext executes one CaWoSched variant with cancellation support; the
+// deadline is prof.T(). A canceled ctx aborts the run within one greedy /
+// local-search stride with an error satisfying both
+// errors.Is(err, ErrCanceled) and errors.Is(err, ctx.Err()).
+func RunContext(ctx context.Context, inst *Instance, prof *Profile, opt Options) (*Schedule, Stats, error) {
+	return core.Run(ctx, inst, prof, opt)
 }
 
 // Variants returns the 8 greedy variants with the given local-search
@@ -210,9 +223,18 @@ func OptimalUniprocessor(durations []int64, idle, work int64, prof *Profile) ([]
 
 // OptimalSchedule computes a provably optimal schedule for a tiny instance
 // by branch-and-bound (roughly ≤ 12 tasks). maxNodes bounds the search
-// (0 = default); exact.ErrBudget is returned if it is exhausted.
+// (0 = default); ErrBudgetExhausted is returned if it is exhausted.
+//
+// Deprecated: use OptimalScheduleContext, which adds cancellation support.
 func OptimalSchedule(inst *Instance, prof *Profile, maxNodes int64) (*Schedule, int64, error) {
-	return exact.Solve(inst, prof, exact.Options{MaxNodes: maxNodes})
+	return OptimalScheduleContext(context.Background(), inst, prof, maxNodes)
+}
+
+// OptimalScheduleContext is OptimalSchedule with cancellation support: a
+// canceled ctx aborts the branch-and-bound, returning the incumbent found
+// so far (if any) alongside the ErrCanceled-wrapping error.
+func OptimalScheduleContext(ctx context.Context, inst *Instance, prof *Profile, maxNodes int64) (*Schedule, int64, error) {
+	return exact.Solve(ctx, inst, prof, exact.Options{MaxNodes: maxNodes})
 }
 
 // ALAP returns the As-Late-As-Possible comparator schedule for deadline T.
@@ -221,17 +243,16 @@ func ALAP(inst *Instance, T int64) (*Schedule, error) { return core.ALAP(inst, T
 // RunMarginal executes the exact-marginal-cost greedy (an alternative to
 // the paper's budget-based greedy; see internal/core.GreedyMarginal),
 // optionally followed by the local search.
+//
+// Deprecated: use RunMarginalContext, or a Solver with Request.Marginal.
 func RunMarginal(inst *Instance, prof *Profile, opt Options) (*Schedule, Stats, error) {
-	var st Stats
-	s, err := core.GreedyMarginal(inst, prof, opt, &st)
-	if err != nil {
-		return nil, st, err
-	}
-	if opt.LocalSearch {
-		core.LocalSearch(inst, prof, s, opt.EffectiveMu(), &st)
-	}
-	st.Cost = schedule.CarbonCost(inst, s, prof)
-	return s, st, nil
+	return RunMarginalContext(context.Background(), inst, prof, opt)
+}
+
+// RunMarginalContext is RunMarginal with cancellation support. Like
+// RunContext it validates the produced schedule before returning it.
+func RunMarginalContext(ctx context.Context, inst *Instance, prof *Profile, opt Options) (*Schedule, Stats, error) {
+	return core.RunMarginal(ctx, inst, prof, opt)
 }
 
 // AnnealOptions tunes the simulated-annealing improver.
@@ -240,8 +261,18 @@ type AnnealOptions = core.AnnealOptions
 // Anneal improves a feasible schedule in place by simulated annealing (a
 // randomized alternative to the paper's hill climber) and returns the
 // final carbon cost. The result is never worse than the input.
+//
+// Deprecated: use AnnealContext, which adds cancellation support.
 func Anneal(inst *Instance, prof *Profile, s *Schedule, opt AnnealOptions) int64 {
-	return core.Anneal(inst, prof, s, opt)
+	cost, _ := core.Anneal(context.Background(), inst, prof, s, opt)
+	return cost
+}
+
+// AnnealContext is Anneal with cancellation support: on a canceled ctx the
+// best schedule found so far is restored and returned with its cost
+// alongside the ErrCanceled-wrapping error.
+func AnnealContext(ctx context.Context, inst *Instance, prof *Profile, s *Schedule, opt AnnealOptions) (int64, error) {
+	return core.Anneal(ctx, inst, prof, s, opt)
 }
 
 // MappingPolicy selects the processor-selection rule of the carbon-aware

@@ -8,15 +8,21 @@
 //
 // The workflow is either synthesized (-family, -n) or loaded from a
 // GraphViz .dot file (-dot). The mapping and ordering always come from the
-// built-in HEFT implementation, as in the paper.
+// built-in HEFT implementation, as in the paper; the HEFT plan is computed
+// once per workflow and shared by all requested variants through the
+// Solver's plan cache. Variant names come from the registry (see
+// -list-variants); Ctrl-C cancels the in-flight solve.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
-	"sort"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	cawosched "repro"
@@ -31,21 +37,34 @@ func main() {
 		cluster  = flag.String("cluster", "small", "target cluster: small (72 nodes) | large (144 nodes)")
 		scenario = flag.String("scenario", "S1", "power scenario: S1 | S2 | S3 | S4")
 		factor   = flag.Float64("deadline-factor", 2, "deadline = factor x ASAP makespan (>= 1)")
-		variant  = flag.String("variant", "all", `heuristic to run: "all", "asap", or a name like pressWR-LS`)
+		variant  = flag.String("variant", "all", `heuristic to run: "all", "asap", or a registry name like pressWR-LS (see -list-variants)`)
 		seed     = flag.Uint64("seed", 42, "random seed for workflow/profile generation")
 		verbose  = flag.Bool("v", false, "print the schedule's start times")
 		gantt    = flag.Bool("gantt", false, "render an ASCII Gantt chart of the last variant's schedule")
 		jsonOut  = flag.String("json", "", "write the last variant's schedule to this JSON file")
 		csvOut   = flag.String("csv", "", "write the last variant's schedule to this CSV file")
+		listVar  = flag.Bool("list-variants", false, "print the variant registry (canonical name per line) and exit")
 	)
 	flag.Parse()
-	if err := run(*family, *n, *dotFile, *cluster, *scenario, *factor, *variant, *seed, *verbose, *gantt, *jsonOut, *csvOut); err != nil {
+	if *listVar {
+		for _, name := range cawosched.VariantNames() {
+			fmt.Println(name)
+		}
+		return
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, *family, *n, *dotFile, *cluster, *scenario, *factor, *variant, *seed, *verbose, *gantt, *jsonOut, *csvOut); err != nil {
+		if errors.Is(err, cawosched.ErrCanceled) {
+			fmt.Fprintln(os.Stderr, "cawosched: interrupted")
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "cawosched:", err)
 		os.Exit(1)
 	}
 }
 
-func run(family string, n int, dotFile, clusterName, scenarioName string, factor float64, variant string, seed uint64, verbose, gantt bool, jsonOut, csvOut string) error {
+func run(ctx context.Context, family string, n int, dotFile, clusterName, scenarioName string, factor float64, variant string, seed uint64, verbose, gantt bool, jsonOut, csvOut string) error {
 	wf, err := loadWorkflow(family, n, dotFile, seed)
 	if err != nil {
 		return err
@@ -67,56 +86,68 @@ func run(family string, n int, dotFile, clusterName, scenarioName string, factor
 		return fmt.Errorf("deadline factor %v < 1", factor)
 	}
 
-	inst, err := cawosched.PlanHEFT(wf, cluster)
-	if err != nil {
-		return err
-	}
-	D := cawosched.ASAPMakespan(inst)
-	T := int64(float64(D)*factor + 0.5)
-	prof, err := cawosched.ProfileForInstance(inst, sc, T, 24, seed)
+	names, err := selectVariants(variant)
 	if err != nil {
 		return err
 	}
 
+	solver := cawosched.NewSolver(cluster)
+	req := cawosched.Request{
+		Workflow:       wf,
+		Scenario:       sc,
+		DeadlineFactor: factor,
+		Seed:           seed,
+	}
+
+	// Plan once (the solver caches it for every variant below) and derive
+	// the shared profile so all variants compete on the same horizon.
+	inst, _, err := solver.Plan(ctx, wf)
+	if err != nil {
+		return err
+	}
+	prof, err := solver.ProfileFor(ctx, inst, req)
+	if err != nil {
+		return err
+	}
+	req.Profile = prof
+	D := cawosched.ASAPMakespan(inst)
+
 	fmt.Printf("workflow: %d tasks, %d nodes incl. communications\n", wf.N(), inst.N())
 	fmt.Printf("cluster:  %s (%d compute processors)\n", clusterName, cluster.NumCompute())
-	fmt.Printf("horizon:  D = %d, deadline T = %d, scenario %s, %d intervals\n\n", D, T, sc, prof.J())
+	fmt.Printf("horizon:  D = %d, deadline T = %d, scenario %s, %d intervals\n\n", D, prof.T(), sc, prof.J())
 
 	asap := cawosched.ASAP(inst)
 	asapCost := cawosched.CarbonCost(inst, asap, prof)
 	fmt.Printf("%-12s  %12s  %8s  %10s\n", "variant", "carbon cost", "vs ASAP", "time")
 	fmt.Printf("%-12s  %12d  %8s  %10s\n", "ASAP", asapCost, "1.000", "-")
 
-	opts, err := selectVariants(variant)
-	if err != nil {
-		return err
-	}
 	var last *cawosched.Schedule
-	for _, opt := range opts {
+	for _, name := range names {
+		req.Variant = name
 		start := time.Now()
-		s, st, err := cawosched.Run(inst, prof, opt)
+		res, err := solver.Solve(ctx, req)
 		if err != nil {
-			return fmt.Errorf("%s: %w", opt.Name(), err)
+			return fmt.Errorf("%s: %w", name, err)
 		}
 		elapsed := time.Since(start)
 		ratio := "0.000"
-		if asapCost > 0 {
-			ratio = fmt.Sprintf("%.3f", float64(st.Cost)/float64(asapCost))
-		} else if st.Cost == 0 {
+		if res.ASAPCost > 0 {
+			ratio = fmt.Sprintf("%.3f", float64(res.Cost)/float64(res.ASAPCost))
+		} else if res.Cost == 0 {
 			ratio = "1.000"
 		}
-		fmt.Printf("%-12s  %12d  %8s  %10s\n", opt.Name(), st.Cost, ratio, elapsed.Round(time.Millisecond))
+		fmt.Printf("%-12s  %12d  %8s  %10s\n", res.Variant, res.Cost, ratio, elapsed.Round(time.Millisecond))
 		if verbose {
-			printSchedule(inst, s)
+			printSchedule(inst, res.Schedule)
 		}
-		last = s
+		last = res.Schedule
 	}
 	if last == nil {
 		last = asap
 	}
 	if gantt {
 		fmt.Println()
-		fmt.Print(cawosched.Gantt(inst, last, T, cawosched.GanttOptions{Width: 100, MaxProcs: 12, Profile: prof}))
+		fmt.Print(cawosched.Gantt(inst, last, prof.T(), cawosched.GanttOptions{Width: 100, MaxProcs: 12, Profile: prof}))
 	}
 	if jsonOut != "" {
 		f, err := os.Create(jsonOut)
@@ -180,25 +211,22 @@ func parseScenario(name string) (cawosched.Scenario, error) {
 	return 0, fmt.Errorf("unknown scenario %q", name)
 }
 
-func selectVariants(name string) ([]cawosched.Options, error) {
-	if name == "asap" {
+// selectVariants resolves -variant into registry names: "all" is every
+// registered variant, "asap" is the baseline only (empty list), anything
+// else must resolve through the registry.
+func selectVariants(name string) ([]string, error) {
+	switch name {
+	case "asap":
 		return nil, nil
+	case "all":
+		return cawosched.VariantNames(), nil
 	}
-	all := cawosched.AllVariants()
-	if name == "all" {
-		return all, nil
+	opt, err := cawosched.LookupVariant(name)
+	if err != nil {
+		return nil, fmt.Errorf("%w (want all, asap, or one of %s)",
+			err, strings.Join(cawosched.VariantNames(), ", "))
 	}
-	for _, opt := range all {
-		if opt.Name() == name {
-			return []cawosched.Options{opt}, nil
-		}
-	}
-	var names []string
-	for _, opt := range all {
-		names = append(names, opt.Name())
-	}
-	sort.Strings(names)
-	return nil, fmt.Errorf("unknown variant %q (want all, asap, or one of %s)", name, strings.Join(names, ", "))
+	return []string{opt.Name()}, nil
 }
 
 func printSchedule(inst *cawosched.Instance, s *cawosched.Schedule) {

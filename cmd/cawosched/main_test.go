@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -35,7 +36,7 @@ func TestSelectVariants(t *testing.T) {
 		t.Errorf("all → %d variants, err %v", len(all), err)
 	}
 	one, err := selectVariants("pressWR-LS")
-	if err != nil || len(one) != 1 || one[0].Name() != "pressWR-LS" {
+	if err != nil || len(one) != 1 || one[0] != "pressWR-LS" {
 		t.Errorf("pressWR-LS → %v, %v", one, err)
 	}
 	none, err := selectVariants("asap")
@@ -53,7 +54,7 @@ func TestRunEndToEnd(t *testing.T) {
 	dir := t.TempDir()
 	jsonPath := filepath.Join(dir, "s.json")
 	csvPath := filepath.Join(dir, "s.csv")
-	err := run("bacass", 30, "", "small", "S1", 2, "pressWR-LS", 7, false, false, jsonPath, csvPath)
+	err := run(context.Background(), "bacass", 30, "", "small", "S1", 2, "pressWR-LS", 7, false, false, jsonPath, csvPath)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,19 +69,19 @@ func TestRunEndToEnd(t *testing.T) {
 }
 
 func TestRunRejectsBadInputs(t *testing.T) {
-	if err := run("bogus", 30, "", "small", "S1", 2, "all", 1, false, false, "", ""); err == nil {
+	if err := run(context.Background(), "bogus", 30, "", "small", "S1", 2, "all", 1, false, false, "", ""); err == nil {
 		t.Error("bad family accepted")
 	}
-	if err := run("bacass", 30, "", "medium", "S1", 2, "all", 1, false, false, "", ""); err == nil {
+	if err := run(context.Background(), "bacass", 30, "", "medium", "S1", 2, "all", 1, false, false, "", ""); err == nil {
 		t.Error("bad cluster accepted")
 	}
-	if err := run("bacass", 30, "", "small", "S9", 2, "all", 1, false, false, "", ""); err == nil {
+	if err := run(context.Background(), "bacass", 30, "", "small", "S9", 2, "all", 1, false, false, "", ""); err == nil {
 		t.Error("bad scenario accepted")
 	}
-	if err := run("bacass", 30, "", "small", "S1", 0.5, "all", 1, false, false, "", ""); err == nil {
+	if err := run(context.Background(), "bacass", 30, "", "small", "S1", 0.5, "all", 1, false, false, "", ""); err == nil {
 		t.Error("deadline factor < 1 accepted")
 	}
-	if err := run("bacass", 30, "/nonexistent/path.dot", "small", "S1", 2, "all", 1, false, false, "", ""); err == nil {
+	if err := run(context.Background(), "bacass", 30, "/nonexistent/path.dot", "small", "S1", 2, "all", 1, false, false, "", ""); err == nil {
 		t.Error("missing dot file accepted")
 	}
 }
@@ -92,7 +93,7 @@ func TestRunFromDOTFile(t *testing.T) {
 	if err := os.WriteFile(dot, []byte(src), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("", 0, dot, "small", "S4", 1.5, "slack", 3, false, false, "", ""); err != nil {
+	if err := run(context.Background(), "", 0, dot, "small", "S4", 1.5, "slack", 3, false, false, "", ""); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -18,14 +18,19 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
+	cawosched "repro"
 	"repro/internal/experiments"
 )
 
@@ -41,29 +46,85 @@ func main() {
 		parallel = flag.Int("parallel", 0, "sweep mode: run the full grid on N workers, streaming JSONL (0 = artifact mode)")
 		resume   = flag.Bool("resume", false, "sweep mode: skip jobs already completed in the -out file and append the rest")
 		seeds    = flag.Int("seeds", 1, "sweep mode: replicate seeds per grid cell")
-		timeout  = flag.Duration("job-timeout", 0, "sweep mode: per-job wall-clock cap, e.g. 30s (0 = none)")
+		timeout  = flag.Duration("job-timeout", 0, "sweep mode: per-job wall-clock cap enforced by context cancellation, e.g. 30s (0 = none)")
+		variants = flag.String("variants", "", `sweep mode: comma-separated registry variant names to run instead of the full roster (ASAP always included), e.g. "pressWR-LS,slackR"`)
+		listVar  = flag.Bool("list-variants", false, "print the variant registry (canonical name per line) and exit")
 	)
 	flag.Parse()
+	if *listVar {
+		printVariants()
+		return
+	}
+	// Ctrl-C / SIGTERM cancels the context: in-flight scheduling observes
+	// it and returns, sweep mode leaves a resumable JSONL prefix behind.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	var err error
 	if *parallel > 0 {
-		err = runSweep(*maxTasks, *seed, *parallel, *outDir, *resume, *seeds, *timeout, *quiet)
+		err = runSweep(ctx, *maxTasks, *seed, *parallel, *outDir, *resume, *seeds, *timeout, *variants, *quiet)
 	} else {
-		err = run2(*maxTasks, *seed, *workers, *outDir, *only, *quiet, *saveTo)
+		err = run2(ctx, *maxTasks, *seed, *workers, *outDir, *only, *quiet, *saveTo)
 	}
 	if err != nil {
+		if errors.Is(err, cawosched.ErrCanceled) {
+			fmt.Fprintln(os.Stderr, "experiments: interrupted (partial results kept; sweep mode: rerun with -resume)")
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
+// printVariants prints the registry in canonical order: the source of
+// truth for names accepted by -variants and stored in sweep JSONL records.
+func printVariants() {
+	for _, name := range cawosched.VariantNames() {
+		fmt.Println(name)
+	}
+}
+
+// selectRoster resolves the -variants flag against the registry; an empty
+// flag keeps the full 17-algorithm roster (ASAP + 16 variants).
+func selectRoster(variants string) ([]experiments.Algorithm, error) {
+	all := experiments.Algorithms()
+	if variants == "" {
+		return all, nil
+	}
+	byName := make(map[string]experiments.Algorithm, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	roster := []experiments.Algorithm{byName[experiments.BaselineName]}
+	seen := map[string]bool{}
+	for _, raw := range strings.Split(variants, ",") {
+		name := strings.TrimSpace(raw)
+		if name == "" || strings.EqualFold(name, experiments.BaselineName) {
+			continue
+		}
+		opt, err := cawosched.LookupVariant(name)
+		if err != nil {
+			return nil, fmt.Errorf("%w (see -list-variants)", err)
+		}
+		if seen[opt.Name()] {
+			continue // duplicate names would emit duplicate job keys
+		}
+		seen[opt.Name()] = true
+		roster = append(roster, byName[opt.Name()])
+	}
+	return roster, nil
+}
+
 // runSweep is the -parallel path: grid generation, worker-pool execution
 // with JSONL streaming/resume, then a paper-style aggregation over every
 // record on disk (including ones from earlier resumed runs).
-func runSweep(maxTasks int, seed uint64, parallel int, outPath string, resume bool, seeds int, timeout time.Duration, quiet bool) error {
+func runSweep(ctx context.Context, maxTasks int, seed uint64, parallel int, outPath string, resume bool, seeds int, timeout time.Duration, variants string, quiet bool) error {
 	if outPath == "" {
 		outPath = "results.jsonl"
 	}
-	roster := experiments.Algorithms()
+	roster, err := selectRoster(variants)
+	if err != nil {
+		return err
+	}
 	names := algoNames(roster)
 	jobs := experiments.Grid(maxTasks, seed, seeds, names)
 
@@ -124,7 +185,7 @@ func runSweep(maxTasks int, seed uint64, parallel int, outPath string, resume bo
 			fmt.Printf("  %d/%d jobs (%.0fs)\n", done, total, time.Since(start).Seconds())
 		}
 	}
-	_, err = experiments.Sweep(jobs, roster, f, experiments.SweepOptions{
+	_, err = experiments.Sweep(ctx, jobs, roster, f, experiments.SweepOptions{
 		Workers:  parallel,
 		Timeout:  timeout,
 		Skip:     skip,
@@ -170,10 +231,10 @@ func runSweep(maxTasks int, seed uint64, parallel int, outPath string, resume bo
 
 // run keeps the original signature for tests; run2 adds result saving.
 func run(maxTasks int, seed uint64, workers int, outDir, only string, quiet bool) error {
-	return run2(maxTasks, seed, workers, outDir, only, quiet, "")
+	return run2(context.Background(), maxTasks, seed, workers, outDir, only, quiet, "")
 }
 
-func run2(maxTasks int, seed uint64, workers int, outDir, only string, quiet bool, saveTo string) error {
+func run2(ctx context.Context, maxTasks int, seed uint64, workers int, outDir, only string, quiet bool, saveTo string) error {
 	want := map[string]bool{}
 	for _, name := range strings.Split(only, ",") {
 		want[strings.TrimSpace(name)] = true
@@ -221,7 +282,7 @@ func run2(maxTasks int, seed uint64, workers int, outDir, only string, quiet boo
 				fmt.Printf("  %d/%d instances (%.0fs)\n", done, total, time.Since(start).Seconds())
 			}
 		}
-		results, err := experiments.Run(specs, algos, workers, progress)
+		results, err := experiments.Run(ctx, specs, algos, workers, progress)
 		if err != nil {
 			return err
 		}
@@ -298,7 +359,7 @@ func run2(maxTasks int, seed uint64, workers int, outDir, only string, quiet boo
 		specs := experiments.AblationCorpus(maxTasks, seed)
 		fmt.Printf("running ablation corpus (Table 2): %d instances x 17 algorithms\n", len(specs))
 		start := time.Now()
-		results, err := experiments.Run(specs, experiments.Algorithms(), workers, nil)
+		results, err := experiments.Run(ctx, specs, experiments.Algorithms(), workers, nil)
 		if err != nil {
 			return err
 		}
@@ -308,7 +369,7 @@ func run2(maxTasks int, seed uint64, workers int, outDir, only string, quiet boo
 
 	if selected("fig7") {
 		fmt.Println("running exact-comparison corpus (Figure 7)")
-		t, err := experiments.Fig7ExactComparison(seed, experiments.LSAlgorithms(), 20_000_000)
+		t, err := experiments.Fig7ExactComparison(ctx, seed, experiments.LSAlgorithms(), 20_000_000)
 		if err != nil {
 			return err
 		}
@@ -325,32 +386,32 @@ func run2(maxTasks int, seed uint64, workers int, outDir, only string, quiet boo
 		}
 		specs := experiments.Corpus(cap, seed)
 		fmt.Printf("running ablations on %d instances\n", len(specs))
-		if t, err := experiments.AblationK(specs, []int{1, 2, 3, 4}, workers); err != nil {
+		if t, err := experiments.AblationK(ctx, specs, []int{1, 2, 3, 4}, workers); err != nil {
 			return err
 		} else {
 			emit("ablation_k", t)
 		}
-		if t, err := experiments.AblationMu(specs, []int64{1, 5, 10, 20}, workers); err != nil {
+		if t, err := experiments.AblationMu(ctx, specs, []int64{1, 5, 10, 20}, workers); err != nil {
 			return err
 		} else {
 			emit("ablation_mu", t)
 		}
-		if t, err := experiments.AblationImprovers(specs, workers); err != nil {
+		if t, err := experiments.AblationImprovers(ctx, specs, workers); err != nil {
 			return err
 		} else {
 			emit("ablation_improvers", t)
 		}
-		if t, err := experiments.AblationGreedies(specs, workers); err != nil {
+		if t, err := experiments.AblationGreedies(ctx, specs, workers); err != nil {
 			return err
 		} else {
 			emit("ablation_greedies", t)
 		}
-		if t, err := experiments.AblationOrdering(specs, workers); err != nil {
+		if t, err := experiments.AblationOrdering(ctx, specs, workers); err != nil {
 			return err
 		} else {
 			emit("ablation_ordering", t)
 		}
-		if t, err := experiments.ExtensionTwoPass(specs, workers); err != nil {
+		if t, err := experiments.ExtensionTwoPass(ctx, specs, workers); err != nil {
 			return err
 		} else {
 			emit("extension_twopass", t)
@@ -365,12 +426,12 @@ func run2(maxTasks int, seed uint64, workers int, outDir, only string, quiet boo
 		}
 		specs := experiments.Corpus(cap, seed)
 		fmt.Printf("running robustness studies on %d instances\n", len(specs))
-		if t, err := experiments.RobustnessRuntime(specs, []float64{0, 0.1, 0.2, 0.4}, workers); err != nil {
+		if t, err := experiments.RobustnessRuntime(ctx, specs, []float64{0, 0.1, 0.2, 0.4}, workers); err != nil {
 			return err
 		} else {
 			emit("robustness_runtime", t)
 		}
-		if t, err := experiments.RobustnessForecast(specs, []float64{0, 0.1, 0.25, 0.5}, workers); err != nil {
+		if t, err := experiments.RobustnessForecast(ctx, specs, []float64{0, 0.1, 0.25, 0.5}, workers); err != nil {
 			return err
 		} else {
 			emit("robustness_forecast", t)

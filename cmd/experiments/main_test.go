@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -44,7 +45,7 @@ func TestRunUnknownArtifact(t *testing.T) {
 func TestRunSweepStreamsAndResumes(t *testing.T) {
 	dir := t.TempDir()
 	out := filepath.Join(dir, "results.jsonl")
-	if err := runSweep(100, 42, 4, out, false, 1, 0, true); err != nil {
+	if err := runSweep(context.Background(), 100, 42, 4, out, false, 1, 0, "", true); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -56,7 +57,7 @@ func TestRunSweepStreamsAndResumes(t *testing.T) {
 		t.Fatal("sweep wrote no records")
 	}
 	// Resuming over a complete file must run zero jobs and leave it as is.
-	if err := runSweep(100, 42, 4, out, true, 1, 0, true); err != nil {
+	if err := runSweep(context.Background(), 100, 42, 4, out, true, 1, 0, "", true); err != nil {
 		t.Fatal(err)
 	}
 	data, err = os.ReadFile(out)
@@ -71,7 +72,7 @@ func TestRunSweepStreamsAndResumes(t *testing.T) {
 func TestRunSweepResumesTornFile(t *testing.T) {
 	dir := t.TempDir()
 	out := filepath.Join(dir, "results.jsonl")
-	if err := runSweep(100, 42, 2, out, false, 1, 0, true); err != nil {
+	if err := runSweep(context.Background(), 100, 42, 2, out, false, 1, 0, "", true); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -86,7 +87,7 @@ func TestRunSweepResumesTornFile(t *testing.T) {
 	if err := os.WriteFile(out, torn, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := runSweep(100, 42, 2, out, true, 1, 0, true); err != nil {
+	if err := runSweep(context.Background(), 100, 42, 2, out, true, 1, 0, "", true); err != nil {
 		t.Fatalf("resume over torn file: %v", err)
 	}
 	data, err = os.ReadFile(out)
@@ -117,5 +118,23 @@ func TestAlgoNames(t *testing.T) {
 	names := algoNames(nil)
 	if len(names) != 0 {
 		t.Errorf("algoNames(nil) = %v", names)
+	}
+}
+
+func TestSelectRoster(t *testing.T) {
+	full, err := selectRoster("")
+	if err != nil || len(full) != 17 {
+		t.Fatalf("empty -variants → %d algos, err %v; want full 17", len(full), err)
+	}
+	sub, err := selectRoster("pressWR-LS, slackR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub) != 3 || sub[0].Name != "ASAP" || sub[1].Name != "pressWR-LS" || sub[2].Name != "slackR" {
+		names := algoNames(sub)
+		t.Fatalf("roster = %v, want [ASAP pressWR-LS slackR]", names)
+	}
+	if _, err := selectRoster("pressZZ"); err == nil {
+		t.Error("unknown variant accepted by -variants")
 	}
 }

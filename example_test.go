@@ -1,12 +1,62 @@
 package cawosched_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
 
 	cawosched "repro"
 )
+
+// ExampleSolver_Solve shows the request/response entry point: one solver
+// per cluster, one Request per solve. The two-task chain only fits its
+// work into the green second half of the horizon, so the carbon-aware
+// schedule is free while ASAP burns brown power.
+func ExampleSolver_Solve() {
+	wf := cawosched.NewWorkflow(2)
+	wf.SetWeight(0, 4)
+	wf.SetWeight(1, 4)
+	wf.AddEdge(0, 1, 1)
+
+	cluster := cawosched.NewCluster([]cawosched.ProcType{
+		{Name: "node", Speed: 1, Idle: 0, Work: 10},
+	}, []int{1}, 1)
+	prof := cawosched.ConstantProfile(20, 0)
+	prof.Intervals = []cawosched.Interval{
+		{Start: 0, End: 10, Budget: 0},
+		{Start: 10, End: 20, Budget: 10},
+	}
+
+	solver := cawosched.NewSolver(cluster)
+	res, err := solver.Solve(context.Background(), cawosched.Request{
+		Workflow: wf,
+		Variant:  "slack",
+		Profile:  prof, // explicit profile; its horizon is the deadline
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("variant:", res.Variant)
+	fmt.Println("ASAP cost:", res.ASAPCost)
+	fmt.Println("CaWoSched cost:", res.Cost)
+	fmt.Println("first task starts at:", res.Schedule.Start[0])
+
+	// A second solve for the same workflow reuses the cached HEFT plan.
+	if _, err := solver.Solve(context.Background(), cawosched.Request{
+		Workflow: wf, Variant: "pressWR-LS", Profile: prof,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	st := solver.Stats()
+	fmt.Printf("plan cache: %d hit, %d miss\n", st.PlanHits, st.PlanMisses)
+	// Output:
+	// variant: slack
+	// ASAP cost: 80
+	// CaWoSched cost: 0
+	// first task starts at: 10
+	// plan cache: 1 hit, 1 miss
+}
 
 // Example demonstrates the core pipeline: build a workflow by hand, map
 // it with HEFT, and schedule it carbon-aware against a two-phase profile

@@ -2,11 +2,12 @@
 // synthetic scenario. A 24-hour carbon-intensity trace (a typical
 // solar-heavy grid day: dirty overnight, clean around noon) is imported as
 // CSV, converted into a green-power profile, and an eager workflow is
-// scheduled against it. The ASCII Gantt shows the work huddling into the
-// clean midday hours.
+// scheduled against it through the Solver's explicit-profile request path.
+// The ASCII Gantt shows the work huddling into the clean midday hours.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -44,16 +45,20 @@ const intensityCSV = `offset,intensity
 `
 
 func main() {
+	ctx := context.Background()
 	wf, err := cawosched.GenerateWorkflow(cawosched.Eager, 300, 3)
 	if err != nil {
 		log.Fatal(err)
 	}
-	cluster := cawosched.SmallCluster(3)
-	inst, err := cawosched.PlanHEFT(wf, cluster)
+	solver := cawosched.NewSolver(cawosched.SmallCluster(3))
+
+	// The intensity → green-power conversion needs the platform's power
+	// corridor, so plan first (the Solve below reuses the cached plan via
+	// Request.Instance).
+	inst, _, err := solver.Plan(ctx, wf)
 	if err != nil {
 		log.Fatal(err)
 	}
-
 	trace, err := cawosched.ReadIntensityCSV(strings.NewReader(intensityCSV))
 	if err != nil {
 		log.Fatal(err)
@@ -68,22 +73,23 @@ func main() {
 		log.Fatal(err)
 	}
 
-	asap := cawosched.ASAP(inst)
-	asapCost := cawosched.CarbonCost(inst, asap, prof)
-	sched, stats, err := cawosched.Run(inst, prof, cawosched.Options{
-		Score: cawosched.ScorePressureW, Refined: true, LocalSearch: true,
+	res, err := solver.Solve(ctx, cawosched.Request{
+		Instance: inst,
+		Profile:  prof, // explicit profile: its horizon is the deadline
+		Variant:  "pressWR-LS",
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
+	asap := cawosched.ASAP(inst)
 	fmt.Printf("eager workflow: %d tasks, ASAP makespan %d of %d-unit day\n", wf.N(), D, T)
-	fmt.Printf("ASAP carbon cost       : %d\n", asapCost)
-	fmt.Printf("pressWR-LS carbon cost : %d (%.1f%% of ASAP)\n\n",
-		stats.Cost, 100*float64(stats.Cost)/float64(asapCost))
+	fmt.Printf("ASAP carbon cost       : %d\n", res.ASAPCost)
+	fmt.Printf("%s carbon cost : %d (%.1f%% of ASAP)\n\n",
+		res.Variant, res.Cost, 100*float64(res.Cost)/float64(res.ASAPCost))
 
 	fmt.Println("ASAP (busiest 6 processors):")
 	fmt.Print(cawosched.Gantt(inst, asap, T, cawosched.GanttOptions{Width: 96, MaxProcs: 6, Profile: prof}))
 	fmt.Println("\ncarbon-aware (same processors):")
-	fmt.Print(cawosched.Gantt(inst, sched, T, cawosched.GanttOptions{Width: 96, MaxProcs: 6, Profile: prof}))
+	fmt.Print(cawosched.Gantt(inst, res.Schedule, T, cawosched.GanttOptions{Width: 96, MaxProcs: 6, Profile: prof}))
 }

@@ -1,12 +1,15 @@
 // Datacenter: one ATAC-seq analysis campaign on the large cluster under
 // the four renewable-supply scenarios of the paper (solar day, midday
-// start, 24h sine, constant storage/nuclear). For each scenario it prints
-// how much brown energy the ASAP baseline burns versus every CaWoSched
-// local-search variant, illustrating when carbon-aware shifting pays off
-// (S1/S3) and when ASAP is already fine (green power early in S2/S4).
+// start, 24h sine, constant storage/nuclear). A single Solver serves all
+// scenario × variant requests off one cached HEFT plan. For each scenario
+// it prints how much brown energy the ASAP baseline burns versus every
+// CaWoSched local-search variant, illustrating when carbon-aware shifting
+// pays off (S1/S3) and when ASAP is already fine (green power early in
+// S2/S4).
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -14,20 +17,20 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	wf, err := cawosched.GenerateWorkflow(cawosched.Atacseq, 800, 7)
 	if err != nil {
 		log.Fatal(err)
 	}
-	cluster := cawosched.LargeCluster(7)
-	inst, err := cawosched.PlanHEFT(wf, cluster)
+	solver := cawosched.NewSolver(cawosched.LargeCluster(7))
+	inst, _, err := solver.Plan(ctx, wf)
 	if err != nil {
 		log.Fatal(err)
 	}
 	D := cawosched.ASAPMakespan(inst)
-	T := 2 * D
 
 	fmt.Printf("ATAC-seq campaign: %d tasks on %d nodes, D = %d, T = %d\n\n",
-		wf.N(), cluster.NumCompute(), D, T)
+		wf.N(), solver.Cluster().NumCompute(), D, 2*D)
 	fmt.Printf("%-10s  %12s  %-12s  %12s  %8s\n",
 		"scenario", "ASAP cost", "best variant", "best cost", "ratio")
 
@@ -40,22 +43,29 @@ func main() {
 		{cawosched.S3, "24h sine"},
 		{cawosched.S4, "constant (storage/nuclear)"},
 	}
+	// The 8 local-search variants of the registry (names ending in -LS).
+	var variants []string
+	for _, opt := range cawosched.Variants(true) {
+		variants = append(variants, opt.Name())
+	}
 	for _, s := range scenarios {
-		prof, err := cawosched.ProfileForInstance(inst, s.sc, T, 24, 7)
-		if err != nil {
-			log.Fatal(err)
-		}
-		asapCost := cawosched.CarbonCost(inst, cawosched.ASAP(inst), prof)
-
+		asapCost := int64(-1)
 		bestName := ""
 		var bestCost int64 = -1
-		for _, opt := range cawosched.Variants(true) {
-			_, st, err := cawosched.Run(inst, prof, opt)
+		for _, v := range variants {
+			res, err := solver.Solve(ctx, cawosched.Request{
+				Workflow:       wf,
+				Variant:        v,
+				Scenario:       s.sc,
+				DeadlineFactor: 2,
+				Seed:           7,
+			})
 			if err != nil {
 				log.Fatal(err)
 			}
-			if bestCost < 0 || st.Cost < bestCost {
-				bestCost, bestName = st.Cost, opt.Name()
+			asapCost = res.ASAPCost
+			if bestCost < 0 || res.Cost < bestCost {
+				bestCost, bestName = res.Cost, res.Variant
 			}
 		}
 		ratio := 1.0

@@ -1,9 +1,11 @@
 // Quickstart: schedule a synthetic bioinformatics workflow on the paper's
-// small cluster and compare the carbon cost of the ASAP baseline with the
-// best CaWoSched variant (pressWR-LS).
+// small cluster through the request/response Solver API and compare the
+// carbon cost of the ASAP baseline with the best CaWoSched variant
+// (pressWR-LS, the solver's default).
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -17,42 +19,42 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// 2. A platform and a fixed mapping/ordering from HEFT.
-	cluster := cawosched.SmallCluster(42)
-	inst, err := cawosched.PlanHEFT(wf, cluster)
-	if err != nil {
-		log.Fatal(err)
-	}
+	// 2. A solver bound to the paper's small cluster. One solver serves
+	// any number of requests (and goroutines); HEFT plans are memoized per
+	// workflow fingerprint.
+	solver := cawosched.NewSolver(cawosched.SmallCluster(42))
 
-	// 3. A deadline (2x the ASAP makespan) and a solar-day power profile.
-	D := cawosched.ASAPMakespan(inst)
-	prof, err := cawosched.ProfileForInstance(inst, cawosched.S1, 2*D, 24, 42)
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	// 4. Schedule.
-	asap := cawosched.ASAP(inst)
-	asapCost := cawosched.CarbonCost(inst, asap, prof)
-
-	sched, stats, err := cawosched.Run(inst, prof, cawosched.Options{
-		Score:       cawosched.ScorePressureW,
-		Refined:     true,
-		LocalSearch: true, // pressWR-LS, the paper's most frequent winner
+	// 3. One request: deadline 2x the ASAP makespan, solar-day profile
+	// (S1), the default variant pressWR-LS. The response carries the
+	// validated schedule plus everything needed to interpret it.
+	res, err := solver.Solve(context.Background(), cawosched.Request{
+		Workflow:       wf,
+		Scenario:       cawosched.S1,
+		DeadlineFactor: 2,
+		Seed:           42,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := cawosched.Validate(inst, sched, prof.T()); err != nil {
-		log.Fatal(err)
+
+	fmt.Printf("workflow        : %d tasks (%d nodes incl. communications)\n", wf.N(), res.Instance.N())
+	fmt.Printf("ASAP makespan D : %d time units, deadline T = %d\n", res.D, res.Deadline)
+	fmt.Printf("ASAP cost       : %d\n", res.ASAPCost)
+	fmt.Printf("%s cost : %d (greedy %d, local search saved %d in %d moves)\n",
+		res.Variant, res.Cost, res.Stats.GreedyCost, res.Stats.LSGain, res.Stats.LSMoves)
+	if res.ASAPCost > 0 {
+		fmt.Printf("cost ratio      : %.3f\n", float64(res.Cost)/float64(res.ASAPCost))
 	}
 
-	fmt.Printf("workflow        : %d tasks (%d nodes incl. communications)\n", wf.N(), inst.N())
-	fmt.Printf("ASAP makespan D : %d time units, deadline T = %d\n", D, prof.T())
-	fmt.Printf("ASAP cost       : %d\n", asapCost)
-	fmt.Printf("pressWR-LS cost : %d (greedy %d, local search saved %d in %d moves)\n",
-		stats.Cost, stats.GreedyCost, stats.LSGain, stats.LSMoves)
-	if asapCost > 0 {
-		fmt.Printf("cost ratio      : %.3f\n", float64(stats.Cost)/float64(asapCost))
+	// 4. A second request for the same workflow skips HEFT re-planning.
+	if _, err := solver.Solve(context.Background(), cawosched.Request{
+		Workflow: wf,
+		Variant:  "slackWR-LS",
+		Seed:     42,
+	}); err != nil {
+		log.Fatal(err)
 	}
+	st := solver.Stats()
+	fmt.Printf("solver stats    : %d solves, plan cache %d hit / %d miss\n",
+		st.Solves, st.PlanHits, st.PlanMisses)
 }

@@ -4,6 +4,10 @@
 // end-time set E′, and (c) brute-force exploration for confirmation.
 // The printout shows where the DP parks each job relative to the green
 // windows.
+//
+// This is the one example below the Solver API: the uniprocessor DP is a
+// theory artifact with no mapping/profile pipeline to memoize, so it is
+// exposed only as the OptimalUniprocessor free function.
 package main
 
 import (

@@ -10,6 +10,8 @@
 package cawosched_test
 
 import (
+	"context"
+
 	"fmt"
 	"testing"
 
@@ -66,19 +68,19 @@ func TestIntegrationAllSchedulersValid(t *testing.T) {
 			}
 			all = append(all, namedSched{"ALAP", alap})
 			for _, opt := range core.AllVariants() {
-				s, _, err := core.Run(in.Inst, in.Prof, opt)
+				s, _, err := core.Run(context.Background(), in.Inst, in.Prof, opt)
 				if err != nil {
 					t.Fatal(err)
 				}
 				all = append(all, namedSched{opt.Name(), s})
 			}
-			mg, err := core.GreedyMarginal(in.Inst, in.Prof, core.Options{Score: core.ScorePressureW}, nil)
+			mg, err := core.GreedyMarginal(context.Background(), in.Inst, in.Prof, core.Options{Score: core.ScorePressureW}, nil)
 			if err != nil {
 				t.Fatal(err)
 			}
 			all = append(all, namedSched{"marginal", mg})
 			ann := mg.Clone()
-			core.Anneal(in.Inst, in.Prof, ann, core.AnnealOptions{Seed: 1, Iterations: 2000})
+			core.Anneal(context.Background(), in.Inst, in.Prof, ann, core.AnnealOptions{Seed: 1, Iterations: 2000})
 			all = append(all, namedSched{"marginal+anneal", ann})
 
 			for _, ns := range all {
@@ -111,7 +113,7 @@ func TestIntegrationNoHeuristicBeatsOptimum(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			_, opt, err := exact.Solve(in.Inst, in.Prof, exact.Options{MaxNodes: 20_000_000})
+			_, opt, err := exact.Solve(context.Background(), in.Inst, in.Prof, exact.Options{MaxNodes: 20_000_000})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -127,13 +129,13 @@ func TestIntegrationNoHeuristicBeatsOptimum(t *testing.T) {
 			}
 			check("ALAP", alap)
 			for _, o := range core.AllVariants() {
-				s, _, err := core.Run(in.Inst, in.Prof, o)
+				s, _, err := core.Run(context.Background(), in.Inst, in.Prof, o)
 				if err != nil {
 					t.Fatal(err)
 				}
 				check(o.Name(), s)
 			}
-			mg, err := core.GreedyMarginal(in.Inst, in.Prof, core.Options{Score: core.ScoreSlackW}, nil)
+			mg, err := core.GreedyMarginal(context.Background(), in.Inst, in.Prof, core.Options{Score: core.ScoreSlackW}, nil)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -172,7 +174,7 @@ func TestIntegrationDPAgreesWithExactOnChains(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, bb, err := exact.Solve(inst, prof, exact.Options{})
+	_, bb, err := exact.Solve(context.Background(), inst, prof, exact.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/ceg"
@@ -49,7 +50,11 @@ func (o AnnealOptions) cooling() float64 {
 // candidate, and the proposal space shrinks from O(window) to
 // O(#breakpoints). The best schedule seen is restored at the end, so the
 // result is never worse than the input. Returns the final carbon cost.
-func Anneal(inst *ceg.Instance, prof *power.Profile, s *schedule.Schedule, opt AnnealOptions) int64 {
+//
+// The context is polled every ctxCheckStride proposals; on cancellation the
+// best schedule seen so far is restored and its cost returned alongside a
+// scherr.ErrCanceled-wrapping error, so the partial improvement is usable.
+func Anneal(ctx context.Context, inst *ceg.Instance, prof *power.Profile, s *schedule.Schedule, opt AnnealOptions) (int64, error) {
 	T := prof.T()
 	N := inst.N()
 	tl := schedule.NewTimeline(inst, s, prof)
@@ -68,6 +73,12 @@ func Anneal(inst *ceg.Instance, prof *power.Profile, s *schedule.Schedule, opt A
 	iters := opt.iterations(N)
 	var candBuf []int64
 	for it := 0; it < iters; it++ {
+		if it%ctxCheckStride == 0 {
+			if err := canceled(ctx); err != nil {
+				copy(s.Start, best.Start)
+				return bestCost, err
+			}
+		}
 		v := r.Intn(N)
 		dur := inst.Dur[v]
 		lo := int64(0)
@@ -115,5 +126,5 @@ func Anneal(inst *ceg.Instance, prof *power.Profile, s *schedule.Schedule, opt A
 		}
 	}
 	copy(s.Start, best.Start)
-	return bestCost
+	return bestCost, nil
 }

@@ -14,32 +14,75 @@
 //
 // The 4 scores × 2 subdivisions × {with, without} local search give the 16
 // heuristic variants evaluated in Section 6.
+//
+// Every entry point takes a context.Context and polls it at phase
+// boundaries and periodically inside the hot loops; a canceled context
+// aborts the run with an error satisfying errors.Is(err, scherr.ErrCanceled)
+// and errors.Is(err, ctx.Err()).
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/ceg"
 	"repro/internal/power"
 	"repro/internal/schedule"
+	"repro/internal/scherr"
 )
+
+// ctxCheckStride is how many loop iterations (greedy placements, annealing
+// proposals, local-search task scans) pass between context polls. ctx.Err()
+// is an atomic load, so the stride only amortizes the branch.
+const ctxCheckStride = 256
+
+// canceled returns the wrapped cancellation error if ctx is done, else nil.
+func canceled(ctx context.Context) error {
+	return scherr.Canceled(ctx.Err())
+}
 
 // Run executes one CaWoSched variant on the instance. The deadline is the
 // profile's horizon T. It returns the schedule and statistics about the
-// run. An error is returned only if the instance cannot meet the deadline
-// at all (the ASAP makespan exceeds T).
-func Run(inst *ceg.Instance, prof *power.Profile, opt Options) (*schedule.Schedule, Stats, error) {
+// run. It fails with scherr.ErrInfeasibleDeadline if the instance cannot
+// meet the deadline at all (the ASAP makespan exceeds T), and with
+// scherr.ErrCanceled if ctx is canceled mid-run.
+func Run(ctx context.Context, inst *ceg.Instance, prof *power.Profile, opt Options) (*schedule.Schedule, Stats, error) {
 	var st Stats
 	T := prof.T()
-	s, err := Greedy(inst, prof, opt, &st)
+	s, err := Greedy(ctx, inst, prof, opt, &st)
 	if err != nil {
 		return nil, st, err
 	}
 	if opt.LocalSearch {
-		LocalSearch(inst, prof, s, opt.EffectiveMu(), &st)
+		if err := LocalSearch(ctx, inst, prof, s, opt.EffectiveMu(), &st); err != nil {
+			return nil, st, err
+		}
 	}
 	if err := schedule.Validate(inst, s, T); err != nil {
 		return nil, st, fmt.Errorf("core: produced invalid schedule: %w", err)
+	}
+	st.Cost = schedule.CarbonCost(inst, s, prof)
+	return s, st, nil
+}
+
+// RunMarginal executes the exact-marginal-cost greedy (an alternative to
+// the paper's budget-based greedy; see GreedyMarginal), optionally followed
+// by the local search. Like Run it validates the produced schedule before
+// returning it.
+func RunMarginal(ctx context.Context, inst *ceg.Instance, prof *power.Profile, opt Options) (*schedule.Schedule, Stats, error) {
+	var st Stats
+	T := prof.T()
+	s, err := GreedyMarginal(ctx, inst, prof, opt, &st)
+	if err != nil {
+		return nil, st, err
+	}
+	if opt.LocalSearch {
+		if err := LocalSearch(ctx, inst, prof, s, opt.EffectiveMu(), &st); err != nil {
+			return nil, st, err
+		}
+	}
+	if err := schedule.Validate(inst, s, T); err != nil {
+		return nil, st, fmt.Errorf("core: marginal greedy produced invalid schedule: %w", err)
 	}
 	st.Cost = schedule.CarbonCost(inst, s, prof)
 	return s, st, nil

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"testing"
 	"testing/quick"
 
@@ -279,7 +281,7 @@ func TestGreedyProducesValidSchedules(t *testing.T) {
 	inst, prof := testInstance(t, wfgen.Atacseq, 120, 5, power.S1, 2)
 	for _, opt := range Variants(false) {
 		var st Stats
-		s, err := Greedy(inst, prof, opt, &st)
+		s, err := Greedy(context.Background(), inst, prof, opt, &st)
 		if err != nil {
 			t.Fatalf("%s: %v", opt.Name(), err)
 		}
@@ -295,10 +297,10 @@ func TestGreedyProducesValidSchedules(t *testing.T) {
 func TestGreedyRefinedHasMoreIntervals(t *testing.T) {
 	inst, prof := testInstance(t, wfgen.Bacass, 57, 7, power.S3, 2)
 	var stN, stR Stats
-	if _, err := Greedy(inst, prof, Options{Score: ScoreSlack}, &stN); err != nil {
+	if _, err := Greedy(context.Background(), inst, prof, Options{Score: ScoreSlack}, &stN); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Greedy(inst, prof, Options{Score: ScoreSlack, Refined: true}, &stR); err != nil {
+	if _, err := Greedy(context.Background(), inst, prof, Options{Score: ScoreSlack, Refined: true}, &stR); err != nil {
 		t.Fatal(err)
 	}
 	if stR.Intervals <= stN.Intervals {
@@ -316,7 +318,7 @@ func TestGreedyBeatsASAPOnLateGreenPower(t *testing.T) {
 	}
 	asapCost := schedule.CarbonCost(inst, ASAP(inst), prof)
 	for _, opt := range Variants(false) {
-		s, err := Greedy(inst, prof, opt, nil)
+		s, err := Greedy(context.Background(), inst, prof, opt, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -334,7 +336,7 @@ func TestRunAllVariantsValidAndStats(t *testing.T) {
 	inst, prof := testInstance(t, wfgen.Methylseq, 100, 11, power.S3, 2)
 	asapCost := schedule.CarbonCost(inst, ASAP(inst), prof)
 	for _, opt := range AllVariants() {
-		s, st, err := Run(inst, prof, opt)
+		s, st, err := Run(context.Background(), inst, prof, opt)
 		if err != nil {
 			t.Fatalf("%s: %v", opt.Name(), err)
 		}
@@ -354,13 +356,13 @@ func TestRunAllVariantsValidAndStats(t *testing.T) {
 func TestLocalSearchNeverWorsens(t *testing.T) {
 	for seed := uint64(0); seed < 4; seed++ {
 		inst, prof := testInstance(t, wfgen.Families()[seed%4], 80, seed, power.S1, 1.5)
-		s, err := Greedy(inst, prof, Options{Score: ScorePressure, Refined: true}, nil)
+		s, err := Greedy(context.Background(), inst, prof, Options{Score: ScorePressure, Refined: true}, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
 		before := schedule.CarbonCost(inst, s, prof)
 		var st Stats
-		LocalSearch(inst, prof, s, 10, &st)
+		LocalSearch(context.Background(), inst, prof, s, 10, &st)
 		after := schedule.CarbonCost(inst, s, prof)
 		if after > before {
 			t.Errorf("seed %d: LS worsened %d → %d", seed, before, after)
@@ -385,7 +387,7 @@ func TestLocalSearchImprovesBadSchedule(t *testing.T) {
 	s := schedule.New(1)
 	s.Start[0] = 7 // fully brown: cost 30
 	var st Stats
-	LocalSearch(inst, prof, s, 10, &st)
+	LocalSearch(context.Background(), inst, prof, s, 10, &st)
 	if got := schedule.CarbonCost(inst, s, prof); got != 0 {
 		t.Errorf("LS left cost %d, want 0 (move into the green window)", got)
 	}
@@ -397,7 +399,7 @@ func TestLocalSearchImprovesBadSchedule(t *testing.T) {
 func TestRunInfeasibleDeadline(t *testing.T) {
 	inst := uniChain(t, []int64{5, 5}, 1, 1)
 	prof := power.Constant(9, 100) // ASAP needs 10
-	if _, _, err := Run(inst, prof, Options{}); err == nil {
+	if _, _, err := Run(context.Background(), inst, prof, Options{}); err == nil {
 		t.Error("infeasible deadline not reported")
 	}
 }
@@ -409,7 +411,7 @@ func TestGreedyWithExactDeadline(t *testing.T) {
 	D := ASAPMakespan(inst)
 	prof := prof0.Clip(D)
 	for _, opt := range AllVariants() {
-		s, _, err := Run(inst, prof, opt)
+		s, _, err := Run(context.Background(), inst, prof, opt)
 		if err != nil {
 			t.Fatalf("%s: %v", opt.Name(), err)
 		}
@@ -422,11 +424,11 @@ func TestGreedyWithExactDeadline(t *testing.T) {
 func TestRunDeterministic(t *testing.T) {
 	inst, prof := testInstance(t, wfgen.Eager, 90, 17, power.S2, 2)
 	for _, opt := range []Options{{Score: ScoreSlackW, Refined: true, LocalSearch: true}} {
-		a, _, err := Run(inst, prof, opt)
+		a, _, err := Run(context.Background(), inst, prof, opt)
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, _, err := Run(inst, prof, opt)
+		b, _, err := Run(context.Background(), inst, prof, opt)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -446,7 +448,7 @@ func TestAllVariantsValidProperty(t *testing.T) {
 		sc := power.Scenarios()[r.Intn(4)]
 		inst, prof := testInstance(t, fam, 40, seed, sc, factor)
 		opt := AllVariants()[r.Intn(16)]
-		s, _, err := Run(inst, prof, opt)
+		s, _, err := Run(context.Background(), inst, prof, opt)
 		if err != nil {
 			return false
 		}

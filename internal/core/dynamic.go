@@ -2,6 +2,7 @@ package core
 
 import (
 	"container/heap"
+	"context"
 
 	"repro/internal/ceg"
 	"repro/internal/power"
@@ -20,7 +21,7 @@ import (
 // a lazy max-heap: entries are re-pushed when their recorded score is
 // stale, so each window update costs O(log n) amortized instead of a full
 // re-sort.
-func GreedyDynamic(inst *ceg.Instance, prof *power.Profile, opt Options, st *Stats) (*schedule.Schedule, error) {
+func GreedyDynamic(ctx context.Context, inst *ceg.Instance, prof *power.Profile, opt Options, st *Stats) (*schedule.Schedule, error) {
 	T := prof.T()
 	w, err := newWindows(inst, T)
 	if err != nil {
@@ -61,7 +62,14 @@ func GreedyDynamic(inst *ceg.Instance, prof *power.Profile, opt Options, st *Sta
 
 	s := schedule.New(inst.N())
 	done := make([]bool, inst.N())
+	pops := 0
 	for h.Len() > 0 {
+		if pops%ctxCheckStride == 0 {
+			if err := canceled(ctx); err != nil {
+				return nil, err
+			}
+		}
+		pops++
 		top := heap.Pop(h).(scoredTask)
 		v := top.task
 		if done[v] {

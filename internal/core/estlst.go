@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/ceg"
+	"repro/internal/scherr"
 )
 
 // computeEST returns the earliest start time of every node: a forward pass
@@ -75,8 +76,9 @@ func newWindows(inst *ceg.Instance, T int64) (*windows, error) {
 	}
 	for v := 0; v < inst.N(); v++ {
 		if w.est[v] > w.lst[v] {
-			return nil, fmt.Errorf("core: deadline %d infeasible: node %d window [%d, %d] empty",
-				T, v, w.est[v], w.lst[v])
+			return nil, &scherr.InfeasibleDeadlineError{
+				Deadline: T, Node: v, EST: w.est[v], LST: w.lst[v],
+			}
 		}
 	}
 	return w, nil

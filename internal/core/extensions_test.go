@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"testing"
 
 	"repro/internal/power"
@@ -56,12 +58,15 @@ func TestALAPBeatsASAPOnLateGreen(t *testing.T) {
 func TestAnnealNeverWorsens(t *testing.T) {
 	for seed := uint64(0); seed < 4; seed++ {
 		inst, prof := testInstance(t, wfgen.Families()[seed%4], 70, seed, power.S3, 2)
-		s, err := Greedy(inst, prof, Options{Score: ScoreSlack}, nil)
+		s, err := Greedy(context.Background(), inst, prof, Options{Score: ScoreSlack}, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
 		before := schedule.CarbonCost(inst, s, prof)
-		got := Anneal(inst, prof, s, AnnealOptions{Seed: seed})
+		got, err := Anneal(context.Background(), inst, prof, s, AnnealOptions{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
 		after := schedule.CarbonCost(inst, s, prof)
 		if got != after {
 			t.Errorf("seed %d: Anneal returned %d but schedule evaluates to %d", seed, got, after)
@@ -84,7 +89,10 @@ func TestAnnealFindsGreenWindow(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := schedule.New(1) // start 0: fully brown, 50 units from the window
-	cost := Anneal(inst, prof, s, AnnealOptions{Seed: 1, Iterations: 2000})
+	cost, err := Anneal(context.Background(), inst, prof, s, AnnealOptions{Seed: 1, Iterations: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if cost != 0 {
 		t.Errorf("annealing cost = %d, want 0 (task moved into [50, 60))", cost)
 	}
@@ -96,11 +104,15 @@ func TestAnnealFindsGreenWindow(t *testing.T) {
 func TestAnnealDeterministicPerSeed(t *testing.T) {
 	inst, prof := testInstance(t, wfgen.Eager, 50, 2, power.S1, 2)
 	mk := func() int64 {
-		s, err := Greedy(inst, prof, Options{Score: ScorePressure}, nil)
+		s, err := Greedy(context.Background(), inst, prof, Options{Score: ScorePressure}, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
-		return Anneal(inst, prof, s, AnnealOptions{Seed: 7, Iterations: 3000})
+		cost, err := Anneal(context.Background(), inst, prof, s, AnnealOptions{Seed: 7, Iterations: 3000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cost
 	}
 	if a, b := mk(), mk(); a != b {
 		t.Errorf("same seed gave different costs: %d vs %d", a, b)

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"repro/internal/ceg"
 	"repro/internal/power"
 	"repro/internal/schedule"
@@ -12,7 +14,8 @@ import (
 // earliest start time when no interval start lies in the task's window.
 // After each placement it decreases the budgets of the covered intervals by
 // the processor's total power and updates all remaining start windows.
-func Greedy(inst *ceg.Instance, prof *power.Profile, opt Options, st *Stats) (*schedule.Schedule, error) {
+// The context is polled every ctxCheckStride placements.
+func Greedy(ctx context.Context, inst *ceg.Instance, prof *power.Profile, opt Options, st *Stats) (*schedule.Schedule, error) {
 	T := prof.T()
 	w, err := newWindows(inst, T)
 	if err != nil {
@@ -30,7 +33,12 @@ func Greedy(inst *ceg.Instance, prof *power.Profile, opt Options, st *Stats) (*s
 	}
 
 	s := schedule.New(inst.N())
-	for _, v := range order {
+	for i, v := range order {
+		if i%ctxCheckStride == 0 {
+			if err := canceled(ctx); err != nil {
+				return nil, err
+			}
+		}
 		start, ok := b.bestStart(w.est[v], w.lst[v])
 		if !ok {
 			start = w.est[v]

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/ceg"
@@ -72,10 +73,16 @@ func moveWindow(inst *ceg.Instance, s *schedule.Schedule, v int, T, mu int64) (l
 // (see schedule.FirstImprovingMove). The accepted moves — and therefore
 // the final schedule — are identical to the unit-step scan's, kept as
 // LocalSearchUnitStep for differential testing and benchmarking.
-func LocalSearch(inst *ceg.Instance, prof *power.Profile, s *schedule.Schedule, mu int64, st *Stats) {
+//
+// The context is polled every ctxCheckStride task scans; on cancellation
+// the schedule is left at the last accepted move (still feasible — every
+// accepted move preserves feasibility) and a scherr.ErrCanceled-wrapping
+// error is returned, so cancellation takes effect well within one round.
+func LocalSearch(ctx context.Context, inst *ceg.Instance, prof *power.Profile, s *schedule.Schedule, mu int64, st *Stats) error {
 	T := prof.T()
 	tl := schedule.NewTimeline(inst, s, prof)
 	procs := powerOrder(inst)
+	scans := 0
 	for {
 		improved := false
 		if st != nil {
@@ -83,6 +90,12 @@ func LocalSearch(inst *ceg.Instance, prof *power.Profile, s *schedule.Schedule, 
 		}
 		for _, p := range procs {
 			for _, v := range inst.Order[p] {
+				if scans%ctxCheckStride == 0 {
+					if err := canceled(ctx); err != nil {
+						return err
+					}
+				}
+				scans++
 				dur := inst.Dur[v]
 				cur := s.Start[v]
 				lo, hi := moveWindow(inst, s, v, T, mu)
@@ -99,7 +112,7 @@ func LocalSearch(inst *ceg.Instance, prof *power.Profile, s *schedule.Schedule, 
 			}
 		}
 		if !improved {
-			return
+			return nil
 		}
 		tl.Compact()
 	}
@@ -110,10 +123,11 @@ func LocalSearch(inst *ceg.Instance, prof *power.Profile, s *schedule.Schedule, 
 // same moves as LocalSearch and is retained as the reference
 // implementation for the equivalence property test and the
 // BenchmarkLocalSearch speedup baseline.
-func LocalSearchUnitStep(inst *ceg.Instance, prof *power.Profile, s *schedule.Schedule, mu int64, st *Stats) {
+func LocalSearchUnitStep(ctx context.Context, inst *ceg.Instance, prof *power.Profile, s *schedule.Schedule, mu int64, st *Stats) error {
 	T := prof.T()
 	tl := schedule.NewTimeline(inst, s, prof)
 	procs := powerOrder(inst)
+	scans := 0
 	for {
 		improved := false
 		if st != nil {
@@ -121,6 +135,12 @@ func LocalSearchUnitStep(inst *ceg.Instance, prof *power.Profile, s *schedule.Sc
 		}
 		for _, p := range procs {
 			for _, v := range inst.Order[p] {
+				if scans%ctxCheckStride == 0 {
+					if err := canceled(ctx); err != nil {
+						return err
+					}
+				}
+				scans++
 				dur := inst.Dur[v]
 				cur := s.Start[v]
 				lo, hi := moveWindow(inst, s, v, T, mu)
@@ -143,7 +163,7 @@ func LocalSearchUnitStep(inst *ceg.Instance, prof *power.Profile, s *schedule.Sc
 			}
 		}
 		if !improved {
-			return
+			return nil
 		}
 		tl.Compact()
 	}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"testing"
 
 	"repro/internal/ceg"
@@ -53,15 +55,15 @@ func TestLocalSearchMatchesUnitStep(t *testing.T) {
 		for _, mu := range []int64{3, 10, 30} {
 			fam := fams[int(seed)%len(fams)]
 			inst, prof := equivInstance(t, fam, 45, seed, 2, power.Scenarios()[int(seed)%4])
-			s, _, err := Run(inst, prof, Options{Score: ScorePressureW, Refined: true})
+			s, _, err := Run(context.Background(), inst, prof, Options{Score: ScorePressureW, Refined: true})
 			if err != nil {
 				t.Fatal(err)
 			}
 			jump := s.Clone()
 			step := s.Clone()
 			var jumpStats, stepStats Stats
-			LocalSearch(inst, prof, jump, mu, &jumpStats)
-			LocalSearchUnitStep(inst, prof, step, mu, &stepStats)
+			LocalSearch(context.Background(), inst, prof, jump, mu, &jumpStats)
+			LocalSearchUnitStep(context.Background(), inst, prof, step, mu, &stepStats)
 			for v := range jump.Start {
 				if jump.Start[v] != step.Start[v] {
 					t.Fatalf("seed %d mu %d: task %d start %d (jump) != %d (unit step)",
@@ -108,15 +110,15 @@ func TestLocalSearchNeverWorseThanUnitStep(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		s, st, err := Run(inst, prof, Options{Score: ScoreSlack})
+		s, st, err := Run(context.Background(), inst, prof, Options{Score: ScoreSlack})
 		if err != nil {
 			t.Fatal(err)
 		}
 		greedyCost := st.Cost
 		jump := s.Clone()
 		step := s.Clone()
-		LocalSearch(inst, prof, jump, DefaultMu, nil)
-		LocalSearchUnitStep(inst, prof, step, DefaultMu, nil)
+		LocalSearch(context.Background(), inst, prof, jump, DefaultMu, nil)
+		LocalSearchUnitStep(context.Background(), inst, prof, step, DefaultMu, nil)
 		jumpCost := schedule.CarbonCost(inst, jump, prof)
 		stepCost := schedule.CarbonCost(inst, step, prof)
 		if jumpCost > stepCost {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/ceg"
@@ -20,7 +21,7 @@ import (
 // O(candidates · timeline window) instead of a chunked max query — and
 // exists to quantify how much the budget approximation gives away (see
 // experiments.AblationGreedies).
-func GreedyMarginal(inst *ceg.Instance, prof *power.Profile, opt Options, st *Stats) (*schedule.Schedule, error) {
+func GreedyMarginal(ctx context.Context, inst *ceg.Instance, prof *power.Profile, opt Options, st *Stats) (*schedule.Schedule, error) {
 	T := prof.T()
 	w, err := newWindows(inst, T)
 	if err != nil {
@@ -51,7 +52,12 @@ func GreedyMarginal(inst *ceg.Instance, prof *power.Profile, opt Options, st *St
 
 	tl := schedule.NewEmptyTimeline(inst, prof)
 	s := schedule.New(inst.N())
-	for _, v := range order {
+	for i, v := range order {
+		if i%ctxCheckStride == 0 {
+			if err := canceled(ctx); err != nil {
+				return nil, err
+			}
+		}
 		est, lst := w.est[v], w.lst[v]
 		dur := inst.Dur[v]
 		_, work := inst.ProcPower(v)

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"testing"
 
 	"repro/internal/power"
@@ -13,7 +15,7 @@ func TestGreedyMarginalValidSchedules(t *testing.T) {
 		inst, prof := testInstance(t, wfgen.Families()[seed%4], 80, seed, power.Scenarios()[seed%4], 2)
 		for _, refined := range []bool{false, true} {
 			var st Stats
-			s, err := GreedyMarginal(inst, prof, Options{Score: ScorePressureW, Refined: refined}, &st)
+			s, err := GreedyMarginal(context.Background(), inst, prof, Options{Score: ScorePressureW, Refined: refined}, &st)
 			if err != nil {
 				t.Fatalf("seed %d refined=%v: %v", seed, refined, err)
 			}
@@ -35,7 +37,7 @@ func TestGreedyMarginalFindsGreenWindow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := GreedyMarginal(inst, prof, Options{Score: ScoreSlack}, nil)
+	s, err := GreedyMarginal(context.Background(), inst, prof, Options{Score: ScoreSlack}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +74,7 @@ func TestGreedyMarginalExactWindowBeatsBudgetApproximation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := GreedyMarginal(inst, prof, Options{Score: ScoreSlack}, nil)
+	s, err := GreedyMarginal(context.Background(), inst, prof, Options{Score: ScoreSlack}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,11 +85,11 @@ func TestGreedyMarginalExactWindowBeatsBudgetApproximation(t *testing.T) {
 
 func TestGreedyMarginalDeterministic(t *testing.T) {
 	inst, prof := testInstance(t, wfgen.Atacseq, 60, 3, power.S1, 2)
-	a, err := GreedyMarginal(inst, prof, Options{Score: ScoreSlackW, Refined: true}, nil)
+	a, err := GreedyMarginal(context.Background(), inst, prof, Options{Score: ScoreSlackW, Refined: true}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := GreedyMarginal(inst, prof, Options{Score: ScoreSlackW, Refined: true}, nil)
+	b, err := GreedyMarginal(context.Background(), inst, prof, Options{Score: ScoreSlackW, Refined: true}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +103,7 @@ func TestGreedyMarginalDeterministic(t *testing.T) {
 func TestGreedyMarginalInfeasible(t *testing.T) {
 	inst := uniChain(t, []int64{5, 5}, 1, 1)
 	prof := power.Constant(9, 100)
-	if _, err := GreedyMarginal(inst, prof, Options{}, nil); err == nil {
+	if _, err := GreedyMarginal(context.Background(), inst, prof, Options{}, nil); err == nil {
 		t.Error("infeasible deadline accepted")
 	}
 }

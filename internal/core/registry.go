@@ -1,0 +1,52 @@
+package core
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/scherr"
+)
+
+// The variant registry is the single canonical mapping between the paper's
+// 16 heuristic names ("slack", …, "pressWR-LS") and their Options. The
+// Solver API, both CLIs, and the sweep JSONL records all resolve variant
+// names through it, so a name in a results file always means the same
+// configuration everywhere.
+
+// registry is built once at init from AllVariants, keyed by the exact
+// paper name; lookup additionally folds case so CLI input is forgiving.
+var registry = func() map[string]Options {
+	m := make(map[string]Options, 16)
+	for _, opt := range AllVariants() {
+		m[opt.Name()] = opt
+	}
+	return m
+}()
+
+// VariantNames returns the canonical names of all 16 registered variants
+// in the paper's presentation order (the 8 greedy-only variants first,
+// then their -LS counterparts).
+func VariantNames() []string {
+	names := make([]string, 0, len(registry))
+	for _, opt := range AllVariants() {
+		names = append(names, opt.Name())
+	}
+	return names
+}
+
+// LookupVariant resolves a canonical variant name (case-insensitively) to
+// its Options. Unknown names fail with an error satisfying
+// errors.Is(err, scherr.ErrUnknownVariant) that carries the known names.
+func LookupVariant(name string) (Options, error) {
+	if opt, ok := registry[name]; ok {
+		return opt, nil
+	}
+	for canonical, opt := range registry {
+		if strings.EqualFold(canonical, name) {
+			return opt, nil
+		}
+	}
+	known := VariantNames()
+	sort.Strings(known)
+	return Options{}, &scherr.UnknownVariantError{Name: name, Known: known}
+}

@@ -1,0 +1,58 @@
+package dag
+
+import "hash/fnv"
+
+// Fingerprint returns a 64-bit FNV-1a digest of the graph's structure and
+// weights: task count, per-task work weights and names, and every edge
+// with its communication weight. Two DAGs with the same fingerprint are
+// (up to hash collisions) the same scheduling input, so the digest serves
+// as a memoization key for mapping/planning results. Edge insertion order
+// is part of the digest; generators are deterministic, so equal inputs
+// hash equally.
+// Equal reports whether two DAGs are structurally identical: same task
+// weights and names, same edges in the same insertion order with the same
+// communication weights. It is the collision guard behind fingerprint-keyed
+// caches — O(N+E), far cheaper than re-planning.
+func (d *DAG) Equal(o *DAG) bool {
+	if d == o {
+		return true
+	}
+	if o == nil || len(d.Tasks) != len(o.Tasks) || len(d.Edges) != len(o.Edges) {
+		return false
+	}
+	for i := range d.Tasks {
+		if d.Tasks[i].Weight != o.Tasks[i].Weight || d.Tasks[i].Name != o.Tasks[i].Name {
+			return false
+		}
+	}
+	for i := range d.Edges {
+		if d.Edges[i] != o.Edges[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (d *DAG) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	u64 := func(x uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(x >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	u64(uint64(len(d.Tasks)))
+	for _, t := range d.Tasks {
+		u64(uint64(t.Weight))
+		h.Write([]byte(t.Name))
+		h.Write([]byte{0})
+	}
+	u64(uint64(len(d.Edges)))
+	for _, e := range d.Edges {
+		u64(uint64(e.From))
+		u64(uint64(e.To))
+		u64(uint64(e.Weight))
+	}
+	return h.Sum64()
+}

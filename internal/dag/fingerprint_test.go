@@ -1,0 +1,76 @@
+package dag
+
+import "testing"
+
+func TestFingerprintStableAndSensitive(t *testing.T) {
+	build := func() *DAG {
+		d := New(4)
+		d.AddEdge(0, 1, 2)
+		d.AddEdge(1, 3, 1)
+		d.AddEdge(2, 3, 5)
+		d.SetWeight(2, 7)
+		return d
+	}
+	a, b := build(), build()
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("identical DAGs fingerprint differently")
+	}
+	fp := a.Fingerprint()
+	if a.Fingerprint() != fp {
+		t.Fatal("fingerprint not idempotent")
+	}
+
+	w := build()
+	w.SetWeight(0, 9)
+	if w.Fingerprint() == fp {
+		t.Error("weight change not reflected in fingerprint")
+	}
+	e := build()
+	e.AddEdge(0, 2, 1)
+	if e.Fingerprint() == fp {
+		t.Error("extra edge not reflected in fingerprint")
+	}
+	n := build()
+	n.SetName(1, "renamed")
+	if n.Fingerprint() == fp {
+		t.Error("rename not reflected in fingerprint")
+	}
+	cw := build()
+	cw.Edges[0].Weight = 3
+	if cw.Fingerprint() == fp {
+		t.Error("edge weight change not reflected in fingerprint")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := New(3)
+	a.AddEdge(0, 1, 2)
+	a.AddEdge(1, 2, 1)
+	b := New(3)
+	b.AddEdge(0, 1, 2)
+	b.AddEdge(1, 2, 1)
+	if !a.Equal(b) || !a.Equal(a) {
+		t.Fatal("structurally identical DAGs not Equal")
+	}
+	if a.Equal(nil) {
+		t.Error("Equal(nil) true")
+	}
+	c := New(3)
+	c.AddEdge(0, 1, 2)
+	if a.Equal(c) {
+		t.Error("different edge counts Equal")
+	}
+	d := New(3)
+	d.AddEdge(0, 1, 2)
+	d.AddEdge(1, 2, 9)
+	if a.Equal(d) {
+		t.Error("different edge weight Equal")
+	}
+	e := New(3)
+	e.AddEdge(0, 1, 2)
+	e.AddEdge(1, 2, 1)
+	e.SetWeight(0, 5)
+	if a.Equal(e) {
+		t.Error("different task weight Equal")
+	}
+}

@@ -12,12 +12,14 @@
 package exact
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"repro/internal/ceg"
 	"repro/internal/power"
 	"repro/internal/schedule"
+	"repro/internal/scherr"
 )
 
 // Options bounds the search effort.
@@ -34,14 +36,22 @@ type Options struct {
 const defaultMaxNodes = 50_000_000
 
 // ErrBudget is returned when the node budget is exhausted before the
-// search space is covered; the result is then only an upper bound.
-var ErrBudget = fmt.Errorf("exact: node budget exhausted")
+// search space is covered; the result is then only an upper bound. It is
+// the shared scherr.ErrBudgetExhausted sentinel, so errors.Is matches
+// either name.
+var ErrBudget = scherr.ErrBudgetExhausted
+
+// ctxCheckStride is how many search-tree nodes are expanded between
+// context polls.
+const ctxCheckStride = 4096
 
 // Solve finds a minimum-carbon-cost schedule for the instance under the
 // profile's deadline. It returns the optimal schedule and its cost.
 // Instances should be tiny (roughly ≤ 12 tasks and T ≤ 100): the search is
-// exponential.
-func Solve(inst *ceg.Instance, prof *power.Profile, opt Options) (*schedule.Schedule, int64, error) {
+// exponential. A canceled context aborts the search; like a budget hit,
+// the incumbent found so far (if any) is returned alongside the
+// scherr.ErrCanceled-wrapping error as an upper bound.
+func Solve(ctx context.Context, inst *ceg.Instance, prof *power.Profile, opt Options) (*schedule.Schedule, int64, error) {
 	T := prof.T()
 	N := inst.N()
 	maxNodes := opt.MaxNodes
@@ -67,7 +77,7 @@ func Solve(inst *ceg.Instance, prof *power.Profile, opt Options) (*schedule.Sche
 		}
 		lst[v] = limit - inst.Dur[v]
 		if lst[v] < 0 {
-			return nil, 0, fmt.Errorf("exact: deadline %d infeasible for node %d", T, v)
+			return nil, 0, &scherr.InfeasibleDeadlineError{Deadline: T, Node: v, EST: 0, LST: lst[v]}
 		}
 	}
 
@@ -115,17 +125,24 @@ func Solve(inst *ceg.Instance, prof *power.Profile, opt Options) (*schedule.Sche
 
 	var nodes int64
 	var budgetHit bool
+	var ctxErr error
 	done := false // set when bestCost reaches the floor (global optimum)
 
 	var dfs func(depth int, partial int64)
 	dfs = func(depth int, partial int64) {
-		if budgetHit || done {
+		if budgetHit || done || ctxErr != nil {
 			return
 		}
 		nodes++
 		if nodes > maxNodes {
 			budgetHit = true
 			return
+		}
+		if nodes%ctxCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				ctxErr = scherr.Canceled(err)
+				return
+			}
 		}
 		if bestCost >= 0 && partial >= bestCost {
 			return // even the floor of this subtree is no better
@@ -175,7 +192,7 @@ func Solve(inst *ceg.Instance, prof *power.Profile, opt Options) (*schedule.Sche
 			tl.Add(c.start, c.start+inst.Dur[v], work[v])
 			dfs(depth+1, partial+c.delta)
 			tl.Remove(c.start, c.start+inst.Dur[v], work[v])
-			if budgetHit || done {
+			if budgetHit || done || ctxErr != nil {
 				return
 			}
 		}
@@ -183,13 +200,19 @@ func Solve(inst *ceg.Instance, prof *power.Profile, opt Options) (*schedule.Sche
 	dfs(0, floor)
 
 	if bestCost < 0 {
+		if ctxErr != nil {
+			return nil, 0, ctxErr
+		}
 		return nil, 0, fmt.Errorf("exact: no feasible schedule found")
 	}
 	if err := schedule.Validate(inst, best, T); err != nil {
 		return nil, 0, fmt.Errorf("exact: internal error, invalid best schedule: %w", err)
 	}
+	if ctxErr != nil {
+		return best, bestCost, ctxErr
+	}
 	if budgetHit {
-		return best, bestCost, ErrBudget
+		return best, bestCost, &scherr.BudgetError{Nodes: nodes}
 	}
 	return best, bestCost, nil
 }

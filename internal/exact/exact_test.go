@@ -1,6 +1,9 @@
 package exact
 
 import (
+	"context"
+	"errors"
+
 	"testing"
 	"testing/quick"
 
@@ -12,6 +15,7 @@ import (
 	"repro/internal/power"
 	"repro/internal/rng"
 	"repro/internal/schedule"
+	"repro/internal/scherr"
 )
 
 // uniChain builds a single-processor chain instance (speed 1).
@@ -82,7 +86,7 @@ func TestSolveSingleTaskOptimal(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, cost, err := Solve(inst, prof, Options{})
+	s, cost, err := Solve(context.Background(), inst, prof, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +119,7 @@ func TestSolveMatchesUniprocessorDP(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		_, bbCost, err := Solve(inst, prof, Options{})
+		_, bbCost, err := Solve(context.Background(), inst, prof, Options{})
 		if err != nil {
 			return false
 		}
@@ -166,12 +170,12 @@ func TestSolveNeverWorseThanHeuristics(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		_, optCost, err := Solve(inst, prof, Options{})
+		_, optCost, err := Solve(context.Background(), inst, prof, Options{})
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
 		for _, opt := range core.AllVariants() {
-			s, _, err := core.Run(inst, prof, opt)
+			s, _, err := core.Run(context.Background(), inst, prof, opt)
 			if err != nil {
 				t.Fatalf("seed %d %s: %v", seed, opt.Name(), err)
 			}
@@ -194,7 +198,7 @@ func TestSolveUsesIncumbent(t *testing.T) {
 		t.Fatal(err)
 	}
 	inc := core.ASAP(inst)
-	s, cost, err := Solve(inst, prof, Options{Incumbent: inc})
+	s, cost, err := Solve(context.Background(), inst, prof, Options{Incumbent: inc})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,16 +213,20 @@ func TestSolveUsesIncumbent(t *testing.T) {
 func TestSolveBudgetExhaustion(t *testing.T) {
 	inst := uniChain(t, []int64{1, 1, 1, 1, 1}, 0, 1)
 	prof := power.Constant(40, 0)
-	_, _, err := Solve(inst, prof, Options{MaxNodes: 10})
-	if err != ErrBudget {
+	_, _, err := Solve(context.Background(), inst, prof, Options{MaxNodes: 10})
+	if !errors.Is(err, ErrBudget) {
 		t.Errorf("err = %v, want ErrBudget (with tiny node budget)", err)
+	}
+	var be *scherr.BudgetError
+	if !errors.As(err, &be) || be.Nodes <= 10 {
+		t.Errorf("err = %#v, want *scherr.BudgetError with Nodes > 10", err)
 	}
 }
 
 func TestSolveInfeasible(t *testing.T) {
 	inst := uniChain(t, []int64{5, 5}, 1, 1)
 	prof := power.Constant(9, 10)
-	if _, _, err := Solve(inst, prof, Options{}); err == nil {
+	if _, _, err := Solve(context.Background(), inst, prof, Options{}); err == nil {
 		t.Error("infeasible deadline not rejected")
 	}
 }
@@ -228,7 +236,7 @@ func TestSolveRejectsBadIncumbent(t *testing.T) {
 	prof := power.Constant(10, 5)
 	bad := schedule.New(inst.N())
 	bad.Start[1] = 0 // overlaps task 0
-	if _, _, err := Solve(inst, prof, Options{Incumbent: bad}); err == nil {
+	if _, _, err := Solve(context.Background(), inst, prof, Options{Incumbent: bad}); err == nil {
 		t.Error("invalid incumbent accepted")
 	}
 }
@@ -242,7 +250,7 @@ func BenchmarkSolveTiny(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := Solve(inst, prof, Options{}); err != nil {
+		if _, _, err := Solve(context.Background(), inst, prof, Options{}); err != nil {
 			b.Fatal(err)
 		}
 	}

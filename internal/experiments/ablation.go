@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/ceg"
@@ -19,7 +20,7 @@ import (
 // AblationK sweeps the refinement block size k for the pressWR variant and
 // reports median cost ratio vs ASAP, median interval count J′ and median
 // scheduling time per k.
-func AblationK(specs []Spec, ks []int, workers int) (*Table, error) {
+func AblationK(ctx context.Context, specs []Spec, ks []int, workers int) (*Table, error) {
 	t := &Table{
 		Title:   "Ablation: refinement block size k (pressWR, no LS)",
 		Columns: []string{"k", "median_ratio", "q3_ratio", "median_J'", "median_s"},
@@ -29,14 +30,14 @@ func AblationK(specs []Spec, ks []int, workers int) (*Table, error) {
 		k := k
 		algos := []Algorithm{baseline(), {
 			Name: fmt.Sprintf("pressWR-k%d", k),
-			Run: func(in *Instance) (*schedule.Schedule, error) {
-				s, _, err := core.Run(in.Inst, in.Prof, core.Options{
+			Run: func(ctx context.Context, in *Instance) (*schedule.Schedule, error) {
+				s, _, err := core.Run(ctx, in.Inst, in.Prof, core.Options{
 					Score: core.ScorePressureW, Refined: true, K: k,
 				})
 				return s, err
 			},
 		}}
-		results, err := Run(specs, algos, workers, nil)
+		results, err := Run(ctx, specs, algos, workers, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -55,7 +56,7 @@ func AblationK(specs []Spec, ks []int, workers int) (*Table, error) {
 				return nil, err
 			}
 			var st core.Stats
-			if _, err := core.Greedy(in.Inst, in.Prof, core.Options{
+			if _, err := core.Greedy(ctx, in.Inst, in.Prof, core.Options{
 				Score: core.ScorePressureW, Refined: true, K: k,
 			}, &st); err != nil {
 				return nil, err
@@ -75,7 +76,7 @@ func AblationK(specs []Spec, ks []int, workers int) (*Table, error) {
 
 // AblationMu sweeps the local-search radius µ for pressWR-LS and reports
 // median cost ratio vs ASAP and median scheduling time per µ.
-func AblationMu(specs []Spec, mus []int64, workers int) (*Table, error) {
+func AblationMu(ctx context.Context, specs []Spec, mus []int64, workers int) (*Table, error) {
 	t := &Table{
 		Title:   "Ablation: local search radius mu (pressWR-LS)",
 		Columns: []string{"mu", "median_ratio", "q3_ratio", "median_s"},
@@ -86,15 +87,15 @@ func AblationMu(specs []Spec, mus []int64, workers int) (*Table, error) {
 		name := fmt.Sprintf("pressWR-LS-mu%d", mu)
 		algos := []Algorithm{baseline(), {
 			Name: name,
-			Run: func(in *Instance) (*schedule.Schedule, error) {
-				s, _, err := core.Run(in.Inst, in.Prof, core.Options{
+			Run: func(ctx context.Context, in *Instance) (*schedule.Schedule, error) {
+				s, _, err := core.Run(ctx, in.Inst, in.Prof, core.Options{
 					Score: core.ScorePressureW, Refined: true,
 					LocalSearch: true, Mu: mu,
 				})
 				return s, err
 			},
 		}}
-		results, err := Run(specs, algos, workers, nil)
+		results, err := Run(ctx, specs, algos, workers, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -116,38 +117,45 @@ func AblationMu(specs []Spec, mus []int64, workers int) (*Table, error) {
 // AblationImprovers compares the paper's first-improvement hill climber
 // (Section 5.3) with simulated annealing and with their combination, all
 // seeded by the same pressWR greedy schedule.
-func AblationImprovers(specs []Spec, workers int) (*Table, error) {
+func AblationImprovers(ctx context.Context, specs []Spec, workers int) (*Table, error) {
 	greedyOpt := core.Options{Score: core.ScorePressureW, Refined: true}
-	mk := func(name string, improve func(*Instance, *schedule.Schedule)) Algorithm {
+	mk := func(name string, improve func(context.Context, *Instance, *schedule.Schedule) error) Algorithm {
 		return Algorithm{
 			Name: name,
-			Run: func(in *Instance) (*schedule.Schedule, error) {
-				s, err := core.Greedy(in.Inst, in.Prof, greedyOpt, nil)
+			Run: func(ctx context.Context, in *Instance) (*schedule.Schedule, error) {
+				s, err := core.Greedy(ctx, in.Inst, in.Prof, greedyOpt, nil)
 				if err != nil {
 					return nil, err
 				}
 				if improve != nil {
-					improve(in, s)
+					if err := improve(ctx, in, s); err != nil {
+						return nil, err
+					}
 				}
 				return s, nil
 			},
 		}
 	}
+	hill := func(ctx context.Context, in *Instance, s *schedule.Schedule) error {
+		return core.LocalSearch(ctx, in.Inst, in.Prof, s, core.DefaultMu, nil)
+	}
+	anneal := func(ctx context.Context, in *Instance, s *schedule.Schedule) error {
+		_, err := core.Anneal(ctx, in.Inst, in.Prof, s, core.AnnealOptions{Seed: in.Spec.Seed})
+		return err
+	}
 	algos := []Algorithm{
 		baseline(),
 		mk("greedy-only", nil),
-		mk("hill-climb", func(in *Instance, s *schedule.Schedule) {
-			core.LocalSearch(in.Inst, in.Prof, s, core.DefaultMu, nil)
-		}),
-		mk("anneal", func(in *Instance, s *schedule.Schedule) {
-			core.Anneal(in.Inst, in.Prof, s, core.AnnealOptions{Seed: in.Spec.Seed})
-		}),
-		mk("hill+anneal", func(in *Instance, s *schedule.Schedule) {
-			core.LocalSearch(in.Inst, in.Prof, s, core.DefaultMu, nil)
-			core.Anneal(in.Inst, in.Prof, s, core.AnnealOptions{Seed: in.Spec.Seed})
+		mk("hill-climb", hill),
+		mk("anneal", anneal),
+		mk("hill+anneal", func(ctx context.Context, in *Instance, s *schedule.Schedule) error {
+			if err := hill(ctx, in, s); err != nil {
+				return err
+			}
+			return anneal(ctx, in, s)
 		}),
 	}
-	results, err := Run(specs, algos, workers, nil)
+	results, err := Run(ctx, specs, algos, workers, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -179,7 +187,7 @@ func AblationImprovers(specs []Spec, workers int) (*Table, error) {
 // computed once from the initial windows, Section 5.2) against a dynamic
 // ordering that re-scores tasks as windows shrink (core.GreedyDynamic),
 // for all four score bases without local search.
-func AblationOrdering(specs []Spec, workers int) (*Table, error) {
+func AblationOrdering(ctx context.Context, specs []Spec, workers int) (*Table, error) {
 	var algos []Algorithm
 	algos = append(algos, baseline())
 	for _, sc := range core.Scores() {
@@ -187,20 +195,20 @@ func AblationOrdering(specs []Spec, workers int) (*Table, error) {
 		algos = append(algos,
 			Algorithm{
 				Name: sc.String() + "-static",
-				Run: func(in *Instance) (*schedule.Schedule, error) {
-					s, _, err := core.Run(in.Inst, in.Prof, core.Options{Score: sc})
+				Run: func(ctx context.Context, in *Instance) (*schedule.Schedule, error) {
+					s, _, err := core.Run(ctx, in.Inst, in.Prof, core.Options{Score: sc})
 					return s, err
 				},
 			},
 			Algorithm{
 				Name: sc.String() + "-dynamic",
-				Run: func(in *Instance) (*schedule.Schedule, error) {
-					return core.GreedyDynamic(in.Inst, in.Prof, core.Options{Score: sc}, nil)
+				Run: func(ctx context.Context, in *Instance) (*schedule.Schedule, error) {
+					return core.GreedyDynamic(ctx, in.Inst, in.Prof, core.Options{Score: sc}, nil)
 				},
 			},
 		)
 	}
-	results, err := Run(specs, algos, workers, nil)
+	results, err := Run(ctx, specs, algos, workers, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -228,24 +236,26 @@ func AblationOrdering(specs []Spec, workers int) (*Table, error) {
 // configuration with and without the local search. The budget greedy
 // approximates the marginal cost through remaining per-interval budgets;
 // this table quantifies what the approximation costs (or saves in time).
-func AblationGreedies(specs []Spec, workers int) (*Table, error) {
+func AblationGreedies(ctx context.Context, specs []Spec, workers int) (*Table, error) {
 	opt := core.Options{Score: core.ScorePressureW, Refined: true}
 	mk := func(name string, marginal, ls bool) Algorithm {
 		return Algorithm{
 			Name: name,
-			Run: func(in *Instance) (*schedule.Schedule, error) {
+			Run: func(ctx context.Context, in *Instance) (*schedule.Schedule, error) {
 				var s *schedule.Schedule
 				var err error
 				if marginal {
-					s, err = core.GreedyMarginal(in.Inst, in.Prof, opt, nil)
+					s, err = core.GreedyMarginal(ctx, in.Inst, in.Prof, opt, nil)
 				} else {
-					s, err = core.Greedy(in.Inst, in.Prof, opt, nil)
+					s, err = core.Greedy(ctx, in.Inst, in.Prof, opt, nil)
 				}
 				if err != nil {
 					return nil, err
 				}
 				if ls {
-					core.LocalSearch(in.Inst, in.Prof, s, core.DefaultMu, nil)
+					if err := core.LocalSearch(ctx, in.Inst, in.Prof, s, core.DefaultMu, nil); err != nil {
+						return nil, err
+					}
 				}
 				return s, nil
 			},
@@ -258,7 +268,7 @@ func AblationGreedies(specs []Spec, workers int) (*Table, error) {
 		mk("budget-LS", false, true),
 		mk("marginal-LS", true, true),
 	}
-	results, err := Run(specs, algos, workers, nil)
+	results, err := Run(ctx, specs, algos, workers, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -291,7 +301,7 @@ func AblationGreedies(specs []Spec, workers int) (*Table, error) {
 // of internal/greenheft, then run the second (CaWoSched) pass. For each
 // policy it reports the median carbon cost ratio relative to the standard
 // HEFT + pressWR-LS pipeline, and the median makespan inflation D/D_heft.
-func ExtensionTwoPass(specs []Spec, workers int) (*Table, error) {
+func ExtensionTwoPass(ctx context.Context, specs []Spec, workers int) (*Table, error) {
 	type outcome struct {
 		cost float64
 		d    float64
@@ -307,7 +317,7 @@ func ExtensionTwoPass(specs []Spec, workers int) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			s, st, err := core.Run(in.Inst, in.Prof, opt)
+			s, st, err := core.Run(ctx, in.Inst, in.Prof, opt)
 			if err != nil {
 				return nil, fmt.Errorf("experiments: two-pass %v on %s: %w", pol, spec, err)
 			}

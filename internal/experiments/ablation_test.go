@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strconv"
 	"testing"
 
@@ -26,7 +27,7 @@ func cell(t *testing.T, s string) float64 {
 }
 
 func TestAblationK(t *testing.T) {
-	tab, err := AblationK(ablationSpecs(), []int{1, 3}, 0)
+	tab, err := AblationK(context.Background(), ablationSpecs(), []int{1, 3}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +48,7 @@ func TestAblationK(t *testing.T) {
 }
 
 func TestAblationMu(t *testing.T) {
-	tab, err := AblationMu(ablationSpecs(), []int64{1, 10}, 0)
+	tab, err := AblationMu(context.Background(), ablationSpecs(), []int64{1, 10}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +61,7 @@ func TestAblationMu(t *testing.T) {
 }
 
 func TestAblationImprovers(t *testing.T) {
-	tab, err := AblationImprovers(ablationSpecs(), 0)
+	tab, err := AblationImprovers(context.Background(), ablationSpecs(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +85,7 @@ func TestAblationImprovers(t *testing.T) {
 }
 
 func TestAblationOrdering(t *testing.T) {
-	tab, err := AblationOrdering(ablationSpecs(), 0)
+	tab, err := AblationOrdering(context.Background(), ablationSpecs(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +100,7 @@ func TestAblationOrdering(t *testing.T) {
 }
 
 func TestAblationGreedies(t *testing.T) {
-	tab, err := AblationGreedies(ablationSpecs(), 0)
+	tab, err := AblationGreedies(context.Background(), ablationSpecs(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +121,7 @@ func TestAblationGreedies(t *testing.T) {
 }
 
 func TestExtensionTwoPass(t *testing.T) {
-	tab, err := ExtensionTwoPass(ablationSpecs(), 0)
+	tab, err := ExtensionTwoPass(context.Background(), ablationSpecs(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -127,7 +128,7 @@ func smallRun(t *testing.T) ([]Result, []string) {
 		}
 	}
 	algos := LSAlgorithms()
-	results, err := Run(specs, algos, 0, nil)
+	results, err := Run(context.Background(), specs, algos, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -232,7 +233,7 @@ func TestTable2Ablation(t *testing.T) {
 		{Family: wfgen.Bacass, N: 40, Cluster: Small, Scenario: power.S1, DeadlineFactor: 2, Seed: 3},
 		{Family: wfgen.Atacseq, N: 40, Cluster: Small, Scenario: power.S3, DeadlineFactor: 3, Seed: 3},
 	}
-	results, err := Run(specs, Algorithms(), 0, nil)
+	results, err := Run(context.Background(), specs, Algorithms(), 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -256,7 +257,7 @@ func TestTable2Ablation(t *testing.T) {
 
 func TestFig7ExactComparison(t *testing.T) {
 	algos := LSAlgorithms()
-	tab, err := Fig7ExactComparison(7, algos, 2_000_000)
+	tab, err := Fig7ExactComparison(context.Background(), 7, algos, 2_000_000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -294,7 +295,7 @@ func TestProgressCallback(t *testing.T) {
 		{Family: wfgen.Bacass, N: 25, Cluster: Small, Scenario: power.S4, DeadlineFactor: 1.5, Seed: 1},
 	}
 	count := 0
-	if _, err := Run(specs, []Algorithm{Algorithms()[0]}, 2, func(done, total int) {
+	if _, err := Run(context.Background(), specs, []Algorithm{Algorithms()[0]}, 2, func(done, total int) {
 		count++
 		if total != 2 {
 			t.Errorf("total = %d, want 2", total)

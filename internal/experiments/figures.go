@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 
@@ -201,7 +203,7 @@ func Fig6BoxPlots(results []Result, algos []string) *Table {
 // on instances small enough for an exact solution. It runs its own tiny
 // corpus (the paper restricts Gurobi to ≤ 200 tasks; our from-scratch
 // branch-and-bound replaces Gurobi and needs miniature instances).
-func Fig7ExactComparison(seed uint64, algos []Algorithm, maxNodes int64) (*Table, error) {
+func Fig7ExactComparison(ctx context.Context, seed uint64, algos []Algorithm, maxNodes int64) (*Table, error) {
 	specs := TinyCorpus(seed)
 	names := make([]string, len(algos))
 	for i, a := range algos {
@@ -219,7 +221,7 @@ func Fig7ExactComparison(seed uint64, algos []Algorithm, maxNodes int64) (*Table
 		var bestSched *schedule.Schedule
 		var bestCost int64 = -1
 		for i, a := range algos {
-			s, err := a.Run(in)
+			s, err := a.Run(ctx, in)
 			if err != nil {
 				return nil, fmt.Errorf("experiments: %s on %s: %w", a.Name, spec, err)
 			}
@@ -228,11 +230,11 @@ func Fig7ExactComparison(seed uint64, algos []Algorithm, maxNodes int64) (*Table
 				bestCost, bestSched = costs[i], s
 			}
 		}
-		_, opt, err := exact.Solve(in.Inst, in.Prof, exact.Options{
+		_, opt, err := exact.Solve(ctx, in.Inst, in.Prof, exact.Options{
 			MaxNodes:  maxNodes,
 			Incumbent: bestSched,
 		})
-		if err == exact.ErrBudget {
+		if errors.Is(err, exact.ErrBudget) {
 			continue // inconclusive instance: skip rather than mislabel
 		}
 		if err != nil {

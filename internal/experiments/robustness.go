@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -15,7 +16,7 @@ import (
 // runtime noise; both plans experience identical per-task noise. Reported
 // per noise level: the median realized cost ratio (CaWoSched execution /
 // ASAP execution) and each plan's deadline-miss rate.
-func RobustnessRuntime(specs []Spec, noiseLevels []float64, workers int) (*Table, error) {
+func RobustnessRuntime(ctx context.Context, specs []Spec, noiseLevels []float64, workers int) (*Table, error) {
 	t := &Table{
 		Title:   "Robustness: runtime noise vs realized carbon savings",
 		Columns: []string{"noise_sd", "median_realized_ratio", "planned_ratio", "miss_rate_cawo", "miss_rate_asap"},
@@ -31,7 +32,7 @@ func RobustnessRuntime(specs []Spec, noiseLevels []float64, workers int) (*Table
 			if err != nil {
 				return nil, err
 			}
-			plan, st, err := core.Run(in.Inst, in.Prof, opt)
+			plan, st, err := core.Run(ctx, in.Inst, in.Prof, opt)
 			if err != nil {
 				return nil, fmt.Errorf("experiments: robustness on %s: %w", spec, err)
 			}
@@ -72,7 +73,7 @@ func RobustnessRuntime(specs []Spec, noiseLevels []float64, workers int) (*Table
 // Reported per error level: the median realized cost ratio vs ASAP (which
 // ignores the profile and is therefore forecast-immune) and the median
 // regret vs planning on perfect information.
-func RobustnessForecast(specs []Spec, errorLevels []float64, workers int) (*Table, error) {
+func RobustnessForecast(ctx context.Context, specs []Spec, errorLevels []float64, workers int) (*Table, error) {
 	t := &Table{
 		Title:   "Robustness: forecast error vs realized carbon savings",
 		Columns: []string{"base_err", "median_realized_ratio", "median_regret"},
@@ -91,11 +92,11 @@ func RobustnessForecast(specs []Spec, errorLevels []float64, workers int) (*Tabl
 			}
 			fe := sim.ForecastError{Base: base, Growth: base, Seed: spec.Seed}
 			forecast := fe.Forecast(in.Prof)
-			plan, _, err := core.Run(in.Inst, forecast, opt)
+			plan, _, err := core.Run(ctx, in.Inst, forecast, opt)
 			if err != nil {
 				return nil, fmt.Errorf("experiments: forecast robustness on %s: %w", spec, err)
 			}
-			perfect, _, err := core.Run(in.Inst, in.Prof, opt)
+			perfect, _, err := core.Run(ctx, in.Inst, in.Prof, opt)
 			if err != nil {
 				return nil, err
 			}

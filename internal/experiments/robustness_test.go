@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/power"
@@ -15,7 +16,7 @@ func robustnessSpecs() []Spec {
 }
 
 func TestRobustnessRuntime(t *testing.T) {
-	tab, err := RobustnessRuntime(robustnessSpecs(), []float64{0, 0.2}, 0)
+	tab, err := RobustnessRuntime(context.Background(), robustnessSpecs(), []float64{0, 0.2}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -32,7 +33,7 @@ func TestRobustnessRuntime(t *testing.T) {
 }
 
 func TestRobustnessForecast(t *testing.T) {
-	tab, err := RobustnessForecast(robustnessSpecs(), []float64{0, 0.3}, 0)
+	tab, err := RobustnessForecast(context.Background(), robustnessSpecs(), []float64{0, 0.3}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

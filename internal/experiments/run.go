@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -14,19 +15,22 @@ import (
 // BaselineName is the name of the carbon-unaware competitor.
 const BaselineName = "ASAP"
 
-// Algorithm is a named scheduler under test.
+// Algorithm is a named scheduler under test. Run must honor ctx: the sweep
+// engine enforces -job-timeout by canceling it.
 type Algorithm struct {
 	Name string
-	Run  func(*Instance) (*schedule.Schedule, error)
+	Run  func(context.Context, *Instance) (*schedule.Schedule, error)
 }
 
 // Algorithms returns the full roster of Section 6.2: the ASAP baseline
 // followed by the 16 CaWoSched variants (8 greedy × {with, without} local
 // search), in the paper's presentation order with the LS variants last.
+// Variant algorithms carry their canonical registry names, so the names in
+// sweep JSONL records resolve through core.LookupVariant.
 func Algorithms() []Algorithm {
 	algos := []Algorithm{baseline()}
-	for _, opt := range core.AllVariants() {
-		algos = append(algos, fromOptions(opt))
+	for _, name := range core.VariantNames() {
+		algos = append(algos, fromRegistry(name))
 	}
 	return algos
 }
@@ -37,7 +41,7 @@ func Algorithms() []Algorithm {
 func LSAlgorithms() []Algorithm {
 	algos := []Algorithm{baseline()}
 	for _, opt := range core.Variants(true) {
-		algos = append(algos, fromOptions(opt))
+		algos = append(algos, fromRegistry(opt.Name()))
 	}
 	return algos
 }
@@ -45,17 +49,24 @@ func LSAlgorithms() []Algorithm {
 func baseline() Algorithm {
 	return Algorithm{
 		Name: BaselineName,
-		Run: func(in *Instance) (*schedule.Schedule, error) {
+		Run: func(ctx context.Context, in *Instance) (*schedule.Schedule, error) {
 			return core.ASAP(in.Inst), nil
 		},
 	}
 }
 
-func fromOptions(opt core.Options) Algorithm {
+// fromRegistry builds the roster entry for a canonical variant name; it
+// panics on a name missing from the registry (a programming error — roster
+// names come from core.VariantNames).
+func fromRegistry(name string) Algorithm {
+	opt, err := core.LookupVariant(name)
+	if err != nil {
+		panic(err)
+	}
 	return Algorithm{
-		Name: opt.Name(),
-		Run: func(in *Instance) (*schedule.Schedule, error) {
-			s, _, err := core.Run(in.Inst, in.Prof, opt)
+		Name: name,
+		Run: func(ctx context.Context, in *Instance) (*schedule.Schedule, error) {
+			s, _, err := core.Run(ctx, in.Inst, in.Prof, opt)
 			return s, err
 		},
 	}
@@ -73,8 +84,9 @@ type Result struct {
 // (workers ≤ 0 uses GOMAXPROCS). The instance is built once per spec and
 // shared by its algorithms; scheduling time excludes instance
 // construction, matching the paper's running-time measurements. progress,
-// if non-nil, is called after each completed instance.
-func Run(specs []Spec, algos []Algorithm, workers int, progress func(done, total int)) ([]Result, error) {
+// if non-nil, is called after each completed instance. Canceling ctx
+// aborts the run between (and, via core, inside) algorithm executions.
+func Run(ctx context.Context, specs []Spec, algos []Algorithm, workers int, progress func(done, total int)) ([]Result, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -93,7 +105,7 @@ func Run(specs []Spec, algos []Algorithm, workers int, progress func(done, total
 		go func() {
 			defer wg.Done()
 			for it := range jobs {
-				rs, err := runOne(it.spec, algos)
+				rs, err := runOne(ctx, it.spec, algos)
 				resultsPer[it.idx] = rs
 				errs[it.idx] = err
 				if progress != nil {
@@ -121,15 +133,18 @@ func Run(specs []Spec, algos []Algorithm, workers int, progress func(done, total
 	return out, nil
 }
 
-func runOne(spec Spec, algos []Algorithm) ([]Result, error) {
+func runOne(ctx context.Context, spec Spec, algos []Algorithm) ([]Result, error) {
 	in, err := BuildInstance(spec)
 	if err != nil {
 		return nil, err
 	}
 	rs := make([]Result, 0, len(algos))
 	for _, a := range algos {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("experiments: %s on %s: %w", a.Name, spec, err)
+		}
 		start := time.Now()
-		s, err := a.Run(in)
+		s, err := a.Run(ctx, in)
 		elapsed := time.Since(start)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s on %s: %w", a.Name, spec, err)

@@ -2,6 +2,8 @@ package experiments
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
@@ -10,6 +12,7 @@ import (
 
 	"repro/internal/rng"
 	"repro/internal/schedule"
+	"repro/internal/scherr"
 )
 
 // The sweep engine runs the full evaluation grid — family × size × cluster
@@ -70,7 +73,9 @@ type SweepOptions struct {
 	// Workers is the worker-pool size (≤ 0 uses GOMAXPROCS).
 	Workers int
 	// Timeout caps each job's scheduling wall-clock time; 0 means no cap.
-	// A timed-out job is recorded with an error and the sweep moves on.
+	// The cap is enforced as a per-job context deadline — the scheduler
+	// observes the cancellation and returns, so no goroutine outlives its
+	// job. A timed-out job is recorded with an error and the sweep moves on.
 	Timeout time.Duration
 	// Skip holds job keys to leave out (resume: SweepDoneKeys of the
 	// records already on disk). Skipped jobs emit no record.
@@ -94,8 +99,14 @@ type sweepItem struct {
 // Instances are built once per run of consecutive jobs sharing a spec.
 // Job failures — scheduler errors, invalid schedules, panics, timeouts —
 // are recorded in-band and excluded from the returned Results; Sweep
-// itself fails only on I/O errors.
-func Sweep(jobs []Job, roster []Algorithm, w io.Writer, opt SweepOptions) ([]Result, error) {
+// itself fails only on I/O errors or cancellation.
+//
+// Canceling ctx stops the sweep mid-grid: in-flight jobs observe the
+// cancellation through their job context and return, remaining jobs are
+// skipped without emitting records (so the JSONL stream stays an in-order
+// prefix a later -resume can extend), and Sweep returns the partial
+// results with an error satisfying errors.Is(err, context.Canceled).
+func Sweep(ctx context.Context, jobs []Job, roster []Algorithm, w io.Writer, opt SweepOptions) ([]Result, error) {
 	workers := opt.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -136,7 +147,7 @@ func Sweep(jobs []Job, roster []Algorithm, w io.Writer, opt SweepOptions) ([]Res
 		go func() {
 			defer wg.Done()
 			for g := range groupCh {
-				runSweepGroup(g.spec, g.idxs, jobs, byName, opt.Timeout, emitSeq, items)
+				runSweepGroup(ctx, g.spec, g.idxs, jobs, byName, opt.Timeout, emitSeq, items)
 			}
 		}()
 	}
@@ -191,14 +202,25 @@ func Sweep(jobs []Job, roster []Algorithm, w io.Writer, opt SweepOptions) ([]Res
 			out = append(out, resVal[i])
 		}
 	}
+	if err := ctx.Err(); err != nil {
+		return out, scherr.Canceled(err)
+	}
 	return out, nil
 }
 
 // runSweepGroup builds the group's instance once and runs each of its
-// jobs, emitting exactly one item per job.
-func runSweepGroup(spec Spec, idxs []int, jobs []Job, byName map[string]Algorithm, timeout time.Duration, emitSeq []int, out chan<- sweepItem) {
+// jobs, emitting exactly one item per job. When the sweep context is
+// canceled the remaining jobs of the group are skipped without emitting,
+// so the sequencer's output stays an in-order prefix of the grid.
+func runSweepGroup(ctx context.Context, spec Spec, idxs []int, jobs []Job, byName map[string]Algorithm, timeout time.Duration, emitSeq []int, out chan<- sweepItem) {
+	if ctx.Err() != nil {
+		return
+	}
 	in, buildErr := buildInstanceSafe(spec)
 	for _, ji := range idxs {
+		if ctx.Err() != nil {
+			return
+		}
 		j := jobs[ji]
 		rec := SweepRecord{resultRecord: recordOf(Result{Spec: j.Spec, Algo: j.Algo})}
 		var res Result
@@ -210,7 +232,10 @@ func runSweepGroup(spec Spec, idxs []int, jobs []Job, byName map[string]Algorith
 		case !known:
 			rec.Err = fmt.Sprintf("unknown algorithm %q", j.Algo)
 		default:
-			cost, elapsed, errMsg := runJob(in, a, timeout)
+			cost, elapsed, errMsg := runJob(ctx, in, a, timeout)
+			if errMsg != "" && ctx.Err() != nil {
+				return // sweep canceled mid-job; drop, the job re-runs on resume
+			}
 			rec.ElapsedMicros = elapsed.Microseconds()
 			if errMsg != "" {
 				rec.Err = errMsg
@@ -234,49 +259,46 @@ func buildInstanceSafe(spec Spec) (in *Instance, err error) {
 }
 
 // runJob executes one algorithm with panic isolation and an optional
-// wall-clock cap. On timeout the scheduling goroutine is abandoned (Go
-// offers no preemptive kill for CPU-bound work); its eventual result is
-// dropped.
-func runJob(in *Instance, a Algorithm, timeout time.Duration) (int64, time.Duration, string) {
+// wall-clock cap, enforced as a context deadline: the scheduler's periodic
+// context polls make it return shortly after the deadline, so — unlike the
+// old watchdog-goroutine design — nothing keeps running unobserved after a
+// timeout. The job runs synchronously on the calling worker. Only the
+// cancellation error itself is relabeled as a timeout; a genuine failure
+// (panic, invalid schedule) racing the deadline keeps its own message.
+func runJob(ctx context.Context, in *Instance, a Algorithm, timeout time.Duration) (int64, time.Duration, string) {
 	if timeout <= 0 {
-		return runJobDirect(in, a)
+		cost, elapsed, errMsg, _ := runJobDirect(ctx, in, a)
+		return cost, elapsed, errMsg
 	}
-	type jobOut struct {
-		cost    int64
-		elapsed time.Duration
-		errMsg  string
+	jctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	cost, elapsed, errMsg, wasCanceled := runJobDirect(jctx, in, a)
+	if wasCanceled && jctx.Err() == context.DeadlineExceeded && ctx.Err() == nil {
+		errMsg = fmt.Sprintf("timeout after %s", timeout)
 	}
-	ch := make(chan jobOut, 1)
-	go func() {
-		c, e, m := runJobDirect(in, a)
-		ch <- jobOut{c, e, m}
-	}()
-	timer := time.NewTimer(timeout)
-	defer timer.Stop()
-	select {
-	case o := <-ch:
-		return o.cost, o.elapsed, o.errMsg
-	case <-timer.C:
-		return 0, timeout, fmt.Sprintf("timeout after %s", timeout)
-	}
+	return cost, elapsed, errMsg
 }
 
 // runJobDirect measures only the scheduling time, excluding instance
-// construction, matching the paper's running-time methodology.
-func runJobDirect(in *Instance, a Algorithm) (cost int64, elapsed time.Duration, errMsg string) {
+// construction, matching the paper's running-time methodology. wasCanceled
+// reports that the failure was the job context's own cancellation (not a
+// panic or scheduler error).
+func runJobDirect(ctx context.Context, in *Instance, a Algorithm) (cost int64, elapsed time.Duration, errMsg string, wasCanceled bool) {
+	start := time.Now()
 	defer func() {
 		if p := recover(); p != nil {
+			elapsed = time.Since(start)
 			errMsg = fmt.Sprintf("panic: %v", p)
+			wasCanceled = false
 		}
 	}()
-	start := time.Now()
-	s, err := a.Run(in)
+	s, err := a.Run(ctx, in)
 	elapsed = time.Since(start)
 	if err != nil {
-		return 0, elapsed, err.Error()
+		return 0, elapsed, err.Error(), errors.Is(err, scherr.ErrCanceled) || errors.Is(err, ctx.Err())
 	}
 	if err := schedule.Validate(in.Inst, s, in.Prof.T()); err != nil {
-		return 0, elapsed, fmt.Sprintf("invalid schedule: %v", err)
+		return 0, elapsed, fmt.Sprintf("invalid schedule: %v", err), false
 	}
-	return schedule.CarbonCost(in.Inst, s, in.Prof), elapsed, ""
+	return schedule.CarbonCost(in.Inst, s, in.Prof), elapsed, "", false
 }

@@ -2,13 +2,18 @@ package experiments
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"fmt"
+	"runtime"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/power"
 	"repro/internal/schedule"
+	"repro/internal/scherr"
 	"repro/internal/wfgen"
 )
 
@@ -49,7 +54,7 @@ func TestSweepDeterministicOrder(t *testing.T) {
 	jobs := sweepTestJobs(5)
 	run := func(workers int) ([]SweepRecord, []Result) {
 		var buf bytes.Buffer
-		results, err := Sweep(jobs, Algorithms(), &buf, SweepOptions{Workers: workers})
+		results, err := Sweep(context.Background(), jobs, Algorithms(), &buf, SweepOptions{Workers: workers})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -90,12 +95,12 @@ func TestSweepMatchesSequentialRunner(t *testing.T) {
 	// The sweep's costs must agree with the original Run path.
 	jobs := sweepTestJobs(4)
 	var buf bytes.Buffer
-	swept, err := Sweep(jobs, Algorithms(), &buf, SweepOptions{Workers: 3})
+	swept, err := Sweep(context.Background(), jobs, Algorithms(), &buf, SweepOptions{Workers: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
 	specs := []Spec{jobs[0].Spec, jobs[4].Spec, jobs[8].Spec}
-	legacy, err := Run(specs, Algorithms()[:4], 1, nil)
+	legacy, err := Run(context.Background(), specs, Algorithms()[:4], 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,12 +122,12 @@ func TestSweepMatchesSequentialRunner(t *testing.T) {
 func TestSweepIsolatesPanicsAndErrors(t *testing.T) {
 	jobs := sweepTestJobs(1) // 3 ASAP jobs
 	roster := []Algorithm{
-		{Name: BaselineName, Run: func(in *Instance) (*schedule.Schedule, error) {
+		{Name: BaselineName, Run: func(ctx context.Context, in *Instance) (*schedule.Schedule, error) {
 			panic("boom")
 		}},
 	}
 	var buf bytes.Buffer
-	results, err := Sweep(jobs, roster, &buf, SweepOptions{Workers: 2})
+	results, err := Sweep(context.Background(), jobs, roster, &buf, SweepOptions{Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +148,7 @@ func TestSweepIsolatesPanicsAndErrors(t *testing.T) {
 	}
 	// Unknown algorithms are reported in-band too.
 	var buf2 bytes.Buffer
-	if _, err := Sweep([]Job{{Spec: jobs[0].Spec, Algo: "nope"}}, Algorithms(), &buf2, SweepOptions{}); err != nil {
+	if _, err := Sweep(context.Background(), []Job{{Spec: jobs[0].Spec, Algo: "nope"}}, Algorithms(), &buf2, SweepOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	recs2, _ := ReadSweepRecords(&buf2)
@@ -155,14 +160,20 @@ func TestSweepIsolatesPanicsAndErrors(t *testing.T) {
 func TestSweepTimeout(t *testing.T) {
 	jobs := sweepTestJobs(1)[:1]
 	roster := []Algorithm{
-		{Name: BaselineName, Run: func(in *Instance) (*schedule.Schedule, error) {
-			time.Sleep(2 * time.Second)
-			return nil, nil
+		{Name: BaselineName, Run: func(ctx context.Context, in *Instance) (*schedule.Schedule, error) {
+			// A ctx-honoring slow job, like the real roster under a
+			// -job-timeout deadline.
+			select {
+			case <-time.After(2 * time.Second):
+				return nil, nil
+			case <-ctx.Done():
+				return nil, scherr.Canceled(ctx.Err())
+			}
 		}},
 	}
 	var buf bytes.Buffer
 	start := time.Now()
-	results, err := Sweep(jobs, roster, &buf, SweepOptions{Workers: 1, Timeout: 20 * time.Millisecond})
+	results, err := Sweep(context.Background(), jobs, roster, &buf, SweepOptions{Workers: 1, Timeout: 20 * time.Millisecond})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,7 +192,7 @@ func TestSweepTimeout(t *testing.T) {
 func TestSweepResume(t *testing.T) {
 	jobs := sweepTestJobs(3)
 	var full bytes.Buffer
-	if _, err := Sweep(jobs, Algorithms(), &full, SweepOptions{Workers: 4}); err != nil {
+	if _, err := Sweep(context.Background(), jobs, Algorithms(), &full, SweepOptions{Workers: 4}); err != nil {
 		t.Fatal(err)
 	}
 	recs, err := ReadSweepRecords(&full)
@@ -194,7 +205,7 @@ func TestSweepResume(t *testing.T) {
 		t.Fatalf("done keys = %d, want 4", len(done))
 	}
 	var rest bytes.Buffer
-	if _, err := Sweep(jobs, Algorithms(), &rest, SweepOptions{Workers: 4, Skip: done}); err != nil {
+	if _, err := Sweep(context.Background(), jobs, Algorithms(), &rest, SweepOptions{Workers: 4, Skip: done}); err != nil {
 		t.Fatal(err)
 	}
 	restRecs, err := ReadSweepRecords(&rest)
@@ -234,7 +245,7 @@ func TestSweepResume(t *testing.T) {
 func TestReadSweepRecordsToleratesTornTail(t *testing.T) {
 	jobs := sweepTestJobs(2)
 	var buf bytes.Buffer
-	if _, err := Sweep(jobs, Algorithms(), &buf, SweepOptions{Workers: 2}); err != nil {
+	if _, err := Sweep(context.Background(), jobs, Algorithms(), &buf, SweepOptions{Workers: 2}); err != nil {
 		t.Fatal(err)
 	}
 	full := buf.String()
@@ -288,7 +299,7 @@ func ExampleSweep() {
 	spec := Spec{Family: wfgen.Bacass, N: 30, Cluster: Small, Scenario: power.S1, DeadlineFactor: 2, Seed: 7}
 	jobs := []Job{{Spec: spec, Algo: "ASAP"}, {Spec: spec, Algo: "pressWR-LS"}}
 	var buf bytes.Buffer
-	results, err := Sweep(jobs, Algorithms(), &buf, SweepOptions{Workers: 2})
+	results, err := Sweep(context.Background(), jobs, Algorithms(), &buf, SweepOptions{Workers: 2})
 	if err != nil {
 		fmt.Println(err)
 		return
@@ -301,4 +312,105 @@ func ExampleSweep() {
 	// jobs: 2 records: 2
 	// first algo: ASAP
 	// carbon-aware beats baseline: true
+}
+
+// TestSweepTimeoutLeaksNoGoroutines pins the fix for the old watchdog
+// design, where a timed-out job's goroutine kept running to completion
+// unobserved. Timeouts are now context deadlines executed synchronously on
+// the worker, so after Sweep returns no scheduling goroutine survives.
+func TestSweepTimeoutLeaksNoGoroutines(t *testing.T) {
+	jobs := sweepTestJobs(1) // 3 jobs
+	roster := []Algorithm{
+		{Name: BaselineName, Run: func(ctx context.Context, in *Instance) (*schedule.Schedule, error) {
+			select {
+			case <-time.After(time.Minute): // would leak for a minute under the old design
+				return nil, nil
+			case <-ctx.Done():
+				return nil, scherr.Canceled(ctx.Err())
+			}
+		}},
+	}
+	before := runtime.NumGoroutine()
+	var buf bytes.Buffer
+	if _, err := Sweep(context.Background(), jobs, roster, &buf, SweepOptions{Workers: 2, Timeout: 10 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	// Give the pool's own goroutines a moment to unwind.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Errorf("goroutines grew from %d to %d after a timed-out sweep", before, after)
+	}
+	recs, _ := ReadSweepRecords(&buf)
+	if len(recs) != len(jobs) {
+		t.Fatalf("%d records, want %d", len(recs), len(jobs))
+	}
+	for i, rec := range recs {
+		if !strings.Contains(rec.Err, "timeout") {
+			t.Errorf("record %d err = %q, want timeout", i, rec.Err)
+		}
+	}
+}
+
+// TestSweepCancellation: canceling the sweep context mid-grid stops the
+// sweep promptly, returns a context.Canceled-satisfying error, and leaves
+// the JSONL stream a clean in-order prefix that -resume can extend.
+func TestSweepCancellation(t *testing.T) {
+	jobs := sweepTestJobs(17) // full roster × 3 specs
+	ctx, cancel := context.WithCancel(context.Background())
+	release := make(chan struct{})
+	var once sync.Once
+	roster := Algorithms()
+	// Wrap the first algorithm so the sweep blocks until we cancel.
+	orig := roster[0].Run
+	roster[0].Run = func(ctx context.Context, in *Instance) (*schedule.Schedule, error) {
+		once.Do(func() { cancel(); close(release) })
+		<-release
+		return orig(ctx, in)
+	}
+	var buf bytes.Buffer
+	_, err := Sweep(ctx, jobs, roster, &buf, SweepOptions{Workers: 2})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled sweep returned err = %v, want context.Canceled", err)
+	}
+	if !errors.Is(err, scherr.ErrCanceled) {
+		t.Fatalf("canceled sweep err = %v, want scherr.ErrCanceled too", err)
+	}
+	recs, rerr := ReadSweepRecords(&buf)
+	if rerr != nil {
+		t.Fatalf("canceled sweep left a corrupt stream: %v", rerr)
+	}
+	if len(recs) >= len(jobs) {
+		t.Fatalf("canceled sweep completed all %d jobs", len(jobs))
+	}
+	// The emitted records must be the grid prefix, in order.
+	for i, rec := range recs {
+		if rec.Algo != jobs[i].Algo {
+			t.Fatalf("record %d out of grid order after cancel: %q vs %q", i, rec.Algo, jobs[i].Algo)
+		}
+	}
+	// Resume must pick up exactly the missing jobs.
+	skip := SweepDoneKeys(recs)
+	var rest bytes.Buffer
+	if _, err := Sweep(context.Background(), jobs, Algorithms(), &rest, SweepOptions{Workers: 2, Skip: skip}); err != nil {
+		t.Fatal(err)
+	}
+	restRecs, err := ReadSweepRecords(&rest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok := 0
+	for _, rec := range recs {
+		if rec.Err == "" {
+			ok++
+		}
+	}
+	if got, want := ok+len(restRecs), len(jobs); got != want {
+		t.Fatalf("prefix (%d ok) + resumed (%d) = %d records, want %d", ok, len(restRecs), got, want)
+	}
 }

@@ -1,6 +1,8 @@
 package greenheft
 
 import (
+	"context"
+
 	"testing"
 	"testing/quick"
 
@@ -137,7 +139,7 @@ func TestTwoPassPipeline(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		s, _, err := core.Run(inst, prof, core.Options{Score: core.ScorePressureW, Refined: true, LocalSearch: true})
+		s, _, err := core.Run(context.Background(), inst, prof, core.Options{Score: core.ScorePressureW, Refined: true, LocalSearch: true})
 		if err != nil {
 			t.Fatalf("%v: %v", p, err)
 		}

@@ -1,6 +1,8 @@
 package npc
 
 import (
+	"context"
+
 	"testing"
 
 	"repro/internal/exact"
@@ -130,7 +132,7 @@ func TestReductionEquivalenceYes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, cost, err := exact.Solve(r.Instance, r.Profile, exact.Options{})
+	_, cost, err := exact.Solve(context.Background(), r.Instance, r.Profile, exact.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +149,7 @@ func TestReductionEquivalenceNo(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, cost, err := exact.Solve(r.Instance, r.Profile, exact.Options{MaxNodes: 40_000_000})
+	_, cost, err := exact.Solve(context.Background(), r.Instance, r.Profile, exact.Options{MaxNodes: 40_000_000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,7 +186,7 @@ func BenchmarkReductionYes(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, cost, err := exact.Solve(r.Instance, r.Profile, exact.Options{}); err != nil || cost != 0 {
+		if _, cost, err := exact.Solve(context.Background(), r.Instance, r.Profile, exact.Options{}); err != nil || cost != 0 {
 			b.Fatalf("cost %d err %v", cost, err)
 		}
 	}

@@ -1,0 +1,96 @@
+// Package scherr defines the structured error taxonomy shared by every
+// scheduling layer (core, exact, experiments) and re-exported by the root
+// facade. All errors are designed for errors.Is / errors.As:
+//
+//   - sentinel values (ErrInfeasibleDeadline, ErrBudgetExhausted,
+//     ErrCanceled, ErrUnknownVariant) classify a failure,
+//   - detail types (InfeasibleDeadlineError, BudgetError, CanceledError)
+//     carry the concrete numbers and unwrap to their sentinel,
+//   - CanceledError additionally unwraps to the context error that caused
+//     it, so errors.Is(err, context.Canceled) holds for a canceled solve.
+package scherr
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel errors classifying scheduler failures.
+var (
+	// ErrInfeasibleDeadline reports that no schedule can meet the deadline:
+	// some task's start window [EST, LST] is empty.
+	ErrInfeasibleDeadline = errors.New("cawosched: deadline infeasible")
+	// ErrBudgetExhausted reports that a bounded search (e.g. the exact
+	// branch-and-bound node budget) ran out before covering the space; any
+	// accompanying result is only an upper bound.
+	ErrBudgetExhausted = errors.New("cawosched: search budget exhausted")
+	// ErrCanceled reports that a solve stopped early because its context
+	// was canceled or timed out.
+	ErrCanceled = errors.New("cawosched: solve canceled")
+	// ErrUnknownVariant reports a variant name missing from the registry.
+	ErrUnknownVariant = errors.New("cawosched: unknown variant")
+)
+
+// InfeasibleDeadlineError pinpoints the node whose start window is empty
+// under the deadline. It satisfies errors.Is(err, ErrInfeasibleDeadline).
+type InfeasibleDeadlineError struct {
+	Deadline int64 // the deadline T that cannot be met
+	Node     int   // the node with an empty window
+	EST, LST int64 // the empty window [EST, LST] (EST > LST)
+}
+
+func (e *InfeasibleDeadlineError) Error() string {
+	return fmt.Sprintf("cawosched: deadline %d infeasible: node %d window [%d, %d] empty",
+		e.Deadline, e.Node, e.EST, e.LST)
+}
+
+func (e *InfeasibleDeadlineError) Unwrap() error { return ErrInfeasibleDeadline }
+
+// BudgetError reports an exhausted search budget together with how much of
+// it was spent. It satisfies errors.Is(err, ErrBudgetExhausted).
+type BudgetError struct {
+	Nodes int64 // search-tree nodes expanded before giving up
+}
+
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("cawosched: search budget exhausted after %d nodes", e.Nodes)
+}
+
+func (e *BudgetError) Unwrap() error { return ErrBudgetExhausted }
+
+// CanceledError wraps the context error that interrupted a solve. It
+// satisfies both errors.Is(err, ErrCanceled) and errors.Is(err, cause)
+// (typically context.Canceled or context.DeadlineExceeded).
+type CanceledError struct {
+	Cause error // the ctx.Err() observed at the cancellation point
+}
+
+func (e *CanceledError) Error() string {
+	return fmt.Sprintf("cawosched: solve canceled: %v", e.Cause)
+}
+
+func (e *CanceledError) Unwrap() []error { return []error{ErrCanceled, e.Cause} }
+
+// Canceled wraps a non-nil context error into a CanceledError; it returns
+// nil for a nil cause so callers can write `return scherr.Canceled(ctx.Err())`
+// unconditionally after a select.
+func Canceled(cause error) error {
+	if cause == nil {
+		return nil
+	}
+	return &CanceledError{Cause: cause}
+}
+
+// UnknownVariantError reports a variant name that is not in the registry,
+// with the canonical spelling candidates. It satisfies
+// errors.Is(err, ErrUnknownVariant).
+type UnknownVariantError struct {
+	Name  string   // the name that failed to resolve
+	Known []string // canonical registry names
+}
+
+func (e *UnknownVariantError) Error() string {
+	return fmt.Sprintf("cawosched: unknown variant %q", e.Name)
+}
+
+func (e *UnknownVariantError) Unwrap() error { return ErrUnknownVariant }

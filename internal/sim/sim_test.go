@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+
 	"testing"
 	"testing/quick"
 
@@ -37,7 +39,7 @@ func testInstance(tb testing.TB, n int, seed uint64) (*ceg.Instance, *power.Prof
 	if err != nil {
 		tb.Fatal(err)
 	}
-	s, _, err := core.Run(inst, prof, core.Options{Score: core.ScorePressureW, Refined: true, LocalSearch: true})
+	s, _, err := core.Run(context.Background(), inst, prof, core.Options{Score: core.ScorePressureW, Refined: true, LocalSearch: true})
 	if err != nil {
 		tb.Fatal(err)
 	}
@@ -240,7 +242,7 @@ func TestPlanOnForecastEvaluateOnActual(t *testing.T) {
 	// the realized cost equals the planned cost.
 	inst, actual, _ := testInstance(t, 60, 5)
 	forecast := (ForecastError{Base: 0.2, Growth: 0.3, Seed: 7}).Forecast(actual)
-	plan, _, err := core.Run(inst, forecast, core.Options{Score: core.ScoreSlackW, LocalSearch: true})
+	plan, _, err := core.Run(context.Background(), inst, forecast, core.Options{Score: core.ScoreSlackW, LocalSearch: true})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,355 @@
+package cawosched
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/scherr"
+)
+
+// Structured errors re-exported from the internal taxonomy. Every failure
+// of the Solver (and of the context-aware free functions) can be
+// classified with errors.Is against these sentinels and unpacked with
+// errors.As into the detail types below.
+var (
+	// ErrInfeasibleDeadline: no schedule can meet the deadline.
+	ErrInfeasibleDeadline = scherr.ErrInfeasibleDeadline
+	// ErrBudgetExhausted: a bounded search ran out of budget; any result
+	// returned alongside it is only an upper bound.
+	ErrBudgetExhausted = scherr.ErrBudgetExhausted
+	// ErrCanceled: the context was canceled or timed out mid-solve. The
+	// error also satisfies errors.Is(err, ctx.Err()).
+	ErrCanceled = scherr.ErrCanceled
+	// ErrUnknownVariant: a variant name missing from the registry.
+	ErrUnknownVariant = scherr.ErrUnknownVariant
+)
+
+// Detail types carried by the sentinels above (use errors.As).
+type (
+	// InfeasibleDeadlineError pinpoints the node whose window is empty.
+	InfeasibleDeadlineError = scherr.InfeasibleDeadlineError
+	// BudgetError reports how many search nodes were expanded.
+	BudgetError = scherr.BudgetError
+	// CanceledError wraps the context error that stopped the solve.
+	CanceledError = scherr.CanceledError
+	// UnknownVariantError lists the canonical registry names.
+	UnknownVariantError = scherr.UnknownVariantError
+)
+
+// LookupVariant resolves a canonical variant name ("slack", "pressWR-LS",
+// …) to its Options through the variant registry shared with the CLIs and
+// the sweep records. Unknown names fail with ErrUnknownVariant.
+func LookupVariant(name string) (Options, error) { return core.LookupVariant(name) }
+
+// VariantNames returns the canonical names of the 16 registered variants
+// in the paper's presentation order.
+func VariantNames() []string { return core.VariantNames() }
+
+// DefaultVariant is the variant a Request resolves to when it names none:
+// pressWR-LS, the paper's most frequent winner.
+const DefaultVariant = "pressWR-LS"
+
+// Request describes one solve: which workflow (or prebuilt instance),
+// which variant, and which power profile (explicit or generated from a
+// scenario). The zero values of the tuning fields pick the paper's
+// defaults, so the minimal request is {Workflow: wf}.
+type Request struct {
+	// Workflow is the DAG to plan (HEFT mapping + ordering, memoized per
+	// workflow fingerprint). Ignored when Instance is set; one of the two
+	// must be non-nil.
+	Workflow *DAG
+	// Instance, if non-nil, skips planning and schedules this prebuilt
+	// instance directly (it must belong to the solver's cluster).
+	Instance *Instance
+
+	// Variant is a canonical registry name, e.g. "pressWR-LS"; empty means
+	// DefaultVariant. Ignored when Options is set.
+	Variant string
+	// Options, if non-nil, selects the variant explicitly and overrides
+	// Variant.
+	Options *Options
+	// Marginal switches the greedy phase to the exact-marginal-cost greedy
+	// (RunMarginal) instead of the paper's budget-based one.
+	Marginal bool
+
+	// Profile, if non-nil, is used as-is (its horizon is the deadline).
+	// Otherwise a profile is generated from Scenario over the horizon
+	// DeadlineFactor·D with Intervals intervals and Seed.
+	Profile *Profile
+	// Scenario selects the generated profile's shape (default S1).
+	Scenario Scenario
+	// DeadlineFactor sets the deadline T = factor·D where D is the ASAP
+	// makespan; 0 means the paper's default tolerance of 2. Values below 1
+	// are rejected (T < D is infeasible by construction).
+	DeadlineFactor float64
+	// Intervals is the generated profile's interval count (default 24).
+	Intervals int
+	// Seed drives profile generation (and nothing else).
+	Seed uint64
+}
+
+// Response is the result of one solve.
+type Response struct {
+	Schedule *Schedule // the validated carbon-aware schedule
+	Instance *Instance // the (possibly memoized) scheduling instance
+	Profile  *Profile  // the profile the schedule was optimized against
+	Stats    Stats     // scheduler instrumentation; Stats.Cost == Cost
+	Variant  string    // canonical name of the variant that ran
+	D        int64     // ASAP makespan (tightest feasible deadline)
+	Deadline int64     // deadline actually used (the profile horizon)
+	Cost     int64     // carbon cost of Schedule
+	ASAPCost int64     // carbon cost of the ASAP baseline under Profile
+	PlanHit  bool      // true if the HEFT plan came from the memo cache
+}
+
+// SolverStats is a snapshot of a solver's lifetime counters.
+type SolverStats struct {
+	Solves     int64 // completed Solve calls (including failed ones)
+	PlanHits   int64 // Plan requests served from the fingerprint cache
+	PlanMisses int64 // Plan requests that ran HEFT + instance construction
+}
+
+// Solver is the concurrency-safe request/response entry point: one solver
+// per target cluster, shared by any number of goroutines. It memoizes
+// HEFT plans per workflow fingerprint (planning is typically far more
+// expensive than scheduling, and a service replans the same workflow under
+// many profiles/variants), and threads the caller's context through every
+// scheduling phase, so cancellation and deadlines are honored mid-run.
+type Solver struct {
+	cluster *Cluster
+
+	mu    sync.Mutex
+	plans map[uint64]*planEntry
+
+	solves     atomic.Int64
+	planHits   atomic.Int64
+	planMisses atomic.Int64
+}
+
+// maxPlans bounds the plan cache. When full, an arbitrary entry is evicted
+// on insert — a simple bound that keeps a long-lived service from growing
+// without limit while never evicting the entries a steady workload reuses
+// fastest (those are re-admitted on the next miss).
+const maxPlans = 4096
+
+// planEntry is a once-built memoized plan; concurrent requests for the
+// same fingerprint block on the first build instead of duplicating it.
+// The source workflow is retained to guard against fingerprint collisions,
+// and the ASAP schedule / makespan D — pure functions of the instance that
+// every Solve needs — are computed once alongside it.
+type planEntry struct {
+	once sync.Once
+	wf   *DAG
+	inst *Instance
+	asap *Schedule
+	d    int64
+	err  error
+}
+
+func (e *planEntry) build(cluster *Cluster) {
+	e.once.Do(func() {
+		e.inst, e.err = PlanHEFT(e.wf, cluster)
+		if e.err == nil {
+			e.asap = ASAP(e.inst)
+			e.d = Makespan(e.inst, e.asap)
+		}
+	})
+}
+
+// NewSolver returns a solver bound to the given target cluster.
+func NewSolver(cluster *Cluster) *Solver {
+	return &Solver{cluster: cluster, plans: make(map[uint64]*planEntry)}
+}
+
+// Cluster returns the target platform the solver plans against.
+func (s *Solver) Cluster() *Cluster { return s.cluster }
+
+// Stats returns a snapshot of the solver's counters.
+func (s *Solver) Stats() SolverStats {
+	return SolverStats{
+		Solves:     s.solves.Load(),
+		PlanHits:   s.planHits.Load(),
+		PlanMisses: s.planMisses.Load(),
+	}
+}
+
+// ResetPlans drops every memoized plan (e.g. after a batch of one-off
+// workflows). Counters are unaffected.
+func (s *Solver) ResetPlans() {
+	s.mu.Lock()
+	s.plans = make(map[uint64]*planEntry)
+	s.mu.Unlock()
+}
+
+// plan returns the memoized entry for the workflow, building it if needed.
+func (s *Solver) plan(ctx context.Context, wf *DAG) (*planEntry, bool, error) {
+	if wf == nil {
+		return nil, false, fmt.Errorf("cawosched: Plan: nil workflow")
+	}
+	if err := scherr.Canceled(ctx.Err()); err != nil {
+		return nil, false, err
+	}
+	fp := wf.Fingerprint()
+	s.mu.Lock()
+	e, hit := s.plans[fp]
+	if !hit {
+		e = &planEntry{wf: wf}
+		if len(s.plans) >= maxPlans {
+			for k := range s.plans {
+				delete(s.plans, k)
+				break
+			}
+		}
+		s.plans[fp] = e
+	}
+	s.mu.Unlock()
+	if hit && !e.wf.Equal(wf) {
+		// Fingerprint collision: serve this workflow uncached rather than
+		// return another workflow's plan.
+		s.planMisses.Add(1)
+		e = &planEntry{wf: wf}
+		e.build(s.cluster)
+		return e, false, e.err
+	}
+	if hit {
+		s.planHits.Add(1)
+	} else {
+		s.planMisses.Add(1)
+	}
+	e.build(s.cluster)
+	return e, hit, e.err
+}
+
+// Plan returns the scheduling instance for the workflow on the solver's
+// cluster: the HEFT mapping/ordering plus the communication-enhanced DAG,
+// memoized by the workflow's fingerprint (with a structural-equality guard
+// against collisions). Concurrent calls with the same workflow share one
+// construction; repeated calls are cache hits.
+func (s *Solver) Plan(ctx context.Context, wf *DAG) (*Instance, bool, error) {
+	e, hit, err := s.plan(ctx, wf)
+	if err != nil {
+		return nil, hit, err
+	}
+	return e.inst, hit, nil
+}
+
+// ProfileFor returns the request's power profile: the explicit one if set,
+// otherwise a profile generated from the request's scenario over the
+// horizon DeadlineFactor·D.
+func (s *Solver) ProfileFor(ctx context.Context, inst *Instance, req Request) (*Profile, error) {
+	return profileFor(ctx, inst, req, ASAPMakespan(inst))
+}
+
+// profileFor is ProfileFor with D already known, so Solve computes the
+// ASAP pass only once per request.
+func profileFor(ctx context.Context, inst *Instance, req Request, D int64) (*Profile, error) {
+	if req.Profile != nil {
+		return req.Profile, nil
+	}
+	if err := scherr.Canceled(ctx.Err()); err != nil {
+		return nil, err
+	}
+	factor := req.DeadlineFactor
+	if factor == 0 {
+		factor = 2
+	}
+	if factor < 1 {
+		return nil, fmt.Errorf("cawosched: deadline factor %v < 1: %w", factor, ErrInfeasibleDeadline)
+	}
+	T := int64(float64(D)*factor + 0.5)
+	if T < D {
+		T = D
+	}
+	intervals := req.Intervals
+	if intervals <= 0 {
+		intervals = 24
+	}
+	sc := req.Scenario
+	if sc == 0 {
+		sc = S1
+	}
+	return ProfileForInstance(inst, sc, T, intervals, req.Seed)
+}
+
+// resolveOptions picks the variant for a request and returns its options
+// together with the canonical (or synthesized) display name.
+func resolveOptions(req Request) (Options, string, error) {
+	if req.Options != nil {
+		return *req.Options, req.Options.Name(), nil
+	}
+	name := req.Variant
+	if name == "" {
+		name = DefaultVariant
+	}
+	opt, err := core.LookupVariant(name)
+	if err != nil {
+		return Options{}, "", err
+	}
+	return opt, opt.Name(), nil
+}
+
+// Solve runs the full pipeline for one request — plan (memoized), profile,
+// schedule, validate — and returns the response. It is safe for concurrent
+// use. Canceling ctx aborts the run promptly (the hot loops poll the
+// context) with an error satisfying errors.Is(err, ErrCanceled) and
+// errors.Is(err, ctx.Err()).
+func (s *Solver) Solve(ctx context.Context, req Request) (*Response, error) {
+	s.solves.Add(1)
+	if err := scherr.Canceled(ctx.Err()); err != nil {
+		return nil, err
+	}
+	opt, variant, err := resolveOptions(req)
+	if err != nil {
+		return nil, err
+	}
+
+	// Resolve the instance plus its ASAP schedule and makespan D — from
+	// the plan cache when the request names a workflow (one EST pass per
+	// workflow lifetime), computed directly for a prebuilt instance.
+	var inst *Instance
+	var asap *Schedule
+	var D int64
+	planHit := false
+	if req.Instance != nil {
+		inst = req.Instance
+		asap = ASAP(inst)
+		D = Makespan(inst, asap)
+	} else {
+		var e *planEntry
+		e, planHit, err = s.plan(ctx, req.Workflow)
+		if err != nil {
+			return nil, err
+		}
+		inst, asap, D = e.inst, e.asap, e.d
+	}
+	prof, err := profileFor(ctx, inst, req, D)
+	if err != nil {
+		return nil, err
+	}
+
+	var sched *Schedule
+	var st Stats
+	if req.Marginal {
+		sched, st, err = core.RunMarginal(ctx, inst, prof, opt)
+	} else {
+		sched, st, err = core.Run(ctx, inst, prof, opt)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Response{
+		Schedule: sched,
+		Instance: inst,
+		Profile:  prof,
+		Stats:    st,
+		Variant:  variant,
+		D:        D,
+		Deadline: prof.T(),
+		Cost:     st.Cost,
+		ASAPCost: CarbonCost(inst, asap, prof),
+		PlanHit:  planHit,
+	}, nil
+}
