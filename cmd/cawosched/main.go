@@ -26,6 +26,7 @@ import (
 	"time"
 
 	cawosched "repro"
+	"repro/internal/power"
 	"repro/internal/wfgen"
 )
 
@@ -59,7 +60,13 @@ func main() {
 			fmt.Fprintln(os.Stderr, "cawosched: interrupted")
 			os.Exit(130)
 		}
-		fmt.Fprintln(os.Stderr, "cawosched:", err)
+		// Classified scheduler failures carry their stable machine-readable
+		// code (the same codes the schedd HTTP API returns).
+		if code := cawosched.ErrorCode(err); code != "" {
+			fmt.Fprintf(os.Stderr, "cawosched: [%s] %v\n", code, err)
+		} else {
+			fmt.Fprintln(os.Stderr, "cawosched:", err)
+		}
 		os.Exit(1)
 	}
 }
@@ -83,7 +90,7 @@ func run(ctx context.Context, family string, n int, dotFile, clusterName, scenar
 		return err
 	}
 	if factor < 1 {
-		return fmt.Errorf("deadline factor %v < 1", factor)
+		return fmt.Errorf("deadline factor %v < 1: %w", factor, cawosched.ErrInfeasibleDeadline)
 	}
 
 	names, err := selectVariants(variant)
@@ -198,17 +205,9 @@ func parseFamily(name string) (cawosched.Family, error) {
 }
 
 func parseScenario(name string) (cawosched.Scenario, error) {
-	switch strings.ToUpper(name) {
-	case "S1":
-		return cawosched.S1, nil
-	case "S2":
-		return cawosched.S2, nil
-	case "S3":
-		return cawosched.S3, nil
-	case "S4":
-		return cawosched.S4, nil
-	}
-	return 0, fmt.Errorf("unknown scenario %q", name)
+	// The shared parser also backs the schedd wire format, so CLI and
+	// service accept exactly the same spellings.
+	return power.ParseScenario(name)
 }
 
 // selectVariants resolves -variant into registry names: "all" is every

@@ -70,7 +70,13 @@ func main() {
 			fmt.Fprintln(os.Stderr, "experiments: interrupted (partial results kept; sweep mode: rerun with -resume)")
 			os.Exit(130)
 		}
-		fmt.Fprintln(os.Stderr, "experiments:", err)
+		// Classified scheduler failures carry their stable machine-readable
+		// code (the same codes the schedd HTTP API returns).
+		if code := cawosched.ErrorCode(err); code != "" {
+			fmt.Fprintf(os.Stderr, "experiments: [%s] %v\n", code, err)
+		} else {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+		}
 		os.Exit(1)
 	}
 }

@@ -1,0 +1,151 @@
+// Command schedd serves the carbon-aware scheduler over HTTP/JSON: clients
+// POST workflows (plus a deadline and a power profile or scenario) to
+// /v1/solve and /v1/solve/batch and get back schedules, carbon costs, and
+// per-interval breakdowns. One solver — with its HEFT plan cache and
+// solve-response cache — fronts one target cluster for the whole process.
+//
+// Usage:
+//
+//	schedd [flags]
+//
+// The target platform is one of the paper clusters (-cluster small|large)
+// or a custom one loaded from a JSON file in the wire format
+// (-cluster-file). Shutdown is graceful: on SIGINT/SIGTERM the server
+// stops accepting connections, /healthz flips to 503 ("draining"), and
+// in-flight requests get -shutdown-grace to finish.
+//
+// See the README's "Running the service" section for curl examples.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	cawosched "repro"
+	"repro/internal/server"
+	"repro/internal/wire"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		clusterName = flag.String("cluster", "small", "target cluster: small (72 nodes) | large (144 nodes)")
+		clusterFile = flag.String("cluster-file", "", "load the target cluster from this JSON file (wire format) instead of -cluster")
+		seed        = flag.Uint64("seed", 42, "cluster link seed (ignored with -cluster-file)")
+		reqTimeout  = flag.Duration("request-timeout", 60*time.Second, "per-request solving deadline (0 = none)")
+		batchWork   = flag.Int("batch-workers", 0, "bounded worker pool for batched solves (0 = min(GOMAXPROCS, 16))")
+		maxBatch    = flag.Int("max-batch", 256, "maximum requests per batch body")
+		grace       = flag.Duration("shutdown-grace", 30*time.Second, "how long in-flight requests may finish after SIGINT/SIGTERM")
+		drainDelay  = flag.Duration("drain-delay", 0, "how long /healthz serves 503 (draining) before the listener closes, so load balancers can deregister")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, *addr, *clusterName, *clusterFile, *seed, *reqTimeout, *batchWork, *maxBatch, *grace, *drainDelay, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "schedd:", err)
+		os.Exit(1)
+	}
+}
+
+// buildCluster resolves the target platform from the flags.
+func buildCluster(clusterName, clusterFile string, seed uint64) (*cawosched.Cluster, string, error) {
+	if clusterFile != "" {
+		data, err := os.ReadFile(clusterFile)
+		if err != nil {
+			return nil, "", err
+		}
+		var wc wire.Cluster
+		if err := json.Unmarshal(data, &wc); err != nil {
+			return nil, "", fmt.Errorf("parsing %s: %w", clusterFile, err)
+		}
+		c, err := wc.ToCluster()
+		if err != nil {
+			return nil, "", fmt.Errorf("parsing %s: %w", clusterFile, err)
+		}
+		return c, clusterFile, nil
+	}
+	switch clusterName {
+	case "small":
+		return cawosched.SmallCluster(seed), "small", nil
+	case "large":
+		return cawosched.LargeCluster(seed), "large", nil
+	default:
+		return nil, "", fmt.Errorf("unknown cluster %q (want small, large, or -cluster-file)", clusterName)
+	}
+}
+
+// run serves until ctx is canceled, then drains gracefully. If ready is
+// non-nil it receives the bound address once the listener is up (tests
+// pass ":0" and read the actual port from it).
+func run(ctx context.Context, addr, clusterName, clusterFile string, seed uint64, reqTimeout time.Duration, batchWork, maxBatch int, grace, drainDelay time.Duration, ready chan<- string) error {
+	cluster, label, err := buildCluster(clusterName, clusterFile, seed)
+	if err != nil {
+		return err
+	}
+	if reqTimeout == 0 {
+		// The flag documents 0 as "no deadline"; the server Config uses 0
+		// for "default", so translate.
+		reqTimeout = -1
+	}
+	srv := server.New(cawosched.NewSolver(cluster), server.Config{
+		RequestTimeout: reqTimeout,
+		BatchWorkers:   batchWork,
+		MaxBatch:       maxBatch,
+	})
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Printf("schedd: serving cluster %s (%d compute processors) on %s", label, cluster.NumCompute(), ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err // listener failed before any shutdown request
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: flip /healthz to 503 (draining) and — with a
+	// positive -drain-delay — keep the listener open for that window so
+	// load balancer health probes actually observe the 503 and deregister
+	// before connections start being refused. Then http.Server.Shutdown
+	// waits for in-flight requests up to the grace period.
+	log.Printf("schedd: draining (delay %s, grace %s)", drainDelay, grace)
+	srv.SetDraining()
+	if drainDelay > 0 {
+		time.Sleep(drainDelay)
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	if err := httpSrv.Shutdown(sctx); err != nil {
+		log.Printf("schedd: forced shutdown: %v", err)
+		httpSrv.Close()
+		return err
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	log.Printf("schedd: stopped")
+	return nil
+}

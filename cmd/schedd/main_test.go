@@ -1,0 +1,116 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	cawosched "repro"
+	"repro/internal/wire"
+)
+
+func TestBuildCluster(t *testing.T) {
+	small, label, err := buildCluster("small", "", 42)
+	if err != nil || label != "small" || small.NumCompute() != 72 {
+		t.Fatalf("small: %v %q %d", err, label, small.NumCompute())
+	}
+	large, _, err := buildCluster("large", "", 42)
+	if err != nil || large.NumCompute() != 144 {
+		t.Fatalf("large: %v", err)
+	}
+	if _, _, err := buildCluster("medium", "", 42); err == nil {
+		t.Error("unknown cluster name accepted")
+	}
+
+	// A cluster file in the wire format round-trips into the same platform.
+	path := filepath.Join(t.TempDir(), "cluster.json")
+	data, err := json.Marshal(wire.FromCluster(cawosched.SmallCluster(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fromFile, _, err := buildCluster("ignored", path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromFile.NumCompute() != 72 || fromFile.LinkSeed() != 9 {
+		t.Errorf("cluster file: %d compute, link seed %d", fromFile.NumCompute(), fromFile.LinkSeed())
+	}
+
+	if _, _, err := buildCluster("", filepath.Join(t.TempDir(), "missing.json"), 0); err == nil {
+		t.Error("missing cluster file accepted")
+	}
+}
+
+// TestServeSmoke boots the real binary path on an ephemeral port, drives
+// one request through it, and shuts it down gracefully via context cancel.
+func TestServeSmoke(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, "127.0.0.1:0", "small", "", 7, 30*time.Second, 2, 16, 5*time.Second, 0, ready)
+	}()
+
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("server exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(raw), `"ok"`) {
+		t.Fatalf("healthz: %d %s", resp.StatusCode, raw)
+	}
+
+	wf, err := cawosched.GenerateWorkflow(cawosched.Bacass, 30, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := json.Marshal(wire.SolveRequest{Workflow: wire.FromDAG(wf), Variant: "slack", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Post("http://"+addr+"/v1/solve", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve: %d %s", resp.StatusCode, raw)
+	}
+	var sr wire.SolveResponse
+	if err := json.Unmarshal(raw, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Cost < 0 || len(sr.Schedule) == 0 {
+		t.Errorf("implausible solve response: %+v", sr)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("graceful shutdown returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+}

@@ -46,6 +46,11 @@ type Instance struct {
 	CommEdge []int
 	// Cluster is the target platform (with links materialized).
 	Cluster *platform.Cluster
+
+	// idlePower is the instance-local platform idle floor, memoized by
+	// Build: all compute processors plus exactly the links this instance's
+	// communications use. See TotalIdlePower.
+	idlePower int64
 }
 
 // N returns the total number of nodes N = n + |E′|.
@@ -199,6 +204,22 @@ func Build(d *dag.DAG, m *Mapping, cluster *platform.Cluster) (*Instance, error)
 		inst.Order[l] = order
 	}
 
+	// Memoize the instance-local idle floor: compute processors plus the
+	// distinct links this instance's communications occupy. Summing only
+	// the instance's own links (instead of every processor the shared
+	// cluster happens to have materialized) keeps the value — and with it
+	// profile corridors and carbon costs — a pure function of (workflow,
+	// mapping, cluster), independent of what other workflows were planned
+	// on the same cluster before or concurrently.
+	inst.idlePower = cluster.ComputeIdle()
+	seenLink := make(map[int]bool, len(comms))
+	for _, ct := range comms {
+		if !seenLink[ct.link] {
+			seenLink[ct.link] = true
+			inst.idlePower += cluster.Proc(ct.link).Type.Idle
+		}
+	}
+
 	if err := inst.Validate(); err != nil {
 		return nil, err
 	}
@@ -259,11 +280,13 @@ func (in *Instance) Validate() error {
 }
 
 // TotalIdlePower returns the summed idle power of all processors hosting at
-// least one node, plus all other compute processors. (Links without any
-// node never get materialized, so they contribute zero, as allowed by
-// Section 3.)
+// least one node of this instance, plus all other compute processors.
+// (Links without any node contribute zero, as allowed by Section 3 — even
+// when another workflow sharing the cluster materialized them.) The value
+// is memoized by Build, so it is cheap in the cost-sweep hot paths and
+// independent of concurrent planning on the shared cluster.
 func (in *Instance) TotalIdlePower() int64 {
-	return in.Cluster.TotalIdle()
+	return in.idlePower
 }
 
 // ProcPower returns (idle, work) power of node v's processor.

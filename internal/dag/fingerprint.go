@@ -1,14 +1,45 @@
 package dag
 
-import "hash/fnv"
+import (
+	"hash"
+	"hash/fnv"
+)
 
-// Fingerprint returns a 64-bit FNV-1a digest of the graph's structure and
-// weights: task count, per-task work weights and names, and every edge
-// with its communication weight. Two DAGs with the same fingerprint are
-// (up to hash collisions) the same scheduling input, so the digest serves
-// as a memoization key for mapping/planning results. Edge insertion order
-// is part of the digest; generators are deterministic, so equal inputs
-// hash equally.
+// Hash is an incremental FNV-1a 64-bit digest with a fixed, length-prefixed
+// encoding of the primitive scheduling types. It is the shared fingerprint
+// builder of the repository: DAG.Fingerprint uses it for workflows,
+// power.Profile.Digest for green power profiles, and the solver combines
+// both into its solve-response cache key — so every cache layer hashes the
+// same input the same way.
+type Hash struct {
+	h hash.Hash64
+}
+
+// NewHash returns an empty FNV-1a 64-bit digest.
+func NewHash() *Hash { return &Hash{h: fnv.New64a()} }
+
+// U64 feeds one 64-bit value (little-endian) into the digest.
+func (h *Hash) U64(x uint64) {
+	var buf [8]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(x >> (8 * i))
+	}
+	h.h.Write(buf[:])
+}
+
+// I64 feeds one signed 64-bit value into the digest.
+func (h *Hash) I64(x int64) { h.U64(uint64(x)) }
+
+// Str feeds a NUL-terminated string into the digest (the terminator keeps
+// adjacent strings from sliding into each other).
+func (h *Hash) Str(s string) {
+	h.h.Write([]byte(s))
+	h.h.Write([]byte{0})
+}
+
+// Sum64 returns the digest of everything fed so far.
+func (h *Hash) Sum64() uint64 { return h.h.Sum64() }
+
 // Equal reports whether two DAGs are structurally identical: same task
 // weights and names, same edges in the same insertion order with the same
 // communication weights. It is the collision guard behind fingerprint-keyed
@@ -33,26 +64,25 @@ func (d *DAG) Equal(o *DAG) bool {
 	return true
 }
 
+// Fingerprint returns a 64-bit FNV-1a digest of the graph's structure and
+// weights: task count, per-task work weights and names, and every edge
+// with its communication weight. Two DAGs with the same fingerprint are
+// (up to hash collisions) the same scheduling input, so the digest serves
+// as a memoization key for mapping/planning results. Edge insertion order
+// is part of the digest; generators are deterministic, so equal inputs
+// hash equally.
 func (d *DAG) Fingerprint() uint64 {
-	h := fnv.New64a()
-	var buf [8]byte
-	u64 := func(x uint64) {
-		for i := 0; i < 8; i++ {
-			buf[i] = byte(x >> (8 * i))
-		}
-		h.Write(buf[:])
-	}
-	u64(uint64(len(d.Tasks)))
+	h := NewHash()
+	h.U64(uint64(len(d.Tasks)))
 	for _, t := range d.Tasks {
-		u64(uint64(t.Weight))
-		h.Write([]byte(t.Name))
-		h.Write([]byte{0})
+		h.I64(t.Weight)
+		h.Str(t.Name)
 	}
-	u64(uint64(len(d.Edges)))
+	h.U64(uint64(len(d.Edges)))
 	for _, e := range d.Edges {
-		u64(uint64(e.From))
-		u64(uint64(e.To))
-		u64(uint64(e.Weight))
+		h.U64(uint64(e.From))
+		h.U64(uint64(e.To))
+		h.I64(e.Weight)
 	}
 	return h.Sum64()
 }

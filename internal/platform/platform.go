@@ -12,6 +12,8 @@ package platform
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/rng"
 )
@@ -49,9 +51,17 @@ type Processor struct {
 func (p *Processor) IsLink() bool { return p.IsLnk }
 
 // Cluster is a set of compute processors plus lazily materialized links.
+//
+// A cluster is safe for concurrent use: one cluster is shared by every
+// workflow a Solver (or the schedd service) plans against it, so link
+// materialization — the only mutation after construction — is serialized
+// behind a mutex while readers work on an immutable copy-on-write
+// processor snapshot (pointers returned by Proc stay valid forever; the
+// Processor values themselves are never mutated).
 type Cluster struct {
-	procs    []Processor
+	procs    atomic.Pointer[[]Processor] // copy-on-write snapshot
 	nCompute int
+	mu       sync.Mutex     // guards links and snapshot replacement
 	links    map[[2]int]int // (src, dst) → processor id
 	linkSeed uint64         // deterministic link power derivation
 }
@@ -64,19 +74,24 @@ func New(types []ProcType, counts []int, linkSeed uint64) *Cluster {
 		panic("platform: types and counts length mismatch")
 	}
 	c := &Cluster{links: map[[2]int]int{}, linkSeed: linkSeed}
+	var procs []Processor
 	id := 0
 	for i, pt := range types {
 		if pt.Speed <= 0 {
 			panic(fmt.Sprintf("platform: processor type %q has non-positive speed", pt.Name))
 		}
 		for j := 0; j < counts[i]; j++ {
-			c.procs = append(c.procs, Processor{ID: id, Type: pt})
+			procs = append(procs, Processor{ID: id, Type: pt})
 			id++
 		}
 	}
 	c.nCompute = id
+	c.procs.Store(&procs)
 	return c
 }
+
+// snapshot returns the current immutable processor list.
+func (c *Cluster) snapshot() []Processor { return *c.procs.Load() }
 
 // Small returns the paper's small cluster: 12 nodes of each of the six
 // Table 1 types (72 compute nodes).
@@ -93,20 +108,28 @@ func Large(linkSeed uint64) *Cluster {
 // NumCompute returns the number of compute processors P.
 func (c *Cluster) NumCompute() int { return c.nCompute }
 
+// LinkSeed returns the seed that parameterizes the deterministic
+// pseudo-random power of link processors. Together with the compute
+// processor types and counts it fully reconstructs the cluster (used by
+// the JSON wire format).
+func (c *Cluster) LinkSeed() uint64 { return c.linkSeed }
+
 // NumProcs returns the number of materialized processors (compute + links
 // created so far).
-func (c *Cluster) NumProcs() int { return len(c.procs) }
+func (c *Cluster) NumProcs() int { return len(c.snapshot()) }
 
 // Proc returns the processor with the given id.
-func (c *Cluster) Proc(id int) *Processor { return &c.procs[id] }
+func (c *Cluster) Proc(id int) *Processor { return &c.snapshot()[id] }
 
 // Procs returns all materialized processors. The slice must not be modified.
-func (c *Cluster) Procs() []Processor { return c.procs }
+func (c *Cluster) Procs() []Processor { return c.snapshot() }
 
 // Link returns the id of the link processor for the directed link src→dst,
 // materializing it on first use. Its idle and work power are each drawn
 // deterministically from {1, 2} as in Section 6.1 ("we draw the values for
-// Pidle and Pwork randomly between 1 and 2 for communication links").
+// Pidle and Pwork randomly between 1 and 2 for communication links"), so a
+// link's power depends only on (linkSeed, src, dst) — never on the order
+// in which concurrent workflows materialize links.
 func (c *Cluster) Link(src, dst int) int {
 	if src == dst {
 		panic("platform: Link(src, src) requested; same-processor edges have no link")
@@ -115,20 +138,26 @@ func (c *Cluster) Link(src, dst int) int {
 		panic(fmt.Sprintf("platform: Link(%d, %d) out of range for %d compute procs", src, dst, c.nCompute))
 	}
 	key := [2]int{src, dst}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if id, ok := c.links[key]; ok {
 		return id
 	}
 	h := rng.Mix(c.linkSeed, uint64(src)<<32|uint64(uint32(dst)))
 	idle := int64(1 + h&1)
 	work := int64(1 + (h>>1)&1)
-	id := len(c.procs)
-	c.procs = append(c.procs, Processor{
+	old := c.snapshot()
+	id := len(old)
+	procs := make([]Processor, id+1)
+	copy(procs, old)
+	procs[id] = Processor{
 		ID:    id,
 		Type:  ProcType{Name: fmt.Sprintf("link-%d-%d", src, dst), Speed: 1, Idle: idle, Work: work},
 		IsLnk: true,
 		Src:   src,
 		Dst:   dst,
-	})
+	}
+	c.procs.Store(&procs)
 	c.links[key] = id
 	return id
 }
@@ -136,7 +165,7 @@ func (c *Cluster) Link(src, dst int) int {
 // ExecTime returns the running time ω of a task with the given work weight
 // on processor id: ceil(weight / speed), at least 1 time unit.
 func (c *Cluster) ExecTime(weight int64, id int) int64 {
-	sp := c.procs[id].Type.Speed
+	sp := c.snapshot()[id].Type.Speed
 	t := (weight + sp - 1) / sp
 	if t < 1 {
 		t = 1
@@ -158,26 +187,28 @@ func (c *Cluster) CommTime(volume int64) int64 {
 // This is the constant floor of the platform's power draw.
 func (c *Cluster) TotalIdle() int64 {
 	var sum int64
-	for i := range c.procs {
-		sum += c.procs[i].Type.Idle
+	for _, p := range c.snapshot() {
+		sum += p.Type.Idle
 	}
 	return sum
 }
 
 // ComputeIdle returns the summed idle power of compute processors only.
 func (c *Cluster) ComputeIdle() int64 {
+	procs := c.snapshot()
 	var sum int64
 	for i := 0; i < c.nCompute; i++ {
-		sum += c.procs[i].Type.Idle
+		sum += procs[i].Type.Idle
 	}
 	return sum
 }
 
 // ComputeWork returns the summed work power of compute processors only.
 func (c *Cluster) ComputeWork() int64 {
+	procs := c.snapshot()
 	var sum int64
 	for i := 0; i < c.nCompute; i++ {
-		sum += c.procs[i].Type.Work
+		sum += procs[i].Type.Work
 	}
 	return sum
 }
@@ -187,8 +218,8 @@ func (c *Cluster) ComputeWork() int64 {
 // used by the ILP (Appendix A.4).
 func (c *Cluster) MaxPower() int64 {
 	var sum int64
-	for i := range c.procs {
-		sum += c.procs[i].Type.Idle + c.procs[i].Type.Work
+	for _, p := range c.snapshot() {
+		sum += p.Type.Idle + p.Type.Work
 	}
 	return sum
 }
@@ -197,9 +228,10 @@ func (c *Cluster) MaxPower() int64 {
 // processors, the normalization constant of the weighting factor wf(i)
 // in Section 5.2.
 func (c *Cluster) MaxTotalPower() int64 {
+	procs := c.snapshot()
 	var max int64
 	for i := 0; i < c.nCompute; i++ {
-		if s := c.procs[i].Type.Idle + c.procs[i].Type.Work; s > max {
+		if s := procs[i].Type.Idle + procs[i].Type.Work; s > max {
 			max = s
 		}
 	}
@@ -215,6 +247,7 @@ func (c *Cluster) WeightFactor(id int) float64 {
 	if den == 0 {
 		return 1
 	}
-	num := c.procs[id].Type.Idle + c.procs[id].Type.Work
+	p := c.snapshot()[id]
+	num := p.Type.Idle + p.Type.Work
 	return float64(num) / float64(den)
 }

@@ -1,0 +1,38 @@
+package power
+
+import "repro/internal/dag"
+
+// Digest returns a 64-bit FNV-1a digest of the profile: interval count,
+// then every interval's start, end, and budget. Two profiles with the same
+// digest describe (up to hash collisions) the same green-power input —
+// including the horizon T, so the digest also pins the deadline. It
+// extends the fingerprinting scheme of internal/dag (dag.Hash) to
+// profiles; the solver's solve-response cache keys on the pair
+// (DAG.Fingerprint, Profile.Digest).
+func (p *Profile) Digest() uint64 {
+	h := dag.NewHash()
+	h.U64(uint64(len(p.Intervals)))
+	for _, iv := range p.Intervals {
+		h.I64(iv.Start)
+		h.I64(iv.End)
+		h.I64(iv.Budget)
+	}
+	return h.Sum64()
+}
+
+// EqualProfile reports whether two profiles are identical interval by
+// interval. It is the collision guard behind digest-keyed caches.
+func (p *Profile) EqualProfile(o *Profile) bool {
+	if p == o {
+		return true
+	}
+	if o == nil || len(p.Intervals) != len(o.Intervals) {
+		return false
+	}
+	for i := range p.Intervals {
+		if p.Intervals[i] != o.Intervals[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,72 @@
+package power
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestProfileDigestDistinguishesInputs(t *testing.T) {
+	base, err := NewProfile([]int64{10, 10, 10}, []int64{5, 9, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same, err := NewProfile([]int64{10, 10, 10}, []int64{5, 9, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Digest() != same.Digest() {
+		t.Error("identical profiles digest differently")
+	}
+	if !base.EqualProfile(same) {
+		t.Error("identical profiles not EqualProfile")
+	}
+
+	variants := []*Profile{}
+	add := func(lengths, budgets []int64) {
+		p, err := NewProfile(lengths, budgets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		variants = append(variants, p)
+	}
+	add([]int64{10, 10, 10}, []int64{5, 9, 4}) // one budget differs
+	add([]int64{10, 10, 11}, []int64{5, 9, 3}) // horizon differs
+	add([]int64{10, 20}, []int64{5, 9})        // interval structure differs
+	add([]int64{10, 10, 10}, []int64{9, 5, 3}) // budget order differs
+	seen := map[uint64]bool{base.Digest(): true}
+	for i, p := range variants {
+		if base.EqualProfile(p) {
+			t.Errorf("variant %d EqualProfile to base", i)
+		}
+		d := p.Digest()
+		if seen[d] {
+			t.Errorf("variant %d digest collides", i)
+		}
+		seen[d] = true
+	}
+}
+
+func TestProfileDigestDeterministicAcrossGeneration(t *testing.T) {
+	a, err := Generate(S3, 240, 24, 100, 900, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(S3, 240, 24, 100, 900, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Digest() != b.Digest() {
+		t.Error("same generation parameters, different digests")
+	}
+	c, err := Generate(S3, 240, 24, 100, 900, rng.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Digest() == c.Digest() {
+		t.Error("different seeds produced the same digest (astronomically unlikely)")
+	}
+	if clip := a.Clip(120); clip.Digest() == a.Digest() {
+		t.Error("clipped profile digests like the original")
+	}
+}

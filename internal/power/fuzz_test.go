@@ -13,7 +13,15 @@ func FuzzReadIntensityCSV(f *testing.F) {
 	f.Add("offset,intensity\n0,450\n60,300\n")
 	f.Add("0,1\n")
 	f.Add("# comment\n0,0.5\n10,0.25\n")
-	f.Add("bogus header\n0,1\n5,2\n")
+	f.Add("bogus header,x\n0,1\n5,2\n")
+	// Hardened input shapes: CRLF line endings, blank lines and comments
+	// before the header, a UTF-8 BOM, whitespace padding.
+	f.Add("offset,intensity\r\n0,450\r\n60,300\r\n")
+	f.Add("\r\n# exported\r\n\r\noffset,intensity\r\n0,450\r\n60,300\r\n")
+	f.Add("\ufeff0,450\n60,300\n")
+	f.Add("\ufeffoffset,intensity\n0,450\n")
+	f.Add("# only comments\n# no data\n")
+	f.Add(" 0 , 450 \n\t60,300\n")
 	f.Fuzz(func(t *testing.T, src string) {
 		pts, err := ReadIntensityCSV(strings.NewReader(src))
 		if err != nil {

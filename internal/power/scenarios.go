@@ -3,6 +3,7 @@ package power
 import (
 	"fmt"
 	"math"
+	"strings"
 
 	"repro/internal/rng"
 )
@@ -28,6 +29,18 @@ const (
 
 // Scenarios lists all four scenarios in order.
 func Scenarios() []Scenario { return []Scenario{S1, S2, S3, S4} }
+
+// ParseScenario resolves a scenario name ("S1".."S4", case-insensitive)
+// to its Scenario. It is the inverse of Scenario.String and the single
+// parser shared by the CLIs and the service wire format.
+func ParseScenario(name string) (Scenario, error) {
+	for _, sc := range Scenarios() {
+		if strings.EqualFold(sc.String(), name) {
+			return sc, nil
+		}
+	}
+	return 0, fmt.Errorf("power: unknown scenario %q (want S1, S2, S3 or S4)", name)
+}
 
 // String returns the scenario name as used in the paper (S1..S4).
 func (s Scenario) String() string {

@@ -18,29 +18,45 @@ type TracePoint struct {
 	Intensity float64
 }
 
+// maxTraceLine caps one physical line of an intensity CSV (real-world
+// exports occasionally carry very long comment headers; bufio.Scanner's
+// 64KB default would reject them).
+const maxTraceLine = 1 << 20
+
 // ReadIntensityCSV parses a two-column CSV of "offset,intensity" samples,
 // the shape of electricityMap/WattTime-style exports after timestamps are
-// converted to scheduler time units. A header line is skipped if the first
-// field is not numeric; blank lines and '#' comments are ignored. Samples
-// are returned sorted by offset.
+// converted to scheduler time units. The parser is deliberately liberal in
+// what it accepts from real-world exports: CRLF (and stray whitespace)
+// line endings, blank lines, '#' comment lines anywhere, a UTF-8 byte
+// order mark, and a header row — the first content line is skipped when
+// its first field is not numeric, even if comments or blank lines precede
+// it. Samples are returned sorted by offset.
 func ReadIntensityCSV(r io.Reader) ([]TracePoint, error) {
 	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), maxTraceLine)
 	var pts []TracePoint
 	lineNo := 0
+	first := true // the next content line may be the header row
 	for sc.Scan() {
 		lineNo++
-		line := strings.TrimSpace(sc.Text())
+		line := sc.Text()
+		if lineNo == 1 {
+			line = strings.TrimPrefix(line, "\ufeff") // UTF-8 BOM
+		}
+		line = strings.TrimSpace(line) // also strips a CR the scanner left behind
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
+		isHeaderCandidate := first
+		first = false
 		fields := strings.Split(line, ",")
 		if len(fields) < 2 {
 			return nil, fmt.Errorf("power: line %d: want offset,intensity", lineNo)
 		}
 		off, err := strconv.ParseInt(strings.TrimSpace(fields[0]), 10, 64)
 		if err != nil {
-			if lineNo == 1 {
-				continue // header
+			if isHeaderCandidate {
+				continue // header row ("offset,intensity", …)
 			}
 			return nil, fmt.Errorf("power: line %d: bad offset: %v", lineNo, err)
 		}

@@ -1,0 +1,71 @@
+package power
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestReadIntensityCSVHardening pins the liberal-input contract of the
+// parser: CRLF line endings, blank lines, '#' comments anywhere (including
+// before the header), a UTF-8 BOM, and oversized comment lines must all
+// parse to the same samples as the plain form.
+func TestReadIntensityCSVHardening(t *testing.T) {
+	want := []TracePoint{{0, 450}, {60, 300}, {120, 410.5}}
+	plain := "offset,intensity\n0,450\n60,300\n120,410.5\n"
+
+	variants := map[string]string{
+		"crlf":               "offset,intensity\r\n0,450\r\n60,300\r\n120,410.5\r\n",
+		"crlf no header":     "0,450\r\n60,300\r\n120,410.5\r\n",
+		"blank lines":        "\n\noffset,intensity\n\n0,450\n\n60,300\n\n120,410.5\n\n",
+		"comments":           "# exported 2026-07-27\noffset,intensity\n0,450\n# midday\n60,300\n120,410.5\n",
+		"header after junk":  "# comment first\n\n# another\noffset,intensity\n0,450\n60,300\n120,410.5\n",
+		"bom before data":    "\ufeff0,450\n60,300\n120,410.5\n",
+		"bom before header":  "\ufeffoffset,intensity\n0,450\n60,300\n120,410.5\n",
+		"mixed everything":   "\ufeff# trace\r\n\r\noffset,intensity\r\n0,450\r\n\r\n# note\r\n60,300\r\n120,410.5\r\n",
+		"surrounding spaces": "offset,intensity\n 0 , 450 \n\t60,300\n120,410.5\n",
+		"huge comment":       "# " + strings.Repeat("x", 200<<10) + "\n" + plain,
+	}
+
+	ref, err := ReadIntensityCSV(strings.NewReader(plain))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref) != len(want) {
+		t.Fatalf("plain form parsed to %v", ref)
+	}
+	for name, src := range variants {
+		pts, err := ReadIntensityCSV(strings.NewReader(src))
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if len(pts) != len(want) {
+			t.Errorf("%s: %d samples, want %d", name, len(pts), len(want))
+			continue
+		}
+		for i := range want {
+			if pts[i] != want[i] {
+				t.Errorf("%s: sample %d = %+v, want %+v", name, i, pts[i], want[i])
+			}
+		}
+	}
+}
+
+// TestReadIntensityCSVHardeningRejects: liberality must not mask real
+// corruption — a non-numeric row that is not the first content line, a
+// comment-only file, and a second header-like row still fail.
+func TestReadIntensityCSVHardeningRejects(t *testing.T) {
+	bad := map[string]string{
+		"second header":        "offset,intensity\n0,450\noffset,intensity\n60,300\n",
+		"bad row later":        "0,450\nbogus,300\n",
+		"comment-only":         "# nothing\n# here\n",
+		"blank-only":           "\n\n\r\n\n",
+		"single column":        "0,450\n60\n",
+		"header single column": "justaheader\n0,450\n",
+	}
+	for name, src := range bad {
+		if pts, err := ReadIntensityCSV(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: accepted as %v", name, pts)
+		}
+	}
+}

@@ -7,15 +7,14 @@ import (
 	"repro/internal/power"
 )
 
-// CarbonCost computes the total carbon cost of the schedule with the
-// polynomial sweep of Appendix A.1: merge all task start/end events with
-// the profile's interval boundaries; within each resulting subinterval the
-// consumed power is constant, so the cost is
-// max(Σ_i P_i − G_j, 0) · length, summed over subintervals.
-//
-// Σ_i P_i is the constant total idle power of all materialized processors
-// plus the work power of the nodes active in the subinterval.
-func CarbonCost(inst *ceg.Instance, s *Schedule, prof *power.Profile) int64 {
+// sweepSchedule is the polynomial event sweep of Appendix A.1, shared by
+// CarbonCost and CostBreakdown: merge all task start/end events with the
+// profile's interval boundaries and call emit for every maximal
+// subinterval [from, to) of constant power draw, where j is the profile
+// interval index and totalPower = Σ idle + Σ work of the active nodes.
+// Events at or before time 0 are applied up front (a valid schedule has
+// none before 0, but be robust).
+func sweepSchedule(inst *ceg.Instance, s *Schedule, prof *power.Profile, emit func(j int, from, to, totalPower int64)) {
 	type event struct {
 		t int64
 		d int64 // work power delta
@@ -30,26 +29,21 @@ func CarbonCost(inst *ceg.Instance, s *Schedule, prof *power.Profile) int64 {
 	sort.Slice(events, func(i, j int) bool { return events[i].t < events[j].t })
 
 	idle := inst.TotalIdlePower()
-	var cost int64
 	var workPower int64
 	ei := 0
-	// Apply events at or before time 0 (a valid schedule has none before 0,
-	// but be robust).
 	for ei < len(events) && events[ei].t <= 0 {
 		workPower += events[ei].d
 		ei++
 	}
 	cur := int64(0)
-	for _, iv := range prof.Intervals {
+	for j, iv := range prof.Intervals {
 		for cur < iv.End {
 			next := iv.End
 			if ei < len(events) && events[ei].t < next {
 				next = events[ei].t
 			}
 			if next > cur {
-				if over := idle + workPower - iv.Budget; over > 0 {
-					cost += over * (next - cur)
-				}
+				emit(j, cur, next, idle+workPower)
 				cur = next
 			}
 			for ei < len(events) && events[ei].t == cur {
@@ -58,6 +52,18 @@ func CarbonCost(inst *ceg.Instance, s *Schedule, prof *power.Profile) int64 {
 			}
 		}
 	}
+}
+
+// CarbonCost computes the total carbon cost of the schedule:
+// max(Σ_i P_i − G_j, 0) · length, summed over the constant-power
+// subintervals of the event sweep.
+func CarbonCost(inst *ceg.Instance, s *Schedule, prof *power.Profile) int64 {
+	var cost int64
+	sweepSchedule(inst, s, prof, func(j int, from, to, totalPower int64) {
+		if over := totalPower - prof.Intervals[j].Budget; over > 0 {
+			cost += over * (to - from)
+		}
+	})
 	return cost
 }
 
@@ -80,6 +86,39 @@ func CarbonCostBrute(inst *ceg.Instance, s *Schedule, prof *power.Profile) int64
 		}
 	}
 	return cost
+}
+
+// IntervalCost is the carbon accounting of one profile interval: how much
+// energy the schedule draws in it, how much of that the green budget
+// covers, and how much is brown (the interval's carbon-cost contribution).
+type IntervalCost struct {
+	Start  int64 `json:"start"`
+	End    int64 `json:"end"`
+	Budget int64 `json:"budget"` // green power budget per time unit
+	Energy int64 `json:"energy"` // total energy drawn (idle + active work)
+	Green  int64 `json:"green"`  // green energy consumed = Energy − Brown
+	Brown  int64 `json:"brown"`  // brown energy = Σ max(P − G, 0) over the interval
+}
+
+// CostBreakdown evaluates the schedule per profile interval with the same
+// event sweep as CarbonCost (literally shared: sweepSchedule). It returns
+// one IntervalCost per interval, in profile order; the Brown fields sum
+// to CarbonCost(inst, s, prof) by construction.
+func CostBreakdown(inst *ceg.Instance, s *Schedule, prof *power.Profile) []IntervalCost {
+	out := make([]IntervalCost, len(prof.Intervals))
+	for j, iv := range prof.Intervals {
+		out[j] = IntervalCost{Start: iv.Start, End: iv.End, Budget: iv.Budget}
+	}
+	sweepSchedule(inst, s, prof, func(j int, from, to, totalPower int64) {
+		out[j].Energy += totalPower * (to - from)
+		if over := totalPower - prof.Intervals[j].Budget; over > 0 {
+			out[j].Brown += over * (to - from)
+		}
+	})
+	for j := range out {
+		out[j].Green = out[j].Energy - out[j].Brown
+	}
+	return out
 }
 
 // GreenFloorCost returns the unavoidable carbon cost of keeping the

@@ -1,0 +1,88 @@
+package scherr
+
+import (
+	"context"
+	"errors"
+	"net/http"
+)
+
+// Stable machine-readable error codes. They are part of the wire contract
+// of the scheduling service (the "code" field of every HTTP error body)
+// and are printed by the CLIs, so they must never change meaning once
+// released. Code maps an error to one of them; HTTPStatus maps it to the
+// HTTP status the service responds with.
+const (
+	// CodeInfeasibleDeadline: no schedule can meet the requested deadline.
+	CodeInfeasibleDeadline = "infeasible_deadline"
+	// CodeBudgetExhausted: a bounded search ran out of budget.
+	CodeBudgetExhausted = "budget_exhausted"
+	// CodeCanceled: the caller canceled the solve (client went away).
+	CodeCanceled = "canceled"
+	// CodeDeadlineExceeded: the solve hit its wall-clock deadline.
+	CodeDeadlineExceeded = "deadline_exceeded"
+	// CodeUnknownVariant: the variant name is not in the registry.
+	CodeUnknownVariant = "unknown_variant"
+	// CodeInvalidRequest: the request itself is malformed (bad JSON, bad
+	// workflow/profile/cluster payloads). Produced by the HTTP layer, not
+	// by the scheduler core.
+	CodeInvalidRequest = "invalid_request"
+	// CodeInternal: any failure the taxonomy does not classify.
+	CodeInternal = "internal"
+)
+
+// Code classifies err into a stable machine-readable code, or "" when err
+// is nil or carries no scheduler classification (callers decide whether an
+// unclassified error is CodeInternal — the HTTP layer does, the CLIs just
+// omit the code).
+func Code(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, ErrUnknownVariant):
+		return CodeUnknownVariant
+	case errors.Is(err, ErrInfeasibleDeadline):
+		return CodeInfeasibleDeadline
+	case errors.Is(err, ErrBudgetExhausted):
+		return CodeBudgetExhausted
+	case errors.Is(err, context.DeadlineExceeded):
+		// A CanceledError whose cause is the context deadline, or a raw
+		// context.DeadlineExceeded that escaped unwrapped.
+		return CodeDeadlineExceeded
+	case errors.Is(err, ErrCanceled), errors.Is(err, context.Canceled):
+		return CodeCanceled
+	default:
+		return ""
+	}
+}
+
+// StatusClientClosedRequest is the de-facto standard status (nginx's 499)
+// for a request abandoned by the client; net/http defines no constant for
+// it.
+const StatusClientClosedRequest = 499
+
+// StatusForCode maps a stable error code to the HTTP response status of
+// the scheduling service: client mistakes are 4xx, capacity/timeout
+// conditions are 5xx, everything unclassified is a 500.
+func StatusForCode(code string) int {
+	switch code {
+	case CodeUnknownVariant, CodeInvalidRequest:
+		return http.StatusBadRequest
+	case CodeInfeasibleDeadline, CodeBudgetExhausted:
+		return http.StatusUnprocessableEntity
+	case CodeDeadlineExceeded:
+		return http.StatusGatewayTimeout
+	case CodeCanceled:
+		return StatusClientClosedRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// HTTPStatus maps an error to its HTTP response status (200 for nil,
+// 500 for anything the taxonomy does not classify).
+func HTTPStatus(err error) int {
+	if err == nil {
+		return http.StatusOK
+	}
+	return StatusForCode(Code(err))
+}

@@ -1,0 +1,62 @@
+package scherr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"testing"
+)
+
+func TestCodeClassifiesTaxonomy(t *testing.T) {
+	cases := []struct {
+		err  error
+		code string
+	}{
+		{nil, ""},
+		{ErrInfeasibleDeadline, CodeInfeasibleDeadline},
+		{&InfeasibleDeadlineError{Deadline: 10, Node: 3, EST: 7, LST: 4}, CodeInfeasibleDeadline},
+		{fmt.Errorf("wrapped: %w", ErrInfeasibleDeadline), CodeInfeasibleDeadline},
+		{ErrBudgetExhausted, CodeBudgetExhausted},
+		{&BudgetError{Nodes: 99}, CodeBudgetExhausted},
+		{ErrUnknownVariant, CodeUnknownVariant},
+		{&UnknownVariantError{Name: "nope"}, CodeUnknownVariant},
+		{ErrCanceled, CodeCanceled},
+		{&CanceledError{Cause: context.Canceled}, CodeCanceled},
+		{context.Canceled, CodeCanceled},
+		{&CanceledError{Cause: context.DeadlineExceeded}, CodeDeadlineExceeded},
+		{context.DeadlineExceeded, CodeDeadlineExceeded},
+		{errors.New("disk on fire"), ""},
+	}
+	for _, c := range cases {
+		if got := Code(c.err); got != c.code {
+			t.Errorf("Code(%v) = %q, want %q", c.err, got, c.code)
+		}
+	}
+}
+
+func TestHTTPStatusMapping(t *testing.T) {
+	cases := []struct {
+		err    error
+		status int
+	}{
+		{nil, http.StatusOK},
+		{&UnknownVariantError{Name: "x"}, http.StatusBadRequest},
+		{&InfeasibleDeadlineError{}, http.StatusUnprocessableEntity},
+		{&BudgetError{Nodes: 1}, http.StatusUnprocessableEntity},
+		{&CanceledError{Cause: context.Canceled}, StatusClientClosedRequest},
+		{&CanceledError{Cause: context.DeadlineExceeded}, http.StatusGatewayTimeout},
+		{errors.New("unclassified"), http.StatusInternalServerError},
+	}
+	for _, c := range cases {
+		if got := HTTPStatus(c.err); got != c.status {
+			t.Errorf("HTTPStatus(%v) = %d, want %d", c.err, got, c.status)
+		}
+	}
+	if got := StatusForCode(CodeInvalidRequest); got != http.StatusBadRequest {
+		t.Errorf("StatusForCode(invalid_request) = %d, want 400", got)
+	}
+	if got := StatusForCode(CodeInternal); got != http.StatusInternalServerError {
+		t.Errorf("StatusForCode(internal) = %d, want 500", got)
+	}
+}

@@ -1,0 +1,129 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBuckets are the upper bounds (seconds) of the solve-latency
+// histogram, chosen to straddle the paper's per-instance scheduling times
+// (sub-millisecond for small workflows, seconds for 30k-task ones).
+var latencyBuckets = [numLatencyBuckets]float64{0.001, 0.005, 0.025, 0.1, 0.5, 1, 5, 30}
+
+const numLatencyBuckets = 8
+
+// handlerStats counts requests and error responses of one handler.
+type handlerStats struct {
+	requests atomic.Int64
+	errors   atomic.Int64 // responses with status >= 400
+}
+
+// metrics is the hand-rolled Prometheus-text instrumentation of the
+// service: per-handler request/error counters, an in-flight gauge, and a
+// solve-latency histogram. (No client library: the repository is
+// dependency-free, and the text exposition format is trivial to emit.)
+type metrics struct {
+	inFlight atomic.Int64
+	handlers map[string]*handlerStats // fixed key set, created at startup
+
+	latencyCounts [numLatencyBuckets + 1]atomic.Int64 // +1 for +Inf
+	latencySum    atomic.Int64                        // microseconds
+	latencyCount  atomic.Int64
+}
+
+func newMetrics(handlerNames ...string) *metrics {
+	m := &metrics{handlers: make(map[string]*handlerStats, len(handlerNames))}
+	for _, name := range handlerNames {
+		m.handlers[name] = &handlerStats{}
+	}
+	return m
+}
+
+// observeRequest records one finished request of the named handler.
+func (m *metrics) observeRequest(handler string, status int) {
+	hs, ok := m.handlers[handler]
+	if !ok {
+		return
+	}
+	hs.requests.Add(1)
+	if status >= 400 {
+		hs.errors.Add(1)
+	}
+}
+
+// observeLatency records one solve (or batch) duration in the histogram.
+func (m *metrics) observeLatency(d time.Duration) {
+	sec := d.Seconds()
+	i := 0
+	for i < len(latencyBuckets) && sec > latencyBuckets[i] {
+		i++
+	}
+	m.latencyCounts[i].Add(1)
+	m.latencySum.Add(d.Microseconds())
+	m.latencyCount.Add(1)
+}
+
+// solverCounters is the slice of solver statistics the exposition embeds;
+// the server fills it from cawosched.Solver.Stats.
+type solverCounters struct {
+	Solves       int64
+	PlanHits     int64
+	PlanMisses   int64
+	SolveHits    int64
+	SolveMisses  int64
+	SolveEntries int
+}
+
+// render emits the Prometheus text exposition format.
+func (m *metrics) render(sc solverCounters) string {
+	var b strings.Builder
+
+	names := make([]string, 0, len(m.handlers))
+	for name := range m.handlers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	b.WriteString("# TYPE schedd_requests_total counter\n")
+	for _, name := range names {
+		fmt.Fprintf(&b, "schedd_requests_total{handler=%q} %d\n", name, m.handlers[name].requests.Load())
+	}
+	b.WriteString("# TYPE schedd_request_errors_total counter\n")
+	for _, name := range names {
+		fmt.Fprintf(&b, "schedd_request_errors_total{handler=%q} %d\n", name, m.handlers[name].errors.Load())
+	}
+
+	b.WriteString("# TYPE schedd_in_flight_requests gauge\n")
+	fmt.Fprintf(&b, "schedd_in_flight_requests %d\n", m.inFlight.Load())
+
+	b.WriteString("# TYPE schedd_solver_solves_total counter\n")
+	fmt.Fprintf(&b, "schedd_solver_solves_total %d\n", sc.Solves)
+	b.WriteString("# TYPE schedd_plan_cache_hits_total counter\n")
+	fmt.Fprintf(&b, "schedd_plan_cache_hits_total %d\n", sc.PlanHits)
+	b.WriteString("# TYPE schedd_plan_cache_misses_total counter\n")
+	fmt.Fprintf(&b, "schedd_plan_cache_misses_total %d\n", sc.PlanMisses)
+	b.WriteString("# TYPE schedd_solve_cache_hits_total counter\n")
+	fmt.Fprintf(&b, "schedd_solve_cache_hits_total %d\n", sc.SolveHits)
+	b.WriteString("# TYPE schedd_solve_cache_misses_total counter\n")
+	fmt.Fprintf(&b, "schedd_solve_cache_misses_total %d\n", sc.SolveMisses)
+	b.WriteString("# TYPE schedd_solve_cache_entries gauge\n")
+	fmt.Fprintf(&b, "schedd_solve_cache_entries %d\n", sc.SolveEntries)
+
+	b.WriteString("# TYPE schedd_solve_latency_seconds histogram\n")
+	var cum int64
+	for i, le := range latencyBuckets {
+		cum += m.latencyCounts[i].Load()
+		fmt.Fprintf(&b, "schedd_solve_latency_seconds_bucket{le=%q} %d\n", trimFloat(le), cum)
+	}
+	cum += m.latencyCounts[len(latencyBuckets)].Load()
+	fmt.Fprintf(&b, "schedd_solve_latency_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(&b, "schedd_solve_latency_seconds_sum %g\n", float64(m.latencySum.Load())/1e6)
+	fmt.Fprintf(&b, "schedd_solve_latency_seconds_count %d\n", m.latencyCount.Load())
+	return b.String()
+}
+
+func trimFloat(f float64) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%f", f), "0"), ".")
+}

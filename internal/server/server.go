@@ -1,0 +1,378 @@
+// Package server implements schedd's HTTP/JSON front-end over the
+// concurrency-safe cawosched.Solver: a carbon-aware scheduling service
+// that many clients drive with workflows against one shared target
+// cluster.
+//
+// Endpoints:
+//
+//	POST /v1/solve        one workflow + deadline/profile → schedule, cost,
+//	                      per-interval carbon breakdown
+//	POST /v1/solve/batch  many solve requests fanned out over a bounded
+//	                      worker pool; per-request errors are in-band
+//	GET  /v1/variants     the canonical variant registry
+//	GET  /healthz         liveness/readiness ("ok", or "draining" + 503)
+//	GET  /metrics         Prometheus text: cache hit/miss counters, solve
+//	                      latency histogram, in-flight gauge
+//
+// Request bodies are JSON in the internal/wire format. Every error
+// response is {"error": {"code", "message"}} with a stable code from
+// internal/scherr; the HTTP status derives from the code. Each request
+// runs under a request-scoped context with the configured timeout, so a
+// disconnected client or an expired deadline cancels the solve mid-run
+// (the solver's hot loops poll the context). Shutdown is graceful:
+// SetDraining flips /healthz to 503 while in-flight requests finish, and
+// Drain waits for them.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	cawosched "repro"
+	"repro/internal/power"
+	"repro/internal/schedule"
+	"repro/internal/scherr"
+	"repro/internal/wire"
+)
+
+// Config tunes the service. The zero value selects sensible defaults.
+type Config struct {
+	// RequestTimeout bounds each request's solving wall-clock time via a
+	// request-scoped context deadline. 0 means the default of 60s;
+	// negative disables the deadline (the client's disconnect still
+	// cancels).
+	RequestTimeout time.Duration
+	// BatchWorkers bounds the worker pool shared by all in-flight batch
+	// requests. 0 means min(GOMAXPROCS, 16).
+	BatchWorkers int
+	// MaxBatch caps the number of requests in one batch body
+	// (default 256).
+	MaxBatch int
+	// MaxBodyBytes caps request body sizes (default 8 MiB).
+	MaxBodyBytes int64
+}
+
+const (
+	defaultRequestTimeout = 60 * time.Second
+	defaultMaxBatch       = 256
+	defaultMaxBodyBytes   = 8 << 20
+)
+
+func (c Config) withDefaults() Config {
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = defaultRequestTimeout
+	}
+	if c.BatchWorkers <= 0 {
+		c.BatchWorkers = runtime.GOMAXPROCS(0)
+		if c.BatchWorkers > 16 {
+			c.BatchWorkers = 16
+		}
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = defaultMaxBatch
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = defaultMaxBodyBytes
+	}
+	return c
+}
+
+// Server is the HTTP front-end; it implements http.Handler.
+type Server struct {
+	solver   *cawosched.Solver
+	cfg      Config
+	mux      *http.ServeMux
+	metrics  *metrics
+	batchSem chan struct{} // server-wide bounded pool for batched solves
+	inflight sync.WaitGroup
+	draining atomic.Bool
+}
+
+// New returns a server front-ending the given solver.
+func New(solver *cawosched.Solver, cfg Config) *Server {
+	s := &Server{
+		solver:  solver,
+		cfg:     cfg.withDefaults(),
+		mux:     http.NewServeMux(),
+		metrics: newMetrics("solve", "batch", "variants", "healthz", "metrics"),
+	}
+	s.batchSem = make(chan struct{}, s.cfg.BatchWorkers)
+	s.route("POST /v1/solve", "solve", s.handleSolve)
+	s.route("POST /v1/solve/batch", "batch", s.handleBatch)
+	s.route("GET /v1/variants", "variants", s.handleVariants)
+	s.route("GET /healthz", "healthz", s.handleHealthz)
+	s.route("GET /metrics", "metrics", s.handleMetrics)
+	return s
+}
+
+// ServeHTTP dispatches to the route table.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Solver returns the solver the server fronts (its Stats feed /metrics).
+func (s *Server) Solver() *cawosched.Solver { return s.solver }
+
+// SetDraining marks the server as draining: /healthz starts returning 503
+// so load balancers stop routing new traffic, while accepted requests
+// keep running to completion.
+func (s *Server) SetDraining() { s.draining.Store(true) }
+
+// Drain marks the server as draining and blocks until every in-flight
+// request has finished, or until ctx expires (the remaining requests then
+// keep running under the http.Server's own shutdown regime).
+func (s *Server) Drain(ctx context.Context) error {
+	s.SetDraining()
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// statusWriter records the response status for the request metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
+}
+
+// route registers a handler with the shared instrumentation: in-flight
+// tracking for draining and the gauge, plus per-handler request/error
+// counters.
+func (s *Server) route(pattern, name string, h http.HandlerFunc) {
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		s.inflight.Add(1)
+		defer s.inflight.Done()
+		s.metrics.inFlight.Add(1)
+		defer s.metrics.inFlight.Add(-1)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+		s.metrics.observeRequest(name, sw.status)
+	})
+}
+
+// requestContext derives the request-scoped solving context: the client's
+// own context (canceled when it disconnects) bounded by the configured
+// timeout.
+func (s *Server) requestContext(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.cfg.RequestTimeout > 0 {
+		return context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	}
+	return context.WithCancel(r.Context())
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) // a write error means the client is gone; nothing to do
+}
+
+func (s *Server) writeError(w http.ResponseWriter, werr *wire.Error) {
+	s.writeJSON(w, scherr.StatusForCode(werr.Code), wire.ErrorResponse{Error: werr})
+}
+
+// decode parses a JSON request body strictly (unknown fields rejected,
+// size-capped). On failure it writes the invalid_request error itself and
+// returns false.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		s.writeError(w, &wire.Error{Code: scherr.CodeInvalidRequest, Message: "decoding request body: " + err.Error()})
+		return false
+	}
+	return true
+}
+
+// errorBody maps a solve error to the wire error body, classifying it
+// with the stable scherr code (unclassified errors become "internal").
+func errorBody(err error) *wire.Error {
+	code := scherr.Code(err)
+	if code == "" {
+		code = scherr.CodeInternal
+	}
+	return &wire.Error{Code: code, Message: err.Error()}
+}
+
+// buildRequest converts a wire solve request into a solver request.
+func buildRequest(wreq *wire.SolveRequest) (cawosched.Request, error) {
+	var req cawosched.Request
+	if wreq.Workflow == nil {
+		return req, fmt.Errorf("missing workflow")
+	}
+	wf, err := wreq.Workflow.ToDAG()
+	if err != nil {
+		return req, err
+	}
+	req.Workflow = wf
+	req.Variant = wreq.Variant
+	req.Marginal = wreq.Marginal
+	req.DeadlineFactor = wreq.DeadlineFactor
+	req.Intervals = wreq.Intervals
+	req.Seed = wreq.Seed
+	if wreq.Profile != nil {
+		prof, err := wreq.Profile.ToProfile()
+		if err != nil {
+			return req, err
+		}
+		req.Profile = prof
+	} else if wreq.Scenario != "" {
+		sc, err := power.ParseScenario(wreq.Scenario)
+		if err != nil {
+			return req, err
+		}
+		req.Scenario = sc
+	}
+	return req, nil
+}
+
+// buildResponse flattens a solver response for the wire, attaching the
+// exported schedule and the per-interval carbon breakdown.
+func buildResponse(res *cawosched.Response) *wire.SolveResponse {
+	return &wire.SolveResponse{
+		Variant:      res.Variant,
+		ASAPMakespan: res.D,
+		Deadline:     res.Deadline,
+		Cost:         res.Cost,
+		ASAPCost:     res.ASAPCost,
+		PlanCacheHit: res.PlanHit,
+		CacheHit:     res.CacheHit,
+		Schedule:     schedule.Export(res.Instance, res.Schedule),
+		Intervals:    schedule.CostBreakdown(res.Instance, res.Schedule, res.Profile),
+	}
+}
+
+// solveOne runs one wire request through the solver with the sweep
+// engine's isolation idiom: a panic anywhere in planning or scheduling
+// becomes an in-band internal error instead of killing the server (the
+// net/http panic recovery would kill the whole connection, and a batch).
+func (s *Server) solveOne(ctx context.Context, wreq *wire.SolveRequest) (resp *wire.SolveResponse, werr *wire.Error) {
+	defer func() {
+		if p := recover(); p != nil {
+			resp = nil
+			werr = &wire.Error{Code: scherr.CodeInternal, Message: fmt.Sprintf("panic: %v", p)}
+		}
+	}()
+	req, err := buildRequest(wreq)
+	if err != nil {
+		return nil, &wire.Error{Code: scherr.CodeInvalidRequest, Message: err.Error()}
+	}
+	res, err := s.solver.Solve(ctx, req)
+	if err != nil {
+		return nil, errorBody(err)
+	}
+	return buildResponse(res), nil
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	var wreq wire.SolveRequest
+	if !s.decode(w, r, &wreq) {
+		return
+	}
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	start := time.Now()
+	resp, werr := s.solveOne(ctx, &wreq)
+	s.metrics.observeLatency(time.Since(start))
+	if werr != nil {
+		s.writeError(w, werr)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var breq wire.BatchRequest
+	if !s.decode(w, r, &breq) {
+		return
+	}
+	if len(breq.Requests) == 0 {
+		s.writeError(w, &wire.Error{Code: scherr.CodeInvalidRequest, Message: "empty batch"})
+		return
+	}
+	if len(breq.Requests) > s.cfg.MaxBatch {
+		s.writeError(w, &wire.Error{
+			Code:    scherr.CodeInvalidRequest,
+			Message: fmt.Sprintf("batch of %d exceeds the limit of %d", len(breq.Requests), s.cfg.MaxBatch),
+		})
+		return
+	}
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+
+	// Fan out over the server-wide bounded pool. Results land at their
+	// request's index, so the response order matches the request order
+	// regardless of worker interleaving (the sequencer idiom of the sweep
+	// engine, with random access instead of reordering). Once the request
+	// context is canceled, queued items fail fast without waiting for a
+	// worker slot.
+	results := make([]wire.BatchItem, len(breq.Requests))
+	var wg sync.WaitGroup
+	for i := range breq.Requests {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			item := wire.BatchItem{Index: i}
+			select {
+			case s.batchSem <- struct{}{}:
+				start := time.Now()
+				item.Response, item.Error = s.solveOne(ctx, &breq.Requests[i])
+				s.metrics.observeLatency(time.Since(start))
+				<-s.batchSem
+			case <-ctx.Done():
+				item.Error = errorBody(scherr.Canceled(ctx.Err()))
+			}
+			results[i] = item
+		}(i)
+	}
+	wg.Wait()
+	s.writeJSON(w, http.StatusOK, wire.BatchResponse{Results: results})
+}
+
+func (s *Server) handleVariants(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, wire.VariantsResponse{
+		Variants: cawosched.VariantNames(),
+		Default:  cawosched.DefaultVariant,
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.writeJSON(w, http.StatusServiceUnavailable, wire.HealthResponse{Status: "draining"})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, wire.HealthResponse{Status: "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := s.solver.Stats()
+	text := s.metrics.render(solverCounters{
+		Solves:       st.Solves,
+		PlanHits:     st.PlanHits,
+		PlanMisses:   st.PlanMisses,
+		SolveHits:    st.SolveHits,
+		SolveMisses:  st.SolveMisses,
+		SolveEntries: st.SolveEntries,
+	})
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprint(w, text)
+}

@@ -1,0 +1,106 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/power"
+	"repro/internal/rng"
+)
+
+func forecastTestProfile(t *testing.T, seed uint64) *power.Profile {
+	t.Helper()
+	prof, err := power.Generate(power.S1, 480, 24, 50, 500, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prof
+}
+
+// TestForecastZeroNoiseIdentity: with Base = Growth = 0 the forecast is
+// the actual profile, interval for interval, for any seed — and the input
+// profile is never mutated.
+func TestForecastZeroNoiseIdentity(t *testing.T) {
+	actual := forecastTestProfile(t, 1)
+	for _, seed := range []uint64{0, 1, 99} {
+		fc := (ForecastError{Seed: seed}).Forecast(actual)
+		if !actual.EqualProfile(fc) {
+			t.Errorf("seed %d: zero-noise forecast differs from actuals", seed)
+		}
+		if fc == actual {
+			t.Error("forecast aliases the input profile instead of cloning")
+		}
+	}
+}
+
+// TestForecastNegativeBudgetClamp: with error amplitudes far above 1 the
+// multiplicative factor 1 + amp·u would go negative for roughly half the
+// draws; the model must clamp it so budgets never go below zero, while
+// interval boundaries stay untouched.
+func TestForecastNegativeBudgetClamp(t *testing.T) {
+	actual := forecastTestProfile(t, 2)
+	fe := ForecastError{Base: 5, Growth: 10, Seed: 3}
+	fc := fe.Forecast(actual)
+	if err := fc.Validate(); err != nil {
+		t.Fatalf("clamped forecast invalid: %v", err)
+	}
+	zeroed := 0
+	for j, iv := range fc.Intervals {
+		if iv.Budget < 0 {
+			t.Fatalf("interval %d: negative budget %d", j, iv.Budget)
+		}
+		if iv.Budget == 0 {
+			zeroed++
+		}
+		if iv.Start != actual.Intervals[j].Start || iv.End != actual.Intervals[j].End {
+			t.Fatalf("interval %d: boundaries moved", j)
+		}
+	}
+	// With amplitude ≥ 5 at every lead time, a negative pre-clamp factor —
+	// probability > 1/2 per interval — must have happened at least once in
+	// 24 intervals; those intervals surface as budget 0.
+	if zeroed == 0 {
+		t.Error("no interval was clamped to zero despite amplitude >= 5")
+	}
+	if zeroed == len(fc.Intervals) {
+		t.Error("every interval clamped to zero; noise model degenerate")
+	}
+}
+
+// TestForecastSeedDeterminism: the same seed reproduces the same forecast
+// bit for bit; different seeds perturb differently; and the noise stream
+// is independent of the profile pointer identity.
+func TestForecastSeedDeterminism(t *testing.T) {
+	actual := forecastTestProfile(t, 4)
+	fe := ForecastError{Base: 0.2, Growth: 0.4, Seed: 7}
+	a := fe.Forecast(actual)
+	b := fe.Forecast(actual.Clone())
+	if !a.EqualProfile(b) {
+		t.Error("same seed produced different forecasts")
+	}
+	other := ForecastError{Base: 0.2, Growth: 0.4, Seed: 8}.Forecast(actual)
+	if a.EqualProfile(other) {
+		t.Error("different seeds produced identical forecasts (astronomically unlikely)")
+	}
+	if a.EqualProfile(actual) {
+		t.Error("nonzero noise left the profile untouched (astronomically unlikely)")
+	}
+	// Growth makes later intervals noisier on average; at minimum the
+	// perturbation must touch both halves of the horizon over a few seeds.
+	touchedEarly, touchedLate := false, false
+	for seed := uint64(0); seed < 8; seed++ {
+		fc := ForecastError{Base: 0.2, Growth: 0.4, Seed: seed}.Forecast(actual)
+		half := len(actual.Intervals) / 2
+		for j := range fc.Intervals {
+			if fc.Intervals[j].Budget != actual.Intervals[j].Budget {
+				if j < half {
+					touchedEarly = true
+				} else {
+					touchedLate = true
+				}
+			}
+		}
+	}
+	if !touchedEarly || !touchedLate {
+		t.Errorf("noise lopsided: early=%v late=%v", touchedEarly, touchedLate)
+	}
+}

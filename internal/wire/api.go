@@ -1,0 +1,97 @@
+package wire
+
+import (
+	"repro/internal/schedule"
+)
+
+// SolveRequest is the body of POST /v1/solve: the workflow to schedule
+// plus either an explicit power profile (whose horizon is the deadline) or
+// the parameters of a generated one (scenario shape over the horizon
+// deadline_factor × ASAP makespan).
+type SolveRequest struct {
+	// Workflow is the DAG to plan and schedule (required).
+	Workflow *DAG `json:"workflow"`
+	// Variant is a canonical registry name ("slack" … "pressWR-LS");
+	// empty selects the server's default variant.
+	Variant string `json:"variant,omitempty"`
+	// Marginal switches to the exact-marginal-cost greedy.
+	Marginal bool `json:"marginal,omitempty"`
+
+	// Profile, if set, is used as-is; its horizon T is the deadline.
+	Profile *Profile `json:"profile,omitempty"`
+	// Scenario names the generated profile's shape, "S1".."S4"
+	// (default S1). Ignored when Profile is set.
+	Scenario string `json:"scenario,omitempty"`
+	// DeadlineFactor sets the deadline T = factor × D (ASAP makespan);
+	// 0 means the paper's default tolerance of 2. Ignored when Profile is
+	// set.
+	DeadlineFactor float64 `json:"deadline_factor,omitempty"`
+	// Intervals is the generated profile's interval count (default 24).
+	Intervals int `json:"intervals,omitempty"`
+	// Seed drives profile generation.
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// SolveResponse is the body of a successful solve: the schedule, its
+// costs, and the per-interval carbon breakdown.
+type SolveResponse struct {
+	Variant      string `json:"variant"`
+	ASAPMakespan int64  `json:"asap_makespan"` // D, the tightest feasible deadline
+	Deadline     int64  `json:"deadline"`      // deadline actually used (profile horizon)
+	Cost         int64  `json:"cost"`          // carbon cost of the schedule
+	ASAPCost     int64  `json:"asap_cost"`     // carbon cost of the ASAP baseline
+	PlanCacheHit bool   `json:"plan_cache_hit"`
+	CacheHit     bool   `json:"cache_hit"` // whole response served from the solve cache
+
+	// Schedule lists every node (tasks and communications) ordered by
+	// (proc, start, node).
+	Schedule []schedule.Entry `json:"schedule"`
+	// Intervals is the per-interval carbon accounting; the brown fields
+	// sum to Cost.
+	Intervals []schedule.IntervalCost `json:"intervals"`
+}
+
+// Error is the uniform error body: a stable machine-readable code from
+// internal/scherr plus a human-readable message.
+type Error struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// ErrorResponse wraps Error for non-2xx responses.
+type ErrorResponse struct {
+	Error *Error `json:"error"`
+}
+
+// BatchRequest is the body of POST /v1/solve/batch.
+type BatchRequest struct {
+	Requests []SolveRequest `json:"requests"`
+}
+
+// BatchItem is the in-band outcome of one batched request: exactly one of
+// Response and Error is set. Index is the request's position in the batch
+// (results are returned in request order; the index makes each row
+// self-describing).
+type BatchItem struct {
+	Index    int            `json:"index"`
+	Response *SolveResponse `json:"response,omitempty"`
+	Error    *Error         `json:"error,omitempty"`
+}
+
+// BatchResponse is the body of a batch solve; it is returned with status
+// 200 even when individual requests failed (their errors are in-band,
+// like the sweep engine's JSONL error records).
+type BatchResponse struct {
+	Results []BatchItem `json:"results"`
+}
+
+// VariantsResponse is the body of GET /v1/variants.
+type VariantsResponse struct {
+	Variants []string `json:"variants"`
+	Default  string   `json:"default"`
+}
+
+// HealthResponse is the body of GET /healthz.
+type HealthResponse struct {
+	Status string `json:"status"` // "ok" or "draining"
+}

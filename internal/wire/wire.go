@@ -1,0 +1,173 @@
+// Package wire defines the JSON wire format of the scheduling service
+// (cmd/schedd, internal/server): request/response bodies for the solve
+// endpoints plus standalone encodings of the model types — workflow DAGs,
+// clusters, and green power profiles — that round-trip losslessly through
+// their converters. The CLIs can reuse the same encodings (e.g. a cluster
+// description loaded from a JSON file), so a workflow or platform written
+// once means the same thing to every tool.
+package wire
+
+import (
+	"fmt"
+
+	"repro/internal/dag"
+	"repro/internal/platform"
+	"repro/internal/power"
+)
+
+// Task is one workflow vertex on the wire. Weight is required and must be
+// positive — an omitted weight decodes as 0 and is rejected rather than
+// silently defaulted, so a malformed request can never schedule a
+// different workflow than the one submitted.
+type Task struct {
+	Name   string `json:"name,omitempty"`
+	Weight int64  `json:"weight"`
+}
+
+// Edge is one precedence constraint on the wire.
+type Edge struct {
+	From   int   `json:"from"`
+	To     int   `json:"to"`
+	Weight int64 `json:"weight,omitempty"`
+}
+
+// DAG is a workflow graph on the wire. Task indices are positional.
+type DAG struct {
+	Tasks []Task `json:"tasks"`
+	Edges []Edge `json:"edges,omitempty"`
+}
+
+// FromDAG encodes a workflow for the wire.
+func FromDAG(d *dag.DAG) *DAG {
+	out := &DAG{Tasks: make([]Task, d.N()), Edges: make([]Edge, d.M())}
+	for i, t := range d.Tasks {
+		out.Tasks[i] = Task{Name: t.Name, Weight: t.Weight}
+	}
+	for i, e := range d.Edges {
+		out.Edges[i] = Edge{From: e.From, To: e.To, Weight: e.Weight}
+	}
+	return out
+}
+
+// ToDAG decodes and validates a workflow. Tasks with an empty name keep
+// the default "v<i>" naming, so FromDAG∘ToDAG is the identity on valid
+// graphs (dag.Equal). Weights are taken as-is — omitted or non-positive
+// weights fail validation.
+func (w *DAG) ToDAG() (*dag.DAG, error) {
+	if len(w.Tasks) == 0 {
+		return nil, fmt.Errorf("wire: workflow has no tasks")
+	}
+	d := dag.New(len(w.Tasks))
+	for i, t := range w.Tasks {
+		d.SetWeight(i, t.Weight)
+		if t.Name != "" {
+			d.SetName(i, t.Name)
+		}
+	}
+	for i, e := range w.Edges {
+		if e.From < 0 || e.From >= len(w.Tasks) || e.To < 0 || e.To >= len(w.Tasks) {
+			return nil, fmt.Errorf("wire: edge %d (%d→%d) endpoint out of range", i, e.From, e.To)
+		}
+		d.AddEdge(e.From, e.To, e.Weight)
+	}
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("wire: invalid workflow: %w", err)
+	}
+	return d, nil
+}
+
+// Interval is one profile interval on the wire.
+type Interval struct {
+	Start  int64 `json:"start"`
+	End    int64 `json:"end"`
+	Budget int64 `json:"budget"`
+}
+
+// Profile is a green power profile on the wire: contiguous intervals
+// covering [0, T).
+type Profile struct {
+	Intervals []Interval `json:"intervals"`
+}
+
+// FromProfile encodes a profile for the wire.
+func FromProfile(p *power.Profile) *Profile {
+	out := &Profile{Intervals: make([]Interval, len(p.Intervals))}
+	for i, iv := range p.Intervals {
+		out.Intervals[i] = Interval{Start: iv.Start, End: iv.End, Budget: iv.Budget}
+	}
+	return out
+}
+
+// ToProfile decodes and validates a profile.
+func (w *Profile) ToProfile() (*power.Profile, error) {
+	if len(w.Intervals) == 0 {
+		return nil, fmt.Errorf("wire: profile has no intervals")
+	}
+	p := &power.Profile{Intervals: make([]power.Interval, len(w.Intervals))}
+	for i, iv := range w.Intervals {
+		p.Intervals[i] = power.Interval{Start: iv.Start, End: iv.End, Budget: iv.Budget}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("wire: invalid profile: %w", err)
+	}
+	return p, nil
+}
+
+// ProcGroup is a run of identical compute processors on the wire.
+type ProcGroup struct {
+	Name  string `json:"name,omitempty"`
+	Speed int64  `json:"speed"`
+	Idle  int64  `json:"idle"`
+	Work  int64  `json:"work"`
+	Count int    `json:"count"`
+}
+
+// Cluster is a target platform on the wire: compute processor groups in
+// id order plus the seed that derives the deterministic link powers.
+// Link processors are never serialized — they are materialized lazily on
+// demand, and the seed reproduces them exactly.
+type Cluster struct {
+	Groups   []ProcGroup `json:"groups"`
+	LinkSeed uint64      `json:"link_seed"`
+}
+
+// FromCluster encodes a cluster for the wire by compressing consecutive
+// compute processors of identical type into groups.
+func FromCluster(c *platform.Cluster) *Cluster {
+	out := &Cluster{LinkSeed: c.LinkSeed()}
+	for i := 0; i < c.NumCompute(); i++ {
+		pt := c.Proc(i).Type
+		if n := len(out.Groups); n > 0 {
+			g := &out.Groups[n-1]
+			if g.Name == pt.Name && g.Speed == pt.Speed && g.Idle == pt.Idle && g.Work == pt.Work {
+				g.Count++
+				continue
+			}
+		}
+		out.Groups = append(out.Groups, ProcGroup{Name: pt.Name, Speed: pt.Speed, Idle: pt.Idle, Work: pt.Work, Count: 1})
+	}
+	return out
+}
+
+// ToCluster decodes and validates a cluster.
+func (w *Cluster) ToCluster() (*platform.Cluster, error) {
+	if len(w.Groups) == 0 {
+		return nil, fmt.Errorf("wire: cluster has no processor groups")
+	}
+	types := make([]platform.ProcType, len(w.Groups))
+	counts := make([]int, len(w.Groups))
+	for i, g := range w.Groups {
+		if g.Speed <= 0 {
+			return nil, fmt.Errorf("wire: processor group %d has non-positive speed %d", i, g.Speed)
+		}
+		if g.Idle < 0 || g.Work < 0 {
+			return nil, fmt.Errorf("wire: processor group %d has negative power", i)
+		}
+		if g.Count <= 0 {
+			return nil, fmt.Errorf("wire: processor group %d has non-positive count %d", i, g.Count)
+		}
+		types[i] = platform.ProcType{Name: g.Name, Speed: g.Speed, Idle: g.Idle, Work: g.Work}
+		counts[i] = g.Count
+	}
+	return platform.New(types, counts, w.LinkSeed), nil
+}

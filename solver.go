@@ -1,6 +1,7 @@
 package cawosched
 
 import (
+	"container/list"
 	"context"
 	"fmt"
 	"sync"
@@ -38,6 +39,13 @@ type (
 	// UnknownVariantError lists the canonical registry names.
 	UnknownVariantError = scherr.UnknownVariantError
 )
+
+// ErrorCode classifies err into one of the stable machine-readable error
+// codes of internal/scherr ("infeasible_deadline", "budget_exhausted",
+// "canceled", "deadline_exceeded", "unknown_variant"), or "" when the
+// error carries no scheduler classification. The same codes appear in the
+// "code" field of every schedd HTTP error body and in CLI error output.
+func ErrorCode(err error) string { return scherr.Code(err) }
 
 // LookupVariant resolves a canonical variant name ("slack", "pressWR-LS",
 // …) to its Options through the variant registry shared with the CLIs and
@@ -103,13 +111,17 @@ type Response struct {
 	Cost     int64     // carbon cost of Schedule
 	ASAPCost int64     // carbon cost of the ASAP baseline under Profile
 	PlanHit  bool      // true if the HEFT plan came from the memo cache
+	CacheHit bool      // true if the whole response came from the solve cache
 }
 
 // SolverStats is a snapshot of a solver's lifetime counters.
 type SolverStats struct {
-	Solves     int64 // completed Solve calls (including failed ones)
-	PlanHits   int64 // Plan requests served from the fingerprint cache
-	PlanMisses int64 // Plan requests that ran HEFT + instance construction
+	Solves       int64 // completed Solve calls (including failed ones)
+	PlanHits     int64 // Plan requests served from the fingerprint cache
+	PlanMisses   int64 // Plan requests that ran HEFT + instance construction
+	SolveHits    int64 // Solve calls served from the solve-response cache
+	SolveMisses  int64 // cacheable Solve calls that ran the scheduler
+	SolveEntries int   // responses currently held by the solve cache
 }
 
 // Solver is the concurrency-safe request/response entry point: one solver
@@ -124,9 +136,19 @@ type Solver struct {
 	mu    sync.Mutex
 	plans map[uint64]*planEntry
 
-	solves     atomic.Int64
-	planHits   atomic.Int64
-	planMisses atomic.Int64
+	// Second cache level: whole solve responses, LRU-bounded, keyed by
+	// (workflow fingerprint, profile digest, deadline, normalized options,
+	// greedy flavor). See solveCacheGet/solveCachePut.
+	cmu       sync.Mutex
+	solveCap  int
+	responses map[solveKey]*solveEntry
+	lru       *list.List // *solveEntry values; front = most recently used
+
+	solves      atomic.Int64
+	planHits    atomic.Int64
+	planMisses  atomic.Int64
+	solveHits   atomic.Int64
+	solveMisses atomic.Int64
 }
 
 // maxPlans bounds the plan cache. When full, an arbitrary entry is evicted
@@ -134,6 +156,9 @@ type Solver struct {
 // without limit while never evicting the entries a steady workload reuses
 // fastest (those are re-admitted on the next miss).
 const maxPlans = 4096
+
+// defaultSolveCache bounds the solve-response cache (LRU entries).
+const defaultSolveCache = 4096
 
 // planEntry is a once-built memoized plan; concurrent requests for the
 // same fingerprint block on the first build instead of duplicating it.
@@ -161,7 +186,13 @@ func (e *planEntry) build(cluster *Cluster) {
 
 // NewSolver returns a solver bound to the given target cluster.
 func NewSolver(cluster *Cluster) *Solver {
-	return &Solver{cluster: cluster, plans: make(map[uint64]*planEntry)}
+	return &Solver{
+		cluster:   cluster,
+		plans:     make(map[uint64]*planEntry),
+		solveCap:  defaultSolveCache,
+		responses: make(map[solveKey]*solveEntry),
+		lru:       list.New(),
+	}
 }
 
 // Cluster returns the target platform the solver plans against.
@@ -169,19 +200,131 @@ func (s *Solver) Cluster() *Cluster { return s.cluster }
 
 // Stats returns a snapshot of the solver's counters.
 func (s *Solver) Stats() SolverStats {
+	s.cmu.Lock()
+	entries := len(s.responses)
+	s.cmu.Unlock()
 	return SolverStats{
-		Solves:     s.solves.Load(),
-		PlanHits:   s.planHits.Load(),
-		PlanMisses: s.planMisses.Load(),
+		Solves:       s.solves.Load(),
+		PlanHits:     s.planHits.Load(),
+		PlanMisses:   s.planMisses.Load(),
+		SolveHits:    s.solveHits.Load(),
+		SolveMisses:  s.solveMisses.Load(),
+		SolveEntries: entries,
 	}
 }
 
 // ResetPlans drops every memoized plan (e.g. after a batch of one-off
-// workflows). Counters are unaffected.
+// workflows). Counters and the solve-response cache are unaffected.
 func (s *Solver) ResetPlans() {
 	s.mu.Lock()
 	s.plans = make(map[uint64]*planEntry)
 	s.mu.Unlock()
+}
+
+// solveKey identifies one cacheable solve: which workflow, against which
+// profile (the digest pins every interval and hence the horizon; the
+// deadline is kept explicitly for clarity and as an extra collision bit),
+// with which fully-normalized variant configuration.
+type solveKey struct {
+	fp       uint64  // workflow fingerprint
+	digest   uint64  // power profile digest
+	deadline int64   // profile horizon T
+	opt      Options // normalized: defaults applied to K and Mu
+	marginal bool    // budget-based vs exact-marginal greedy
+}
+
+// solveEntry is one cached response. The stored Response owns private
+// copies of the mutable parts (Schedule); the workflow and profile are
+// retained as collision guards, exactly like planEntry guards the plan
+// cache.
+type solveEntry struct {
+	key  solveKey
+	wf   *DAG
+	prof *Profile
+	resp Response
+	elem *list.Element
+}
+
+// normalizeOptions applies the paper defaults to the tuning fields so that
+// Options{} and Options{K: 3, Mu: 10} key identically.
+func normalizeOptions(opt Options) Options {
+	opt.K = opt.EffectiveK()
+	opt.Mu = opt.EffectiveMu()
+	return opt
+}
+
+// SetSolveCacheLimit bounds the solve-response cache to at most n entries,
+// evicting least-recently-used responses if it currently holds more.
+// n <= 0 disables and clears the cache. The default limit is 4096.
+func (s *Solver) SetSolveCacheLimit(n int) {
+	s.cmu.Lock()
+	defer s.cmu.Unlock()
+	s.solveCap = n
+	for len(s.responses) > 0 && len(s.responses) > n {
+		s.evictOldestLocked()
+	}
+}
+
+// ResetSolveCache drops every cached response. Counters are unaffected.
+func (s *Solver) ResetSolveCache() {
+	s.cmu.Lock()
+	s.responses = make(map[solveKey]*solveEntry)
+	s.lru = list.New()
+	s.cmu.Unlock()
+}
+
+func (s *Solver) evictOldestLocked() {
+	back := s.lru.Back()
+	if back == nil {
+		return
+	}
+	e := back.Value.(*solveEntry)
+	s.lru.Remove(back)
+	delete(s.responses, e.key)
+}
+
+// solveCacheGet returns a cached response for the key, guarded against
+// fingerprint/digest collisions by structural comparison with the request's
+// actual workflow and profile. The returned response carries a fresh
+// Schedule clone, so callers may mutate it without poisoning the cache.
+func (s *Solver) solveCacheGet(key solveKey, wf *DAG, prof *Profile) (*Response, bool) {
+	s.cmu.Lock()
+	defer s.cmu.Unlock()
+	e, ok := s.responses[key]
+	if !ok || !e.wf.Equal(wf) || !e.prof.EqualProfile(prof) {
+		return nil, false
+	}
+	s.lru.MoveToFront(e.elem)
+	resp := e.resp
+	resp.Schedule = e.resp.Schedule.Clone()
+	resp.CacheHit = true
+	return &resp, true
+}
+
+// solveCachePut stores a successful response under the key, evicting the
+// least-recently-used entry when the cache is full. The cache keeps its own
+// Schedule clone so later caller mutations cannot corrupt it.
+func (s *Solver) solveCachePut(key solveKey, wf *DAG, prof *Profile, resp *Response) {
+	s.cmu.Lock()
+	defer s.cmu.Unlock()
+	if s.solveCap <= 0 {
+		return
+	}
+	stored := *resp
+	stored.Schedule = resp.Schedule.Clone()
+	stored.CacheHit = false
+	if e, ok := s.responses[key]; ok {
+		// Overwrite (e.g. a collision victim re-solved): freshest wins.
+		e.wf, e.prof, e.resp = wf, prof.Clone(), stored
+		s.lru.MoveToFront(e.elem)
+		return
+	}
+	for len(s.responses) >= s.solveCap {
+		s.evictOldestLocked()
+	}
+	e := &solveEntry{key: key, wf: wf, prof: prof.Clone(), resp: stored}
+	e.elem = s.lru.PushFront(e)
+	s.responses[key] = e
 }
 
 // plan returns the memoized entry for the workflow, building it if needed.
@@ -330,6 +473,28 @@ func (s *Solver) Solve(ctx context.Context, req Request) (*Response, error) {
 		return nil, err
 	}
 
+	// Second cache level: identical (workflow, profile, variant) requests
+	// are served straight from the solve-response cache. Prebuilt-instance
+	// requests are not cacheable (instances carry no fingerprint).
+	var key solveKey
+	cacheable := req.Instance == nil
+	if cacheable {
+		key = solveKey{
+			fp:       req.Workflow.Fingerprint(),
+			digest:   prof.Digest(),
+			deadline: prof.T(),
+			opt:      normalizeOptions(opt),
+			marginal: req.Marginal,
+		}
+		if resp, ok := s.solveCacheGet(key, req.Workflow, prof); ok {
+			s.solveHits.Add(1)
+			resp.PlanHit = planHit
+			resp.Profile = prof
+			return resp, nil
+		}
+		s.solveMisses.Add(1)
+	}
+
 	var sched *Schedule
 	var st Stats
 	if req.Marginal {
@@ -340,7 +505,7 @@ func (s *Solver) Solve(ctx context.Context, req Request) (*Response, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Response{
+	resp := &Response{
 		Schedule: sched,
 		Instance: inst,
 		Profile:  prof,
@@ -351,5 +516,9 @@ func (s *Solver) Solve(ctx context.Context, req Request) (*Response, error) {
 		Cost:     st.Cost,
 		ASAPCost: CarbonCost(inst, asap, prof),
 		PlanHit:  planHit,
-	}, nil
+	}
+	if cacheable {
+		s.solveCachePut(key, req.Workflow, prof, resp)
+	}
+	return resp, nil
 }
