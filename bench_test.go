@@ -511,3 +511,83 @@ func BenchmarkCarbonCost500(b *testing.B) {
 		cawosched.CarbonCost(inst, s, prof)
 	}
 }
+
+// ---- zone layer --------------------------------------------------------------
+
+// benchZonedInstance builds a 500-task instance on a 3-zone small cluster
+// with one rotated-scenario profile per zone.
+func benchZonedInstance(b *testing.B, n, zones int) (*cawosched.Instance, *cawosched.ZoneSet) {
+	b.Helper()
+	wf, err := cawosched.GenerateWorkflow(cawosched.Atacseq, n, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inst, err := cawosched.PlanHEFT(wf, cawosched.SmallZonedCluster(42, zones))
+	if err != nil {
+		b.Fatal(err)
+	}
+	D := cawosched.ASAPMakespan(inst)
+	zs, err := cawosched.ZonesForInstance(inst,
+		[]cawosched.Scenario{cawosched.S1, cawosched.S2, cawosched.S3, cawosched.S4}, 2*D, 24, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return inst, zs
+}
+
+// BenchmarkCarbonCostZones measures the per-zone cost sweep (3 zones);
+// compare against BenchmarkCarbonCost500, the single-zone sweep over the
+// same workflow size.
+func BenchmarkCarbonCostZones(b *testing.B) {
+	inst, zs := benchZonedInstance(b, 500, 3)
+	s := cawosched.ASAP(inst)
+	if got, want := cawosched.CarbonCostZones(inst, s, zs), int64(0); got < want {
+		b.Fatalf("cost %d", got)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cawosched.CarbonCostZones(inst, s, zs)
+	}
+}
+
+// BenchmarkPressWRLSZones runs the paper's best variant end to end on the
+// 3-zone instance (the zone-aware counterpart of BenchmarkPressWRLS500).
+func BenchmarkPressWRLSZones(b *testing.B) {
+	inst, zs := benchZonedInstance(b, 500, 3)
+	opt := cawosched.Options{Score: cawosched.ScorePressureW, Refined: true, LocalSearch: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := cawosched.RunZonesContext(context.Background(), inst, zs, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolveCacheHit measures a fully warmed Solve: plan cache + solve
+// response cache hit, i.e. the steady-state request latency of schedd on a
+// repeated workload.
+func BenchmarkSolveCacheHit(b *testing.B) {
+	wf, err := cawosched.GenerateWorkflow(cawosched.Methylseq, 200, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	solver := cawosched.NewSolver(cawosched.SmallCluster(42))
+	req := cawosched.Request{Workflow: wf, Variant: "pressWR-LS", Seed: 42}
+	warm, err := solver.Solve(context.Background(), req)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if warm.CacheHit {
+		b.Fatal("first solve hit the cache")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := solver.Solve(context.Background(), req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.CacheHit {
+			b.Fatal("cache miss on a warmed request")
+		}
+	}
+}

@@ -31,6 +31,7 @@ package cawosched
 
 import (
 	"context"
+	"fmt"
 	"io"
 
 	"repro/internal/ceg"
@@ -59,6 +60,15 @@ type (
 	Profile = power.Profile
 	// Interval is one constant-budget window of a profile.
 	Interval = power.Interval
+	// Zone is a named grid zone with its own green power profile.
+	Zone = power.Zone
+	// ZoneSet is the per-zone green power supply of a geo-distributed
+	// cluster (one zone — the paper's setting — is the degenerate case).
+	ZoneSet = power.ZoneSet
+	// ZoneSpec parameterizes one zone of a generated ZoneSet.
+	ZoneSpec = power.ZoneSpec
+	// ZoneCost is the per-zone carbon accounting of a schedule.
+	ZoneCost = schedule.ZoneCost
 	// Scenario selects a renewable-supply shape (S1..S4).
 	Scenario = power.Scenario
 	// Instance is a scheduling problem with fixed mapping and ordering.
@@ -132,6 +142,34 @@ func NewCluster(types []ProcType, counts []int, seed uint64) *Cluster {
 	return platform.New(types, counts, seed)
 }
 
+// NewZonedCluster builds a custom cluster with an explicit grid-zone
+// assignment: zones[i] is the zone of compute processor i (ids must be
+// contiguous from 0). Zone indices line up with the ZoneSet a solve runs
+// against.
+func NewZonedCluster(types []ProcType, counts []int, zones []int, seed uint64) *Cluster {
+	return platform.NewZoned(types, counts, zones, seed)
+}
+
+// SmallZonedCluster returns the paper's 72-node cluster split round-robin
+// into the given number of grid zones (≤ 1 is identical to SmallCluster).
+func SmallZonedCluster(seed uint64, zones int) *Cluster { return platform.SmallZoned(seed, zones) }
+
+// LargeZonedCluster returns the paper's 144-node cluster split
+// round-robin into the given number of grid zones.
+func LargeZonedCluster(seed uint64, zones int) *Cluster { return platform.LargeZoned(seed, zones) }
+
+// RoundRobinZones returns the zone assignment dealing P compute
+// processors into k zones round-robin (processor i → zone i mod k).
+func RoundRobinZones(P, k int) []int { return platform.RoundRobinZones(P, k) }
+
+// SingleZone wraps a cluster-wide profile into the degenerate one-zone
+// set; every zone-aware entry point accepts it and reproduces the paper's
+// single-profile evaluation exactly.
+func SingleZone(p *Profile) *ZoneSet { return power.SingleZone(p) }
+
+// NewZoneSet builds a validated zone set (unique names, equal horizons).
+func NewZoneSet(zones ...Zone) (*ZoneSet, error) { return power.NewZoneSet(zones...) }
+
 // PlanHEFT computes a HEFT mapping and ordering for the workflow and
 // builds the communication-enhanced scheduling instance from it. This is
 // the "given mapping" the carbon-aware scheduler then improves.
@@ -167,6 +205,29 @@ func ProfileForInstance(inst *Instance, sc Scenario, T int64, j int, seed uint64
 	return power.Generate(sc, T, j, gmin, gmax, rng.New(seed))
 }
 
+// ZonesForInstance generates one green power profile per grid zone of the
+// instance's cluster: zone z follows scenarios[z] (or scenarios[0] when a
+// single scenario is given) within the zone's own corridor
+// [Σ idle_z, Σ idle_z + 0.8·Σ work_z] over horizon T split into j
+// intervals. Zone randomness is derived per zone index, so the set is
+// deterministic in (cluster, scenarios, T, j, seed).
+func ZonesForInstance(inst *Instance, scenarios []Scenario, T int64, j int, seed uint64) (*ZoneSet, error) {
+	if len(scenarios) == 0 {
+		return nil, fmt.Errorf("%w: no scenarios", ErrInvalidRequest)
+	}
+	K := inst.NumZones()
+	specs := make([]ZoneSpec, K)
+	for z := 0; z < K; z++ {
+		sc := scenarios[0]
+		if len(scenarios) > 1 {
+			sc = scenarios[z%len(scenarios)]
+		}
+		gmin, gmax := power.PlatformBounds(inst.ZoneIdlePower(z), inst.Cluster.ZoneComputeWork(z))
+		specs[z] = ZoneSpec{Name: fmt.Sprintf("z%d", z), Scenario: sc, Gmin: gmin, Gmax: gmax}
+	}
+	return power.GenerateZones(specs, T, j, seed)
+}
+
 // ConstantProfile returns a single-interval profile (useful for tests and
 // as a deadline-only horizon).
 func ConstantProfile(T, budget int64) *Profile { return power.Constant(T, budget) }
@@ -199,6 +260,27 @@ func AllVariants() []Options { return core.AllVariants() }
 // (polynomial interval sweep of Appendix A.1).
 func CarbonCost(inst *Instance, s *Schedule, prof *Profile) int64 {
 	return schedule.CarbonCost(inst, s, prof)
+}
+
+// CarbonCostZones evaluates a schedule's total carbon cost under per-zone
+// green power: the sum over grid zones of each zone's interval sweep. For
+// a single-zone set it equals CarbonCost against that profile.
+func CarbonCostZones(inst *Instance, s *Schedule, zs *ZoneSet) int64 {
+	return schedule.CarbonCostZones(inst, s, zs)
+}
+
+// CostBreakdownZones returns the per-zone, per-interval carbon accounting
+// of a schedule; the zone Cost fields sum to CarbonCostZones.
+func CostBreakdownZones(inst *Instance, s *Schedule, zs *ZoneSet) []ZoneCost {
+	return schedule.CostBreakdownZones(inst, s, zs)
+}
+
+// RunZonesContext executes one CaWoSched variant against per-zone green
+// power with cancellation support; the deadline is the set's common
+// horizon zs.T(). A single-zone set reproduces RunContext exactly. For
+// the full request/response pipeline use a Solver with Request.Zones.
+func RunZonesContext(ctx context.Context, inst *Instance, zs *ZoneSet, opt Options) (*Schedule, Stats, error) {
+	return core.RunZones(ctx, inst, zs, opt)
 }
 
 // Validate checks that s is feasible for inst with deadline T.
@@ -311,6 +393,31 @@ func ReadIntensityCSV(r io.Reader) ([]TracePoint, error) {
 func ProfileFromIntensity(inst *Instance, points []TracePoint, T int64) (*Profile, error) {
 	gmin, gmax := power.PlatformBounds(inst.TotalIdlePower(), inst.Cluster.ComputeWork())
 	return power.FromIntensity(points, T, gmin, gmax)
+}
+
+// ZonesFromIntensity converts one carbon-intensity trace per cluster zone
+// into the per-zone supply over [0, T), each scaled into its zone's own
+// corridor. Traces may have different native horizons: they are aligned
+// onto T (samples beyond T dropped, the last sample extended). A one-zone
+// cluster reproduces ProfileFromIntensity wrapped as the degenerate set.
+func ZonesFromIntensity(inst *Instance, traces [][]TracePoint, T int64) (*ZoneSet, error) {
+	K := inst.NumZones()
+	if len(traces) != K {
+		return nil, fmt.Errorf("%w: %d intensity traces for a cluster with %d zones", ErrInvalidRequest, len(traces), K)
+	}
+	if K == 1 {
+		prof, err := ProfileFromIntensity(inst, traces[0], T)
+		if err != nil {
+			return nil, err
+		}
+		return power.SingleZone(prof), nil
+	}
+	zt := make([]power.ZoneTrace, K)
+	for z := 0; z < K; z++ {
+		gmin, gmax := power.PlatformBounds(inst.ZoneIdlePower(z), inst.Cluster.ZoneComputeWork(z))
+		zt[z] = power.ZoneTrace{Name: fmt.Sprintf("z%d", z), Points: traces[z], Gmin: gmin, Gmax: gmax}
+	}
+	return power.ZonesFromIntensity(zt, T)
 }
 
 // ScheduleEntry is one node in the schedule export formats.

@@ -36,7 +36,10 @@ func main() {
 		n        = flag.Int("n", 200, "number of workflow tasks (ignored with -dot)")
 		dotFile  = flag.String("dot", "", "load the workflow from this GraphViz .dot file")
 		cluster  = flag.String("cluster", "small", "target cluster: small (72 nodes) | large (144 nodes)")
+		zones    = flag.Int("zones", 1, "split the cluster round-robin into this many grid zones (each with its own power profile)")
 		scenario = flag.String("scenario", "S1", "power scenario: S1 | S2 | S3 | S4")
+		zoneScen = flag.String("zone-scenarios", "", "comma-separated per-zone scenarios, e.g. S1,S2 (overrides -scenario; one entry per zone)")
+		intens   = flag.String("intensity", "", "comma-separated per-zone carbon-intensity CSV files (offset,intensity; one file = cluster-wide, else one per zone)")
 		factor   = flag.Float64("deadline-factor", 2, "deadline = factor x ASAP makespan (>= 1)")
 		variant  = flag.String("variant", "all", `heuristic to run: "all", "asap", or a registry name like pressWR-LS (see -list-variants)`)
 		seed     = flag.Uint64("seed", 42, "random seed for workflow/profile generation")
@@ -55,7 +58,7 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, *family, *n, *dotFile, *cluster, *scenario, *factor, *variant, *seed, *verbose, *gantt, *jsonOut, *csvOut); err != nil {
+	if err := run(ctx, *family, *n, *dotFile, *cluster, *zones, *scenario, *zoneScen, *intens, *factor, *variant, *seed, *verbose, *gantt, *jsonOut, *csvOut); err != nil {
 		if errors.Is(err, cawosched.ErrCanceled) {
 			fmt.Fprintln(os.Stderr, "cawosched: interrupted")
 			os.Exit(130)
@@ -71,17 +74,20 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, family string, n int, dotFile, clusterName, scenarioName string, factor float64, variant string, seed uint64, verbose, gantt bool, jsonOut, csvOut string) error {
+func run(ctx context.Context, family string, n int, dotFile, clusterName string, zones int, scenarioName, zoneScen, intens string, factor float64, variant string, seed uint64, verbose, gantt bool, jsonOut, csvOut string) error {
 	wf, err := loadWorkflow(family, n, dotFile, seed)
 	if err != nil {
 		return err
 	}
+	if zones < 1 {
+		zones = 1
+	}
 	var cluster *cawosched.Cluster
 	switch clusterName {
 	case "small":
-		cluster = cawosched.SmallCluster(seed)
+		cluster = cawosched.SmallZonedCluster(seed, zones)
 	case "large":
-		cluster = cawosched.LargeCluster(seed)
+		cluster = cawosched.LargeZonedCluster(seed, zones)
 	default:
 		return fmt.Errorf("unknown cluster %q", clusterName)
 	}
@@ -105,26 +111,48 @@ func run(ctx context.Context, family string, n int, dotFile, clusterName, scenar
 		DeadlineFactor: factor,
 		Seed:           seed,
 	}
+	if zoneScen != "" && intens != "" {
+		return fmt.Errorf("-zone-scenarios and -intensity are mutually exclusive (the intensity traces define the per-zone supply)")
+	}
+	if zoneScen != "" {
+		for _, name := range strings.Split(zoneScen, ",") {
+			zsc, err := parseScenario(strings.TrimSpace(name))
+			if err != nil {
+				return err
+			}
+			req.ZoneScenarios = append(req.ZoneScenarios, zsc)
+		}
+	}
 
 	// Plan once (the solver caches it for every variant below) and derive
-	// the shared profile so all variants compete on the same horizon.
+	// the shared per-zone supply so all variants compete on the same
+	// horizon.
 	inst, _, err := solver.Plan(ctx, wf)
 	if err != nil {
 		return err
 	}
-	prof, err := solver.ProfileFor(ctx, inst, req)
+	D := cawosched.ASAPMakespan(inst)
+	var zoneSet *cawosched.ZoneSet
+	if intens != "" {
+		zoneSet, err = loadIntensityZones(inst, intens, int64(float64(D)*factor+0.5))
+	} else {
+		zoneSet, err = solver.ZonesFor(ctx, inst, req)
+	}
 	if err != nil {
 		return err
 	}
-	req.Profile = prof
-	D := cawosched.ASAPMakespan(inst)
+	req.Zones = zoneSet
 
 	fmt.Printf("workflow: %d tasks, %d nodes incl. communications\n", wf.N(), inst.N())
-	fmt.Printf("cluster:  %s (%d compute processors)\n", clusterName, cluster.NumCompute())
-	fmt.Printf("horizon:  D = %d, deadline T = %d, scenario %s, %d intervals\n\n", D, prof.T(), sc, prof.J())
+	fmt.Printf("cluster:  %s (%d compute processors, %d zones)\n", clusterName, cluster.NumCompute(), cluster.NumZones())
+	fmt.Printf("horizon:  D = %d, deadline T = %d\n", D, zoneSet.T())
+	for _, z := range zoneSet.Zones {
+		fmt.Printf("zone %-8s %d intervals, total green %d\n", z.Name+":", z.Profile.J(), z.Profile.TotalGreen())
+	}
+	fmt.Println()
 
 	asap := cawosched.ASAP(inst)
-	asapCost := cawosched.CarbonCost(inst, asap, prof)
+	asapCost := cawosched.CarbonCostZones(inst, asap, zoneSet)
 	fmt.Printf("%-12s  %12s  %8s  %10s\n", "variant", "carbon cost", "vs ASAP", "time")
 	fmt.Printf("%-12s  %12d  %8s  %10s\n", "ASAP", asapCost, "1.000", "-")
 
@@ -153,8 +181,12 @@ func run(ctx context.Context, family string, n int, dotFile, clusterName, scenar
 		last = asap
 	}
 	if gantt {
+		var overlay *cawosched.Profile
+		if zoneSet.Single() {
+			overlay = zoneSet.Profile(0)
+		}
 		fmt.Println()
-		fmt.Print(cawosched.Gantt(inst, last, prof.T(), cawosched.GanttOptions{Width: 100, MaxProcs: 12, Profile: prof}))
+		fmt.Print(cawosched.Gantt(inst, last, zoneSet.T(), cawosched.GanttOptions{Width: 100, MaxProcs: 12, Profile: overlay}))
 	}
 	if jsonOut != "" {
 		f, err := os.Create(jsonOut)
@@ -177,6 +209,28 @@ func run(ctx context.Context, family string, n int, dotFile, clusterName, scenar
 		}
 	}
 	return nil
+}
+
+// loadIntensityZones reads the comma-separated per-zone intensity CSVs
+// and converts them into the per-zone supply over horizon T. A single
+// file serves the whole cluster only when the cluster has one zone;
+// otherwise one file per zone is required.
+func loadIntensityZones(inst *cawosched.Instance, files string, T int64) (*cawosched.ZoneSet, error) {
+	var traces [][]cawosched.TracePoint
+	for _, name := range strings.Split(files, ",") {
+		name = strings.TrimSpace(name)
+		f, err := os.Open(name)
+		if err != nil {
+			return nil, err
+		}
+		pts, err := cawosched.ReadIntensityCSV(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		traces = append(traces, pts)
+	}
+	return cawosched.ZonesFromIntensity(inst, traces, T)
 }
 
 func loadWorkflow(family string, n int, dotFile string, seed uint64) (*cawosched.DAG, error) {

@@ -48,6 +48,7 @@ func main() {
 		seeds    = flag.Int("seeds", 1, "sweep mode: replicate seeds per grid cell")
 		timeout  = flag.Duration("job-timeout", 0, "sweep mode: per-job wall-clock cap enforced by context cancellation, e.g. 30s (0 = none)")
 		variants = flag.String("variants", "", `sweep mode: comma-separated registry variant names to run instead of the full roster (ASAP always included), e.g. "pressWR-LS,slackR"`)
+		zones    = flag.Int("zones", 1, "sweep mode: run the multi-zone scenario family — clusters split round-robin into N grid zones with rotated per-zone scenarios (1 = the paper's single-zone grid)")
 		listVar  = flag.Bool("list-variants", false, "print the variant registry (canonical name per line) and exit")
 	)
 	flag.Parse()
@@ -61,7 +62,7 @@ func main() {
 	defer stop()
 	var err error
 	if *parallel > 0 {
-		err = runSweep(ctx, *maxTasks, *seed, *parallel, *outDir, *resume, *seeds, *timeout, *variants, *quiet)
+		err = runSweep(ctx, *maxTasks, *seed, *parallel, *outDir, *resume, *seeds, *zones, *timeout, *variants, *quiet)
 	} else {
 		err = run2(ctx, *maxTasks, *seed, *workers, *outDir, *only, *quiet, *saveTo)
 	}
@@ -123,7 +124,7 @@ func selectRoster(variants string) ([]experiments.Algorithm, error) {
 // runSweep is the -parallel path: grid generation, worker-pool execution
 // with JSONL streaming/resume, then a paper-style aggregation over every
 // record on disk (including ones from earlier resumed runs).
-func runSweep(ctx context.Context, maxTasks int, seed uint64, parallel int, outPath string, resume bool, seeds int, timeout time.Duration, variants string, quiet bool) error {
+func runSweep(ctx context.Context, maxTasks int, seed uint64, parallel int, outPath string, resume bool, seeds, zones int, timeout time.Duration, variants string, quiet bool) error {
 	if outPath == "" {
 		outPath = "results.jsonl"
 	}
@@ -132,7 +133,7 @@ func runSweep(ctx context.Context, maxTasks int, seed uint64, parallel int, outP
 		return err
 	}
 	names := algoNames(roster)
-	jobs := experiments.Grid(maxTasks, seed, seeds, names)
+	jobs := experiments.MultiZoneGrid(maxTasks, seed, seeds, zones, names)
 
 	var skip map[string]bool
 	needNewline := false

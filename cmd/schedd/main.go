@@ -40,7 +40,8 @@ func main() {
 	var (
 		addr        = flag.String("addr", ":8080", "listen address")
 		clusterName = flag.String("cluster", "small", "target cluster: small (72 nodes) | large (144 nodes)")
-		clusterFile = flag.String("cluster-file", "", "load the target cluster from this JSON file (wire format) instead of -cluster")
+		clusterFile = flag.String("cluster-file", "", "load the target cluster from this JSON file (wire format, may carry per-group zones) instead of -cluster")
+		zones       = flag.Int("zones", 1, "split the -cluster platform round-robin into this many grid zones (ignored with -cluster-file)")
 		seed        = flag.Uint64("seed", 42, "cluster link seed (ignored with -cluster-file)")
 		reqTimeout  = flag.Duration("request-timeout", 60*time.Second, "per-request solving deadline (0 = none)")
 		batchWork   = flag.Int("batch-workers", 0, "bounded worker pool for batched solves (0 = min(GOMAXPROCS, 16))")
@@ -52,14 +53,14 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, *addr, *clusterName, *clusterFile, *seed, *reqTimeout, *batchWork, *maxBatch, *grace, *drainDelay, nil); err != nil {
+	if err := run(ctx, *addr, *clusterName, *clusterFile, *zones, *seed, *reqTimeout, *batchWork, *maxBatch, *grace, *drainDelay, nil); err != nil {
 		fmt.Fprintln(os.Stderr, "schedd:", err)
 		os.Exit(1)
 	}
 }
 
 // buildCluster resolves the target platform from the flags.
-func buildCluster(clusterName, clusterFile string, seed uint64) (*cawosched.Cluster, string, error) {
+func buildCluster(clusterName, clusterFile string, zones int, seed uint64) (*cawosched.Cluster, string, error) {
 	if clusterFile != "" {
 		data, err := os.ReadFile(clusterFile)
 		if err != nil {
@@ -75,11 +76,14 @@ func buildCluster(clusterName, clusterFile string, seed uint64) (*cawosched.Clus
 		}
 		return c, clusterFile, nil
 	}
+	if zones < 1 {
+		zones = 1
+	}
 	switch clusterName {
 	case "small":
-		return cawosched.SmallCluster(seed), "small", nil
+		return cawosched.SmallZonedCluster(seed, zones), "small", nil
 	case "large":
-		return cawosched.LargeCluster(seed), "large", nil
+		return cawosched.LargeZonedCluster(seed, zones), "large", nil
 	default:
 		return nil, "", fmt.Errorf("unknown cluster %q (want small, large, or -cluster-file)", clusterName)
 	}
@@ -88,8 +92,8 @@ func buildCluster(clusterName, clusterFile string, seed uint64) (*cawosched.Clus
 // run serves until ctx is canceled, then drains gracefully. If ready is
 // non-nil it receives the bound address once the listener is up (tests
 // pass ":0" and read the actual port from it).
-func run(ctx context.Context, addr, clusterName, clusterFile string, seed uint64, reqTimeout time.Duration, batchWork, maxBatch int, grace, drainDelay time.Duration, ready chan<- string) error {
-	cluster, label, err := buildCluster(clusterName, clusterFile, seed)
+func run(ctx context.Context, addr, clusterName, clusterFile string, zones int, seed uint64, reqTimeout time.Duration, batchWork, maxBatch int, grace, drainDelay time.Duration, ready chan<- string) error {
+	cluster, label, err := buildCluster(clusterName, clusterFile, zones, seed)
 	if err != nil {
 		return err
 	}
@@ -112,7 +116,7 @@ func run(ctx context.Context, addr, clusterName, clusterFile string, seed uint64
 		Handler:           srv,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	log.Printf("schedd: serving cluster %s (%d compute processors) on %s", label, cluster.NumCompute(), ln.Addr())
+	log.Printf("schedd: serving cluster %s (%d compute processors, %d zones) on %s", label, cluster.NumCompute(), cluster.NumZones(), ln.Addr())
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}

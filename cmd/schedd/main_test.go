@@ -16,36 +16,47 @@ import (
 )
 
 func TestBuildCluster(t *testing.T) {
-	small, label, err := buildCluster("small", "", 42)
+	small, label, err := buildCluster("small", "", 1, 42)
 	if err != nil || label != "small" || small.NumCompute() != 72 {
 		t.Fatalf("small: %v %q %d", err, label, small.NumCompute())
 	}
-	large, _, err := buildCluster("large", "", 42)
-	if err != nil || large.NumCompute() != 144 {
+	if small.NumZones() != 1 {
+		t.Errorf("default small cluster has %d zones", small.NumZones())
+	}
+	large, _, err := buildCluster("large", "", 0, 42)
+	if err != nil || large.NumCompute() != 144 || large.NumZones() != 1 {
 		t.Fatalf("large: %v", err)
 	}
-	if _, _, err := buildCluster("medium", "", 42); err == nil {
+	if _, _, err := buildCluster("medium", "", 1, 42); err == nil {
 		t.Error("unknown cluster name accepted")
 	}
 
-	// A cluster file in the wire format round-trips into the same platform.
+	// -zones splits the paper clusters round-robin.
+	zoned, _, err := buildCluster("small", "", 3, 42)
+	if err != nil || zoned.NumZones() != 3 {
+		t.Fatalf("zoned: %v, zones %d", err, zoned.NumZones())
+	}
+
+	// A cluster file in the wire format round-trips into the same
+	// platform, zones included; the -zones flag is ignored for files.
 	path := filepath.Join(t.TempDir(), "cluster.json")
-	data, err := json.Marshal(wire.FromCluster(cawosched.SmallCluster(9)))
+	data, err := json.Marshal(wire.FromCluster(cawosched.SmallZonedCluster(9, 2)))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	fromFile, _, err := buildCluster("ignored", path, 0)
+	fromFile, _, err := buildCluster("ignored", path, 5, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if fromFile.NumCompute() != 72 || fromFile.LinkSeed() != 9 {
-		t.Errorf("cluster file: %d compute, link seed %d", fromFile.NumCompute(), fromFile.LinkSeed())
+	if fromFile.NumCompute() != 72 || fromFile.LinkSeed() != 9 || fromFile.NumZones() != 2 {
+		t.Errorf("cluster file: %d compute, link seed %d, %d zones",
+			fromFile.NumCompute(), fromFile.LinkSeed(), fromFile.NumZones())
 	}
 
-	if _, _, err := buildCluster("", filepath.Join(t.TempDir(), "missing.json"), 0); err == nil {
+	if _, _, err := buildCluster("", filepath.Join(t.TempDir(), "missing.json"), 1, 0); err == nil {
 		t.Error("missing cluster file accepted")
 	}
 }
@@ -57,7 +68,7 @@ func TestServeSmoke(t *testing.T) {
 	ready := make(chan string, 1)
 	done := make(chan error, 1)
 	go func() {
-		done <- run(ctx, "127.0.0.1:0", "small", "", 7, 30*time.Second, 2, 16, 5*time.Second, 0, ready)
+		done <- run(ctx, "127.0.0.1:0", "small", "", 1, 7, 30*time.Second, 2, 16, 5*time.Second, 0, ready)
 	}()
 
 	var addr string

@@ -51,6 +51,9 @@ type Instance struct {
 	// Build: all compute processors plus exactly the links this instance's
 	// communications use. See TotalIdlePower.
 	idlePower int64
+	// zoneIdle is the per-grid-zone split of idlePower (one entry per
+	// cluster zone), memoized by Build. See ZoneIdlePower.
+	zoneIdle []int64
 }
 
 // N returns the total number of nodes N = n + |E′|.
@@ -211,13 +214,19 @@ func Build(d *dag.DAG, m *Mapping, cluster *platform.Cluster) (*Instance, error)
 	// profile corridors and carbon costs — a pure function of (workflow,
 	// mapping, cluster), independent of what other workflows were planned
 	// on the same cluster before or concurrently.
-	inst.idlePower = cluster.ComputeIdle()
+	inst.zoneIdle = make([]int64, cluster.NumZones())
+	for z := range inst.zoneIdle {
+		inst.zoneIdle[z] = cluster.ZoneComputeIdle(z)
+	}
 	seenLink := make(map[int]bool, len(comms))
 	for _, ct := range comms {
 		if !seenLink[ct.link] {
 			seenLink[ct.link] = true
-			inst.idlePower += cluster.Proc(ct.link).Type.Idle
+			inst.zoneIdle[cluster.ZoneOf(ct.link)] += cluster.Proc(ct.link).Type.Idle
 		}
+	}
+	for _, zi := range inst.zoneIdle {
+		inst.idlePower += zi
 	}
 
 	if err := inst.Validate(); err != nil {
@@ -287,6 +296,20 @@ func (in *Instance) Validate() error {
 // independent of concurrent planning on the shared cluster.
 func (in *Instance) TotalIdlePower() int64 {
 	return in.idlePower
+}
+
+// NumZones returns the number of grid zones of the target cluster.
+func (in *Instance) NumZones() int { return in.Cluster.NumZones() }
+
+// ZoneOf returns the grid zone of node v's processor.
+func (in *Instance) ZoneOf(v int) int { return in.Cluster.ZoneOf(in.Proc[v]) }
+
+// ZoneIdlePower returns the instance-local idle floor of grid zone z: the
+// zone's compute processors plus the links of this instance whose source
+// lies in z. The values are memoized by Build and sum to TotalIdlePower,
+// so per-zone evaluation conserves the global idle floor exactly.
+func (in *Instance) ZoneIdlePower(z int) int64 {
+	return in.zoneIdle[z]
 }
 
 // ProcPower returns (idle, work) power of node v's processor.

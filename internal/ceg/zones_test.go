@@ -1,0 +1,82 @@
+package ceg
+
+import (
+	"testing"
+
+	"repro/internal/dag"
+	"repro/internal/heft"
+	"repro/internal/platform"
+	"repro/internal/wfgen"
+)
+
+// tinyZonedCluster splits the two tiny processors into two zones.
+func tinyZonedCluster() *platform.Cluster {
+	types := []platform.ProcType{
+		{Name: "A", Speed: 1, Idle: 2, Work: 3},
+		{Name: "B", Speed: 2, Idle: 4, Work: 5},
+	}
+	return platform.NewZoned(types, []int{1, 1}, []int{0, 1}, 1)
+}
+
+func TestZoneIdlePowerSplitsByZone(t *testing.T) {
+	d := dag.New(2)
+	d.SetWeight(0, 4)
+	d.SetWeight(1, 4)
+	d.AddEdge(0, 1, 3)
+	m := &Mapping{
+		Proc:   []int{0, 1},
+		Order:  [][]int{{0}, {1}},
+		Finish: []int64{4, 9},
+	}
+	inst, err := Build(d, m, tinyZonedCluster())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.NumZones() != 2 {
+		t.Fatalf("NumZones = %d, want 2", inst.NumZones())
+	}
+	// Zone 0: proc A (idle 2) + the link 0→1 (source in zone 0, idle 1 or
+	// 2); zone 1: proc B (idle 4).
+	link := inst.Proc[2]
+	linkIdle := inst.Cluster.Proc(link).Type.Idle
+	if got := inst.ZoneIdlePower(0); got != 2+linkIdle {
+		t.Errorf("zone 0 idle %d, want %d", got, 2+linkIdle)
+	}
+	if got := inst.ZoneIdlePower(1); got != 4 {
+		t.Errorf("zone 1 idle %d, want 4", got)
+	}
+	if inst.ZoneIdlePower(0)+inst.ZoneIdlePower(1) != inst.TotalIdlePower() {
+		t.Error("zone idle floors do not sum to the total")
+	}
+	if inst.ZoneOf(0) != 0 || inst.ZoneOf(1) != 1 || inst.ZoneOf(2) != 0 {
+		t.Errorf("node zones %d, %d, %d", inst.ZoneOf(0), inst.ZoneOf(1), inst.ZoneOf(2))
+	}
+}
+
+func TestZoneIdleConservesOnHEFTInstance(t *testing.T) {
+	d, err := wfgen.Generate(wfgen.Eager, 80, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster := platform.SmallZoned(5, 3)
+	h, err := heft.Schedule(d, cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := Build(d, FromHEFT(h.Proc, h.Order, h.Finish), cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum int64
+	for z := 0; z < inst.NumZones(); z++ {
+		sum += inst.ZoneIdlePower(z)
+	}
+	if sum != inst.TotalIdlePower() {
+		t.Errorf("zone idle sum %d != total %d", sum, inst.TotalIdlePower())
+	}
+	for v := 0; v < inst.N(); v++ {
+		if z := inst.ZoneOf(v); z < 0 || z >= inst.NumZones() {
+			t.Fatalf("node %d in out-of-range zone %d", v, z)
+		}
+	}
+}

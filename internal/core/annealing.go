@@ -55,10 +55,21 @@ func (o AnnealOptions) cooling() float64 {
 // best schedule seen so far is restored and its cost returned alongside a
 // scherr.ErrCanceled-wrapping error, so the partial improvement is usable.
 func Anneal(ctx context.Context, inst *ceg.Instance, prof *power.Profile, s *schedule.Schedule, opt AnnealOptions) (int64, error) {
-	T := prof.T()
+	return AnnealZones(ctx, inst, power.SingleZone(prof), s, opt)
+}
+
+// AnnealZones is the zone-aware annealer: proposals draw candidate starts
+// from — and gains are evaluated on — the timeline of the moved task's
+// grid zone, and the tracked cost is the sum over zones. With a single
+// zone it is exactly Anneal (which delegates here).
+func AnnealZones(ctx context.Context, inst *ceg.Instance, zs *power.ZoneSet, s *schedule.Schedule, opt AnnealOptions) (int64, error) {
+	if err := schedule.CheckZones(inst, zs); err != nil {
+		return 0, err
+	}
+	T := zs.T()
 	N := inst.N()
-	tl := schedule.NewTimeline(inst, s, prof)
-	cur := tl.TotalCost()
+	tls := schedule.NewZoneTimelines(inst, s, zs)
+	cur := tls.TotalCost()
 	best := s.Clone()
 	bestCost := cur
 
@@ -99,6 +110,7 @@ func Anneal(ctx context.Context, inst *ceg.Instance, prof *power.Profile, s *sch
 			temp *= cooling
 			continue
 		}
+		tl := tls.For(v)
 		candBuf = tl.AppendCandidateStarts(candBuf[:0], lo, hi, dur)
 		cand := candBuf[r.Intn(len(candBuf))]
 		if cand == s.Start[v] {
@@ -122,7 +134,7 @@ func Anneal(ctx context.Context, inst *ceg.Instance, prof *power.Profile, s *sch
 		}
 		temp *= cooling
 		if it%4096 == 4095 {
-			tl.Compact()
+			tls.Compact()
 		}
 	}
 	copy(s.Start, best.Start)

@@ -47,21 +47,31 @@ func canceled(ctx context.Context) error {
 // meet the deadline at all (the ASAP makespan exceeds T), and with
 // scherr.ErrCanceled if ctx is canceled mid-run.
 func Run(ctx context.Context, inst *ceg.Instance, prof *power.Profile, opt Options) (*schedule.Schedule, Stats, error) {
+	return RunZones(ctx, inst, power.SingleZone(prof), opt)
+}
+
+// RunZones executes one CaWoSched variant against per-zone green power:
+// the greedy consults the budgets of each task's grid zone and the local
+// search moves tasks on per-zone timelines, minimizing the summed
+// carbon cost over all zones. The deadline is the zone set's common
+// horizon. A single-zone set reproduces Run exactly (Run delegates here),
+// so the paper's setting is the degenerate one-zone case.
+func RunZones(ctx context.Context, inst *ceg.Instance, zs *power.ZoneSet, opt Options) (*schedule.Schedule, Stats, error) {
 	var st Stats
-	T := prof.T()
-	s, err := Greedy(ctx, inst, prof, opt, &st)
+	T := zs.T()
+	s, err := GreedyZones(ctx, inst, zs, opt, &st)
 	if err != nil {
 		return nil, st, err
 	}
 	if opt.LocalSearch {
-		if err := LocalSearch(ctx, inst, prof, s, opt.EffectiveMu(), &st); err != nil {
+		if err := LocalSearchZones(ctx, inst, zs, s, opt.EffectiveMu(), &st); err != nil {
 			return nil, st, err
 		}
 	}
 	if err := schedule.Validate(inst, s, T); err != nil {
 		return nil, st, fmt.Errorf("core: produced invalid schedule: %w", err)
 	}
-	st.Cost = schedule.CarbonCost(inst, s, prof)
+	st.Cost = schedule.CarbonCostZones(inst, s, zs)
 	return s, st, nil
 }
 
@@ -70,21 +80,26 @@ func Run(ctx context.Context, inst *ceg.Instance, prof *power.Profile, opt Optio
 // by the local search. Like Run it validates the produced schedule before
 // returning it.
 func RunMarginal(ctx context.Context, inst *ceg.Instance, prof *power.Profile, opt Options) (*schedule.Schedule, Stats, error) {
+	return RunMarginalZones(ctx, inst, power.SingleZone(prof), opt)
+}
+
+// RunMarginalZones is RunZones with the exact-marginal-cost greedy phase.
+func RunMarginalZones(ctx context.Context, inst *ceg.Instance, zs *power.ZoneSet, opt Options) (*schedule.Schedule, Stats, error) {
 	var st Stats
-	T := prof.T()
-	s, err := GreedyMarginal(ctx, inst, prof, opt, &st)
+	T := zs.T()
+	s, err := GreedyMarginalZones(ctx, inst, zs, opt, &st)
 	if err != nil {
 		return nil, st, err
 	}
 	if opt.LocalSearch {
-		if err := LocalSearch(ctx, inst, prof, s, opt.EffectiveMu(), &st); err != nil {
+		if err := LocalSearchZones(ctx, inst, zs, s, opt.EffectiveMu(), &st); err != nil {
 			return nil, st, err
 		}
 	}
 	if err := schedule.Validate(inst, s, T); err != nil {
 		return nil, st, fmt.Errorf("core: marginal greedy produced invalid schedule: %w", err)
 	}
-	st.Cost = schedule.CarbonCost(inst, s, prof)
+	st.Cost = schedule.CarbonCostZones(inst, s, zs)
 	return s, st, nil
 }
 

@@ -22,20 +22,24 @@ import (
 // stale, so each window update costs O(log n) amortized instead of a full
 // re-sort.
 func GreedyDynamic(ctx context.Context, inst *ceg.Instance, prof *power.Profile, opt Options, st *Stats) (*schedule.Schedule, error) {
-	T := prof.T()
+	return GreedyDynamicZones(ctx, inst, power.SingleZone(prof), opt, st)
+}
+
+// GreedyDynamicZones is the zone-aware dynamic greedy: like GreedyZones
+// it keeps one remaining-budget structure per grid zone, while the task
+// order adapts through the lazy score heap. With a single zone it is
+// exactly GreedyDynamic (which delegates here).
+func GreedyDynamicZones(ctx context.Context, inst *ceg.Instance, zs *power.ZoneSet, opt Options, st *Stats) (*schedule.Schedule, error) {
+	if err := schedule.CheckZones(inst, zs); err != nil {
+		return nil, err
+	}
+	T := zs.T()
 	w, err := newWindows(inst, T)
 	if err != nil {
 		return nil, err
 	}
 
-	var extra []int64
-	if opt.Refined {
-		extra = refinedPoints(inst, prof, opt.EffectiveK())
-	}
-	b := newBudgets(prof, extra)
-	if st != nil {
-		st.Intervals = b.numIntervals()
-	}
+	bs := newZoneBudgets(inst, zs, opt, st)
 
 	score := func(v int) float64 {
 		slack := float64(w.Slack(v))
@@ -84,6 +88,7 @@ func GreedyDynamic(ctx context.Context, inst *ceg.Instance, prof *power.Profile,
 			}
 			continue
 		}
+		b := bs[schedule.NodeZone(inst, zs, v)]
 		start, ok := b.bestStart(w.est[v], w.lst[v])
 		if !ok {
 			start = w.est[v]
@@ -98,7 +103,7 @@ func GreedyDynamic(ctx context.Context, inst *ceg.Instance, prof *power.Profile,
 		b.consume(start, start+inst.Dur[v], idle+work)
 	}
 	if st != nil {
-		st.GreedyCost = schedule.CarbonCost(inst, s, prof)
+		st.GreedyCost = schedule.CarbonCostZones(inst, s, zs)
 	}
 	return s, nil
 }

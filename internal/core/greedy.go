@@ -8,6 +8,31 @@ import (
 	"repro/internal/schedule"
 )
 
+// newZoneBudgets builds one remaining-budget structure per grid zone
+// from that zone's profile (refined by its own subdivision points when
+// requested), accumulating the interval count into st. Shared by the
+// static and dynamic budget greedies.
+func newZoneBudgets(inst *ceg.Instance, zs *power.ZoneSet, opt Options, st *Stats) []*budgets {
+	var extra [][]int64
+	if opt.Refined {
+		extra = refinedPointsZones(inst, zs, opt.EffectiveK())
+	}
+	bs := make([]*budgets, zs.NumZones())
+	for z := range bs {
+		var pts []int64
+		if extra != nil {
+			pts = extra[z]
+		}
+		bs[z] = newBudgets(zs.Profile(z), pts)
+	}
+	if st != nil {
+		for _, b := range bs {
+			st.Intervals += b.numIntervals()
+		}
+	}
+	return bs
+}
+
 // Greedy runs the greedy phase of CaWoSched (Section 5.2): it processes the
 // tasks in score order and starts each at the beginning of the feasible
 // interval with the highest remaining green budget, falling back to the
@@ -16,21 +41,25 @@ import (
 // the processor's total power and updates all remaining start windows.
 // The context is polled every ctxCheckStride placements.
 func Greedy(ctx context.Context, inst *ceg.Instance, prof *power.Profile, opt Options, st *Stats) (*schedule.Schedule, error) {
-	T := prof.T()
+	return GreedyZones(ctx, inst, power.SingleZone(prof), opt, st)
+}
+
+// GreedyZones is the zone-aware greedy: each grid zone keeps its own
+// remaining-budget structure over its own profile, and every task
+// consults — and consumes from — the budgets of its processor's zone.
+// With a single zone it is exactly the paper's greedy (Greedy delegates
+// here).
+func GreedyZones(ctx context.Context, inst *ceg.Instance, zs *power.ZoneSet, opt Options, st *Stats) (*schedule.Schedule, error) {
+	if err := schedule.CheckZones(inst, zs); err != nil {
+		return nil, err
+	}
+	T := zs.T()
 	w, err := newWindows(inst, T)
 	if err != nil {
 		return nil, err
 	}
 	order := taskOrder(w, opt.Score)
-
-	var extra []int64
-	if opt.Refined {
-		extra = refinedPoints(inst, prof, opt.EffectiveK())
-	}
-	b := newBudgets(prof, extra)
-	if st != nil {
-		st.Intervals = b.numIntervals()
-	}
+	bs := newZoneBudgets(inst, zs, opt, st)
 
 	s := schedule.New(inst.N())
 	for i, v := range order {
@@ -39,6 +68,7 @@ func Greedy(ctx context.Context, inst *ceg.Instance, prof *power.Profile, opt Op
 				return nil, err
 			}
 		}
+		b := bs[schedule.NodeZone(inst, zs, v)]
 		start, ok := b.bestStart(w.est[v], w.lst[v])
 		if !ok {
 			start = w.est[v]
@@ -52,7 +82,7 @@ func Greedy(ctx context.Context, inst *ceg.Instance, prof *power.Profile, opt Op
 		b.consume(start, start+inst.Dur[v], idle+work)
 	}
 	if st != nil {
-		st.GreedyCost = schedule.CarbonCost(inst, s, prof)
+		st.GreedyCost = schedule.CarbonCostZones(inst, s, zs)
 	}
 	return s, nil
 }

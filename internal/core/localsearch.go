@@ -79,8 +79,21 @@ func moveWindow(inst *ceg.Instance, s *schedule.Schedule, v int, T, mu int64) (l
 // accepted move preserves feasibility) and a scherr.ErrCanceled-wrapping
 // error is returned, so cancellation takes effect well within one round.
 func LocalSearch(ctx context.Context, inst *ceg.Instance, prof *power.Profile, s *schedule.Schedule, mu int64, st *Stats) error {
-	T := prof.T()
-	tl := schedule.NewTimeline(inst, s, prof)
+	return LocalSearchZones(ctx, inst, power.SingleZone(prof), s, mu, st)
+}
+
+// LocalSearchZones is the zone-aware hill climber: one power timeline per
+// grid zone, with every task's candidate starts enumerated from — and its
+// move gain evaluated on — the timeline of its own zone (a move only
+// perturbs the draw of the zone it runs in, so the per-zone incremental
+// evaluation is exact). With a single zone it is exactly the Section 5.3
+// local search (LocalSearch delegates here).
+func LocalSearchZones(ctx context.Context, inst *ceg.Instance, zs *power.ZoneSet, s *schedule.Schedule, mu int64, st *Stats) error {
+	if err := schedule.CheckZones(inst, zs); err != nil {
+		return err
+	}
+	T := zs.T()
+	tls := schedule.NewZoneTimelines(inst, s, zs)
 	procs := powerOrder(inst)
 	scans := 0
 	for {
@@ -100,6 +113,7 @@ func LocalSearch(ctx context.Context, inst *ceg.Instance, prof *power.Profile, s
 				cur := s.Start[v]
 				lo, hi := moveWindow(inst, s, v, T, mu)
 				_, work := inst.ProcPower(v)
+				tl := tls.For(v)
 				if cand, gain, ok := tl.FirstImprovingMove(cur, lo, hi, dur, work); ok {
 					tl.ApplyMove(cur, cand, dur, work)
 					s.Start[v] = cand
@@ -114,7 +128,7 @@ func LocalSearch(ctx context.Context, inst *ceg.Instance, prof *power.Profile, s
 		if !improved {
 			return nil
 		}
-		tl.Compact()
+		tls.Compact()
 	}
 }
 

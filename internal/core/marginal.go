@@ -22,35 +22,56 @@ import (
 // exists to quantify how much the budget approximation gives away (see
 // experiments.AblationGreedies).
 func GreedyMarginal(ctx context.Context, inst *ceg.Instance, prof *power.Profile, opt Options, st *Stats) (*schedule.Schedule, error) {
-	T := prof.T()
+	return GreedyMarginalZones(ctx, inst, power.SingleZone(prof), opt, st)
+}
+
+// GreedyMarginalZones is the zone-aware marginal greedy: candidate starts
+// come from the boundaries (and refinement points) of the task's own
+// zone, and the marginal cost of a placement is probed on that zone's
+// partial timeline. With a single zone it is exactly GreedyMarginal
+// (which delegates here).
+func GreedyMarginalZones(ctx context.Context, inst *ceg.Instance, zs *power.ZoneSet, opt Options, st *Stats) (*schedule.Schedule, error) {
+	if err := schedule.CheckZones(inst, zs); err != nil {
+		return nil, err
+	}
+	T := zs.T()
 	w, err := newWindows(inst, T)
 	if err != nil {
 		return nil, err
 	}
 	order := taskOrder(w, opt.Score)
 
-	// Static candidate start set: interval boundaries (and refinement
-	// points when requested), sorted.
-	pts := make([]int64, 0, prof.J()+1)
-	for _, iv := range prof.Intervals {
-		pts = append(pts, iv.Start)
-	}
+	// Static candidate start set per zone: the zone profile's interval
+	// boundaries (and refinement points when requested), sorted.
+	var refined [][]int64
 	if opt.Refined {
-		pts = append(pts, refinedPoints(inst, prof, opt.EffectiveK())...)
-		sort.Slice(pts, func(i, j int) bool { return pts[i] < pts[j] })
-		uniq := pts[:0]
-		for i, p := range pts {
-			if i == 0 || p != uniq[len(uniq)-1] {
-				uniq = append(uniq, p)
-			}
-		}
-		pts = uniq
+		refined = refinedPointsZones(inst, zs, opt.EffectiveK())
 	}
-	if st != nil {
-		st.Intervals = len(pts)
+	ptsOf := make([][]int64, zs.NumZones())
+	for z := range ptsOf {
+		prof := zs.Profile(z)
+		pts := make([]int64, 0, prof.J()+1)
+		for _, iv := range prof.Intervals {
+			pts = append(pts, iv.Start)
+		}
+		if refined != nil {
+			pts = append(pts, refined[z]...)
+			sort.Slice(pts, func(i, j int) bool { return pts[i] < pts[j] })
+			uniq := pts[:0]
+			for i, p := range pts {
+				if i == 0 || p != uniq[len(uniq)-1] {
+					uniq = append(uniq, p)
+				}
+			}
+			pts = uniq
+		}
+		ptsOf[z] = pts
+		if st != nil {
+			st.Intervals += len(pts)
+		}
 	}
 
-	tl := schedule.NewEmptyTimeline(inst, prof)
+	tls := schedule.NewZoneTimelines(inst, nil, zs)
 	s := schedule.New(inst.N())
 	for i, v := range order {
 		if i%ctxCheckStride == 0 {
@@ -61,6 +82,8 @@ func GreedyMarginal(ctx context.Context, inst *ceg.Instance, prof *power.Profile
 		est, lst := w.est[v], w.lst[v]
 		dur := inst.Dur[v]
 		_, work := inst.ProcPower(v)
+		tl := tls.For(v)
+		pts := ptsOf[schedule.NodeZone(inst, zs, v)]
 
 		probe := func(at int64) int64 {
 			before := tl.RangeCost(at, at+dur)
@@ -91,7 +114,7 @@ func GreedyMarginal(ctx context.Context, inst *ceg.Instance, prof *power.Profile
 		tl.Add(best, best+dur, work)
 	}
 	if st != nil {
-		st.GreedyCost = schedule.CarbonCost(inst, s, prof)
+		st.GreedyCost = schedule.CarbonCostZones(inst, s, zs)
 	}
 	return s, nil
 }

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/ceg"
 	"repro/internal/power"
+	"repro/internal/schedule"
 )
 
 // refinedPoints computes the refined interval subdivision of Section 5.2:
@@ -17,12 +18,25 @@ import (
 // The returned slice is sorted, deduplicated, and restricted to (0, T);
 // the original boundaries are implicitly present in the budget structure.
 func refinedPoints(inst *ceg.Instance, prof *power.Profile, k int) []int64 {
+	return refinedPointsZones(inst, power.SingleZone(prof), k)[0]
+}
+
+// refinedPointsZones computes the refined subdivision per grid zone: a
+// processor's blocks are aligned to the interval boundaries of *its*
+// zone's profile (the only boundaries its tasks' costs can pivot on), and
+// the implied points subdivide that zone's budget structure. The result
+// has one sorted, deduplicated point list per zone; with a single zone it
+// is exactly refinedPoints.
+func refinedPointsZones(inst *ceg.Instance, zs *power.ZoneSet, k int) [][]int64 {
 	if k < 1 {
 		k = 1
 	}
-	T := prof.T()
-	bounds := prof.Boundaries()
-	var pts []int64
+	T := zs.T()
+	out := make([][]int64, zs.NumZones())
+	boundsOf := make([][]int64, zs.NumZones())
+	for z := range boundsOf {
+		boundsOf[z] = zs.Profile(z).Boundaries()
+	}
 
 	// procs in deterministic order.
 	procIDs := make([]int, 0, len(inst.Order))
@@ -33,6 +47,12 @@ func refinedPoints(inst *ceg.Instance, prof *power.Profile, k int) []int64 {
 
 	for _, p := range procIDs {
 		tasks := inst.Order[p]
+		if len(tasks) == 0 {
+			continue
+		}
+		z := schedule.NodeZone(inst, zs, tasks[0]) // all of p's tasks share its zone
+		bounds := boundsOf[z]
+		pts := out[z]
 		m := len(tasks)
 		for i := 0; i < m; i++ {
 			// prefix[j] = total duration of tasks[i..i+j-1].
@@ -66,13 +86,17 @@ func refinedPoints(inst *ceg.Instance, prof *power.Profile, k int) []int64 {
 				prefix = blockDur
 			}
 		}
+		out[z] = pts
 	}
-	sort.Slice(pts, func(i, j int) bool { return pts[i] < pts[j] })
-	uniq := pts[:0]
-	for i, p := range pts {
-		if i == 0 || p != uniq[len(uniq)-1] {
-			uniq = append(uniq, p)
+	for z, pts := range out {
+		sort.Slice(pts, func(i, j int) bool { return pts[i] < pts[j] })
+		uniq := pts[:0]
+		for i, p := range pts {
+			if i == 0 || p != uniq[len(uniq)-1] {
+				uniq = append(uniq, p)
+			}
 		}
+		out[z] = uniq
 	}
-	return uniq
+	return out
 }

@@ -1,0 +1,251 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/ceg"
+	"repro/internal/dag"
+	"repro/internal/exact"
+	"repro/internal/heft"
+	"repro/internal/platform"
+	"repro/internal/power"
+	"repro/internal/rng"
+	"repro/internal/schedule"
+	"repro/internal/wfgen"
+)
+
+// ghostZonedInstance builds an instance on a 2-zone cluster whose zone 1
+// holds a single zero-idle processor no task is mapped to, so every node
+// is evaluated in zone 0. Against a 2-zone set whose zone 0 carries the
+// legacy profile, every zone-aware algorithm must reproduce the legacy
+// single-profile run exactly (the equivalence pin of the zone refactor).
+func ghostZonedInstance(tb testing.TB, fam wfgen.Family, n int, seed uint64, factor float64, sc power.Scenario) (*ceg.Instance, *power.Profile, *power.ZoneSet) {
+	tb.Helper()
+	types := []platform.ProcType{
+		{Name: "PT1", Speed: 4, Idle: 40, Work: 10},
+		{Name: "PT3", Speed: 8, Idle: 80, Work: 40},
+		{Name: "PT6", Speed: 32, Idle: 200, Work: 100},
+		{Name: "ghost", Speed: 1, Idle: 0, Work: 1},
+	}
+	cluster := platform.NewZoned(types, []int{4, 4, 4, 1},
+		[]int{0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1}, seed)
+	d, err := wfgen.Generate(fam, n, seed)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	h, err := heft.Schedule(d, cluster)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for v, p := range h.Proc {
+		if p == 12 {
+			tb.Fatalf("HEFT mapped task %d to the ghost processor", v)
+		}
+	}
+	inst, err := ceg.Build(d, ceg.FromHEFT(h.Proc, h.Order, h.Finish), cluster)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	D := ASAPMakespan(inst)
+	T := int64(float64(D) * factor)
+	if T < D {
+		T = D
+	}
+	gmin, gmax := power.PlatformBounds(inst.TotalIdlePower(), cluster.ComputeWork())
+	prof, err := power.Generate(sc, T, 24, gmin, gmax, rng.New(seed))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	empty, err := power.Generate(power.S2, T, 16, 3, 30, rng.New(seed+1))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	zs, err := power.NewZoneSet(
+		power.Zone{Name: "main", Profile: prof},
+		power.Zone{Name: "empty", Profile: empty},
+	)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return inst, prof, zs
+}
+
+// TestRunZonesGhostZoneMatchesLegacy pins that a multi-zone run with all
+// processors (and hence all nodes) in one zone produces schedule-identical
+// results to the legacy single-profile path, across every variant family.
+func TestRunZonesGhostZoneMatchesLegacy(t *testing.T) {
+	ctx := context.Background()
+	for seed := uint64(1); seed <= 3; seed++ {
+		fam := wfgen.Families()[int(seed)%4]
+		inst, prof, zs := ghostZonedInstance(t, fam, 40, seed, 2, power.Scenarios()[int(seed)%4])
+		for _, opt := range AllVariants() {
+			legacy, lst, err := Run(ctx, inst, prof, opt)
+			if err != nil {
+				t.Fatalf("%s: %v", opt.Name(), err)
+			}
+			zoned, zst, err := RunZones(ctx, inst, zs, opt)
+			if err != nil {
+				t.Fatalf("%s zoned: %v", opt.Name(), err)
+			}
+			for v := range legacy.Start {
+				if legacy.Start[v] != zoned.Start[v] {
+					t.Fatalf("seed %d %s: node %d starts differ: %d vs %d",
+						seed, opt.Name(), v, legacy.Start[v], zoned.Start[v])
+				}
+			}
+			if lst.Cost != zst.Cost || lst.GreedyCost != zst.GreedyCost ||
+				lst.LSMoves != zst.LSMoves || lst.FallbackStarts != zst.FallbackStarts {
+				t.Fatalf("seed %d %s: stats differ: %+v vs %+v", seed, opt.Name(), lst, zst)
+			}
+			// The per-zone brute oracle agrees with both evaluations.
+			if brute := schedule.CarbonCostBruteZones(inst, zoned, zs); brute != zst.Cost {
+				t.Fatalf("seed %d %s: brute %d != cost %d", seed, opt.Name(), brute, zst.Cost)
+			}
+		}
+		// Marginal greedy and annealer too.
+		mLegacy, _, err := RunMarginal(ctx, inst, prof, Options{Score: ScorePressure})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mZoned, _, err := RunMarginalZones(ctx, inst, zs, Options{Score: ScorePressure})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range mLegacy.Start {
+			if mLegacy.Start[v] != mZoned.Start[v] {
+				t.Fatalf("seed %d marginal: node %d starts differ", seed, v)
+			}
+		}
+		sa := ASAP(inst)
+		sb := sa.Clone()
+		ca, err := Anneal(ctx, inst, prof, sa, AnnealOptions{Iterations: 2000, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cb, err := AnnealZones(ctx, inst, zs, sb, AnnealOptions{Iterations: 2000, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ca != cb {
+			t.Fatalf("seed %d: anneal costs differ: %d vs %d", seed, ca, cb)
+		}
+		for v := range sa.Start {
+			if sa.Start[v] != sb.Start[v] {
+				t.Fatalf("seed %d anneal: node %d starts differ", seed, v)
+			}
+		}
+	}
+}
+
+// TestRunZonesRejectsMismatchedZoneCount: a multi-zone set against a
+// cluster with a different zone count is a configuration error, not a
+// silent misevaluation.
+func TestRunZonesRejectsMismatchedZoneCount(t *testing.T) {
+	inst, prof := testInstance(t, wfgen.Bacass, 30, 1, power.S1, 2)
+	zs, err := power.NewZoneSet(
+		power.Zone{Name: "a", Profile: prof},
+		power.Zone{Name: "b", Profile: prof.Clone()},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := RunZones(context.Background(), inst, zs, Options{}); err == nil {
+		t.Error("RunZones accepted a 2-zone set on a 1-zone cluster")
+	}
+	if _, _, err := RunMarginalZones(context.Background(), inst, zs, Options{}); err == nil {
+		t.Error("RunMarginalZones accepted a 2-zone set on a 1-zone cluster")
+	}
+	if _, _, err := exact.SolveZones(context.Background(), inst, zs, exact.Options{}); err == nil {
+		t.Error("exact.SolveZones accepted a 2-zone set on a 1-zone cluster")
+	}
+}
+
+// antiCorrelatedPair builds a 2-processor, 2-zone instance with two
+// independent equal tasks, one per zone, and opposite green windows:
+// zone "early" is green in the first half of the horizon, zone "late" in
+// the second.
+func antiCorrelatedPair(tb testing.TB) (*ceg.Instance, *power.ZoneSet) {
+	tb.Helper()
+	types := []platform.ProcType{{Name: "A", Speed: 1, Idle: 1, Work: 10}}
+	cluster := platform.NewZoned(types, []int{2}, []int{0, 1}, 1)
+	d := dag.New(2)
+	d.SetWeight(0, 4)
+	d.SetWeight(1, 4)
+	m := &ceg.Mapping{Proc: []int{0, 1}, Order: [][]int{{0}, {1}}, Finish: []int64{4, 4}}
+	inst, err := ceg.Build(d, m, cluster)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	mk := func(b0, b1 int64) *power.Profile {
+		p, err := power.NewProfile([]int64{10, 10}, []int64{b0, b1})
+		if err != nil {
+			tb.Fatal(err)
+		}
+		return p
+	}
+	zs, err := power.NewZoneSet(
+		power.Zone{Name: "early", Profile: mk(20, 1)},
+		power.Zone{Name: "late", Profile: mk(1, 20)},
+	)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return inst, zs
+}
+
+// TestZoneAwareSearchShiftsPerZone: under anti-correlated zone supply the
+// zone-aware evaluation places each task into its own zone's green
+// window — the whole point of the refactor; a cluster-wide profile could
+// never separate them.
+func TestZoneAwareSearchShiftsPerZone(t *testing.T) {
+	ctx := context.Background()
+	inst, zs := antiCorrelatedPair(t)
+
+	// Exact optimum: task 0 (zone early) inside [0, 10), task 1 (zone
+	// late) inside [10, 20), each fully covered by its green budget.
+	s, cost, err := exact.SolveZones(ctx, inst, zs, exact.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 0 {
+		t.Fatalf("optimal zoned cost %d, want 0", cost)
+	}
+	if !(s.Start[0]+inst.Dur[0] <= 10 && s.Start[1] >= 10) {
+		t.Errorf("optimal starts %v do not respect the zones' green windows", s.Start)
+	}
+
+	// The hill climber finds the same split from the ASAP start (both
+	// tasks at 0) — moving the late-zone task right, keeping the early
+	// one, i.e. different directions per zone.
+	ls := ASAP(inst)
+	if err := LocalSearchZones(ctx, inst, zs, ls, 20, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := schedule.CarbonCostZones(inst, ls, zs); got != 0 {
+		t.Errorf("local search cost %d, want 0 (starts %v)", got, ls.Start)
+	}
+	if !(ls.Start[0]+inst.Dur[0] <= 10 && ls.Start[1] >= 10) {
+		t.Errorf("local search starts %v not zone-separated", ls.Start)
+	}
+
+	// Under a swapped zone set the same search separates them the other
+	// way around.
+	swapped, err := power.NewZoneSet(
+		power.Zone{Name: "early", Profile: zs.Profile(1).Clone()},
+		power.Zone{Name: "late", Profile: zs.Profile(0).Clone()},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsw := ASAP(inst)
+	if err := LocalSearchZones(ctx, inst, swapped, lsw, 20, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := schedule.CarbonCostZones(inst, lsw, swapped); got != 0 {
+		t.Errorf("swapped local search cost %d, want 0", got)
+	}
+	if !(lsw.Start[0] >= 10 && lsw.Start[1]+inst.Dur[1] <= 10) {
+		t.Errorf("swapped starts %v not separated the other way", lsw.Start)
+	}
+}

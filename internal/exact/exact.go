@@ -52,7 +52,21 @@ const ctxCheckStride = 4096
 // the incumbent found so far (if any) is returned alongside the
 // scherr.ErrCanceled-wrapping error as an upper bound.
 func Solve(ctx context.Context, inst *ceg.Instance, prof *power.Profile, opt Options) (*schedule.Schedule, int64, error) {
-	T := prof.T()
+	return SolveZones(ctx, inst, power.SingleZone(prof), opt)
+}
+
+// SolveZones is Solve against per-zone green power: each task's marginal
+// placement cost is probed on the partial timeline of its own grid zone,
+// and the minimized objective is the summed carbon cost over zones. The
+// pruning argument is unchanged — the objective stays monotone in added
+// work power zone by zone, so the idle-only floor still lower-bounds
+// every completion. A single-zone set reproduces Solve exactly (Solve
+// delegates here).
+func SolveZones(ctx context.Context, inst *ceg.Instance, zs *power.ZoneSet, opt Options) (*schedule.Schedule, int64, error) {
+	if err := schedule.CheckZones(inst, zs); err != nil {
+		return nil, 0, err
+	}
+	T := zs.T()
 	N := inst.N()
 	maxNodes := opt.MaxNodes
 	if maxNodes <= 0 {
@@ -89,13 +103,13 @@ func Solve(ctx context.Context, inst *ceg.Instance, prof *power.Profile, opt Opt
 			return nil, 0, fmt.Errorf("exact: bad incumbent: %w", err)
 		}
 		copy(best.Start, opt.Incumbent.Start)
-		bestCost = schedule.CarbonCost(inst, opt.Incumbent, prof)
+		bestCost = schedule.CarbonCostZones(inst, opt.Incumbent, zs)
 	}
 
-	// Timeline holding only the scheduled prefix; floor is the idle-only
-	// cost, which every completion pays at least.
-	tl := schedule.NewEmptyTimeline(inst, prof)
-	floor := tl.TotalCost()
+	// Per-zone timelines holding only the scheduled prefix; floor is the
+	// idle-only cost, which every completion pays at least.
+	tls := schedule.NewZoneTimelines(inst, nil, zs)
+	floor := tls.TotalCost()
 
 	work := make([]int64, N)
 	for v := 0; v < N; v++ {
@@ -176,6 +190,7 @@ func Solve(ctx context.Context, inst *ceg.Instance, prof *power.Profile, opt Opt
 			delta int64
 		}
 		cands := make([]cand, 0, lst[v]-est+1)
+		tl := tls.For(v) // placing v only perturbs its zone's draw
 		for st := est; st <= lst[v]; st++ {
 			before := tl.RangeCost(st, st+inst.Dur[v])
 			tl.Add(st, st+inst.Dur[v], work[v])

@@ -48,6 +48,13 @@ type Spec struct {
 	Scenario       power.Scenario
 	DeadlineFactor float64
 	Seed           uint64
+	// Zones ≥ 2 selects the multi-zone scenario family: the cluster is
+	// split round-robin into that many grid zones, each generating its
+	// own profile with the scenario shape rotated per zone (zone z runs
+	// the scenario Zones positions after Scenario, so adjacent zones are
+	// anti-correlated: S1's midday peak against S2's midday trough).
+	// 0 or 1 is the paper's single-zone setting.
+	Zones int
 }
 
 // Tasks returns the actual vertex count of the workflow.
@@ -67,7 +74,13 @@ func (s Spec) WorkflowName() string {
 }
 
 func (s Spec) String() string {
-	return fmt.Sprintf("%s/%s/%s/x%.1f", s.WorkflowName(), s.Cluster, s.Scenario, s.DeadlineFactor)
+	base := fmt.Sprintf("%s/%s/%s/x%.1f", s.WorkflowName(), s.Cluster, s.Scenario, s.DeadlineFactor)
+	if s.Zones >= 2 {
+		// The suffix is part of the sweep job key; single-zone specs keep
+		// the legacy spelling so old JSONL streams resume cleanly.
+		base += fmt.Sprintf("/z%d", s.Zones)
+	}
+	return base
 }
 
 // SizeClass buckets workflows like Figure 16: small (≤ 4,000 tasks),
@@ -88,6 +101,11 @@ func (s Spec) SizeClass() string {
 type Instance struct {
 	Spec Spec
 	Inst *ceg.Instance
+	// Zones is the per-zone green supply every algorithm runs against
+	// (always set; the single-zone corpus wraps Prof).
+	Zones *power.ZoneSet
+	// Prof is the cluster-wide profile of single-zone specs (zone 0 of
+	// Zones); nil for the multi-zone family.
 	Prof *power.Profile
 	D    int64 // ASAP makespan (the tightest deadline)
 }
@@ -118,30 +136,61 @@ func materialize(s Spec) (*dag.DAG, *platform.Cluster, error) {
 	if err != nil {
 		return nil, nil, fmt.Errorf("experiments: %s: %w", s, err)
 	}
+	zones := s.Zones
+	if zones < 1 {
+		zones = 1
+	}
 	var cluster *platform.Cluster
 	if s.Cluster == Large {
-		cluster = platform.Large(s.Seed)
+		cluster = platform.LargeZoned(s.Seed, zones)
 	} else {
-		cluster = platform.Small(s.Seed)
+		cluster = platform.SmallZoned(s.Seed, zones)
 	}
 	return d, cluster, nil
 }
 
-// finishInstance derives the deadline and power profile for a mapped
-// instance (the part of BuildInstance independent of the mapping policy).
+// finishInstance derives the deadline and per-zone power supply for a
+// mapped instance (the part of BuildInstance independent of the mapping
+// policy).
 func finishInstance(s Spec, inst *ceg.Instance) (*Instance, error) {
 	D := core.ASAPMakespan(inst)
 	T := int64(float64(D)*s.DeadlineFactor + 0.5)
 	if T < D {
 		T = D
 	}
-	gmin, gmax := power.PlatformBounds(inst.TotalIdlePower(), inst.Cluster.ComputeWork())
 	profSeed := rng.Mix(s.Seed, uint64(s.Scenario)<<32|uint64(uint32(T)))
+	if s.Zones >= 2 {
+		// Multi-zone scenario family: one profile per zone, scenario
+		// shape rotated per zone within the zone's own corridor.
+		scenarios := power.Scenarios()
+		base := 0
+		for i, sc := range scenarios {
+			if sc == s.Scenario {
+				base = i
+			}
+		}
+		specs := make([]power.ZoneSpec, s.Zones)
+		for z := 0; z < s.Zones; z++ {
+			gmin, gmax := power.PlatformBounds(inst.ZoneIdlePower(z), inst.Cluster.ZoneComputeWork(z))
+			specs[z] = power.ZoneSpec{
+				Name:     fmt.Sprintf("z%d", z),
+				Scenario: scenarios[(base+z)%len(scenarios)],
+				Gmin:     gmin,
+				Gmax:     gmax,
+			}
+		}
+		zs, err := power.GenerateZones(specs, T, ProfileIntervals, profSeed)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: zones: %w", s, err)
+		}
+		return &Instance{Spec: s, Inst: inst, Zones: zs, D: D}, nil
+	}
+	gmin, gmax := power.PlatformBounds(inst.TotalIdlePower(), inst.Cluster.ComputeWork())
 	prof, err := power.Generate(s.Scenario, T, ProfileIntervals, gmin, gmax, rng.New(profSeed))
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s: profile: %w", s, err)
 	}
-	return &Instance{Spec: s, Inst: inst, Prof: prof, D: D}, nil
+	return &Instance{Spec: s, Inst: inst, Zones: power.SingleZone(prof), Prof: prof, D: D}, nil
 }
 
 // Corpus builds the full experiment grid. Workflow sizes above maxTasks
@@ -176,6 +225,22 @@ func Corpus(maxTasks int, seed uint64) []Spec {
 				}
 			}
 		}
+	}
+	return specs
+}
+
+// MultiZoneCorpus is the geo-distributed extension of the grid: the same
+// workflow × cluster × scenario × deadline cells, with every cluster
+// split round-robin into the given number of grid zones and one
+// rotated-scenario profile per zone (see Spec.Zones). zones < 2 returns
+// the classic single-zone corpus.
+func MultiZoneCorpus(maxTasks int, seed uint64, zones int) []Spec {
+	specs := Corpus(maxTasks, seed)
+	if zones < 2 {
+		return specs
+	}
+	for i := range specs {
+		specs[i].Zones = zones
 	}
 	return specs
 }

@@ -22,6 +22,7 @@ type resultRecord struct {
 	Scenario       string  `json:"scenario"`
 	DeadlineFactor float64 `json:"deadline_factor"`
 	Seed           uint64  `json:"seed"`
+	Zones          int     `json:"zones,omitempty"` // ≥ 2: multi-zone family; absent in legacy records
 	Algo           string  `json:"algo"`
 	Cost           int64   `json:"cost"`
 	ElapsedMicros  int64   `json:"elapsed_us"`
@@ -29,6 +30,10 @@ type resultRecord struct {
 
 // recordOf flattens a Result into its wire form.
 func recordOf(r Result) resultRecord {
+	zones := r.Spec.Zones
+	if zones < 2 {
+		zones = 0 // single-zone specs serialize like pre-zone records
+	}
 	return resultRecord{
 		Family:         r.Spec.Family.String(),
 		N:              r.Spec.N,
@@ -36,6 +41,7 @@ func recordOf(r Result) resultRecord {
 		Scenario:       r.Spec.Scenario.String(),
 		DeadlineFactor: r.Spec.DeadlineFactor,
 		Seed:           r.Spec.Seed,
+		Zones:          zones,
 		Algo:           r.Algo,
 		Cost:           r.Cost,
 		ElapsedMicros:  r.Elapsed.Microseconds(),
@@ -66,6 +72,9 @@ func resultOf(rec resultRecord) (Result, error) {
 	if rec.Cost < 0 {
 		return Result{}, fmt.Errorf("negative cost")
 	}
+	if rec.Zones < 0 || rec.Zones == 1 {
+		return Result{}, fmt.Errorf("bad zone count %d", rec.Zones)
+	}
 	return Result{
 		Spec: Spec{
 			Family:         fam,
@@ -74,6 +83,7 @@ func resultOf(rec resultRecord) (Result, error) {
 			Scenario:       sc,
 			DeadlineFactor: rec.DeadlineFactor,
 			Seed:           rec.Seed,
+			Zones:          rec.Zones,
 		},
 		Algo:    rec.Algo,
 		Cost:    rec.Cost,

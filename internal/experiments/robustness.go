@@ -32,6 +32,9 @@ func RobustnessRuntime(ctx context.Context, specs []Spec, noiseLevels []float64,
 			if err != nil {
 				return nil, err
 			}
+			if in.Prof == nil {
+				return nil, fmt.Errorf("experiments: robustness on %s: multi-zone specs are not supported (the replay simulator is single-zone)", spec)
+			}
 			plan, st, err := core.Run(ctx, in.Inst, in.Prof, opt)
 			if err != nil {
 				return nil, fmt.Errorf("experiments: robustness on %s: %w", spec, err)
@@ -89,6 +92,9 @@ func RobustnessForecast(ctx context.Context, specs []Spec, errorLevels []float64
 			in, err := BuildInstance(spec)
 			if err != nil {
 				return nil, err
+			}
+			if in.Prof == nil {
+				return nil, fmt.Errorf("experiments: robustness on %s: multi-zone specs are not supported (the replay simulator is single-zone)", spec)
 			}
 			fe := sim.ForecastError{Base: base, Growth: base, Seed: spec.Seed}
 			forecast := fe.Forecast(in.Prof)

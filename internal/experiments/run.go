@@ -66,7 +66,7 @@ func fromRegistry(name string) Algorithm {
 	return Algorithm{
 		Name: name,
 		Run: func(ctx context.Context, in *Instance) (*schedule.Schedule, error) {
-			s, _, err := core.Run(ctx, in.Inst, in.Prof, opt)
+			s, _, err := core.RunZones(ctx, in.Inst, in.Zones, opt)
 			return s, err
 		},
 	}
@@ -149,13 +149,13 @@ func runOne(ctx context.Context, spec Spec, algos []Algorithm) ([]Result, error)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s on %s: %w", a.Name, spec, err)
 		}
-		if err := schedule.Validate(in.Inst, s, in.Prof.T()); err != nil {
+		if err := schedule.Validate(in.Inst, s, in.Zones.T()); err != nil {
 			return nil, fmt.Errorf("experiments: %s on %s produced invalid schedule: %w", a.Name, spec, err)
 		}
 		rs = append(rs, Result{
 			Spec:    spec,
 			Algo:    a.Name,
-			Cost:    schedule.CarbonCost(in.Inst, s, in.Prof),
+			Cost:    schedule.CarbonCostZones(in.Inst, s, in.Zones),
 			Elapsed: elapsed,
 		})
 	}

@@ -54,12 +54,20 @@ func ReplicateSeed(base uint64, r int) uint64 {
 // spec-major so consecutive jobs share one instance build. maxTasks caps
 // the workflow sizes exactly like Corpus.
 func Grid(maxTasks int, baseSeed uint64, replicates int, algos []string) []Job {
+	return MultiZoneGrid(maxTasks, baseSeed, replicates, 1, algos)
+}
+
+// MultiZoneGrid is Grid over the multi-zone scenario family: every cell
+// runs on a cluster split into the given number of grid zones with
+// rotated per-zone scenarios (see Spec.Zones). zones < 2 is exactly the
+// classic single-zone Grid, whose job keys it preserves.
+func MultiZoneGrid(maxTasks int, baseSeed uint64, replicates, zones int, algos []string) []Job {
 	if replicates < 1 {
 		replicates = 1
 	}
 	var jobs []Job
 	for r := 0; r < replicates; r++ {
-		for _, spec := range Corpus(maxTasks, ReplicateSeed(baseSeed, r)) {
+		for _, spec := range MultiZoneCorpus(maxTasks, ReplicateSeed(baseSeed, r), zones) {
 			for _, a := range algos {
 				jobs = append(jobs, Job{Spec: spec, Algo: a})
 			}
@@ -297,8 +305,8 @@ func runJobDirect(ctx context.Context, in *Instance, a Algorithm) (cost int64, e
 	if err != nil {
 		return 0, elapsed, err.Error(), errors.Is(err, scherr.ErrCanceled) || errors.Is(err, ctx.Err())
 	}
-	if err := schedule.Validate(in.Inst, s, in.Prof.T()); err != nil {
+	if err := schedule.Validate(in.Inst, s, in.Zones.T()); err != nil {
 		return 0, elapsed, fmt.Sprintf("invalid schedule: %v", err), false
 	}
-	return schedule.CarbonCost(in.Inst, s, in.Prof), elapsed, "", false
+	return schedule.CarbonCostZones(in.Inst, s, in.Zones), elapsed, "", false
 }

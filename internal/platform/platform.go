@@ -45,6 +45,12 @@ type Processor struct {
 	IsLnk bool
 	// For link processors, Src and Dst identify the directed link.
 	Src, Dst int
+	// Zone is the grid zone supplying the processor's power (an index
+	// into the power.ZoneSet the cluster is evaluated against). All
+	// processors share zone 0 unless the cluster was built with NewZoned.
+	// A link processor inherits the zone of its source processor (the
+	// data leaves the source's grid).
+	Zone int
 }
 
 // IsLink reports whether the processor is a communication link.
@@ -61,6 +67,7 @@ func (p *Processor) IsLink() bool { return p.IsLnk }
 type Cluster struct {
 	procs    atomic.Pointer[[]Processor] // copy-on-write snapshot
 	nCompute int
+	numZones int
 	mu       sync.Mutex     // guards links and snapshot replacement
 	links    map[[2]int]int // (src, dst) → processor id
 	linkSeed uint64         // deterministic link power derivation
@@ -69,11 +76,25 @@ type Cluster struct {
 // New creates a cluster with the given processor type counts. counts[i]
 // nodes of types[i] are created, in order, so processor ids are stable.
 // linkSeed parameterizes the deterministic pseudo-random power of links.
+// All processors live in one grid zone (the paper's setting); use
+// NewZoned for geo-distributed clusters.
 func New(types []ProcType, counts []int, linkSeed uint64) *Cluster {
+	return NewZoned(types, counts, nil, linkSeed)
+}
+
+// NewZoned creates a cluster like New with an explicit grid-zone
+// assignment: zones[i] is the zone id of compute processor i (ids must be
+// 0..K−1 with every zone hosting at least one processor, so zone indices
+// line up with a power.ZoneSet of the same size). A nil zones slice puts
+// every processor in zone 0 — byte-for-byte the New behavior.
+//
+// The assignment is fixed at construction: instances memoize per-zone
+// idle floors, so a mutable assignment would silently desynchronize them.
+func NewZoned(types []ProcType, counts []int, zones []int, linkSeed uint64) *Cluster {
 	if len(types) != len(counts) {
 		panic("platform: types and counts length mismatch")
 	}
-	c := &Cluster{links: map[[2]int]int{}, linkSeed: linkSeed}
+	c := &Cluster{links: map[[2]int]int{}, linkSeed: linkSeed, numZones: 1}
 	var procs []Processor
 	id := 0
 	for i, pt := range types {
@@ -86,8 +107,52 @@ func New(types []ProcType, counts []int, linkSeed uint64) *Cluster {
 		}
 	}
 	c.nCompute = id
+	if zones != nil {
+		if len(zones) != id {
+			panic(fmt.Sprintf("platform: %d zone assignments for %d compute processors", len(zones), id))
+		}
+		maxZone := 0
+		for i, z := range zones {
+			if z < 0 {
+				panic(fmt.Sprintf("platform: processor %d has negative zone %d", i, z))
+			}
+			procs[i].Zone = z
+			if z > maxZone {
+				maxZone = z
+			}
+		}
+		c.numZones = maxZone + 1
+		seen := make([]bool, c.numZones)
+		for _, z := range zones {
+			seen[z] = true
+		}
+		for z, ok := range seen {
+			if !ok {
+				panic(fmt.Sprintf("platform: zone %d has no processors (ids must be contiguous)", z))
+			}
+		}
+	}
 	c.procs.Store(&procs)
 	return c
+}
+
+// RoundRobinZones returns the zone assignment that deals P compute
+// processors into k zones round-robin (processor i → zone i mod k). For
+// the paper clusters — which list processors type-major — this keeps
+// every zone heterogeneous, so each zone retains the full speed/power
+// spectrum. It is the default layout behind the CLIs' -zones flag.
+func RoundRobinZones(P, k int) []int {
+	if k < 1 {
+		k = 1
+	}
+	if k > P {
+		k = P
+	}
+	zones := make([]int, P)
+	for i := range zones {
+		zones[i] = i % k
+	}
+	return zones
 }
 
 // snapshot returns the current immutable processor list.
@@ -105,8 +170,30 @@ func Large(linkSeed uint64) *Cluster {
 	return New(Table1(), []int{24, 24, 24, 24, 24, 24}, linkSeed)
 }
 
+// SmallZoned returns the paper's small cluster split round-robin into the
+// given number of grid zones (zones ≤ 1 is identical to Small).
+func SmallZoned(linkSeed uint64, zones int) *Cluster {
+	counts := []int{12, 12, 12, 12, 12, 12}
+	return NewZoned(Table1(), counts, RoundRobinZones(72, zones), linkSeed)
+}
+
+// LargeZoned returns the paper's large cluster split round-robin into the
+// given number of grid zones.
+func LargeZoned(linkSeed uint64, zones int) *Cluster {
+	counts := []int{24, 24, 24, 24, 24, 24}
+	return NewZoned(Table1(), counts, RoundRobinZones(144, zones), linkSeed)
+}
+
 // NumCompute returns the number of compute processors P.
 func (c *Cluster) NumCompute() int { return c.nCompute }
+
+// NumZones returns the number of grid zones (1 unless built with
+// NewZoned).
+func (c *Cluster) NumZones() int { return c.numZones }
+
+// ZoneOf returns the grid zone of the processor with the given id
+// (compute or materialized link).
+func (c *Cluster) ZoneOf(id int) int { return c.snapshot()[id].Zone }
 
 // LinkSeed returns the seed that parameterizes the deterministic
 // pseudo-random power of link processors. Together with the compute
@@ -156,6 +243,7 @@ func (c *Cluster) Link(src, dst int) int {
 		IsLnk: true,
 		Src:   src,
 		Dst:   dst,
+		Zone:  old[src].Zone, // the transfer draws power in the source's grid
 	}
 	c.procs.Store(&procs)
 	c.links[key] = id
@@ -209,6 +297,33 @@ func (c *Cluster) ComputeWork() int64 {
 	var sum int64
 	for i := 0; i < c.nCompute; i++ {
 		sum += procs[i].Type.Work
+	}
+	return sum
+}
+
+// ZoneComputeIdle returns the summed idle power of the compute processors
+// in zone z. Summed over all zones it equals ComputeIdle.
+func (c *Cluster) ZoneComputeIdle(z int) int64 {
+	procs := c.snapshot()
+	var sum int64
+	for i := 0; i < c.nCompute; i++ {
+		if procs[i].Zone == z {
+			sum += procs[i].Type.Idle
+		}
+	}
+	return sum
+}
+
+// ZoneComputeWork returns the summed work power of the compute processors
+// in zone z. Together with ZoneComputeIdle it spans the per-zone
+// green-power corridor (the zone analogue of power.PlatformBounds).
+func (c *Cluster) ZoneComputeWork(z int) int64 {
+	procs := c.snapshot()
+	var sum int64
+	for i := 0; i < c.nCompute; i++ {
+		if procs[i].Zone == z {
+			sum += procs[i].Type.Work
+		}
 	}
 	return sum
 }

@@ -1,0 +1,95 @@
+package platform
+
+import "testing"
+
+func TestNewZonedDefaultsToOneZone(t *testing.T) {
+	c := Small(7)
+	if c.NumZones() != 1 {
+		t.Fatalf("NumZones = %d, want 1", c.NumZones())
+	}
+	for i := 0; i < c.NumCompute(); i++ {
+		if c.ZoneOf(i) != 0 {
+			t.Fatalf("proc %d in zone %d", i, c.ZoneOf(i))
+		}
+	}
+	// Zone aggregates of the single zone equal the global aggregates.
+	if c.ZoneComputeIdle(0) != c.ComputeIdle() || c.ZoneComputeWork(0) != c.ComputeWork() {
+		t.Error("single-zone aggregates differ from global ones")
+	}
+}
+
+func TestRoundRobinZones(t *testing.T) {
+	zones := RoundRobinZones(7, 3)
+	want := []int{0, 1, 2, 0, 1, 2, 0}
+	for i, z := range zones {
+		if z != want[i] {
+			t.Fatalf("zones = %v, want %v", zones, want)
+		}
+	}
+	if got := RoundRobinZones(3, 0); got[0] != 0 || got[1] != 0 || got[2] != 0 {
+		t.Errorf("k=0 should collapse to one zone, got %v", got)
+	}
+	if got := RoundRobinZones(2, 5); got[0] != 0 || got[1] != 1 {
+		t.Errorf("k>P should clamp to P zones, got %v", got)
+	}
+}
+
+func TestZonedClusterAggregatesConserve(t *testing.T) {
+	c := SmallZoned(42, 3)
+	if c.NumZones() != 3 {
+		t.Fatalf("NumZones = %d, want 3", c.NumZones())
+	}
+	var idle, work int64
+	for z := 0; z < c.NumZones(); z++ {
+		idle += c.ZoneComputeIdle(z)
+		work += c.ZoneComputeWork(z)
+	}
+	if idle != c.ComputeIdle() || work != c.ComputeWork() {
+		t.Errorf("zone sums (%d, %d) != global (%d, %d)", idle, work, c.ComputeIdle(), c.ComputeWork())
+	}
+	// Round-robin over a type-major listing keeps zones heterogeneous:
+	// every zone sees every Table 1 type.
+	for z := 0; z < 3; z++ {
+		types := map[string]bool{}
+		for i := 0; i < c.NumCompute(); i++ {
+			if c.ZoneOf(i) == z {
+				types[c.Proc(i).Type.Name] = true
+			}
+		}
+		if len(types) != 6 {
+			t.Errorf("zone %d has %d processor types, want 6", z, len(types))
+		}
+	}
+}
+
+func TestLinkInheritsSourceZone(t *testing.T) {
+	c := SmallZoned(42, 2)
+	src, dst := 1, 2 // zones 1 and 0 under round-robin
+	if c.ZoneOf(src) != 1 || c.ZoneOf(dst) != 0 {
+		t.Fatalf("unexpected zones %d, %d", c.ZoneOf(src), c.ZoneOf(dst))
+	}
+	l := c.Link(src, dst)
+	if got := c.ZoneOf(l); got != 1 {
+		t.Errorf("link zone %d, want source zone 1", got)
+	}
+	back := c.Link(dst, src)
+	if got := c.ZoneOf(back); got != 0 {
+		t.Errorf("reverse link zone %d, want source zone 0", got)
+	}
+}
+
+func TestNewZonedRejectsBadAssignments(t *testing.T) {
+	types := Table1()[:1]
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("length mismatch", func() { NewZoned(types, []int{3}, []int{0, 1}, 1) })
+	mustPanic("negative zone", func() { NewZoned(types, []int{2}, []int{0, -1}, 1) })
+	mustPanic("gap in zone ids", func() { NewZoned(types, []int{2}, []int{0, 2}, 1) })
+}

@@ -1,0 +1,132 @@
+package power
+
+import "testing"
+
+// Regression tests for the Clip / FromIntensity edge cases surfaced by
+// per-zone traces with different native horizons (zero-length trailing
+// intervals, duplicate or unsorted samples).
+
+func TestClipSkipsZeroLengthTrailingInterval(t *testing.T) {
+	// A hand-built profile with a zero-length trailing interval (as a
+	// buggy trace converter might produce). Extending it used to copy the
+	// empty interval into the output, yielding an invalid profile.
+	p := &Profile{Intervals: []Interval{
+		{Start: 0, End: 10, Budget: 5},
+		{Start: 10, End: 10, Budget: 7},
+	}}
+	out := p.Clip(15)
+	if err := out.Validate(); err != nil {
+		t.Fatalf("Clip produced invalid profile: %v", err)
+	}
+	if out.T() != 15 {
+		t.Errorf("T = %d, want 15", out.T())
+	}
+	// The extension repeats the budget of the last interval seen — the
+	// zero-length one's, matching "from this time onward".
+	if got := out.BudgetAt(12); got != 7 {
+		t.Errorf("extended budget %d, want 7", got)
+	}
+}
+
+func TestClipAllZeroLength(t *testing.T) {
+	p := &Profile{Intervals: []Interval{{Start: 0, End: 0, Budget: 3}}}
+	out := p.Clip(5)
+	if err := out.Validate(); err != nil {
+		t.Fatalf("Clip produced invalid profile: %v", err)
+	}
+	if out.T() != 5 || out.BudgetAt(0) != 3 {
+		t.Errorf("got T=%d budget=%d", out.T(), out.BudgetAt(0))
+	}
+}
+
+func TestClipExactHorizonRoundTrips(t *testing.T) {
+	p, err := NewProfile([]int64{4, 6}, []int64{1, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := p.Clip(p.T())
+	if !p.EqualProfile(out) {
+		t.Error("Clip to own horizon changed the profile")
+	}
+	out.Intervals[0].Budget++ // must be a copy, not an alias
+	if p.Intervals[0].Budget == out.Intervals[0].Budget {
+		t.Error("Clip aliases the input intervals")
+	}
+}
+
+func TestClipBoundaryTruncation(t *testing.T) {
+	p, err := NewProfile([]int64{5, 5}, []int64{2, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncate exactly on an interval boundary: no zero-length interval
+	// may appear.
+	out := p.Clip(5)
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if out.J() != 1 || out.T() != 5 {
+		t.Errorf("J=%d T=%d, want 1, 5", out.J(), out.T())
+	}
+}
+
+func TestFromIntensityUnsortedSamples(t *testing.T) {
+	// Direct callers may pass unsorted samples; they must be ordered by
+	// offset rather than producing a negative-length interval error.
+	pts := []TracePoint{{Offset: 50, Intensity: 10}, {Offset: 0, Intensity: 90}}
+	p, err := FromIntensity(pts, 100, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Intensity 90 (dirty) at the start maps to gmin, 10 (clean) to gmax.
+	if p.BudgetAt(0) != 0 || p.BudgetAt(60) != 100 {
+		t.Errorf("budgets %d, %d; want 0, 100", p.BudgetAt(0), p.BudgetAt(60))
+	}
+}
+
+func TestFromIntensityDuplicateOffsetLastWins(t *testing.T) {
+	// Stitched per-zone traces can repeat an offset; the later sample
+	// supersedes instead of creating a zero-length interval.
+	pts := []TracePoint{
+		{Offset: 0, Intensity: 100},
+		{Offset: 10, Intensity: 100},
+		{Offset: 10, Intensity: 0},
+	}
+	p, err := FromIntensity(pts, 20, 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.J() != 2 {
+		t.Fatalf("J = %d, want 2", p.J())
+	}
+	if p.BudgetAt(15) != 10 { // intensity 0 → gmax
+		t.Errorf("budget after duplicate offset = %d, want 10", p.BudgetAt(15))
+	}
+}
+
+func TestFromIntensitySampleAtHorizonDropped(t *testing.T) {
+	pts := []TracePoint{{Offset: 0, Intensity: 5}, {Offset: 30, Intensity: 1}}
+	p, err := FromIntensity(pts, 30, 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.J() != 1 || p.T() != 30 {
+		t.Errorf("J=%d T=%d, want 1, 30", p.J(), p.T())
+	}
+}
+
+func TestFromIntensityDoesNotMutateInput(t *testing.T) {
+	pts := []TracePoint{{Offset: 50, Intensity: 1}, {Offset: 0, Intensity: 2}}
+	if _, err := FromIntensity(pts, 100, 0, 10); err != nil {
+		t.Fatal(err)
+	}
+	if pts[0].Offset != 50 {
+		t.Error("FromIntensity reordered the caller's slice")
+	}
+}

@@ -135,25 +135,47 @@ func (p *Profile) MaxBudget() int64 {
 }
 
 // Clip returns a profile truncated or extended to horizon T. Extension
-// repeats the last interval's budget. Used when a deadline differs from the
-// generated horizon.
+// repeats the last interval's budget. Used when a deadline differs from
+// the generated horizon, and to align per-zone traces with different
+// native horizons onto one deadline.
+//
+// Clip always produces a valid profile: zero-length intervals — which can
+// reach it through hand-built inputs or a trace whose last sample sits
+// exactly on a boundary — are skipped rather than copied, so clipping
+// never emits a zero-length trailing interval of its own.
 func (p *Profile) Clip(T int64) *Profile {
 	if T <= 0 {
 		panic("power: Clip to non-positive horizon")
 	}
-	var out []Interval
+	if len(p.Intervals) == 0 {
+		panic("power: Clip of empty profile")
+	}
+	out := make([]Interval, 0, len(p.Intervals))
+	lastBudget := p.Intervals[0].Budget
 	for _, iv := range p.Intervals {
 		if iv.Start >= T {
 			break
 		}
+		lastBudget = iv.Budget
 		end := iv.End
 		if end > T {
 			end = T
 		}
+		if end <= iv.Start { // zero-length input interval: keep only its budget
+			continue
+		}
 		out = append(out, Interval{Start: iv.Start, End: end, Budget: iv.Budget})
 	}
+	if len(out) == 0 {
+		// Everything clipped away (e.g. a profile whose intervals are all
+		// zero-length): cover the horizon with the last budget seen.
+		return &Profile{Intervals: []Interval{{Start: 0, End: T, Budget: lastBudget}}}
+	}
 	if last := out[len(out)-1]; last.End < T {
-		out = append(out, Interval{Start: last.End, End: T, Budget: last.Budget})
+		// Extend with the budget of the last interval seen — including a
+		// skipped zero-length one, whose budget still means "from this
+		// time onward".
+		out = append(out, Interval{Start: last.End, End: T, Budget: lastBudget})
 	}
 	return &Profile{Intervals: out}
 }

@@ -90,9 +90,17 @@ func ReadIntensityCSV(r io.Reader) ([]TracePoint, error) {
 // FromIntensity converts an intensity trace into a green power profile
 // over [0, T): low carbon intensity means much green power. Budgets are an
 // affine map of intensity into [gmin, gmax] — the trace minimum maps to
-// gmax, the maximum to gmin (a constant trace maps to the midpoint). The
-// first sample must be at offset 0; samples at or beyond T are dropped,
-// and the last surviving sample extends to T.
+// gmax, the maximum to gmin (a constant trace maps to the midpoint). One
+// sample must sit at offset 0; samples at or beyond T are dropped, and
+// the last surviving sample extends to T.
+//
+// Samples need not arrive sorted (ReadIntensityCSV sorts, but direct
+// callers — e.g. per-zone traces stitched from several exports — may
+// not): they are ordered by offset first, and when several samples share
+// an offset the last one in input order wins. This collapses the
+// zero-length intervals duplicate offsets would otherwise create, so the
+// result is always a valid profile instead of a confusing
+// "non-positive length" construction error.
 func FromIntensity(points []TracePoint, T int64, gmin, gmax int64) (*Profile, error) {
 	if T <= 0 {
 		return nil, fmt.Errorf("power: horizon %d", T)
@@ -103,14 +111,21 @@ func FromIntensity(points []TracePoint, T int64, gmin, gmax int64) (*Profile, er
 	if len(points) == 0 {
 		return nil, fmt.Errorf("power: empty trace")
 	}
-	if points[0].Offset != 0 {
-		return nil, fmt.Errorf("power: trace must start at offset 0, got %d", points[0].Offset)
+	sorted := append([]TracePoint(nil), points...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Offset < sorted[j].Offset })
+	if sorted[0].Offset != 0 {
+		return nil, fmt.Errorf("power: trace must start at offset 0, got %d", sorted[0].Offset)
 	}
-	kept := points[:0:0]
-	for _, p := range points {
-		if p.Offset < T {
-			kept = append(kept, p)
+	kept := sorted[:0:0]
+	for _, p := range sorted {
+		if p.Offset >= T {
+			continue
 		}
+		if n := len(kept); n > 0 && kept[n-1].Offset == p.Offset {
+			kept[n-1] = p // duplicate offset: the later sample supersedes
+			continue
+		}
+		kept = append(kept, p)
 	}
 	lo, hi := kept[0].Intensity, kept[0].Intensity
 	for _, p := range kept[1:] {

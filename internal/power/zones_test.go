@@ -1,0 +1,161 @@
+package power
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestSingleZoneDigestMatchesProfile(t *testing.T) {
+	p, err := Generate(S3, 480, 24, 100, 900, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	zs := SingleZone(p)
+	if zs.Digest() != p.Digest() {
+		t.Errorf("SingleZone digest %x != profile digest %x", zs.Digest(), p.Digest())
+	}
+	// A renamed one-zone set must digest differently: the name is part of
+	// the cache identity once the caller opts out of the default zone.
+	named := &ZoneSet{Zones: []Zone{{Name: "eu-west", Profile: p}}}
+	if named.Digest() == p.Digest() {
+		t.Error("named one-zone set digests like the bare profile")
+	}
+}
+
+func TestZoneSetValidate(t *testing.T) {
+	a := mustProfile(t, []int64{10}, []int64{5})
+	b := mustProfile(t, []int64{4, 6}, []int64{1, 9})
+	short := mustProfile(t, []int64{7}, []int64{5})
+
+	if _, err := NewZoneSet(); err == nil {
+		t.Error("empty zone set accepted")
+	}
+	if _, err := NewZoneSet(Zone{Name: "a", Profile: a}, Zone{Name: "a", Profile: b}); err == nil {
+		t.Error("duplicate zone name accepted")
+	}
+	if _, err := NewZoneSet(Zone{Name: "a", Profile: a}, Zone{Name: "b", Profile: short}); err == nil {
+		t.Error("mismatched horizons accepted")
+	}
+	if _, err := NewZoneSet(Zone{Name: "a", Profile: nil}); err == nil {
+		t.Error("nil profile accepted")
+	}
+	zs, err := NewZoneSet(Zone{Name: "a", Profile: a}, Zone{Name: "b", Profile: b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zs.T() != 10 || zs.NumZones() != 2 || zs.Single() {
+		t.Errorf("T=%d zones=%d single=%v", zs.T(), zs.NumZones(), zs.Single())
+	}
+	if i, ok := zs.ByName("b"); !ok || i != 1 {
+		t.Errorf("ByName(b) = %d, %v", i, ok)
+	}
+	if _, ok := zs.ByName("zzz"); ok {
+		t.Error("ByName found a missing zone")
+	}
+}
+
+func TestZoneSetDigestEqualClone(t *testing.T) {
+	a := mustProfile(t, []int64{10}, []int64{5})
+	b := mustProfile(t, []int64{4, 6}, []int64{1, 9})
+	zs, err := NewZoneSet(Zone{Name: "east", Profile: a}, Zone{Name: "west", Profile: b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := zs.Clone()
+	if !zs.EqualZoneSet(cl) || zs.Digest() != cl.Digest() {
+		t.Error("clone differs from original")
+	}
+	cl.Zones[1].Profile.Intervals[0].Budget++
+	if zs.EqualZoneSet(cl) {
+		t.Error("mutated clone still equal")
+	}
+	if zs.Digest() == cl.Digest() {
+		t.Error("mutated clone digest unchanged")
+	}
+	// Zone order is part of the identity.
+	swapped, err := NewZoneSet(Zone{Name: "west", Profile: b}, Zone{Name: "east", Profile: a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zs.EqualZoneSet(swapped) || zs.Digest() == swapped.Digest() {
+		t.Error("zone order ignored by Equal/Digest")
+	}
+}
+
+func TestGenerateZonesDeterministicPerZone(t *testing.T) {
+	specs := []ZoneSpec{
+		{Name: "solar", Scenario: S1, Gmin: 100, Gmax: 900},
+		{Name: "wind", Scenario: S2, Gmin: 50, Gmax: 400},
+	}
+	zs, err := GenerateZones(specs, 480, 24, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := zs.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Adding a third zone must not perturb the first two (seed is mixed
+	// per zone index, not consumed sequentially).
+	specs3 := append(specs, ZoneSpec{Name: "hydro", Scenario: S4, Gmin: 10, Gmax: 20})
+	zs3, err := GenerateZones(specs3, 480, 24, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if !zs.Profile(i).EqualProfile(zs3.Profile(i)) {
+			t.Errorf("zone %d changed when a zone was appended", i)
+		}
+	}
+	// Per-zone corridor respected.
+	for _, iv := range zs.Profile(1).Intervals {
+		if iv.Budget < 50 || iv.Budget > 400 {
+			t.Errorf("zone wind budget %d outside corridor", iv.Budget)
+		}
+	}
+}
+
+func TestZonesFromIntensityAlignsHorizons(t *testing.T) {
+	traces := []ZoneTrace{
+		{Name: "long", Points: []TracePoint{{0, 100}, {50, 300}, {200, 50}}, Gmin: 0, Gmax: 10},
+		{Name: "short", Points: []TracePoint{{0, 80}, {30, 20}}, Gmin: 0, Gmax: 10},
+	}
+	zs, err := ZonesFromIntensity(traces, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zs.T() != 100 {
+		t.Fatalf("T = %d, want 100", zs.T())
+	}
+	// The long trace's sample at 200 is beyond T and must be dropped; the
+	// short trace's last sample extends to T.
+	if got := zs.Profile(0).J(); got != 2 {
+		t.Errorf("long zone has %d intervals, want 2", got)
+	}
+	if got := zs.Profile(1).Intervals[1].End; got != 100 {
+		t.Errorf("short zone last interval ends at %d, want 100", got)
+	}
+}
+
+func TestZoneSetClip(t *testing.T) {
+	a := mustProfile(t, []int64{10}, []int64{5})
+	b := mustProfile(t, []int64{4, 6}, []int64{1, 9})
+	zs, err := NewZoneSet(Zone{Name: "a", Profile: a}, Zone{Name: "b", Profile: b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clipped := zs.Clip(7)
+	if err := clipped.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if clipped.T() != 7 {
+		t.Errorf("clipped T = %d", clipped.T())
+	}
+	extended := zs.Clip(20)
+	if err := extended.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if extended.T() != 20 || extended.Profile(1).BudgetAt(15) != 9 {
+		t.Errorf("extension wrong: T=%d budget@15=%d", extended.T(), extended.Profile(1).BudgetAt(15))
+	}
+}

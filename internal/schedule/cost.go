@@ -12,23 +12,37 @@ import (
 // profile's interval boundaries and call emit for every maximal
 // subinterval [from, to) of constant power draw, where j is the profile
 // interval index and totalPower = Σ idle + Σ work of the active nodes.
-// Events at or before time 0 are applied up front (a valid schedule has
-// none before 0, but be robust).
 func sweepSchedule(inst *ceg.Instance, s *Schedule, prof *power.Profile, emit func(j int, from, to, totalPower int64)) {
+	sweepNodes(inst, s, prof, inst.TotalIdlePower(), nil, emit)
+}
+
+// sweepNodes is sweepSchedule generalized to a node subset and an
+// explicit idle floor — the form the per-zone evaluation uses (each grid
+// zone sweeps its own nodes over its own profile above its own idle
+// floor; the whole-platform sweep is the degenerate nil-subset call).
+// nodes == nil means all nodes. Events at or before time 0 are applied up
+// front (a valid schedule has none before 0, but be robust).
+func sweepNodes(inst *ceg.Instance, s *Schedule, prof *power.Profile, idle int64, nodes []int, emit func(j int, from, to, totalPower int64)) {
 	type event struct {
 		t int64
 		d int64 // work power delta
 	}
-	N := inst.N()
-	events := make([]event, 0, 2*N)
-	for v := 0; v < N; v++ {
+	n := inst.N()
+	if nodes != nil {
+		n = len(nodes)
+	}
+	events := make([]event, 0, 2*n)
+	for i := 0; i < n; i++ {
+		v := i
+		if nodes != nil {
+			v = nodes[i]
+		}
 		_, work := inst.ProcPower(v)
 		events = append(events, event{s.Start[v], work})
 		events = append(events, event{s.Start[v] + inst.Dur[v], -work})
 	}
 	sort.Slice(events, func(i, j int) bool { return events[i].t < events[j].t })
 
-	idle := inst.TotalIdlePower()
 	var workPower int64
 	ei := 0
 	for ei < len(events) && events[ei].t <= 0 {

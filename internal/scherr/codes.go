@@ -23,8 +23,9 @@ const (
 	// CodeUnknownVariant: the variant name is not in the registry.
 	CodeUnknownVariant = "unknown_variant"
 	// CodeInvalidRequest: the request itself is malformed (bad JSON, bad
-	// workflow/profile/cluster payloads). Produced by the HTTP layer, not
-	// by the scheduler core.
+	// workflow/profile/cluster payloads, a zone count mismatching the
+	// target cluster). Produced by the HTTP layer and by solver request
+	// validation (ErrInvalidRequest).
 	CodeInvalidRequest = "invalid_request"
 	// CodeInternal: any failure the taxonomy does not classify.
 	CodeInternal = "internal"
@@ -40,6 +41,8 @@ func Code(err error) string {
 		return ""
 	case errors.Is(err, ErrUnknownVariant):
 		return CodeUnknownVariant
+	case errors.Is(err, ErrInvalidRequest):
+		return CodeInvalidRequest
 	case errors.Is(err, ErrInfeasibleDeadline):
 		return CodeInfeasibleDeadline
 	case errors.Is(err, ErrBudgetExhausted):

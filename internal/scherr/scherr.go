@@ -29,6 +29,11 @@ var (
 	ErrCanceled = errors.New("cawosched: solve canceled")
 	// ErrUnknownVariant reports a variant name missing from the registry.
 	ErrUnknownVariant = errors.New("cawosched: unknown variant")
+	// ErrInvalidRequest reports a request whose inputs are inconsistent
+	// with the target platform (e.g. a per-zone supply whose zone count
+	// does not match the cluster's) or otherwise malformed before any
+	// scheduling starts.
+	ErrInvalidRequest = errors.New("cawosched: invalid request")
 )
 
 // InfeasibleDeadlineError pinpoints the node whose start window is empty

@@ -228,26 +228,45 @@ func buildRequest(wreq *wire.SolveRequest) (cawosched.Request, error) {
 	req.DeadlineFactor = wreq.DeadlineFactor
 	req.Intervals = wreq.Intervals
 	req.Seed = wreq.Seed
-	if wreq.Profile != nil {
+	switch {
+	case len(wreq.Zones) > 0:
+		zones, err := wire.ToZoneSet(wreq.Zones)
+		if err != nil {
+			return req, err
+		}
+		req.Zones = zones
+	case wreq.Profile != nil:
 		prof, err := wreq.Profile.ToProfile()
 		if err != nil {
 			return req, err
 		}
 		req.Profile = prof
-	} else if wreq.Scenario != "" {
-		sc, err := power.ParseScenario(wreq.Scenario)
-		if err != nil {
-			return req, err
+	default:
+		if wreq.Scenario != "" {
+			sc, err := power.ParseScenario(wreq.Scenario)
+			if err != nil {
+				return req, err
+			}
+			req.Scenario = sc
 		}
-		req.Scenario = sc
+		for _, name := range wreq.ZoneScenarios {
+			sc, err := power.ParseScenario(name)
+			if err != nil {
+				return req, err
+			}
+			req.ZoneScenarios = append(req.ZoneScenarios, sc)
+		}
 	}
 	return req, nil
 }
 
 // buildResponse flattens a solver response for the wire, attaching the
-// exported schedule and the per-interval carbon breakdown.
+// exported schedule and the per-zone, per-interval carbon breakdown
+// (single-zone solves additionally keep the legacy top-level interval
+// list, so pre-zone clients read exactly what they always did).
 func buildResponse(res *cawosched.Response) *wire.SolveResponse {
-	return &wire.SolveResponse{
+	zones := schedule.CostBreakdownZones(res.Instance, res.Schedule, res.Zones)
+	out := &wire.SolveResponse{
 		Variant:      res.Variant,
 		ASAPMakespan: res.D,
 		Deadline:     res.Deadline,
@@ -256,8 +275,12 @@ func buildResponse(res *cawosched.Response) *wire.SolveResponse {
 		PlanCacheHit: res.PlanHit,
 		CacheHit:     res.CacheHit,
 		Schedule:     schedule.Export(res.Instance, res.Schedule),
-		Intervals:    schedule.CostBreakdown(res.Instance, res.Schedule, res.Profile),
+		Zones:        zones,
 	}
+	if res.Zones.Single() {
+		out.Intervals = zones[0].Intervals
+	}
+	return out
 }
 
 // solveOne runs one wire request through the solver with the sweep

@@ -17,11 +17,20 @@ type SolveRequest struct {
 	// Marginal switches to the exact-marginal-cost greedy.
 	Marginal bool `json:"marginal,omitempty"`
 
-	// Profile, if set, is used as-is; its horizon T is the deadline.
+	// Zones, if set, is the per-grid-zone green power supply (one entry
+	// per cluster zone, index-matched); its common horizon T is the
+	// deadline. It overrides Profile.
+	Zones []Zone `json:"zones,omitempty"`
+	// Profile, if set (and Zones is not), is used cluster-wide as-is; its
+	// horizon T is the deadline.
 	Profile *Profile `json:"profile,omitempty"`
 	// Scenario names the generated profile's shape, "S1".."S4"
-	// (default S1). Ignored when Profile is set.
+	// (default S1). Ignored when Zones or Profile is set.
 	Scenario string `json:"scenario,omitempty"`
+	// ZoneScenarios names one generated shape per cluster zone (length
+	// must equal the cluster's zone count); it overrides Scenario and is
+	// ignored when Zones or Profile is set.
+	ZoneScenarios []string `json:"zone_scenarios,omitempty"`
 	// DeadlineFactor sets the deadline T = factor × D (ASAP makespan);
 	// 0 means the paper's default tolerance of 2. Ignored when Profile is
 	// set.
@@ -46,9 +55,13 @@ type SolveResponse struct {
 	// Schedule lists every node (tasks and communications) ordered by
 	// (proc, start, node).
 	Schedule []schedule.Entry `json:"schedule"`
-	// Intervals is the per-interval carbon accounting; the brown fields
-	// sum to Cost.
-	Intervals []schedule.IntervalCost `json:"intervals"`
+	// Intervals is the per-interval carbon accounting of single-zone
+	// solves; the brown fields sum to Cost. Empty for multi-zone solves,
+	// whose accounting is per zone in Zones.
+	Intervals []schedule.IntervalCost `json:"intervals,omitempty"`
+	// Zones is the per-zone carbon accounting (one entry per zone, in
+	// zone order); the zone Cost fields sum to Cost.
+	Zones []schedule.ZoneCost `json:"zones,omitempty"`
 }
 
 // Error is the uniform error body: a stable machine-readable code from

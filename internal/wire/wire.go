@@ -113,38 +113,94 @@ func (w *Profile) ToProfile() (*power.Profile, error) {
 	return p, nil
 }
 
-// ProcGroup is a run of identical compute processors on the wire.
+// Zone is one named grid zone with its own green power profile on the
+// wire. Zone order is positional: zone i supplies the processors the
+// cluster assigns zone id i.
+type Zone struct {
+	Name    string   `json:"name,omitempty"`
+	Profile *Profile `json:"profile"`
+}
+
+// FromZoneSet encodes a per-zone supply for the wire.
+func FromZoneSet(zs *power.ZoneSet) []Zone {
+	out := make([]Zone, zs.NumZones())
+	for i, z := range zs.Zones {
+		out[i] = Zone{Name: z.Name, Profile: FromProfile(z.Profile)}
+	}
+	return out
+}
+
+// ToZoneSet decodes and validates a per-zone supply. Zones with an empty
+// name get positional names ("z<i>") — except a lone unnamed zone, which
+// becomes the default zone so that it evaluates (and cache-keys) exactly
+// like the bare profile it wraps.
+func ToZoneSet(zones []Zone) (*power.ZoneSet, error) {
+	if len(zones) == 0 {
+		return nil, fmt.Errorf("wire: empty zone list")
+	}
+	out := make([]power.Zone, len(zones))
+	for i, z := range zones {
+		if z.Profile == nil {
+			return nil, fmt.Errorf("wire: zone %d (%q) has no profile", i, z.Name)
+		}
+		p, err := z.Profile.ToProfile()
+		if err != nil {
+			return nil, fmt.Errorf("wire: zone %d (%q): %w", i, z.Name, err)
+		}
+		name := z.Name
+		if name == "" {
+			if len(zones) == 1 {
+				name = power.DefaultZoneName
+			} else {
+				name = fmt.Sprintf("z%d", i)
+			}
+		}
+		out[i] = power.Zone{Name: name, Profile: p}
+	}
+	zs, err := power.NewZoneSet(out...)
+	if err != nil {
+		return nil, fmt.Errorf("wire: %w", err)
+	}
+	return zs, nil
+}
+
+// ProcGroup is a run of identical compute processors on the wire. Zone is
+// the grid zone of the whole group (0 — the only zone of a non-zoned
+// cluster — when omitted).
 type ProcGroup struct {
 	Name  string `json:"name,omitempty"`
 	Speed int64  `json:"speed"`
 	Idle  int64  `json:"idle"`
 	Work  int64  `json:"work"`
 	Count int    `json:"count"`
+	Zone  int    `json:"zone,omitempty"`
 }
 
 // Cluster is a target platform on the wire: compute processor groups in
 // id order plus the seed that derives the deterministic link powers.
 // Link processors are never serialized — they are materialized lazily on
-// demand, and the seed reproduces them exactly.
+// demand, and the seed reproduces them exactly (including their zones,
+// which follow their source processors).
 type Cluster struct {
 	Groups   []ProcGroup `json:"groups"`
 	LinkSeed uint64      `json:"link_seed"`
 }
 
 // FromCluster encodes a cluster for the wire by compressing consecutive
-// compute processors of identical type into groups.
+// compute processors of identical type and zone into groups.
 func FromCluster(c *platform.Cluster) *Cluster {
 	out := &Cluster{LinkSeed: c.LinkSeed()}
 	for i := 0; i < c.NumCompute(); i++ {
 		pt := c.Proc(i).Type
+		zone := c.ZoneOf(i)
 		if n := len(out.Groups); n > 0 {
 			g := &out.Groups[n-1]
-			if g.Name == pt.Name && g.Speed == pt.Speed && g.Idle == pt.Idle && g.Work == pt.Work {
+			if g.Name == pt.Name && g.Speed == pt.Speed && g.Idle == pt.Idle && g.Work == pt.Work && g.Zone == zone {
 				g.Count++
 				continue
 			}
 		}
-		out.Groups = append(out.Groups, ProcGroup{Name: pt.Name, Speed: pt.Speed, Idle: pt.Idle, Work: pt.Work, Count: 1})
+		out.Groups = append(out.Groups, ProcGroup{Name: pt.Name, Speed: pt.Speed, Idle: pt.Idle, Work: pt.Work, Count: 1, Zone: zone})
 	}
 	return out
 }
@@ -156,6 +212,9 @@ func (w *Cluster) ToCluster() (*platform.Cluster, error) {
 	}
 	types := make([]platform.ProcType, len(w.Groups))
 	counts := make([]int, len(w.Groups))
+	var zones []int
+	zoned := false
+	maxZone := 0
 	for i, g := range w.Groups {
 		if g.Speed <= 0 {
 			return nil, fmt.Errorf("wire: processor group %d has non-positive speed %d", i, g.Speed)
@@ -166,8 +225,31 @@ func (w *Cluster) ToCluster() (*platform.Cluster, error) {
 		if g.Count <= 0 {
 			return nil, fmt.Errorf("wire: processor group %d has non-positive count %d", i, g.Count)
 		}
+		if g.Zone < 0 {
+			return nil, fmt.Errorf("wire: processor group %d has negative zone %d", i, g.Zone)
+		}
+		if g.Zone > 0 {
+			zoned = true
+		}
+		if g.Zone > maxZone {
+			maxZone = g.Zone
+		}
 		types[i] = platform.ProcType{Name: g.Name, Speed: g.Speed, Idle: g.Idle, Work: g.Work}
 		counts[i] = g.Count
 	}
-	return platform.New(types, counts, w.LinkSeed), nil
+	if zoned {
+		seen := make([]bool, maxZone+1)
+		for _, g := range w.Groups {
+			seen[g.Zone] = true
+			for j := 0; j < g.Count; j++ {
+				zones = append(zones, g.Zone)
+			}
+		}
+		for z, ok := range seen {
+			if !ok {
+				return nil, fmt.Errorf("wire: zone %d has no processors (zone ids must be contiguous)", z)
+			}
+		}
+	}
+	return platform.NewZoned(types, counts, zones, w.LinkSeed), nil
 }

@@ -8,6 +8,8 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/power"
+	"repro/internal/schedule"
 	"repro/internal/scherr"
 )
 
@@ -26,6 +28,10 @@ var (
 	ErrCanceled = scherr.ErrCanceled
 	// ErrUnknownVariant: a variant name missing from the registry.
 	ErrUnknownVariant = scherr.ErrUnknownVariant
+	// ErrInvalidRequest: request inputs inconsistent with the target
+	// platform (e.g. a per-zone supply or zone-scenario list whose zone
+	// count does not match the cluster's).
+	ErrInvalidRequest = scherr.ErrInvalidRequest
 )
 
 // Detail types carried by the sentinels above (use errors.As).
@@ -83,12 +89,22 @@ type Request struct {
 	// (RunMarginal) instead of the paper's budget-based one.
 	Marginal bool
 
-	// Profile, if non-nil, is used as-is (its horizon is the deadline).
-	// Otherwise a profile is generated from Scenario over the horizon
-	// DeadlineFactor·D with Intervals intervals and Seed.
+	// Zones, if non-nil, is the per-grid-zone green power supply; its
+	// horizon is the deadline. A multi-zone set must carry exactly one
+	// zone per cluster zone, index-matched (see NewZonedCluster). It
+	// overrides Profile.
+	Zones *ZoneSet
+	// Profile, if non-nil (and Zones is nil), is used cluster-wide as-is;
+	// its horizon is the deadline. Otherwise a profile is generated from
+	// Scenario over the horizon DeadlineFactor·D with Intervals intervals
+	// and Seed — one per cluster zone when the cluster is zoned.
 	Profile *Profile
 	// Scenario selects the generated profile's shape (default S1).
 	Scenario Scenario
+	// ZoneScenarios, if set, selects one generated shape per cluster zone
+	// (length must equal the cluster's zone count); it overrides Scenario
+	// and is ignored when Zones or Profile is set.
+	ZoneScenarios []Scenario
 	// DeadlineFactor sets the deadline T = factor·D where D is the ASAP
 	// makespan; 0 means the paper's default tolerance of 2. Values below 1
 	// are rejected (T < D is infeasible by construction).
@@ -103,7 +119,8 @@ type Request struct {
 type Response struct {
 	Schedule *Schedule // the validated carbon-aware schedule
 	Instance *Instance // the (possibly memoized) scheduling instance
-	Profile  *Profile  // the profile the schedule was optimized against
+	Zones    *ZoneSet  // the per-zone supply the schedule was optimized against
+	Profile  *Profile  // Zones' only profile for single-zone solves; nil otherwise
 	Stats    Stats     // scheduler instrumentation; Stats.Cost == Cost
 	Variant  string    // canonical name of the variant that ran
 	D        int64     // ASAP makespan (tightest feasible deadline)
@@ -222,27 +239,29 @@ func (s *Solver) ResetPlans() {
 }
 
 // solveKey identifies one cacheable solve: which workflow, against which
-// profile (the digest pins every interval and hence the horizon; the
+// per-zone supply (the zone-set digest pins every zone's name and
+// intervals and hence the horizon; a degenerate single-zone set digests
+// exactly like its bare profile, so legacy keys are unchanged; the
 // deadline is kept explicitly for clarity and as an extra collision bit),
 // with which fully-normalized variant configuration.
 type solveKey struct {
 	fp       uint64  // workflow fingerprint
-	digest   uint64  // power profile digest
-	deadline int64   // profile horizon T
+	digest   uint64  // power zone-set digest
+	deadline int64   // horizon T
 	opt      Options // normalized: defaults applied to K and Mu
 	marginal bool    // budget-based vs exact-marginal greedy
 }
 
 // solveEntry is one cached response. The stored Response owns private
-// copies of the mutable parts (Schedule); the workflow and profile are
+// copies of the mutable parts (Schedule); the workflow and zone set are
 // retained as collision guards, exactly like planEntry guards the plan
 // cache.
 type solveEntry struct {
-	key  solveKey
-	wf   *DAG
-	prof *Profile
-	resp Response
-	elem *list.Element
+	key   solveKey
+	wf    *DAG
+	zones *ZoneSet
+	resp  Response
+	elem  *list.Element
 }
 
 // normalizeOptions applies the paper defaults to the tuning fields so that
@@ -284,14 +303,15 @@ func (s *Solver) evictOldestLocked() {
 }
 
 // solveCacheGet returns a cached response for the key, guarded against
-// fingerprint/digest collisions by structural comparison with the request's
-// actual workflow and profile. The returned response carries a fresh
-// Schedule clone, so callers may mutate it without poisoning the cache.
-func (s *Solver) solveCacheGet(key solveKey, wf *DAG, prof *Profile) (*Response, bool) {
+// fingerprint/digest collisions by structural comparison with the
+// request's actual workflow and zone set. The returned response carries a
+// fresh Schedule clone, so callers may mutate it without poisoning the
+// cache.
+func (s *Solver) solveCacheGet(key solveKey, wf *DAG, zones *ZoneSet) (*Response, bool) {
 	s.cmu.Lock()
 	defer s.cmu.Unlock()
 	e, ok := s.responses[key]
-	if !ok || !e.wf.Equal(wf) || !e.prof.EqualProfile(prof) {
+	if !ok || !e.wf.Equal(wf) || !e.zones.EqualZoneSet(zones) {
 		return nil, false
 	}
 	s.lru.MoveToFront(e.elem)
@@ -304,7 +324,7 @@ func (s *Solver) solveCacheGet(key solveKey, wf *DAG, prof *Profile) (*Response,
 // solveCachePut stores a successful response under the key, evicting the
 // least-recently-used entry when the cache is full. The cache keeps its own
 // Schedule clone so later caller mutations cannot corrupt it.
-func (s *Solver) solveCachePut(key solveKey, wf *DAG, prof *Profile, resp *Response) {
+func (s *Solver) solveCachePut(key solveKey, wf *DAG, zones *ZoneSet, resp *Response) {
 	s.cmu.Lock()
 	defer s.cmu.Unlock()
 	if s.solveCap <= 0 {
@@ -315,14 +335,14 @@ func (s *Solver) solveCachePut(key solveKey, wf *DAG, prof *Profile, resp *Respo
 	stored.CacheHit = false
 	if e, ok := s.responses[key]; ok {
 		// Overwrite (e.g. a collision victim re-solved): freshest wins.
-		e.wf, e.prof, e.resp = wf, prof.Clone(), stored
+		e.wf, e.zones, e.resp = wf, zones.Clone(), stored
 		s.lru.MoveToFront(e.elem)
 		return
 	}
 	for len(s.responses) >= s.solveCap {
 		s.evictOldestLocked()
 	}
-	e := &solveEntry{key: key, wf: wf, prof: prof.Clone(), resp: stored}
+	e := &solveEntry{key: key, wf: wf, zones: zones.Clone(), resp: stored}
 	e.elem = s.lru.PushFront(e)
 	s.responses[key] = e
 }
@@ -381,16 +401,38 @@ func (s *Solver) Plan(ctx context.Context, wf *DAG) (*Instance, bool, error) {
 
 // ProfileFor returns the request's power profile: the explicit one if set,
 // otherwise a profile generated from the request's scenario over the
-// horizon DeadlineFactor·D.
+// horizon DeadlineFactor·D. It ignores the request's zone fields; use
+// ZonesFor for the per-zone supply a Solve actually runs against.
 func (s *Solver) ProfileFor(ctx context.Context, inst *Instance, req Request) (*Profile, error) {
-	return profileFor(ctx, inst, req, ASAPMakespan(inst))
+	req.Zones = nil
+	req.ZoneScenarios = nil
+	zones, err := zonesFor(ctx, inst, req, ASAPMakespan(inst), true)
+	if err != nil {
+		return nil, err
+	}
+	return zones.Profile(0), nil
 }
 
-// profileFor is ProfileFor with D already known, so Solve computes the
-// ASAP pass only once per request.
-func profileFor(ctx context.Context, inst *Instance, req Request, D int64) (*Profile, error) {
+// ZonesFor returns the per-zone power supply of the request: the explicit
+// Zones or Profile if set, otherwise one generated profile per cluster
+// zone over the horizon DeadlineFactor·D (the paper's single cluster-wide
+// profile when the cluster has one zone).
+func (s *Solver) ZonesFor(ctx context.Context, inst *Instance, req Request) (*ZoneSet, error) {
+	return zonesFor(ctx, inst, req, ASAPMakespan(inst), false)
+}
+
+// zonesFor is ZonesFor with D already known, so Solve computes the ASAP
+// pass only once per request. forceSingle collapses generation to one
+// cluster-wide profile regardless of the cluster's zones (ProfileFor).
+func zonesFor(ctx context.Context, inst *Instance, req Request, D int64, forceSingle bool) (*ZoneSet, error) {
+	if req.Zones != nil {
+		if err := schedule.CheckZones(inst, req.Zones); err != nil {
+			return nil, fmt.Errorf("%w: %w", ErrInvalidRequest, err)
+		}
+		return req.Zones, nil
+	}
 	if req.Profile != nil {
-		return req.Profile, nil
+		return power.SingleZone(req.Profile), nil
 	}
 	if err := scherr.Canceled(ctx.Err()); err != nil {
 		return nil, err
@@ -414,7 +456,37 @@ func profileFor(ctx context.Context, inst *Instance, req Request, D int64) (*Pro
 	if sc == 0 {
 		sc = S1
 	}
-	return ProfileForInstance(inst, sc, T, intervals, req.Seed)
+	K := inst.NumZones()
+	if forceSingle {
+		K = 1
+	}
+	if len(req.ZoneScenarios) > 0 {
+		if len(req.ZoneScenarios) != K {
+			return nil, fmt.Errorf("%w: %d zone scenarios for a cluster with %d zones", ErrInvalidRequest, len(req.ZoneScenarios), K)
+		}
+		if K == 1 {
+			sc = req.ZoneScenarios[0]
+		}
+	}
+	if K == 1 {
+		// The degenerate case generates byte-for-byte the paper's profile
+		// (same seed consumption as before the zone layer), wrapped.
+		prof, err := ProfileForInstance(inst, sc, T, intervals, req.Seed)
+		if err != nil {
+			return nil, err
+		}
+		return power.SingleZone(prof), nil
+	}
+	specs := make([]power.ZoneSpec, K)
+	for z := 0; z < K; z++ {
+		zsc := sc
+		if len(req.ZoneScenarios) > 0 {
+			zsc = req.ZoneScenarios[z]
+		}
+		gmin, gmax := power.PlatformBounds(inst.ZoneIdlePower(z), inst.Cluster.ZoneComputeWork(z))
+		specs[z] = power.ZoneSpec{Name: fmt.Sprintf("z%d", z), Scenario: zsc, Gmin: gmin, Gmax: gmax}
+	}
+	return power.GenerateZones(specs, T, intervals, req.Seed)
 }
 
 // resolveOptions picks the variant for a request and returns its options
@@ -468,12 +540,16 @@ func (s *Solver) Solve(ctx context.Context, req Request) (*Response, error) {
 		}
 		inst, asap, D = e.inst, e.asap, e.d
 	}
-	prof, err := profileFor(ctx, inst, req, D)
+	zones, err := zonesFor(ctx, inst, req, D, false)
 	if err != nil {
 		return nil, err
 	}
+	var prof *Profile
+	if zones.Single() {
+		prof = zones.Profile(0)
+	}
 
-	// Second cache level: identical (workflow, profile, variant) requests
+	// Second cache level: identical (workflow, zones, variant) requests
 	// are served straight from the solve-response cache. Prebuilt-instance
 	// requests are not cacheable (instances carry no fingerprint).
 	var key solveKey
@@ -481,14 +557,15 @@ func (s *Solver) Solve(ctx context.Context, req Request) (*Response, error) {
 	if cacheable {
 		key = solveKey{
 			fp:       req.Workflow.Fingerprint(),
-			digest:   prof.Digest(),
-			deadline: prof.T(),
+			digest:   zones.Digest(),
+			deadline: zones.T(),
 			opt:      normalizeOptions(opt),
 			marginal: req.Marginal,
 		}
-		if resp, ok := s.solveCacheGet(key, req.Workflow, prof); ok {
+		if resp, ok := s.solveCacheGet(key, req.Workflow, zones); ok {
 			s.solveHits.Add(1)
 			resp.PlanHit = planHit
+			resp.Zones = zones
 			resp.Profile = prof
 			return resp, nil
 		}
@@ -498,9 +575,9 @@ func (s *Solver) Solve(ctx context.Context, req Request) (*Response, error) {
 	var sched *Schedule
 	var st Stats
 	if req.Marginal {
-		sched, st, err = core.RunMarginal(ctx, inst, prof, opt)
+		sched, st, err = core.RunMarginalZones(ctx, inst, zones, opt)
 	} else {
-		sched, st, err = core.Run(ctx, inst, prof, opt)
+		sched, st, err = core.RunZones(ctx, inst, zones, opt)
 	}
 	if err != nil {
 		return nil, err
@@ -508,17 +585,18 @@ func (s *Solver) Solve(ctx context.Context, req Request) (*Response, error) {
 	resp := &Response{
 		Schedule: sched,
 		Instance: inst,
+		Zones:    zones,
 		Profile:  prof,
 		Stats:    st,
 		Variant:  variant,
 		D:        D,
-		Deadline: prof.T(),
+		Deadline: zones.T(),
 		Cost:     st.Cost,
-		ASAPCost: CarbonCost(inst, asap, prof),
+		ASAPCost: schedule.CarbonCostZones(inst, asap, zones),
 		PlanHit:  planHit,
 	}
 	if cacheable {
-		s.solveCachePut(key, req.Workflow, prof, resp)
+		s.solveCachePut(key, req.Workflow, zones, resp)
 	}
 	return resp, nil
 }
