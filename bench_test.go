@@ -563,6 +563,39 @@ func BenchmarkPressWRLSZones(b *testing.B) {
 	}
 }
 
+// BenchmarkMapAndSolve measures the two-pass mapping search on the
+// 3-zone instance with K = 3 candidate policies (fixed EFT plus both
+// zone-aware policies): K mapping passes, K instance builds, K zone-aware
+// schedules. Compare against BenchmarkPressWRLSZones, the fixed-mapping
+// second pass alone on the same workload.
+func BenchmarkMapAndSolve(b *testing.B) {
+	wf, err := cawosched.GenerateWorkflow(cawosched.Atacseq, 500, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cluster := cawosched.SmallZonedCluster(42, 3)
+	inst, err := cawosched.PlanHEFT(wf, cluster)
+	if err != nil {
+		b.Fatal(err)
+	}
+	D := cawosched.ASAPMakespan(inst)
+	zs, err := cawosched.ZonesForInstance(inst,
+		[]cawosched.Scenario{cawosched.S1, cawosched.S2, cawosched.S3, cawosched.S4}, 2*D, 24, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := cawosched.MapSolveOptions{
+		Policies: []cawosched.MappingPolicy{cawosched.MapEFT, cawosched.MapZoneGreen, cawosched.MapZoneEnergyPerWork},
+		Sched:    cawosched.Options{Score: cawosched.ScorePressureW, Refined: true, LocalSearch: true},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cawosched.MapAndSolve(context.Background(), wf, cluster, zs, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkSolveCacheHit measures a fully warmed Solve: plan cache + solve
 // response cache hit, i.e. the steady-state request latency of schedd on a
 // repeated workload.

@@ -366,17 +366,81 @@ const (
 	MapEFT           = greenheft.EFT
 	MapLowPower      = greenheft.LowPower
 	MapEnergyPerWork = greenheft.EnergyPerWork
+	// MapZoneGreen blends finish time with the candidate processor's zone
+	// intensity forecast over the task's tentative window.
+	MapZoneGreen = greenheft.ZoneGreen
+	// MapZoneEnergyPerWork blends task energy with the zone forecast.
+	MapZoneEnergyPerWork = greenheft.ZoneEnergyPerWork
 )
+
+// MapSearchName is the mapping spelling (CLI -mapping, wire "mapping"
+// field) that selects the two-pass mapping search instead of one policy.
+const MapSearchName = "map-search"
+
+// MappingPolicies returns every mapping policy, the candidate set of the
+// map-search pipeline (MapEFT first, so the fixed mapping always competes).
+func MappingPolicies() []MappingPolicy { return greenheft.AllPolicies() }
+
+// ParseMappingPolicy resolves a mapping policy name ("heft", "lowpower",
+// "energy", "zonegreen", "zoneenergy") as printed by MappingPolicy.String.
+func ParseMappingPolicy(name string) (MappingPolicy, error) {
+	return greenheft.ParsePolicy(name)
+}
+
+// ParseMapping resolves a -mapping / wire "mapping" spelling into request
+// options: a policy name selects that policy, MapSearchName selects the
+// two-pass search, and "" (or "fixed") is the paper's HEFT mapping.
+// Unknown spellings fail with ErrInvalidRequest.
+func ParseMapping(name string) (MappingPolicy, bool, error) {
+	switch name {
+	case "", "fixed":
+		return MapEFT, false, nil
+	case MapSearchName:
+		return MapEFT, true, nil
+	}
+	pol, err := greenheft.ParsePolicy(name)
+	if err != nil {
+		return 0, false, fmt.Errorf("%w: unknown mapping %q (want a policy name or %q)", ErrInvalidRequest, name, MapSearchName)
+	}
+	return pol, false, nil
+}
 
 // PlanGreen computes a carbon-aware mapping (the Section 7 extension) and
 // builds the scheduling instance from it. With MapEFT it is identical to
 // PlanHEFT.
 func PlanGreen(d *DAG, c *Cluster, policy MappingPolicy) (*Instance, error) {
-	m, err := greenheft.Schedule(d, c, greenheft.Options{Policy: policy})
-	if err != nil {
-		return nil, err
-	}
-	return ceg.Build(d, ceg.FromHEFT(m.Proc, m.Order, m.Finish), c)
+	return PlanGreenZones(d, c, policy, nil)
+}
+
+// PlanGreenZones is PlanGreen with a per-zone power forecast, required by
+// the zone-aware mapping policies (MapZoneGreen, MapZoneEnergyPerWork):
+// their processor selection weighs each candidate's zone intensity over
+// the task's tentative window.
+func PlanGreenZones(d *DAG, c *Cluster, policy MappingPolicy, zs *ZoneSet) (*Instance, error) {
+	return greenheft.MapInstance(d, c, greenheft.Options{Policy: policy, Zones: zs})
+}
+
+// MapSolveOptions tunes MapAndSolve (candidate policies, mapping alpha,
+// scheduling variant).
+type MapSolveOptions = greenheft.MapSolveOptions
+
+// MapSolveResult is the winning plan of a mapping search plus the
+// per-candidate audit trail.
+type MapSolveResult = greenheft.MapSolveResult
+
+// PolicyOutcome records one mapping candidate's fate inside MapAndSolve.
+type PolicyOutcome = greenheft.PolicyOutcome
+
+// MapAndSolve is the two-pass mapping search as a standalone pipeline:
+// map the workflow under every candidate policy, run the zone-aware
+// scheduler on each mapping against the same per-zone supply (whose
+// common horizon is the deadline), and keep the lowest-carbon feasible
+// plan. Since the fixed (EFT) mapping is among the candidates, the result
+// is never worse than fixed-mapping scheduling on the same instance. For
+// the cached request/response version use a Solver with
+// Request.MapSearch.
+func MapAndSolve(ctx context.Context, d *DAG, c *Cluster, zs *ZoneSet, opt MapSolveOptions) (*MapSolveResult, error) {
+	return greenheft.MapAndSolve(ctx, d, c, zs, opt)
 }
 
 // TracePoint is one sample of a grid carbon-intensity trace.

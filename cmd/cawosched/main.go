@@ -41,6 +41,7 @@ func main() {
 		zoneScen = flag.String("zone-scenarios", "", "comma-separated per-zone scenarios, e.g. S1,S2 (overrides -scenario; one entry per zone)")
 		intens   = flag.String("intensity", "", "comma-separated per-zone carbon-intensity CSV files (offset,intensity; one file = cluster-wide, else one per zone)")
 		factor   = flag.Float64("deadline-factor", 2, "deadline = factor x ASAP makespan (>= 1)")
+		mapping  = flag.String("mapping", "heft", `first-pass mapping: heft | lowpower | energy | zonegreen | zoneenergy | map-search (two-pass search keeping the lowest-carbon feasible plan)`)
 		variant  = flag.String("variant", "all", `heuristic to run: "all", "asap", or a registry name like pressWR-LS (see -list-variants)`)
 		seed     = flag.Uint64("seed", 42, "random seed for workflow/profile generation")
 		verbose  = flag.Bool("v", false, "print the schedule's start times")
@@ -58,7 +59,7 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, *family, *n, *dotFile, *cluster, *zones, *scenario, *zoneScen, *intens, *factor, *variant, *seed, *verbose, *gantt, *jsonOut, *csvOut); err != nil {
+	if err := run(ctx, *family, *n, *dotFile, *cluster, *zones, *scenario, *zoneScen, *intens, *factor, *mapping, *variant, *seed, *verbose, *gantt, *jsonOut, *csvOut); err != nil {
 		if errors.Is(err, cawosched.ErrCanceled) {
 			fmt.Fprintln(os.Stderr, "cawosched: interrupted")
 			os.Exit(130)
@@ -74,7 +75,7 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, family string, n int, dotFile, clusterName string, zones int, scenarioName, zoneScen, intens string, factor float64, variant string, seed uint64, verbose, gantt bool, jsonOut, csvOut string) error {
+func run(ctx context.Context, family string, n int, dotFile, clusterName string, zones int, scenarioName, zoneScen, intens string, factor float64, mapping, variant string, seed uint64, verbose, gantt bool, jsonOut, csvOut string) error {
 	wf, err := loadWorkflow(family, n, dotFile, seed)
 	if err != nil {
 		return err
@@ -103,12 +104,18 @@ func run(ctx context.Context, family string, n int, dotFile, clusterName string,
 	if err != nil {
 		return err
 	}
+	mapPol, mapSearch, err := cawosched.ParseMapping(mapping)
+	if err != nil {
+		return err
+	}
 
 	solver := cawosched.NewSolver(cluster)
 	req := cawosched.Request{
 		Workflow:       wf,
 		Scenario:       sc,
 		DeadlineFactor: factor,
+		MappingPolicy:  mapPol,
+		MapSearch:      mapSearch,
 		Seed:           seed,
 	}
 	if zoneScen != "" && intens != "" {
@@ -145,6 +152,9 @@ func run(ctx context.Context, family string, n int, dotFile, clusterName string,
 
 	fmt.Printf("workflow: %d tasks, %d nodes incl. communications\n", wf.N(), inst.N())
 	fmt.Printf("cluster:  %s (%d compute processors, %d zones)\n", clusterName, cluster.NumCompute(), cluster.NumZones())
+	if mapSearch || mapPol != cawosched.MapEFT {
+		fmt.Printf("mapping:  %s\n", mapping)
+	}
 	fmt.Printf("horizon:  D = %d, deadline T = %d\n", D, zoneSet.T())
 	for _, z := range zoneSet.Zones {
 		fmt.Printf("zone %-8s %d intervals, total green %d\n", z.Name+":", z.Profile.J(), z.Profile.TotalGreen())
@@ -171,7 +181,11 @@ func run(ctx context.Context, family string, n int, dotFile, clusterName string,
 		} else if res.Cost == 0 {
 			ratio = "1.000"
 		}
-		fmt.Printf("%-12s  %12d  %8s  %10s\n", res.Variant, res.Cost, ratio, elapsed.Round(time.Millisecond))
+		row := fmt.Sprintf("%-12s  %12d  %8s  %10s", res.Variant, res.Cost, ratio, elapsed.Round(time.Millisecond))
+		if mapSearch {
+			row += "  mapping " + res.Mapping // the search's winning policy
+		}
+		fmt.Println(row)
 		if verbose {
 			printSchedule(inst, res.Schedule)
 		}

@@ -23,6 +23,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -40,7 +41,7 @@ func main() {
 		seed     = flag.Uint64("seed", 42, "corpus seed")
 		workers  = flag.Int("workers", 0, "parallel instances (0 = GOMAXPROCS)")
 		outDir   = flag.String("out", "", "artifact mode: CSV directory; sweep mode: JSONL results path (default results.jsonl)")
-		only     = flag.String("only", "all", "comma-separated artifacts: table1,fig1,...,fig8,table2,fig12,...,fig17,fig7,ablations,robustness or all (ablations/robustness only run when named explicitly)")
+		only     = flag.String("only", "all", "comma-separated artifacts: table1,fig1,...,fig8,table2,fig12,...,fig17,fig7,ablations,robustness,mapping or all (ablations/robustness/mapping only run when named explicitly)")
 		quiet    = flag.Bool("q", false, "suppress progress output")
 		saveTo   = flag.String("save", "", "persist the main corpus raw results to this JSON file")
 		parallel = flag.Int("parallel", 0, "sweep mode: run the full grid on N workers, streaming JSONL (0 = artifact mode)")
@@ -48,7 +49,8 @@ func main() {
 		seeds    = flag.Int("seeds", 1, "sweep mode: replicate seeds per grid cell")
 		timeout  = flag.Duration("job-timeout", 0, "sweep mode: per-job wall-clock cap enforced by context cancellation, e.g. 30s (0 = none)")
 		variants = flag.String("variants", "", `sweep mode: comma-separated registry variant names to run instead of the full roster (ASAP always included), e.g. "pressWR-LS,slackR"`)
-		zones    = flag.Int("zones", 1, "sweep mode: run the multi-zone scenario family — clusters split round-robin into N grid zones with rotated per-zone scenarios (1 = the paper's single-zone grid)")
+		zones    = flag.Int("zones", 1, "multi-zone scenario family: clusters split round-robin into N grid zones with rotated per-zone scenarios (1 = the paper's single-zone grid; also used by -only mapping)")
+		mappings = flag.String("mappings", "", `sweep mode: comma-separated mapping roster for the mapping-ablation family, e.g. "fixed,zonegreen,map-search" or "all" (empty = fixed mapping only; policy cells get /m<policy> job keys)`)
 		listVar  = flag.Bool("list-variants", false, "print the variant registry (canonical name per line) and exit")
 	)
 	flag.Parse()
@@ -62,9 +64,9 @@ func main() {
 	defer stop()
 	var err error
 	if *parallel > 0 {
-		err = runSweep(ctx, *maxTasks, *seed, *parallel, *outDir, *resume, *seeds, *zones, *timeout, *variants, *quiet)
+		err = runSweep(ctx, *maxTasks, *seed, *parallel, *outDir, *resume, *seeds, *zones, *timeout, *variants, *mappings, *quiet)
 	} else {
-		err = run2(ctx, *maxTasks, *seed, *workers, *outDir, *only, *quiet, *saveTo)
+		err = run2(ctx, *maxTasks, *seed, *workers, *outDir, *only, *zones, *quiet, *saveTo)
 	}
 	if err != nil {
 		if errors.Is(err, cawosched.ErrCanceled) {
@@ -121,10 +123,42 @@ func selectRoster(variants string) ([]experiments.Algorithm, error) {
 	return roster, nil
 }
 
+// selectMappings resolves the -mappings flag into the Spec.Mapping roster
+// of the mapping-ablation family ("" = fixed mapping only).
+func selectMappings(mappings string) ([]string, error) {
+	if mappings == "" {
+		return nil, nil
+	}
+	if mappings == "all" {
+		return experiments.Mappings(), nil
+	}
+	var out []string
+	seen := map[string]bool{}
+	for _, raw := range strings.Split(mappings, ",") {
+		name := strings.TrimSpace(raw)
+		if name != "fixed" && name != experiments.MapSearch {
+			pol, err := cawosched.ParseMappingPolicy(name)
+			if err != nil {
+				return nil, err
+			}
+			name = pol.String()
+		}
+		if name == "fixed" || name == cawosched.MapEFT.String() {
+			name = "" // the fixed HEFT mapping is the legacy cell (and key)
+		}
+		if seen[name] {
+			continue // duplicates would emit duplicate job keys
+		}
+		seen[name] = true
+		out = append(out, name)
+	}
+	return out, nil
+}
+
 // runSweep is the -parallel path: grid generation, worker-pool execution
 // with JSONL streaming/resume, then a paper-style aggregation over every
 // record on disk (including ones from earlier resumed runs).
-func runSweep(ctx context.Context, maxTasks int, seed uint64, parallel int, outPath string, resume bool, seeds, zones int, timeout time.Duration, variants string, quiet bool) error {
+func runSweep(ctx context.Context, maxTasks int, seed uint64, parallel int, outPath string, resume bool, seeds, zones int, timeout time.Duration, variants, mappings string, quiet bool) error {
 	if outPath == "" {
 		outPath = "results.jsonl"
 	}
@@ -132,8 +166,12 @@ func runSweep(ctx context.Context, maxTasks int, seed uint64, parallel int, outP
 	if err != nil {
 		return err
 	}
+	mapRoster, err := selectMappings(mappings)
+	if err != nil {
+		return err
+	}
 	names := algoNames(roster)
-	jobs := experiments.MultiZoneGrid(maxTasks, seed, seeds, zones, names)
+	jobs := experiments.MappingGrid(maxTasks, seed, seeds, zones, mapRoster, names)
 
 	var skip map[string]bool
 	needNewline := false
@@ -233,15 +271,18 @@ func runSweep(ctx context.Context, maxTasks int, seed uint64, parallel int, outP
 	}
 	fmt.Println(experiments.Fig4MedianCostRatio(results, names).String())
 	fmt.Println(experiments.Fig8RunningTime(results, names).String())
+	if len(mapRoster) > 1 {
+		fmt.Println(experiments.MappingTable(results).String())
+	}
 	return nil
 }
 
 // run keeps the original signature for tests; run2 adds result saving.
 func run(maxTasks int, seed uint64, workers int, outDir, only string, quiet bool) error {
-	return run2(context.Background(), maxTasks, seed, workers, outDir, only, quiet, "")
+	return run2(context.Background(), maxTasks, seed, workers, outDir, only, 1, quiet, "")
 }
 
-func run2(ctx context.Context, maxTasks int, seed uint64, workers int, outDir, only string, quiet bool, saveTo string) error {
+func run2(ctx context.Context, maxTasks int, seed uint64, workers int, outDir, only string, zones int, quiet bool, saveTo string) error {
 	want := map[string]bool{}
 	for _, name := range strings.Split(only, ",") {
 		want[strings.TrimSpace(name)] = true
@@ -422,6 +463,44 @@ func run2(ctx context.Context, maxTasks int, seed uint64, workers int, outDir, o
 			return err
 		} else {
 			emit("extension_twopass", t)
+		}
+	}
+
+	// The mapping ablation (fixed vs each policy vs map-search on the
+	// multi-zone grid, plus the per-zone load-shift table) is opt-in:
+	// every mapping multiplies the per-instance work.
+	if want["mapping"] {
+		cap := maxTasks
+		if cap <= 0 || cap > 300 {
+			cap = 300
+		}
+		zn := zones
+		if zn < 2 {
+			zn = 2
+		}
+		specs := experiments.MultiZoneCorpus(cap, seed, zn)
+		fmt.Printf("running mapping ablation: %d instances x %d mappings (%d zones)\n",
+			len(specs), len(experiments.Mappings()), zn)
+		roster := []experiments.Algorithm{}
+		for _, a := range experiments.LSAlgorithms() {
+			if a.Name == experiments.BaselineName || a.Name == "pressWR-LS" {
+				roster = append(roster, a)
+			}
+		}
+		// The sweep engine, not Run: remapped cells with tight deadlines
+		// can be legitimately infeasible (the mapping cannot meet the
+		// fixed mapping's horizon), which the sweep records in-band while
+		// the strict driver would abort the whole artifact.
+		jobs := experiments.MappingGrid(cap, seed, 1, zn, experiments.Mappings(), algoNames(roster))
+		results, err := experiments.Sweep(ctx, jobs, roster, io.Discard, experiments.SweepOptions{Workers: workers})
+		if err != nil {
+			return err
+		}
+		emit("mapping_ablation", experiments.MappingTable(results))
+		if t, err := experiments.ZoneShiftTable(ctx, specs, workers); err != nil {
+			return err
+		} else {
+			emit("zone_shift", t)
 		}
 	}
 

@@ -45,7 +45,7 @@ func TestRunUnknownArtifact(t *testing.T) {
 func TestRunSweepStreamsAndResumes(t *testing.T) {
 	dir := t.TempDir()
 	out := filepath.Join(dir, "results.jsonl")
-	if err := runSweep(context.Background(), 100, 42, 4, out, false, 1, 1, 0, "", true); err != nil {
+	if err := runSweep(context.Background(), 100, 42, 4, out, false, 1, 1, 0, "", "", true); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -57,7 +57,7 @@ func TestRunSweepStreamsAndResumes(t *testing.T) {
 		t.Fatal("sweep wrote no records")
 	}
 	// Resuming over a complete file must run zero jobs and leave it as is.
-	if err := runSweep(context.Background(), 100, 42, 4, out, true, 1, 1, 0, "", true); err != nil {
+	if err := runSweep(context.Background(), 100, 42, 4, out, true, 1, 1, 0, "", "", true); err != nil {
 		t.Fatal(err)
 	}
 	data, err = os.ReadFile(out)
@@ -72,7 +72,7 @@ func TestRunSweepStreamsAndResumes(t *testing.T) {
 func TestRunSweepResumesTornFile(t *testing.T) {
 	dir := t.TempDir()
 	out := filepath.Join(dir, "results.jsonl")
-	if err := runSweep(context.Background(), 100, 42, 2, out, false, 1, 1, 0, "", true); err != nil {
+	if err := runSweep(context.Background(), 100, 42, 2, out, false, 1, 1, 0, "", "", true); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -87,7 +87,7 @@ func TestRunSweepResumesTornFile(t *testing.T) {
 	if err := os.WriteFile(out, torn, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := runSweep(context.Background(), 100, 42, 2, out, true, 1, 1, 0, "", true); err != nil {
+	if err := runSweep(context.Background(), 100, 42, 2, out, true, 1, 1, 0, "", "", true); err != nil {
 		t.Fatalf("resume over torn file: %v", err)
 	}
 	data, err = os.ReadFile(out)

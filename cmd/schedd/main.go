@@ -42,6 +42,7 @@ func main() {
 		clusterName = flag.String("cluster", "small", "target cluster: small (72 nodes) | large (144 nodes)")
 		clusterFile = flag.String("cluster-file", "", "load the target cluster from this JSON file (wire format, may carry per-group zones) instead of -cluster")
 		zones       = flag.Int("zones", 1, "split the -cluster platform round-robin into this many grid zones (ignored with -cluster-file)")
+		mapping     = flag.String("mapping", "", `default mapping for requests that set none: a policy name (heft | lowpower | energy | zonegreen | zoneenergy) or "map-search" (empty = heft)`)
 		seed        = flag.Uint64("seed", 42, "cluster link seed (ignored with -cluster-file)")
 		reqTimeout  = flag.Duration("request-timeout", 60*time.Second, "per-request solving deadline (0 = none)")
 		batchWork   = flag.Int("batch-workers", 0, "bounded worker pool for batched solves (0 = min(GOMAXPROCS, 16))")
@@ -53,7 +54,7 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, *addr, *clusterName, *clusterFile, *zones, *seed, *reqTimeout, *batchWork, *maxBatch, *grace, *drainDelay, nil); err != nil {
+	if err := run(ctx, *addr, *clusterName, *clusterFile, *zones, *mapping, *seed, *reqTimeout, *batchWork, *maxBatch, *grace, *drainDelay, nil); err != nil {
 		fmt.Fprintln(os.Stderr, "schedd:", err)
 		os.Exit(1)
 	}
@@ -92,9 +93,14 @@ func buildCluster(clusterName, clusterFile string, zones int, seed uint64) (*caw
 // run serves until ctx is canceled, then drains gracefully. If ready is
 // non-nil it receives the bound address once the listener is up (tests
 // pass ":0" and read the actual port from it).
-func run(ctx context.Context, addr, clusterName, clusterFile string, zones int, seed uint64, reqTimeout time.Duration, batchWork, maxBatch int, grace, drainDelay time.Duration, ready chan<- string) error {
+func run(ctx context.Context, addr, clusterName, clusterFile string, zones int, mapping string, seed uint64, reqTimeout time.Duration, batchWork, maxBatch int, grace, drainDelay time.Duration, ready chan<- string) error {
 	cluster, label, err := buildCluster(clusterName, clusterFile, zones, seed)
 	if err != nil {
+		return err
+	}
+	// Fail fast on an unknown default mapping instead of 400ing every
+	// request later.
+	if _, _, err := cawosched.ParseMapping(mapping); err != nil {
 		return err
 	}
 	if reqTimeout == 0 {
@@ -106,6 +112,7 @@ func run(ctx context.Context, addr, clusterName, clusterFile string, zones int, 
 		RequestTimeout: reqTimeout,
 		BatchWorkers:   batchWork,
 		MaxBatch:       maxBatch,
+		DefaultMapping: mapping,
 	})
 
 	ln, err := net.Listen("tcp", addr)

@@ -10,6 +10,7 @@ import (
 	"repro/internal/ceg"
 	"repro/internal/core"
 	"repro/internal/dag"
+	"repro/internal/greenheft"
 	"repro/internal/heft"
 	"repro/internal/platform"
 	"repro/internal/power"
@@ -55,7 +56,18 @@ type Spec struct {
 	// anti-correlated: S1's midday peak against S2's midday trough).
 	// 0 or 1 is the paper's single-zone setting.
 	Zones int
+	// Mapping selects the first-pass mapping of the mapping-ablation
+	// family: "" is the paper's fixed HEFT mapping (the legacy grid), a
+	// greenheft policy name remaps the workflow under that policy, and
+	// MapSearch builds every candidate mapping and lets each algorithm
+	// keep its lowest-carbon feasible plan. The deadline and the per-zone
+	// supply are always anchored to the fixed mapping, so all mappings of
+	// one cell compete under the identical forecast.
+	Mapping string
 }
+
+// MapSearch is the Spec.Mapping value selecting the two-pass search.
+const MapSearch = "map-search"
 
 // Tasks returns the actual vertex count of the workflow.
 func (s Spec) Tasks() int {
@@ -80,6 +92,10 @@ func (s Spec) String() string {
 		// the legacy spelling so old JSONL streams resume cleanly.
 		base += fmt.Sprintf("/z%d", s.Zones)
 	}
+	if s.Mapping != "" {
+		// Same contract: fixed-mapping specs keep the legacy key.
+		base += "/m" + s.Mapping
+	}
 	return base
 }
 
@@ -97,6 +113,12 @@ func (s Spec) SizeClass() string {
 	}
 }
 
+// MappedCandidate is one candidate mapping of a map-search instance.
+type MappedCandidate struct {
+	Mapping string // greenheft policy name
+	Inst    *ceg.Instance
+}
+
 // Instance is a fully materialized simulation input.
 type Instance struct {
 	Spec Spec
@@ -108,12 +130,19 @@ type Instance struct {
 	// Zones); nil for the multi-zone family.
 	Prof *power.Profile
 	D    int64 // ASAP makespan (the tightest deadline)
+	// Candidates is the per-policy mapping set of a map-search spec
+	// (Inst then holds the fixed mapping and is also candidate 0): each
+	// algorithm runs on every candidate and keeps its lowest-carbon
+	// feasible plan. Nil for every other spec.
+	Candidates []MappedCandidate
 }
 
 // BuildInstance constructs the instance for a spec: generate the workflow,
 // compute the HEFT mapping on the chosen cluster, build the
 // communication-enhanced DAG, measure D, and generate the power profile
-// over T = factor·D with the paper's green-power corridor.
+// over T = factor·D with the paper's green-power corridor. A spec with a
+// Mapping remaps the workflow under that greenheft policy against the
+// fixed mapping's supply (map-search materializes every candidate).
 func BuildInstance(s Spec) (*Instance, error) {
 	d, cluster, err := materialize(s)
 	if err != nil {
@@ -123,11 +152,48 @@ func BuildInstance(s Spec) (*Instance, error) {
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s: HEFT: %w", s, err)
 	}
-	inst, err := ceg.Build(d, ceg.FromHEFT(h.Proc, h.Order, h.Finish), cluster)
+	fixed, err := ceg.Build(d, ceg.FromHEFT(h.Proc, h.Order, h.Finish), cluster)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s: %w", s, err)
 	}
-	return finishInstance(s, inst)
+	base, err := finishInstance(s, fixed)
+	if err != nil || s.Mapping == "" {
+		return base, err
+	}
+	if s.Mapping == MapSearch {
+		for _, pol := range greenheft.AllPolicies() {
+			inst := fixed
+			if pol != greenheft.EFT {
+				if inst, err = mapInstance(s, d, cluster, pol, base.Zones); err != nil {
+					return nil, err
+				}
+			}
+			base.Candidates = append(base.Candidates, MappedCandidate{Mapping: pol.String(), Inst: inst})
+		}
+		return base, nil
+	}
+	pol, err := greenheft.ParsePolicy(s.Mapping)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s: %w", s, err)
+	}
+	mapped, err := mapInstance(s, d, cluster, pol, base.Zones)
+	if err != nil {
+		return nil, err
+	}
+	base.Inst = mapped
+	base.D = core.ASAPMakespan(mapped)
+	return base, nil
+}
+
+// mapInstance remaps the workflow under a greenheft policy and builds the
+// scheduling instance; zone-aware policies consult the spec's per-zone
+// supply (the one anchored to the fixed mapping).
+func mapInstance(s Spec, d *dag.DAG, cluster *platform.Cluster, pol greenheft.Policy, zs *power.ZoneSet) (*ceg.Instance, error) {
+	inst, err := greenheft.MapInstance(d, cluster, greenheft.Options{Policy: pol, Zones: zs})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s: mapping %s: %w", s, pol, err)
+	}
+	return inst, nil
 }
 
 // materialize generates the workflow and target cluster of a spec.

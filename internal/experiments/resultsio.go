@@ -8,6 +8,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/greenheft"
 	"repro/internal/power"
 	"repro/internal/wfgen"
 )
@@ -22,7 +23,8 @@ type resultRecord struct {
 	Scenario       string  `json:"scenario"`
 	DeadlineFactor float64 `json:"deadline_factor"`
 	Seed           uint64  `json:"seed"`
-	Zones          int     `json:"zones,omitempty"` // ≥ 2: multi-zone family; absent in legacy records
+	Zones          int     `json:"zones,omitempty"`   // ≥ 2: multi-zone family; absent in legacy records
+	Mapping        string  `json:"mapping,omitempty"` // mapping-ablation family; absent for the fixed mapping
 	Algo           string  `json:"algo"`
 	Cost           int64   `json:"cost"`
 	ElapsedMicros  int64   `json:"elapsed_us"`
@@ -42,6 +44,7 @@ func recordOf(r Result) resultRecord {
 		DeadlineFactor: r.Spec.DeadlineFactor,
 		Seed:           r.Spec.Seed,
 		Zones:          zones,
+		Mapping:        r.Spec.Mapping,
 		Algo:           r.Algo,
 		Cost:           r.Cost,
 		ElapsedMicros:  r.Elapsed.Microseconds(),
@@ -75,6 +78,11 @@ func resultOf(rec resultRecord) (Result, error) {
 	if rec.Zones < 0 || rec.Zones == 1 {
 		return Result{}, fmt.Errorf("bad zone count %d", rec.Zones)
 	}
+	if rec.Mapping != "" && rec.Mapping != MapSearch {
+		if _, err := greenheft.ParsePolicy(rec.Mapping); err != nil {
+			return Result{}, fmt.Errorf("unknown mapping %q", rec.Mapping)
+		}
+	}
 	return Result{
 		Spec: Spec{
 			Family:         fam,
@@ -84,6 +92,7 @@ func resultOf(rec resultRecord) (Result, error) {
 			DeadlineFactor: rec.DeadlineFactor,
 			Seed:           rec.Seed,
 			Zones:          rec.Zones,
+			Mapping:        rec.Mapping,
 		},
 		Algo:    rec.Algo,
 		Cost:    rec.Cost,

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/schedule"
+	"repro/internal/scherr"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -33,7 +34,7 @@ func RobustnessRuntime(ctx context.Context, specs []Spec, noiseLevels []float64,
 				return nil, err
 			}
 			if in.Prof == nil {
-				return nil, fmt.Errorf("experiments: robustness on %s: multi-zone specs are not supported (the replay simulator is single-zone)", spec)
+				return nil, fmt.Errorf("experiments: robustness on %s: multi-zone specs (the replay simulator is single-zone): %w", spec, scherr.ErrUnsupported)
 			}
 			plan, st, err := core.Run(ctx, in.Inst, in.Prof, opt)
 			if err != nil {
@@ -94,7 +95,7 @@ func RobustnessForecast(ctx context.Context, specs []Spec, errorLevels []float64
 				return nil, err
 			}
 			if in.Prof == nil {
-				return nil, fmt.Errorf("experiments: robustness on %s: multi-zone specs are not supported (the replay simulator is single-zone)", spec)
+				return nil, fmt.Errorf("experiments: robustness on %s: multi-zone specs (the replay simulator is single-zone): %w", spec, scherr.ErrUnsupported)
 			}
 			fe := sim.ForecastError{Base: base, Growth: base, Seed: spec.Seed}
 			forecast := fe.Forecast(in.Prof)

@@ -2,9 +2,11 @@ package experiments
 
 import (
 	"context"
+	"errors"
 	"testing"
 
 	"repro/internal/power"
+	"repro/internal/scherr"
 	"repro/internal/wfgen"
 )
 
@@ -50,6 +52,32 @@ func TestRobustnessForecast(t *testing.T) {
 	// the zero row is the hard guarantee; just require positivity here).
 	if v := mustFloat(t, tab.Rows[1][2]); v < 0 {
 		t.Errorf("regret = %v", v)
+	}
+}
+
+// TestRobustnessRejectsMultiZoneSpecs: the replay simulator is
+// single-zone, so both robustness drivers must refuse multi-zone specs
+// with the stable "unsupported" classification (errors.Is +
+// machine-readable code) instead of a bare error.
+func TestRobustnessRejectsMultiZoneSpecs(t *testing.T) {
+	multi := []Spec{{Family: wfgen.Bacass, N: 40, Cluster: Small, Scenario: power.S1,
+		DeadlineFactor: 2, Seed: 11, Zones: 2}}
+	_, err := RobustnessRuntime(context.Background(), multi, []float64{0}, 0)
+	if err == nil {
+		t.Fatal("runtime driver accepted a multi-zone spec")
+	}
+	if !errors.Is(err, scherr.ErrUnsupported) {
+		t.Errorf("runtime driver error %v does not unwrap to ErrUnsupported", err)
+	}
+	if code := scherr.Code(err); code != scherr.CodeUnsupported {
+		t.Errorf("runtime driver error code %q, want %q", code, scherr.CodeUnsupported)
+	}
+	_, err = RobustnessForecast(context.Background(), multi, []float64{0}, 0)
+	if err == nil {
+		t.Fatal("forecast driver accepted a multi-zone spec")
+	}
+	if !errors.Is(err, scherr.ErrUnsupported) || scherr.Code(err) != scherr.CodeUnsupported {
+		t.Errorf("forecast driver error %v lacks the unsupported classification", err)
 	}
 }
 

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -10,6 +11,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/schedule"
+	"repro/internal/scherr"
 )
 
 // BaselineName is the name of the carbon-unaware competitor.
@@ -144,22 +146,62 @@ func runOne(ctx context.Context, spec Spec, algos []Algorithm) ([]Result, error)
 			return nil, fmt.Errorf("experiments: %s on %s: %w", a.Name, spec, err)
 		}
 		start := time.Now()
-		s, err := a.Run(ctx, in)
+		cost, err := runBest(ctx, in, a)
 		elapsed := time.Since(start)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s on %s: %w", a.Name, spec, err)
 		}
-		if err := schedule.Validate(in.Inst, s, in.Zones.T()); err != nil {
-			return nil, fmt.Errorf("experiments: %s on %s produced invalid schedule: %w", a.Name, spec, err)
-		}
 		rs = append(rs, Result{
 			Spec:    spec,
 			Algo:    a.Name,
-			Cost:    schedule.CarbonCostZones(in.Inst, s, in.Zones),
+			Cost:    cost,
 			Elapsed: elapsed,
 		})
 	}
 	return rs, nil
+}
+
+// runBest executes the algorithm on the instance and returns the carbon
+// cost of its validated schedule. On a map-search instance it runs the
+// algorithm once per candidate mapping — every candidate sees the same
+// per-zone supply — and keeps the lowest feasible cost, skipping
+// candidates that cannot meet the deadline (if none can, the first
+// error is returned). Cancellation always aborts immediately.
+func runBest(ctx context.Context, in *Instance, a Algorithm) (int64, error) {
+	if len(in.Candidates) == 0 {
+		s, err := a.Run(ctx, in)
+		if err != nil {
+			return 0, err
+		}
+		if err := schedule.Validate(in.Inst, s, in.Zones.T()); err != nil {
+			return 0, fmt.Errorf("invalid schedule: %w", err)
+		}
+		return schedule.CarbonCostZones(in.Inst, s, in.Zones), nil
+	}
+	best := int64(-1)
+	var firstErr error
+	for _, cand := range in.Candidates {
+		ci := *in
+		ci.Inst = cand.Inst
+		ci.Candidates = nil
+		cost, err := runBest(ctx, &ci, a)
+		if err != nil {
+			if errors.Is(err, scherr.ErrCanceled) || ctx.Err() != nil {
+				return 0, err
+			}
+			if firstErr == nil {
+				firstErr = fmt.Errorf("mapping %s: %w", cand.Mapping, err)
+			}
+			continue
+		}
+		if best < 0 || cost < best {
+			best = cost
+		}
+	}
+	if best < 0 {
+		return 0, fmt.Errorf("no feasible candidate mapping: %w", firstErr)
+	}
+	return best, nil
 }
 
 // grid organizes results as instance-major cost rows over a fixed

@@ -11,7 +11,6 @@ import (
 	"time"
 
 	"repro/internal/rng"
-	"repro/internal/schedule"
 	"repro/internal/scherr"
 )
 
@@ -70,6 +69,39 @@ func MultiZoneGrid(maxTasks int, baseSeed uint64, replicates, zones int, algos [
 		for _, spec := range MultiZoneCorpus(maxTasks, ReplicateSeed(baseSeed, r), zones) {
 			for _, a := range algos {
 				jobs = append(jobs, Job{Spec: spec, Algo: a})
+			}
+		}
+	}
+	return jobs
+}
+
+// MappingGrid is the mapping-ablation extension of MultiZoneGrid: every
+// cell of the multi-zone grid is replicated once per requested mapping
+// ("" or "fixed" keeps the legacy fixed-HEFT cell and its job key; policy
+// names and MapSearch append /m<mapping> to the key). All mappings of a
+// cell schedule against the identical per-zone supply, so their costs are
+// directly comparable.
+func MappingGrid(maxTasks int, baseSeed uint64, replicates, zones int, mappings, algos []string) []Job {
+	if replicates < 1 {
+		replicates = 1
+	}
+	if len(mappings) == 0 {
+		mappings = []string{""}
+	}
+	var jobs []Job
+	for r := 0; r < replicates; r++ {
+		for _, spec := range MultiZoneCorpus(maxTasks, ReplicateSeed(baseSeed, r), zones) {
+			// Mapping-major inside each cell, so consecutive jobs still
+			// share one buildable instance (the sweep groups by spec).
+			for _, m := range mappings {
+				if m == "fixed" {
+					m = ""
+				}
+				sp := spec
+				sp.Mapping = m
+				for _, a := range algos {
+					jobs = append(jobs, Job{Spec: sp, Algo: a})
+				}
 			}
 		}
 	}
@@ -288,9 +320,10 @@ func runJob(ctx context.Context, in *Instance, a Algorithm, timeout time.Duratio
 }
 
 // runJobDirect measures only the scheduling time, excluding instance
-// construction, matching the paper's running-time methodology. wasCanceled
-// reports that the failure was the job context's own cancellation (not a
-// panic or scheduler error).
+// construction, matching the paper's running-time methodology (map-search
+// jobs time all candidate mappings — the search is the algorithm).
+// wasCanceled reports that the failure was the job context's own
+// cancellation (not a panic or scheduler error).
 func runJobDirect(ctx context.Context, in *Instance, a Algorithm) (cost int64, elapsed time.Duration, errMsg string, wasCanceled bool) {
 	start := time.Now()
 	defer func() {
@@ -300,13 +333,10 @@ func runJobDirect(ctx context.Context, in *Instance, a Algorithm) (cost int64, e
 			wasCanceled = false
 		}
 	}()
-	s, err := a.Run(ctx, in)
+	cost, err := runBest(ctx, in, a)
 	elapsed = time.Since(start)
 	if err != nil {
 		return 0, elapsed, err.Error(), errors.Is(err, scherr.ErrCanceled) || errors.Is(err, ctx.Err())
 	}
-	if err := schedule.Validate(in.Inst, s, in.Zones.T()); err != nil {
-		return 0, elapsed, fmt.Sprintf("invalid schedule: %v", err), false
-	}
-	return schedule.CarbonCostZones(in.Inst, s, in.Zones), elapsed, "", false
+	return cost, elapsed, "", false
 }

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/dag"
 	"repro/internal/platform"
+	"repro/internal/power"
 )
 
 // Policy selects the processor-selection rule of the mapping pass.
@@ -35,6 +36,17 @@ const (
 	// the most aggressive green policy and can lengthen the makespan
 	// considerably.
 	EnergyPerWork
+	// ZoneGreen minimizes finish_time × (1 + alpha·(1 − avail)) where
+	// avail ∈ [0, 1] is the candidate processor's *zone* green availability
+	// over the task's tentative window [start, finish): the zone profile's
+	// green energy in the window divided by its peak budget times the
+	// window length. On a flat (constant) single-zone supply avail is
+	// identical for every candidate, so ZoneGreen degenerates to EFT.
+	ZoneGreen
+	// ZoneEnergyPerWork minimizes task energy × (1 + alpha·(1 − avail)),
+	// breaking ties by finish time: EnergyPerWork steered away from
+	// zones that are brown during the task's tentative window.
+	ZoneEnergyPerWork
 )
 
 // String returns a short identifier for result tables.
@@ -46,19 +58,56 @@ func (p Policy) String() string {
 		return "lowpower"
 	case EnergyPerWork:
 		return "energy"
+	case ZoneGreen:
+		return "zonegreen"
+	case ZoneEnergyPerWork:
+		return "zoneenergy"
 	default:
 		return fmt.Sprintf("Policy(%d)", int(p))
 	}
 }
 
-// Policies lists all mapping policies.
+// Valid reports whether p is a known policy.
+func (p Policy) Valid() bool { return p >= EFT && p <= ZoneEnergyPerWork }
+
+// ZoneAware reports whether the policy consults the per-zone green power
+// forecast (and therefore requires Options.Zones).
+func (p Policy) ZoneAware() bool { return p == ZoneGreen || p == ZoneEnergyPerWork }
+
+// ParsePolicy resolves a policy name as printed by String. It is the
+// parser behind the CLIs' and the wire format's mapping field.
+func ParsePolicy(name string) (Policy, error) {
+	for _, p := range AllPolicies() {
+		if p.String() == name {
+			return p, nil
+		}
+	}
+	if name == "eft" { // common alias for the classic mapping
+		return EFT, nil
+	}
+	return 0, fmt.Errorf("greenheft: unknown mapping policy %q (want heft, lowpower, energy, zonegreen or zoneenergy)", name)
+}
+
+// Policies lists the zone-blind mapping policies (the Section 7 set).
 func Policies() []Policy { return []Policy{EFT, LowPower, EnergyPerWork} }
+
+// AllPolicies lists every mapping policy including the zone-aware ones,
+// the candidate set of the map-search pipeline.
+func AllPolicies() []Policy {
+	return []Policy{EFT, LowPower, EnergyPerWork, ZoneGreen, ZoneEnergyPerWork}
+}
 
 // Options tunes the mapping pass.
 type Options struct {
 	Policy Policy
-	// Alpha is the power exponent of the LowPower policy (default 1).
+	// Alpha is the power exponent of the LowPower policy and the blend
+	// weight of the zone-aware policies (0 means the default of 1).
 	Alpha float64
+	// Zones is the per-zone green power forecast consulted by the
+	// zone-aware policies (required for them, ignored by the others).
+	// A multi-zone set must carry one zone per cluster zone,
+	// index-matched; windows beyond the forecast horizon count as brown.
+	Zones *power.ZoneSet
 }
 
 // Result mirrors heft.Result: the fixed mapping, ordering and reference
@@ -87,6 +136,21 @@ func Schedule(d *dag.DAG, c *platform.Cluster, opt Options) (*Result, error) {
 	P := c.NumCompute()
 	if P == 0 {
 		return nil, fmt.Errorf("greenheft: cluster has no compute processors")
+	}
+	if !opt.Policy.Valid() {
+		return nil, fmt.Errorf("greenheft: unknown policy %d", int(opt.Policy))
+	}
+	if opt.Policy.ZoneAware() {
+		if opt.Zones == nil {
+			return nil, fmt.Errorf("greenheft: policy %s needs a per-zone power forecast (Options.Zones)", opt.Policy)
+		}
+		if err := opt.Zones.Validate(); err != nil {
+			return nil, fmt.Errorf("greenheft: %w", err)
+		}
+		if !opt.Zones.Single() && opt.Zones.NumZones() != c.NumZones() {
+			return nil, fmt.Errorf("greenheft: %d power zones for a cluster with %d zones",
+				opt.Zones.NumZones(), c.NumZones())
+		}
 	}
 	alpha := opt.Alpha
 	if alpha == 0 {
@@ -160,7 +224,11 @@ func Schedule(d *dag.DAG, c *platform.Cluster, opt Options) (*Result, error) {
 			start := insertionStart(timeline[p], ready, dur)
 			finish := start + dur
 			pw := c.Proc(p).Type.Idle + c.Proc(p).Type.Work
-			obj := objective(opt.Policy, alpha, finish, dur, pw)
+			avail := 0.0
+			if opt.Policy.ZoneAware() {
+				avail = zoneAvail(c, opt.Zones, p, start, finish)
+			}
+			obj := objective(opt.Policy, alpha, finish, dur, pw, avail)
 			if bestProc == -1 || obj < bestObjective ||
 				(obj == bestObjective && finish < bestFinish) {
 				bestProc, bestStart, bestFinish, bestObjective = p, start, finish, obj
@@ -183,7 +251,7 @@ func Schedule(d *dag.DAG, c *platform.Cluster, opt Options) (*Result, error) {
 	return res, nil
 }
 
-func objective(policy Policy, alpha float64, finish, dur, power int64) float64 {
+func objective(policy Policy, alpha float64, finish, dur, power int64, avail float64) float64 {
 	switch policy {
 	case EFT:
 		return float64(finish)
@@ -191,9 +259,62 @@ func objective(policy Policy, alpha float64, finish, dur, power int64) float64 {
 		return float64(finish) * pow(float64(power), alpha)
 	case EnergyPerWork:
 		return float64(dur * power)
+	case ZoneGreen:
+		return float64(finish) * (1 + alpha*(1-avail))
+	case ZoneEnergyPerWork:
+		return float64(dur*power) * (1 + alpha*(1-avail))
 	default:
 		panic("greenheft: unknown policy")
 	}
+}
+
+// zoneAvail is the green availability of processor p's zone over the
+// window [start, finish): the zone profile's green energy inside the
+// window divided by the peak budget times the full window length, so
+// time beyond the forecast horizon counts as brown. On a single-zone
+// set every processor reads zone 0, whatever the cluster's layout
+// (the schedule.NodeZone convention).
+func zoneAvail(c *platform.Cluster, zs *power.ZoneSet, p int, start, finish int64) float64 {
+	z := 0
+	if !zs.Single() {
+		z = c.ZoneOf(p)
+	}
+	prof := zs.Profile(z)
+	denom := prof.MaxBudget() * (finish - start)
+	if denom <= 0 {
+		return 0
+	}
+	return float64(greenEnergy(prof, start, finish)) / float64(denom)
+}
+
+// greenEnergy sums budget × length over the profile's overlap with
+// [from, to); the part of the window outside [0, T) contributes nothing.
+func greenEnergy(p *power.Profile, from, to int64) int64 {
+	if from < 0 {
+		from = 0
+	}
+	if T := p.T(); to > T {
+		to = T
+	}
+	if from >= to {
+		return 0
+	}
+	var sum int64
+	for j := p.IndexAt(from); j < len(p.Intervals); j++ {
+		iv := p.Intervals[j]
+		lo, hi := iv.Start, iv.End
+		if lo < from {
+			lo = from
+		}
+		if hi > to {
+			hi = to
+		}
+		if lo >= hi {
+			break
+		}
+		sum += iv.Budget * (hi - lo)
+	}
+	return sum
 }
 
 // pow is a minimal positive-base power function (x > 0); alpha is small

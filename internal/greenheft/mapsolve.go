@@ -1,0 +1,123 @@
+package greenheft
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/ceg"
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/platform"
+	"repro/internal/power"
+	"repro/internal/schedule"
+	"repro/internal/scherr"
+)
+
+// MapAndSolve is the two-pass mapping search: map the workflow under K
+// candidate policies, run the zone-aware CaWoSched scheduler on each
+// mapping against the same per-zone supply, and keep the lowest-carbon
+// feasible plan. Because the classic EFT mapping is always among the
+// candidates, the result is never worse than fixed-mapping scheduling on
+// the same instance: a mapping whose ASAP makespan exceeds the horizon is
+// simply infeasible and skipped (recorded in-band in Outcomes).
+
+// MapInstance maps the workflow under the given options and builds the
+// communication-enhanced scheduling instance from the result — the
+// mapping→instance step shared by the solver's plan memo, the facade's
+// PlanGreenZones, the experiment drivers, and MapAndSolve below.
+func MapInstance(d *dag.DAG, c *platform.Cluster, opt Options) (*ceg.Instance, error) {
+	m, err := Schedule(d, c, opt)
+	if err != nil {
+		return nil, err
+	}
+	return ceg.Build(d, ceg.FromHEFT(m.Proc, m.Order, m.Finish), c)
+}
+
+// MapSolveOptions tunes the two-pass search.
+type MapSolveOptions struct {
+	// Policies is the candidate set (nil means AllPolicies, which always
+	// contains EFT so the fixed-mapping baseline competes too).
+	Policies []Policy
+	// Alpha is the mapping blend weight (see Options.Alpha).
+	Alpha float64
+	// Sched selects the CaWoSched variant of the second pass.
+	Sched core.Options
+	// Marginal switches the second pass to the exact-marginal greedy.
+	Marginal bool
+}
+
+// PolicyOutcome records one candidate's fate, feasible or not.
+type PolicyOutcome struct {
+	Policy Policy
+	D      int64  // ASAP makespan of the candidate mapping
+	Cost   int64  // carbon cost of its schedule (valid when Err == "")
+	Err    string // infeasibility or scheduling failure, in-band
+}
+
+// MapSolveResult is the winning plan plus the per-candidate audit trail.
+type MapSolveResult struct {
+	Policy   Policy             // the winning mapping policy
+	Inst     *ceg.Instance      // the winning scheduling instance
+	Schedule *schedule.Schedule // its carbon-aware schedule
+	Stats    core.Stats
+	Cost     int64
+	D        int64 // ASAP makespan of the winning mapping
+	Outcomes []PolicyOutcome
+}
+
+// MapAndSolve runs the two-pass pipeline for the workflow on the cluster
+// against the per-zone supply zs (whose common horizon is the deadline).
+// Candidates that cannot meet the deadline are skipped; if none can, the
+// first candidate's error is returned. Canceling ctx aborts the search.
+func MapAndSolve(ctx context.Context, d *dag.DAG, c *platform.Cluster, zs *power.ZoneSet, opt MapSolveOptions) (*MapSolveResult, error) {
+	policies := opt.Policies
+	if len(policies) == 0 {
+		policies = AllPolicies()
+	}
+	if zs == nil {
+		return nil, fmt.Errorf("greenheft: MapAndSolve needs a per-zone power supply")
+	}
+	res := &MapSolveResult{}
+	var firstErr error
+	for _, pol := range policies {
+		if err := scherr.Canceled(ctx.Err()); err != nil {
+			return nil, err
+		}
+		out := PolicyOutcome{Policy: pol}
+		inst, err := MapInstance(d, c, Options{Policy: pol, Alpha: opt.Alpha, Zones: zs})
+		if err != nil {
+			return nil, err // a mapping failure is structural, not per-candidate
+		}
+		out.D = core.ASAPMakespan(inst)
+		var s *schedule.Schedule
+		var st core.Stats
+		if opt.Marginal {
+			s, st, err = core.RunMarginalZones(ctx, inst, zs, opt.Sched)
+		} else {
+			s, st, err = core.RunZones(ctx, inst, zs, opt.Sched)
+		}
+		switch {
+		case errors.Is(err, scherr.ErrCanceled):
+			return nil, err
+		case err != nil:
+			// Typically ErrInfeasibleDeadline: this mapping cannot meet
+			// the horizon. Record it and let the other candidates compete.
+			out.Err = err.Error()
+			if firstErr == nil {
+				firstErr = err
+			}
+		default:
+			out.Cost = st.Cost
+			if res.Schedule == nil || st.Cost < res.Cost {
+				res.Policy, res.Inst, res.Schedule = pol, inst, s
+				res.Stats, res.Cost, res.D = st, st.Cost, out.D
+			}
+		}
+		res.Outcomes = append(res.Outcomes, out)
+	}
+	if res.Schedule == nil {
+		return nil, fmt.Errorf("greenheft: no candidate mapping is feasible: %w", firstErr)
+	}
+	return res, nil
+}

@@ -27,6 +27,10 @@ const (
 	// target cluster). Produced by the HTTP layer and by solver request
 	// validation (ErrInvalidRequest).
 	CodeInvalidRequest = "invalid_request"
+	// CodeUnsupported: the request is well-formed but names a capability
+	// the addressed component does not implement (ErrUnsupported), e.g.
+	// a multi-zone spec handed to the single-zone replay simulator.
+	CodeUnsupported = "unsupported"
 	// CodeInternal: any failure the taxonomy does not classify.
 	CodeInternal = "internal"
 )
@@ -43,6 +47,8 @@ func Code(err error) string {
 		return CodeUnknownVariant
 	case errors.Is(err, ErrInvalidRequest):
 		return CodeInvalidRequest
+	case errors.Is(err, ErrUnsupported):
+		return CodeUnsupported
 	case errors.Is(err, ErrInfeasibleDeadline):
 		return CodeInfeasibleDeadline
 	case errors.Is(err, ErrBudgetExhausted):
@@ -72,6 +78,8 @@ func StatusForCode(code string) int {
 		return http.StatusBadRequest
 	case CodeInfeasibleDeadline, CodeBudgetExhausted:
 		return http.StatusUnprocessableEntity
+	case CodeUnsupported:
+		return http.StatusNotImplemented
 	case CodeDeadlineExceeded:
 		return http.StatusGatewayTimeout
 	case CodeCanceled:

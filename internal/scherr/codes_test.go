@@ -26,6 +26,8 @@ func TestCodeClassifiesTaxonomy(t *testing.T) {
 		{context.Canceled, CodeCanceled},
 		{&CanceledError{Cause: context.DeadlineExceeded}, CodeDeadlineExceeded},
 		{context.DeadlineExceeded, CodeDeadlineExceeded},
+		{ErrUnsupported, CodeUnsupported},
+		{fmt.Errorf("replay simulator is single-zone: %w", ErrUnsupported), CodeUnsupported},
 		{errors.New("disk on fire"), ""},
 	}
 	for _, c := range cases {
@@ -46,6 +48,7 @@ func TestHTTPStatusMapping(t *testing.T) {
 		{&BudgetError{Nodes: 1}, http.StatusUnprocessableEntity},
 		{&CanceledError{Cause: context.Canceled}, StatusClientClosedRequest},
 		{&CanceledError{Cause: context.DeadlineExceeded}, http.StatusGatewayTimeout},
+		{ErrUnsupported, http.StatusNotImplemented},
 		{errors.New("unclassified"), http.StatusInternalServerError},
 	}
 	for _, c := range cases {

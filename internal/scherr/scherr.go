@@ -34,6 +34,12 @@ var (
 	// does not match the cluster's) or otherwise malformed before any
 	// scheduling starts.
 	ErrInvalidRequest = errors.New("cawosched: invalid request")
+	// ErrUnsupported reports a well-formed request that names a feature
+	// the addressed component does not implement (e.g. the robustness
+	// replay simulator driven with a multi-zone spec). Unlike
+	// ErrInvalidRequest the input is not wrong — the capability is
+	// missing, so the stable code maps to HTTP 501.
+	ErrUnsupported = errors.New("cawosched: unsupported")
 )
 
 // InfeasibleDeadlineError pinpoints the node whose start window is empty

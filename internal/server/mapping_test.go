@@ -1,0 +1,165 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	cawosched "repro"
+	"repro/internal/wire"
+)
+
+// greenBrownServer serves the mapping acceptance scenario: a 2-zone
+// cluster of identical processors, zone 0 permanently brown, zone 1
+// permanently green (the anti-correlated extreme).
+func greenBrownServer(t *testing.T, cfg Config) *httptest.Server {
+	t.Helper()
+	cluster := cawosched.NewZonedCluster(
+		[]cawosched.ProcType{{Name: "A", Speed: 8, Idle: 1, Work: 10}},
+		[]int{4}, []int{0, 0, 1, 1}, 1)
+	ts := httptest.NewServer(New(cawosched.NewSolver(cluster), cfg))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func greenBrownRequest(mapping string) *wire.SolveRequest {
+	tasks := make([]wire.Task, 6)
+	for i := range tasks {
+		tasks[i] = wire.Task{Weight: 32}
+	}
+	mk := func(b int64) *wire.Profile {
+		return &wire.Profile{Intervals: []wire.Interval{{Start: 0, End: 48, Budget: b}}}
+	}
+	return &wire.SolveRequest{
+		Workflow: &wire.DAG{Tasks: tasks},
+		Variant:  "pressWR-LS",
+		Mapping:  mapping,
+		Zones: []wire.Zone{
+			{Name: "brown", Profile: mk(0)},
+			{Name: "green", Profile: mk(100)},
+		},
+	}
+}
+
+// TestServerMapSearchEndToEnd is the POST /v1/solve half of the
+// anti-correlated integration test: mapping "map-search" must report a
+// zone-aware winning policy, strictly beat the fixed-mapping solve of the
+// identical request, and shift the scheduled work into the green zone.
+func TestServerMapSearchEndToEnd(t *testing.T) {
+	ts := greenBrownServer(t, Config{})
+	solve := func(mapping string) *wire.SolveResponse {
+		t.Helper()
+		resp, raw := postJSON(t, ts.Client(), ts.URL+"/v1/solve", greenBrownRequest(mapping))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d: %s", resp.StatusCode, raw)
+		}
+		var out wire.SolveResponse
+		if err := json.Unmarshal(raw, &out); err != nil {
+			t.Fatal(err)
+		}
+		return &out
+	}
+
+	fixed := solve("")
+	if fixed.Mapping != "heft" {
+		t.Errorf("fixed solve reports mapping %q, want heft", fixed.Mapping)
+	}
+	ms := solve("map-search")
+	if ms.Cost >= fixed.Cost {
+		t.Fatalf("map-search cost %d, fixed %d: want a strict improvement", ms.Cost, fixed.Cost)
+	}
+	pol, err := cawosched.ParseMappingPolicy(ms.Mapping)
+	if err != nil || !pol.ZoneAware() {
+		t.Errorf("winning mapping %q (%v), want a zone-aware policy", ms.Mapping, err)
+	}
+	// Placement: the bulk of the scheduled busy time runs on green-zone
+	// processors (ids 2 and 3).
+	var green, total int64
+	for _, e := range ms.Schedule {
+		dur := e.End - e.Start
+		total += dur
+		if e.Proc == 2 || e.Proc == 3 {
+			green += dur
+		}
+	}
+	if total == 0 || float64(green)/float64(total) < 0.8 {
+		t.Errorf("map-search placed %d of %d busy time in the green zone", green, total)
+	}
+	// Per-zone accounting still sums to the total.
+	var sum int64
+	for _, z := range ms.Zones {
+		sum += z.Cost
+	}
+	if sum != ms.Cost {
+		t.Errorf("zone costs sum to %d, want %d", sum, ms.Cost)
+	}
+	// The identical request is a solve-cache hit with the same winner.
+	again := solve("map-search")
+	if !again.CacheHit || again.Mapping != ms.Mapping || again.Cost != ms.Cost {
+		t.Errorf("repeat map-search: hit=%v mapping %q cost %d", again.CacheHit, again.Mapping, again.Cost)
+	}
+}
+
+// TestServerUnknownMappingRejected: an unknown mapping spelling is a 400
+// with the stable invalid_request code, for /v1/solve and in-band for
+// batch items.
+func TestServerUnknownMappingRejected(t *testing.T) {
+	ts := greenBrownServer(t, Config{})
+	resp, raw := postJSON(t, ts.Client(), ts.URL+"/v1/solve", greenBrownRequest("bogus"))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400: %s", resp.StatusCode, raw)
+	}
+	var werr wire.ErrorResponse
+	if err := json.Unmarshal(raw, &werr); err != nil {
+		t.Fatal(err)
+	}
+	if werr.Error == nil || werr.Error.Code != "invalid_request" {
+		t.Errorf("error body %s, want code invalid_request", raw)
+	}
+
+	resp, raw = postJSON(t, ts.Client(), ts.URL+"/v1/solve/batch", &wire.BatchRequest{
+		Requests: []wire.SolveRequest{*greenBrownRequest("bogus"), *greenBrownRequest("zonegreen")},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status %d: %s", resp.StatusCode, raw)
+	}
+	var batch wire.BatchResponse
+	if err := json.Unmarshal(raw, &batch); err != nil {
+		t.Fatal(err)
+	}
+	if batch.Results[0].Error == nil || batch.Results[0].Error.Code != "invalid_request" {
+		t.Errorf("batch item 0: %+v, want in-band invalid_request", batch.Results[0])
+	}
+	if batch.Results[1].Error != nil || batch.Results[1].Response.Mapping != "zonegreen" {
+		t.Errorf("batch item 1: %+v, want a zonegreen solve", batch.Results[1])
+	}
+}
+
+// TestServerDefaultMapping: a Config.DefaultMapping applies to requests
+// that leave the mapping field empty, and explicit fields still win.
+func TestServerDefaultMapping(t *testing.T) {
+	ts := greenBrownServer(t, Config{DefaultMapping: "map-search"})
+	resp, raw := postJSON(t, ts.Client(), ts.URL+"/v1/solve", greenBrownRequest(""))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	var out wire.SolveResponse
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	pol, err := cawosched.ParseMappingPolicy(out.Mapping)
+	if err != nil || !pol.ZoneAware() {
+		t.Errorf("default map-search returned mapping %q", out.Mapping)
+	}
+	resp, raw = postJSON(t, ts.Client(), ts.URL+"/v1/solve", greenBrownRequest("heft"))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Mapping != "heft" {
+		t.Errorf("explicit heft overridden by the default: %q", out.Mapping)
+	}
+}

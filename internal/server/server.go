@@ -56,6 +56,11 @@ type Config struct {
 	MaxBatch int
 	// MaxBodyBytes caps request body sizes (default 8 MiB).
 	MaxBodyBytes int64
+	// DefaultMapping is applied to requests that leave the "mapping"
+	// field empty: a mapping policy name or "map-search". Empty keeps the
+	// paper's fixed HEFT mapping. The spelling is validated per request
+	// (cmd/schedd validates the flag at startup).
+	DefaultMapping string
 }
 
 const (
@@ -213,7 +218,8 @@ func errorBody(err error) *wire.Error {
 }
 
 // buildRequest converts a wire solve request into a solver request.
-func buildRequest(wreq *wire.SolveRequest) (cawosched.Request, error) {
+// defaultMapping fills an empty "mapping" field before parsing.
+func buildRequest(wreq *wire.SolveRequest, defaultMapping string) (cawosched.Request, error) {
 	var req cawosched.Request
 	if wreq.Workflow == nil {
 		return req, fmt.Errorf("missing workflow")
@@ -225,6 +231,14 @@ func buildRequest(wreq *wire.SolveRequest) (cawosched.Request, error) {
 	req.Workflow = wf
 	req.Variant = wreq.Variant
 	req.Marginal = wreq.Marginal
+	mapping := wreq.Mapping
+	if mapping == "" {
+		mapping = defaultMapping
+	}
+	req.MappingPolicy, req.MapSearch, err = cawosched.ParseMapping(mapping)
+	if err != nil {
+		return req, err
+	}
 	req.DeadlineFactor = wreq.DeadlineFactor
 	req.Intervals = wreq.Intervals
 	req.Seed = wreq.Seed
@@ -268,6 +282,7 @@ func buildResponse(res *cawosched.Response) *wire.SolveResponse {
 	zones := schedule.CostBreakdownZones(res.Instance, res.Schedule, res.Zones)
 	out := &wire.SolveResponse{
 		Variant:      res.Variant,
+		Mapping:      res.Mapping,
 		ASAPMakespan: res.D,
 		Deadline:     res.Deadline,
 		Cost:         res.Cost,
@@ -294,7 +309,7 @@ func (s *Server) solveOne(ctx context.Context, wreq *wire.SolveRequest) (resp *w
 			werr = &wire.Error{Code: scherr.CodeInternal, Message: fmt.Sprintf("panic: %v", p)}
 		}
 	}()
-	req, err := buildRequest(wreq)
+	req, err := buildRequest(wreq, s.cfg.DefaultMapping)
 	if err != nil {
 		return nil, &wire.Error{Code: scherr.CodeInvalidRequest, Message: err.Error()}
 	}

@@ -14,6 +14,13 @@ type SolveRequest struct {
 	// Variant is a canonical registry name ("slack" … "pressWR-LS");
 	// empty selects the server's default variant.
 	Variant string `json:"variant,omitempty"`
+	// Mapping selects the first-pass mapping of the workflow: a policy
+	// name ("heft", "lowpower", "energy", "zonegreen", "zoneenergy") or
+	// "map-search" for the two-pass search that keeps the lowest-carbon
+	// feasible plan. Empty selects the server's default mapping (the
+	// paper's fixed HEFT mapping unless configured otherwise); unknown
+	// spellings are rejected with code "invalid_request".
+	Mapping string `json:"mapping,omitempty"`
 	// Marginal switches to the exact-marginal-cost greedy.
 	Marginal bool `json:"marginal,omitempty"`
 
@@ -45,6 +52,7 @@ type SolveRequest struct {
 // costs, and the per-interval carbon breakdown.
 type SolveResponse struct {
 	Variant      string `json:"variant"`
+	Mapping      string `json:"mapping"`       // mapping policy of the plan (the winner for map-search)
 	ASAPMakespan int64  `json:"asap_makespan"` // D, the tightest feasible deadline
 	Deadline     int64  `json:"deadline"`      // deadline actually used (profile horizon)
 	Cost         int64  `json:"cost"`          // carbon cost of the schedule

@@ -3,11 +3,13 @@ package cawosched
 import (
 	"container/list"
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/greenheft"
 	"repro/internal/power"
 	"repro/internal/schedule"
 	"repro/internal/scherr"
@@ -105,6 +107,18 @@ type Request struct {
 	// (length must equal the cluster's zone count); it overrides Scenario
 	// and is ignored when Zones or Profile is set.
 	ZoneScenarios []Scenario
+	// MappingPolicy selects the first-pass mapping of the workflow: the
+	// zero value (MapEFT) is the paper's carbon-blind HEFT mapping; the
+	// other policies trade finish time against power draw or the zone
+	// intensity forecast (see internal/greenheft). Requires a Workflow
+	// request (prebuilt instances carry their mapping already).
+	MappingPolicy MappingPolicy
+	// MapSearch runs the two-pass mapping search instead: map under every
+	// candidate policy, schedule each mapping, keep the lowest-carbon
+	// feasible plan. It overrides MappingPolicy; the winning policy is
+	// reported in Response.Mapping.
+	MapSearch bool
+
 	// DeadlineFactor sets the deadline T = factor·D where D is the ASAP
 	// makespan; 0 means the paper's default tolerance of 2. Values below 1
 	// are rejected (T < D is infeasible by construction).
@@ -123,6 +137,7 @@ type Response struct {
 	Profile  *Profile  // Zones' only profile for single-zone solves; nil otherwise
 	Stats    Stats     // scheduler instrumentation; Stats.Cost == Cost
 	Variant  string    // canonical name of the variant that ran
+	Mapping  string    // mapping policy of the plan ("heft" unless requested otherwise; the winner for map-search)
 	D        int64     // ASAP makespan (tightest feasible deadline)
 	Deadline int64     // deadline actually used (the profile horizon)
 	Cost     int64     // carbon cost of Schedule
@@ -151,7 +166,7 @@ type Solver struct {
 	cluster *Cluster
 
 	mu    sync.Mutex
-	plans map[uint64]*planEntry
+	plans map[planKey]*planEntry
 
 	// Second cache level: whole solve responses, LRU-bounded, keyed by
 	// (workflow fingerprint, profile digest, deadline, normalized options,
@@ -177,23 +192,43 @@ const maxPlans = 4096
 // defaultSolveCache bounds the solve-response cache (LRU entries).
 const defaultSolveCache = 4096
 
+// planKey identifies one memoized plan: which workflow, under which
+// mapping policy, against which zone forecast (zone-aware policies map
+// differently under different supplies; zone-blind policies — including
+// the legacy HEFT mapping — key with a zero digest, so they share one
+// plan across supplies exactly as before the mapping layer).
+type planKey struct {
+	fp     uint64
+	policy greenheft.Policy
+	zd     uint64
+}
+
 // planEntry is a once-built memoized plan; concurrent requests for the
-// same fingerprint block on the first build instead of duplicating it.
-// The source workflow is retained to guard against fingerprint collisions,
-// and the ASAP schedule / makespan D — pure functions of the instance that
-// every Solve needs — are computed once alongside it.
+// same key block on the first build instead of duplicating it. The source
+// workflow (and, for zone-aware policies, the zone set) is retained to
+// guard against digest collisions, and the ASAP schedule / makespan D —
+// pure functions of the instance that every Solve needs — are computed
+// once alongside it.
 type planEntry struct {
-	once sync.Once
-	wf   *DAG
-	inst *Instance
-	asap *Schedule
-	d    int64
-	err  error
+	once   sync.Once
+	wf     *DAG
+	policy greenheft.Policy
+	zones  *ZoneSet // nil for zone-blind policies
+	inst   *Instance
+	asap   *Schedule
+	d      int64
+	err    error
 }
 
 func (e *planEntry) build(cluster *Cluster) {
 	e.once.Do(func() {
-		e.inst, e.err = PlanHEFT(e.wf, cluster)
+		if e.policy == greenheft.EFT {
+			// Byte-for-byte the legacy path (greenheft's EFT is pinned
+			// identical to heft, but PlanHEFT keeps this explicit).
+			e.inst, e.err = PlanHEFT(e.wf, cluster)
+		} else {
+			e.inst, e.err = greenheft.MapInstance(e.wf, cluster, greenheft.Options{Policy: e.policy, Zones: e.zones})
+		}
 		if e.err == nil {
 			e.asap = ASAP(e.inst)
 			e.d = Makespan(e.inst, e.asap)
@@ -205,7 +240,7 @@ func (e *planEntry) build(cluster *Cluster) {
 func NewSolver(cluster *Cluster) *Solver {
 	return &Solver{
 		cluster:   cluster,
-		plans:     make(map[uint64]*planEntry),
+		plans:     make(map[planKey]*planEntry),
 		solveCap:  defaultSolveCache,
 		responses: make(map[solveKey]*solveEntry),
 		lru:       list.New(),
@@ -234,7 +269,7 @@ func (s *Solver) Stats() SolverStats {
 // workflows). Counters and the solve-response cache are unaffected.
 func (s *Solver) ResetPlans() {
 	s.mu.Lock()
-	s.plans = make(map[uint64]*planEntry)
+	s.plans = make(map[planKey]*planEntry)
 	s.mu.Unlock()
 }
 
@@ -245,11 +280,13 @@ func (s *Solver) ResetPlans() {
 // deadline is kept explicitly for clarity and as an extra collision bit),
 // with which fully-normalized variant configuration.
 type solveKey struct {
-	fp       uint64  // workflow fingerprint
-	digest   uint64  // power zone-set digest
-	deadline int64   // horizon T
-	opt      Options // normalized: defaults applied to K and Mu
-	marginal bool    // budget-based vs exact-marginal greedy
+	fp        uint64           // workflow fingerprint
+	digest    uint64           // power zone-set digest
+	deadline  int64            // horizon T
+	opt       Options          // normalized: defaults applied to K and Mu
+	marginal  bool             // budget-based vs exact-marginal greedy
+	policy    greenheft.Policy // first-pass mapping policy (EFT under map-search)
+	mapSearch bool             // two-pass mapping search
 }
 
 // solveEntry is one cached response. The stored Response owns private
@@ -347,33 +384,50 @@ func (s *Solver) solveCachePut(key solveKey, wf *DAG, zones *ZoneSet, resp *Resp
 	s.responses[key] = e
 }
 
-// plan returns the memoized entry for the workflow, building it if needed.
+// plan returns the memoized legacy (HEFT) entry for the workflow.
 func (s *Solver) plan(ctx context.Context, wf *DAG) (*planEntry, bool, error) {
+	return s.planFor(ctx, wf, greenheft.EFT, nil)
+}
+
+// planFor returns the memoized entry for (workflow, mapping policy),
+// building it if needed. zones is consulted only by zone-aware policies:
+// it enters the key as the zone-set digest (with a structural collision
+// guard), because those policies map differently under different per-zone
+// forecasts.
+func (s *Solver) planFor(ctx context.Context, wf *DAG, pol greenheft.Policy, zones *ZoneSet) (*planEntry, bool, error) {
 	if wf == nil {
 		return nil, false, fmt.Errorf("cawosched: Plan: nil workflow")
 	}
 	if err := scherr.Canceled(ctx.Err()); err != nil {
 		return nil, false, err
 	}
-	fp := wf.Fingerprint()
+	var pz *ZoneSet
+	key := planKey{fp: wf.Fingerprint(), policy: pol}
+	if pol.ZoneAware() {
+		if zones == nil {
+			return nil, false, fmt.Errorf("cawosched: mapping policy %s needs a per-zone supply: %w", pol, ErrInvalidRequest)
+		}
+		pz = zones
+		key.zd = zones.Digest()
+	}
 	s.mu.Lock()
-	e, hit := s.plans[fp]
+	e, hit := s.plans[key]
 	if !hit {
-		e = &planEntry{wf: wf}
+		e = &planEntry{wf: wf, policy: pol, zones: pz}
 		if len(s.plans) >= maxPlans {
 			for k := range s.plans {
 				delete(s.plans, k)
 				break
 			}
 		}
-		s.plans[fp] = e
+		s.plans[key] = e
 	}
 	s.mu.Unlock()
-	if hit && !e.wf.Equal(wf) {
-		// Fingerprint collision: serve this workflow uncached rather than
-		// return another workflow's plan.
+	if hit && (!e.wf.Equal(wf) || (pz != nil && !pz.EqualZoneSet(e.zones))) {
+		// Fingerprint/digest collision: serve this request uncached rather
+		// than return another workflow's (or another forecast's) plan.
 		s.planMisses.Add(1)
-		e = &planEntry{wf: wf}
+		e = &planEntry{wf: wf, policy: pol, zones: pz}
 		e.build(s.cluster)
 		return e, false, e.err
 	}
@@ -520,10 +574,20 @@ func (s *Solver) Solve(ctx context.Context, req Request) (*Response, error) {
 	if err != nil {
 		return nil, err
 	}
+	pol := req.MappingPolicy
+	if !pol.Valid() {
+		return nil, fmt.Errorf("cawosched: unknown mapping policy %d: %w", int(pol), ErrInvalidRequest)
+	}
+	if req.Instance != nil && (req.MapSearch || pol != MapEFT) {
+		return nil, fmt.Errorf("cawosched: mapping options need a workflow request (prebuilt instances carry their mapping): %w", ErrInvalidRequest)
+	}
 
 	// Resolve the instance plus its ASAP schedule and makespan D — from
 	// the plan cache when the request names a workflow (one EST pass per
-	// workflow lifetime), computed directly for a prebuilt instance.
+	// workflow lifetime), computed directly for a prebuilt instance. The
+	// base (HEFT) plan anchors the horizon and the generated supply even
+	// when another mapping policy runs, so every candidate mapping of a
+	// request competes under the identical per-zone forecast.
 	var inst *Instance
 	var asap *Schedule
 	var D int64
@@ -549,18 +613,25 @@ func (s *Solver) Solve(ctx context.Context, req Request) (*Response, error) {
 		prof = zones.Profile(0)
 	}
 
-	// Second cache level: identical (workflow, zones, variant) requests
-	// are served straight from the solve-response cache. Prebuilt-instance
-	// requests are not cacheable (instances carry no fingerprint).
+	// Second cache level: identical (workflow, zones, mapping, variant)
+	// requests are served straight from the solve-response cache — before
+	// any non-EFT mapping pass runs, so a warmed hit never pays for
+	// rebuilding a mapped plan the stored response already embodies.
+	// Prebuilt-instance requests are not cacheable (instances carry no
+	// fingerprint).
 	var key solveKey
 	cacheable := req.Instance == nil
 	if cacheable {
 		key = solveKey{
-			fp:       req.Workflow.Fingerprint(),
-			digest:   zones.Digest(),
-			deadline: zones.T(),
-			opt:      normalizeOptions(opt),
-			marginal: req.Marginal,
+			fp:        req.Workflow.Fingerprint(),
+			digest:    zones.Digest(),
+			deadline:  zones.T(),
+			opt:       normalizeOptions(opt),
+			marginal:  req.Marginal,
+			mapSearch: req.MapSearch,
+		}
+		if !req.MapSearch {
+			key.policy = pol
 		}
 		if resp, ok := s.solveCacheGet(key, req.Workflow, zones); ok {
 			s.solveHits.Add(1)
@@ -572,31 +643,99 @@ func (s *Solver) Solve(ctx context.Context, req Request) (*Response, error) {
 		s.solveMisses.Add(1)
 	}
 
-	var sched *Schedule
-	var st Stats
-	if req.Marginal {
-		sched, st, err = core.RunMarginalZones(ctx, inst, zones, opt)
+	var resp *Response
+	if req.MapSearch {
+		resp, err = s.mapSearch(ctx, req, zones, opt, variant)
+		if err != nil {
+			return nil, err
+		}
+		resp.Profile = prof
+		resp.PlanHit = planHit
 	} else {
-		sched, st, err = core.RunZones(ctx, inst, zones, opt)
-	}
-	if err != nil {
-		return nil, err
-	}
-	resp := &Response{
-		Schedule: sched,
-		Instance: inst,
-		Zones:    zones,
-		Profile:  prof,
-		Stats:    st,
-		Variant:  variant,
-		D:        D,
-		Deadline: zones.T(),
-		Cost:     st.Cost,
-		ASAPCost: schedule.CarbonCostZones(inst, asap, zones),
-		PlanHit:  planHit,
+		if pol != MapEFT {
+			me, mhit, err := s.planFor(ctx, req.Workflow, pol, zones)
+			if err != nil {
+				return nil, err
+			}
+			inst, asap, D, planHit = me.inst, me.asap, me.d, mhit
+		}
+		sched, st, err := runCore(ctx, inst, zones, opt, req.Marginal)
+		if err != nil {
+			return nil, err
+		}
+		resp = &Response{
+			Schedule: sched,
+			Instance: inst,
+			Zones:    zones,
+			Profile:  prof,
+			Stats:    st,
+			Variant:  variant,
+			Mapping:  pol.String(),
+			D:        D,
+			Deadline: zones.T(),
+			Cost:     st.Cost,
+			ASAPCost: schedule.CarbonCostZones(inst, asap, zones),
+			PlanHit:  planHit,
+		}
 	}
 	if cacheable {
 		s.solveCachePut(key, req.Workflow, zones, resp)
 	}
 	return resp, nil
+}
+
+// runCore dispatches to the requested greedy flavor of the zone-aware
+// scheduler.
+func runCore(ctx context.Context, inst *Instance, zones *ZoneSet, opt Options, marginal bool) (*Schedule, Stats, error) {
+	if marginal {
+		return core.RunMarginalZones(ctx, inst, zones, opt)
+	}
+	return core.RunZones(ctx, inst, zones, opt)
+}
+
+// mapSearch is the two-pass pipeline inside Solve: schedule the workflow
+// under every candidate mapping policy (each plan memoized per (policy,
+// zone-digest)) against the shared supply and keep the lowest-carbon
+// feasible plan. Candidates that cannot meet the horizon are skipped; the
+// EFT candidate is feasible by construction whenever the supply was
+// generated from the request, so the search never returns a plan worse
+// than fixed-mapping scheduling.
+func (s *Solver) mapSearch(ctx context.Context, req Request, zones *ZoneSet, opt Options, variant string) (*Response, error) {
+	var best *Response
+	var firstErr error
+	for _, pol := range greenheft.AllPolicies() {
+		e, _, err := s.planFor(ctx, req.Workflow, pol, zones)
+		if err != nil {
+			return nil, err
+		}
+		sched, st, err := runCore(ctx, e.inst, zones, opt, req.Marginal)
+		switch {
+		case errors.Is(err, ErrCanceled):
+			return nil, err
+		case err != nil:
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if best != nil && st.Cost >= best.Cost {
+			continue
+		}
+		best = &Response{
+			Schedule: sched,
+			Instance: e.inst,
+			Zones:    zones,
+			Stats:    st,
+			Variant:  variant,
+			Mapping:  pol.String(),
+			D:        e.d,
+			Deadline: zones.T(),
+			Cost:     st.Cost,
+			ASAPCost: schedule.CarbonCostZones(e.inst, e.asap, zones),
+		}
+	}
+	if best == nil {
+		return nil, firstErr
+	}
+	return best, nil
 }
