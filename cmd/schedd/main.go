@@ -46,6 +46,7 @@ func main() {
 		seed        = flag.Uint64("seed", 42, "cluster link seed (ignored with -cluster-file)")
 		reqTimeout  = flag.Duration("request-timeout", 60*time.Second, "per-request solving deadline (0 = none)")
 		batchWork   = flag.Int("batch-workers", 0, "bounded worker pool for batched solves (0 = min(GOMAXPROCS, 16))")
+		searchWork  = flag.Int("search-workers", 0, "per-solve worker pool for the local search and the map-search fan-out (<= 1 = sequential; responses are identical at any count)")
 		maxBatch    = flag.Int("max-batch", 256, "maximum requests per batch body")
 		grace       = flag.Duration("shutdown-grace", 30*time.Second, "how long in-flight requests may finish after SIGINT/SIGTERM")
 		drainDelay  = flag.Duration("drain-delay", 0, "how long /healthz serves 503 (draining) before the listener closes, so load balancers can deregister")
@@ -54,7 +55,7 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, *addr, *clusterName, *clusterFile, *zones, *mapping, *seed, *reqTimeout, *batchWork, *maxBatch, *grace, *drainDelay, nil); err != nil {
+	if err := run(ctx, *addr, *clusterName, *clusterFile, *zones, *mapping, *seed, *reqTimeout, *batchWork, *searchWork, *maxBatch, *grace, *drainDelay, nil); err != nil {
 		fmt.Fprintln(os.Stderr, "schedd:", err)
 		os.Exit(1)
 	}
@@ -93,7 +94,7 @@ func buildCluster(clusterName, clusterFile string, zones int, seed uint64) (*caw
 // run serves until ctx is canceled, then drains gracefully. If ready is
 // non-nil it receives the bound address once the listener is up (tests
 // pass ":0" and read the actual port from it).
-func run(ctx context.Context, addr, clusterName, clusterFile string, zones int, mapping string, seed uint64, reqTimeout time.Duration, batchWork, maxBatch int, grace, drainDelay time.Duration, ready chan<- string) error {
+func run(ctx context.Context, addr, clusterName, clusterFile string, zones int, mapping string, seed uint64, reqTimeout time.Duration, batchWork, searchWork, maxBatch int, grace, drainDelay time.Duration, ready chan<- string) error {
 	cluster, label, err := buildCluster(clusterName, clusterFile, zones, seed)
 	if err != nil {
 		return err
@@ -113,6 +114,7 @@ func run(ctx context.Context, addr, clusterName, clusterFile string, zones int, 
 		BatchWorkers:   batchWork,
 		MaxBatch:       maxBatch,
 		DefaultMapping: mapping,
+		SearchWorkers:  searchWork,
 	})
 
 	ln, err := net.Listen("tcp", addr)

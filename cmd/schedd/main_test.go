@@ -68,7 +68,7 @@ func TestServeSmoke(t *testing.T) {
 	ready := make(chan string, 1)
 	done := make(chan error, 1)
 	go func() {
-		done <- run(ctx, "127.0.0.1:0", "small", "", 1, "", 7, 30*time.Second, 2, 16, 5*time.Second, 0, ready)
+		done <- run(ctx, "127.0.0.1:0", "small", "", 1, "", 7, 30*time.Second, 2, 2, 16, 5*time.Second, 0, ready)
 	}()
 
 	var addr string

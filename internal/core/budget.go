@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"repro/internal/power"
@@ -40,21 +41,38 @@ const (
 // (0, T) are ignored.
 func newBudgets(prof *power.Profile, extra []int64) *budgets {
 	T := prof.T()
-	pts := make([]int64, 0, prof.J()+len(extra))
-	for _, iv := range prof.Intervals {
-		pts = append(pts, iv.Start)
-	}
+	// The refined subdivision arrives already sorted and deduplicated
+	// (sortedUniquePoints); merge it with the sorted interval starts
+	// linearly instead of re-sorting the concatenation. Unsorted extras
+	// (tests, ad-hoc callers) are detected in the filtering pass and
+	// sorted first.
+	ex := make([]int64, 0, len(extra))
+	sorted := true
 	for _, p := range extra {
 		if p > 0 && p < T {
-			pts = append(pts, p)
+			if len(ex) > 0 && p < ex[len(ex)-1] {
+				sorted = false
+			}
+			ex = append(ex, p)
 		}
 	}
-	sort.Slice(pts, func(i, j int) bool { return pts[i] < pts[j] })
-	// Dedupe.
-	uniq := pts[:0]
-	for i, p := range pts {
-		if i == 0 || p != uniq[len(uniq)-1] {
-			uniq = append(uniq, p)
+	if !sorted {
+		slices.Sort(ex)
+	}
+	uniq := make([]int64, 0, prof.J()+len(ex))
+	ivs := prof.Intervals
+	i, j := 0, 0
+	for i < len(ivs) || j < len(ex) {
+		var v int64
+		if j >= len(ex) || (i < len(ivs) && ivs[i].Start <= ex[j]) {
+			v = ivs[i].Start
+			i++
+		} else {
+			v = ex[j]
+			j++
+		}
+		if len(uniq) == 0 || v != uniq[len(uniq)-1] {
+			uniq = append(uniq, v)
 		}
 	}
 	b := &budgets{T: T}

@@ -64,7 +64,7 @@ func RunZones(ctx context.Context, inst *ceg.Instance, zs *power.ZoneSet, opt Op
 		return nil, st, err
 	}
 	if opt.LocalSearch {
-		if err := LocalSearchZones(ctx, inst, zs, s, opt.EffectiveMu(), &st); err != nil {
+		if err := LocalSearchZonesWorkers(ctx, inst, zs, s, opt.EffectiveMu(), opt.SearchWorkers, &st); err != nil {
 			return nil, st, err
 		}
 	}
@@ -92,7 +92,7 @@ func RunMarginalZones(ctx context.Context, inst *ceg.Instance, zs *power.ZoneSet
 		return nil, st, err
 	}
 	if opt.LocalSearch {
-		if err := LocalSearchZones(ctx, inst, zs, s, opt.EffectiveMu(), &st); err != nil {
+		if err := LocalSearchZonesWorkers(ctx, inst, zs, s, opt.EffectiveMu(), opt.SearchWorkers, &st); err != nil {
 			return nil, st, err
 		}
 	}

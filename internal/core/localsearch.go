@@ -32,20 +32,27 @@ func powerOrder(inst *ceg.Instance) []int {
 // successors, the horizon, and the ±mu search radius around the current
 // start.
 func moveWindow(inst *ceg.Instance, s *schedule.Schedule, v int, T, mu int64) (lo, hi int64) {
+	return moveWindowStarts(inst, s.Start, v, T, mu)
+}
+
+// moveWindowStarts is moveWindow against a bare start-time slice, so the
+// speculative search workers can evaluate windows on their replica
+// snapshots without materializing a Schedule.
+func moveWindowStarts(inst *ceg.Instance, start []int64, v int, T, mu int64) (lo, hi int64) {
 	g := inst.G
 	dur := inst.Dur[v]
-	cur := s.Start[v]
+	cur := start[v]
 	lo = 0
 	for _, ei := range g.InEdges(v) {
 		e := g.Edges[ei]
-		if f := s.Start[e.From] + inst.Dur[e.From]; f > lo {
+		if f := start[e.From] + inst.Dur[e.From]; f > lo {
 			lo = f
 		}
 	}
 	hi = T - dur
 	for _, ei := range g.OutEdges(v) {
 		e := g.Edges[ei]
-		if l := s.Start[e.To] - dur; l < hi {
+		if l := start[e.To] - dur; l < hi {
 			hi = l
 		}
 	}

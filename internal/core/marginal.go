@@ -55,15 +55,8 @@ func GreedyMarginalZones(ctx context.Context, inst *ceg.Instance, zs *power.Zone
 			pts = append(pts, iv.Start)
 		}
 		if refined != nil {
-			pts = append(pts, refined[z]...)
-			sort.Slice(pts, func(i, j int) bool { return pts[i] < pts[j] })
-			uniq := pts[:0]
-			for i, p := range pts {
-				if i == 0 || p != uniq[len(uniq)-1] {
-					uniq = append(uniq, p)
-				}
-			}
-			pts = uniq
+			// Both lists are sorted and deduplicated; merge linearly.
+			pts = mergeSortedUnique(pts, refined[z])
 		}
 		ptsOf[z] = pts
 		if st != nil {
@@ -86,11 +79,7 @@ func GreedyMarginalZones(ctx context.Context, inst *ceg.Instance, zs *power.Zone
 		pts := ptsOf[schedule.NodeZone(inst, zs, v)]
 
 		probe := func(at int64) int64 {
-			before := tl.RangeCost(at, at+dur)
-			tl.Add(at, at+dur, work)
-			after := tl.RangeCost(at, at+dur)
-			tl.Remove(at, at+dur, work)
-			return after - before
+			return tl.PlaceDelta(at, at+dur, work)
 		}
 
 		best := est

@@ -192,11 +192,7 @@ func SolveZones(ctx context.Context, inst *ceg.Instance, zs *power.ZoneSet, opt 
 		cands := make([]cand, 0, lst[v]-est+1)
 		tl := tls.For(v) // placing v only perturbs its zone's draw
 		for st := est; st <= lst[v]; st++ {
-			before := tl.RangeCost(st, st+inst.Dur[v])
-			tl.Add(st, st+inst.Dur[v], work[v])
-			after := tl.RangeCost(st, st+inst.Dur[v])
-			tl.Remove(st, st+inst.Dur[v], work[v])
-			cands = append(cands, cand{st, after - before})
+			cands = append(cands, cand{st, tl.PlaceDelta(st, st+inst.Dur[v], work[v])})
 		}
 		sort.SliceStable(cands, func(i, j int) bool { return cands[i].delta < cands[j].delta })
 		for _, c := range cands {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/ceg"
 	"repro/internal/core"
@@ -45,6 +46,12 @@ type MapSolveOptions struct {
 	Sched core.Options
 	// Marginal switches the second pass to the exact-marginal greedy.
 	Marginal bool
+	// Workers bounds the candidate fan-out: up to Workers policies are
+	// mapped and solved concurrently. Values ≤ 1 evaluate sequentially.
+	// Like core.Options.SearchWorkers this is pure mechanism — the
+	// winner, outcomes, and errors are reduced in policy order, so the
+	// result is identical at any worker count.
+	Workers int
 }
 
 // PolicyOutcome records one candidate's fate, feasible or not.
@@ -66,10 +73,32 @@ type MapSolveResult struct {
 	Outcomes []PolicyOutcome
 }
 
+// polEval is one candidate's evaluation — instance built in the
+// sequential mapping pass, then solved (possibly concurrently) and
+// reduced strictly in policy order.
+type polEval struct {
+	inst   *ceg.Instance
+	s      *schedule.Schedule
+	st     core.Stats
+	d      int64
+	mapErr error // structural mapping failure: aborts the whole search
+	err    error // per-candidate scheduling failure (or cancellation)
+}
+
 // MapAndSolve runs the two-pass pipeline for the workflow on the cluster
 // against the per-zone supply zs (whose common horizon is the deadline).
 // Candidates that cannot meet the deadline are skipped; if none can, the
 // first candidate's error is returned. Canceling ctx aborts the search.
+//
+// With opt.Workers > 1 the candidates' solves run concurrently across a
+// bounded pool. The mapping pass stays sequential regardless: link
+// processors materialize on first use with ids assigned in order
+// (platform.Cluster.Link), so candidate mappings must be built in policy
+// order or the instances' processor ids would depend on goroutine
+// interleaving. The solves are independent, and the reduction walks the
+// policies in order — first strictly lower cost wins, errors surface
+// exactly as in the sequential search — so the result is bit-identical
+// at any worker count.
 func MapAndSolve(ctx context.Context, d *dag.DAG, c *platform.Cluster, zs *power.ZoneSet, opt MapSolveOptions) (*MapSolveResult, error) {
 	policies := opt.Policies
 	if len(policies) == 0 {
@@ -78,40 +107,87 @@ func MapAndSolve(ctx context.Context, d *dag.DAG, c *platform.Cluster, zs *power
 	if zs == nil {
 		return nil, fmt.Errorf("greenheft: MapAndSolve needs a per-zone power supply")
 	}
-	res := &MapSolveResult{}
-	var firstErr error
-	for _, pol := range policies {
+
+	// Sequential mapping pass, strictly in policy order (see above). A
+	// structural failure or cancellation stops it; the reduction below
+	// returns at that index, exactly like the sequential search.
+	evals := make([]*polEval, len(policies))
+	mapped := make([]int, 0, len(policies))
+	for i, pol := range policies {
 		if err := scherr.Canceled(ctx.Err()); err != nil {
-			return nil, err
+			evals[i] = &polEval{err: err}
+			break
 		}
-		out := PolicyOutcome{Policy: pol}
 		inst, err := MapInstance(d, c, Options{Policy: pol, Alpha: opt.Alpha, Zones: zs})
 		if err != nil {
-			return nil, err // a mapping failure is structural, not per-candidate
+			evals[i] = &polEval{mapErr: err}
+			break
 		}
-		out.D = core.ASAPMakespan(inst)
-		var s *schedule.Schedule
-		var st core.Stats
+		evals[i] = &polEval{inst: inst, d: core.ASAPMakespan(inst)}
+		mapped = append(mapped, i)
+	}
+
+	// Solve pass: independent per candidate, so it may fan out.
+	solve := func(i int) {
+		e := evals[i]
 		if opt.Marginal {
-			s, st, err = core.RunMarginalZones(ctx, inst, zs, opt.Sched)
+			e.s, e.st, e.err = core.RunMarginalZones(ctx, e.inst, zs, opt.Sched)
 		} else {
-			s, st, err = core.RunZones(ctx, inst, zs, opt.Sched)
+			e.s, e.st, e.err = core.RunZones(ctx, e.inst, zs, opt.Sched)
 		}
-		switch {
-		case errors.Is(err, scherr.ErrCanceled):
-			return nil, err
-		case err != nil:
+	}
+	if workers := min(opt.Workers, len(mapped)); workers > 1 {
+		idxCh := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idxCh {
+					solve(i)
+				}
+			}()
+		}
+		for _, i := range mapped {
+			idxCh <- i
+		}
+		close(idxCh)
+		wg.Wait()
+	} else {
+		for _, i := range mapped {
+			solve(i)
+			if errors.Is(evals[i].err, scherr.ErrCanceled) {
+				break // the reduction below returns at this index
+			}
+		}
+	}
+
+	res := &MapSolveResult{}
+	var firstErr error
+	for i, pol := range policies {
+		e := evals[i]
+		if e == nil {
+			break // unreachable: only indices past an aborting sequential eval
+		}
+		if e.mapErr != nil {
+			return nil, e.mapErr
+		}
+		if errors.Is(e.err, scherr.ErrCanceled) {
+			return nil, e.err
+		}
+		out := PolicyOutcome{Policy: pol, D: e.d}
+		if e.err != nil {
 			// Typically ErrInfeasibleDeadline: this mapping cannot meet
 			// the horizon. Record it and let the other candidates compete.
-			out.Err = err.Error()
+			out.Err = e.err.Error()
 			if firstErr == nil {
-				firstErr = err
+				firstErr = e.err
 			}
-		default:
-			out.Cost = st.Cost
-			if res.Schedule == nil || st.Cost < res.Cost {
-				res.Policy, res.Inst, res.Schedule = pol, inst, s
-				res.Stats, res.Cost, res.D = st, st.Cost, out.D
+		} else {
+			out.Cost = e.st.Cost
+			if res.Schedule == nil || e.st.Cost < res.Cost {
+				res.Policy, res.Inst, res.Schedule = pol, e.inst, e.s
+				res.Stats, res.Cost, res.D = e.st, e.st.Cost, out.D
 			}
 		}
 		res.Outcomes = append(res.Outcomes, out)

@@ -1,0 +1,173 @@
+package schedule
+
+import (
+	"testing"
+
+	"repro/internal/ceg"
+	"repro/internal/power"
+	"repro/internal/rng"
+)
+
+// Differential property suite for the incremental cost maintenance: random
+// move sequences on randomized (DAG × cluster × zone-count) grids are
+// replayed through the ZoneTimelines evaluator, and after every single
+// move the maintained aggregates — MoveGain, TotalCost, Breakdown — are
+// checked against the unit-time brute-force oracle CarbonCostBruteZones
+// and the event-sweep evaluators. The suite runs once with the dense
+// per-unit representation (the default for these horizons) and once with
+// denseHorizonLimit lowered to force the sparse breakpoint representation,
+// so both code paths are pinned move-for-move. Seeds are fixed: failures
+// reproduce exactly, including under -race.
+
+// checkAggregates verifies every maintained aggregate of tls against the
+// sweep evaluators and the brute oracle for the current schedule.
+func checkAggregates(t *testing.T, inst *ceg.Instance, s *Schedule, zs *power.ZoneSet, tls *ZoneTimelines, step int) {
+	t.Helper()
+	brute := CarbonCostBruteZones(inst, s, zs)
+	if sweep := CarbonCostZones(inst, s, zs); sweep != brute {
+		t.Fatalf("step %d: CarbonCostZones %d != brute %d", step, sweep, brute)
+	}
+	if got := tls.TotalCost(); got != brute {
+		t.Fatalf("step %d: maintained TotalCost %d != brute %d", step, got, brute)
+	}
+	bd := CostBreakdownZones(inst, s, zs)
+	for z := 0; z < zs.NumZones(); z++ {
+		ivs := tls.Zone(z).Breakdown()
+		want := bd[z].Intervals
+		if len(ivs) != len(want) {
+			t.Fatalf("step %d zone %d: %d intervals, want %d", step, z, len(ivs), len(want))
+		}
+		for j := range ivs {
+			if ivs[j] != want[j] {
+				t.Fatalf("step %d zone %d interval %d: maintained %+v != sweep %+v",
+					step, z, j, ivs[j], want[j])
+			}
+		}
+	}
+}
+
+// bruteMoveGain computes a move's gain by full re-evaluation: the drop in
+// CarbonCostBruteZones when s.Start[v] changes to cand (schedule restored
+// before returning).
+func bruteMoveGain(inst *ceg.Instance, s *Schedule, zs *power.ZoneSet, v int, cand int64) int64 {
+	cur := s.Start[v]
+	before := CarbonCostBruteZones(inst, s, zs)
+	s.Start[v] = cand
+	after := CarbonCostBruteZones(inst, s, zs)
+	s.Start[v] = cur
+	return before - after
+}
+
+func replayDifferential(t *testing.T, n int, seed uint64, zones, moves int) {
+	t.Helper()
+	inst, zs, s := zonedHEFTInstance(t, n, seed, zones)
+	T := zs.T()
+	r := rng.New(seed * 7919)
+
+	tls := NewZoneTimelines(inst, s, zs)
+	checkAggregates(t, inst, s, zs, tls, -1)
+	for m := 0; m < moves; m++ {
+		v := r.Intn(inst.N())
+		dur := inst.Dur[v]
+		if dur > T {
+			continue
+		}
+		cur := s.Start[v]
+		cand := r.Int63n(T - dur + 1)
+		_, work := inst.ProcPower(v)
+		tl := tls.For(v)
+
+		gain := tl.MoveGain(cur, cand, dur, work)
+		if oracle := bruteMoveGain(inst, s, zs, v, cand); gain != oracle {
+			t.Fatalf("seed %d move %d (task %d: %d→%d): MoveGain %d != brute gain %d",
+				seed, m, v, cur, cand, gain, oracle)
+		}
+
+		// PlaceDelta is the mutation-free probe behind the greedy and the
+		// exact solver: adding the same load must change the maintained
+		// cost by exactly the probed delta, and removing it must restore
+		// the timeline bit-for-bit.
+		a := r.Int63n(T)
+		span := T - a
+		if span > 48 {
+			span = 48
+		}
+		b := a + 1 + r.Int63n(span)
+		p := 1 + r.Int63n(25)
+		pd := tl.PlaceDelta(a, b, p)
+		costBefore := tl.TotalCost()
+		tl.Add(a, b, p)
+		if got := tl.TotalCost() - costBefore; got != pd {
+			t.Fatalf("seed %d move %d: PlaceDelta(%d,%d,%d)=%d but Add changed cost by %d",
+				seed, m, a, b, p, pd, got)
+		}
+		tl.Remove(a, b, p)
+		if tl.TotalCost() != costBefore {
+			t.Fatalf("seed %d move %d: Add/Remove did not restore the cost", seed, m)
+		}
+
+		// Every 8th step, pin FirstImprovingMove against the unit-step
+		// brute oracle over a ±10 window around the current start.
+		if m%8 == 0 {
+			lo, hi := cur-10, cur+10
+			if lo < 0 {
+				lo = 0
+			}
+			if m := T - dur; hi > m {
+				hi = m
+			}
+			fiCand, fiGain, fiOK := tl.FirstImprovingMove(cur, lo, hi, dur, work)
+			var wantCand, wantGain int64
+			wantOK := false
+			for q := lo; q <= hi && !wantOK; q++ {
+				if q == cur {
+					continue
+				}
+				if g := bruteMoveGain(inst, s, zs, v, q); g > 0 {
+					wantCand, wantGain, wantOK = q, g, true
+				}
+			}
+			if fiOK != wantOK || (wantOK && (fiCand != wantCand || fiGain != wantGain)) {
+				t.Fatalf("seed %d move %d task %d window [%d,%d]: FirstImprovingMove (%d,%d,%v) != brute (%d,%d,%v)",
+					seed, m, v, lo, hi, fiCand, fiGain, fiOK, wantCand, wantGain, wantOK)
+			}
+		}
+
+		before := tls.TotalCost()
+		tl.ApplyMove(cur, cand, dur, work)
+		s.Start[v] = cand
+		if got := before - tls.TotalCost(); got != gain {
+			t.Fatalf("seed %d move %d: applied gain %d != predicted %d", seed, m, got, gain)
+		}
+		checkAggregates(t, inst, s, zs, tls, m)
+		if m%16 == 15 {
+			tls.Compact()
+			checkAggregates(t, inst, s, zs, tls, m)
+		}
+	}
+}
+
+// TestDifferentialIncrementalZones replays randomized move sequences over
+// a grid of workflow sizes, seeds, and zone counts (including the
+// single-zone degenerate case), in both timeline representations.
+func TestDifferentialIncrementalZones(t *testing.T) {
+	modes := []struct {
+		name  string
+		limit int64
+	}{
+		{"dense", denseHorizonLimit}, // default: these horizons fit the per-unit arrays
+		{"sparse", 0},                // force the breakpoint representation
+	}
+	for _, mode := range modes {
+		t.Run(mode.name, func(t *testing.T) {
+			old := denseHorizonLimit
+			denseHorizonLimit = mode.limit
+			defer func() { denseHorizonLimit = old }()
+			for _, zones := range []int{1, 2, 3} {
+				for seed := uint64(1); seed <= 3; seed++ {
+					replayDifferential(t, 30+10*int(seed), seed, zones, 48)
+				}
+			}
+		})
+	}
+}

@@ -186,13 +186,7 @@ func NewZoneTimelines(inst *ceg.Instance, s *Schedule, zs *power.ZoneSet) *ZoneT
 	}
 	m := &ZoneTimelines{inst: inst, zs: zs, tls: make([]*Timeline, zs.NumZones())}
 	for z := range m.tls {
-		prof := zs.Profile(z)
-		m.tls[z] = &Timeline{
-			prof: prof,
-			idle: zoneIdle(inst, zs, z),
-			t:    []int64{0, prof.T()},
-			w:    []int64{0, 0},
-		}
+		m.tls[z] = newTimeline(zoneIdle(inst, zs, z), zs.Profile(z))
 	}
 	if s != nil {
 		for v := 0; v < inst.N(); v++ {
@@ -229,4 +223,14 @@ func (m *ZoneTimelines) Compact() {
 	for _, tl := range m.tls {
 		tl.Compact()
 	}
+}
+
+// Clone returns a deep copy of the per-zone timelines (see
+// Timeline.Clone): a mutable replica for speculative search workers.
+func (m *ZoneTimelines) Clone() *ZoneTimelines {
+	cp := &ZoneTimelines{inst: m.inst, zs: m.zs, tls: make([]*Timeline, len(m.tls))}
+	for z, tl := range m.tls {
+		cp.tls[z] = tl.Clone()
+	}
+	return cp
 }

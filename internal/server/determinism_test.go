@@ -1,0 +1,52 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"runtime"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+// TestSearchWorkersByteIdenticalResponses pins the service-level face of
+// the determinism guarantee: the same solve request answered by servers
+// configured with 1, 4, and GOMAXPROCS search workers produces
+// byte-identical wire responses — parallelism in the scheduler is pure
+// mechanism, invisible on the wire. The request uses the map-search
+// two-pass pipeline with a local-search variant, so both worker pools
+// (candidate-policy fan-out and move evaluation) are exercised. Run under
+// -race -count=2 in CI.
+func TestSearchWorkersByteIdenticalResponses(t *testing.T) {
+	wreq := pinnedWireRequest(t)
+	wreq.Mapping = "map-search"
+
+	counts := []int{1, 4, runtime.GOMAXPROCS(0)}
+	var want []byte
+	for _, workers := range counts {
+		// A fresh server (and solver) per worker count: every response is
+		// computed, never cache-served, so the comparison is between real
+		// scheduler runs.
+		_, ts := newTestServer(t, Config{SearchWorkers: workers})
+		resp, raw := postJSON(t, ts.Client(), ts.URL+"/v1/solve", wreq)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("workers=%d: status %d: %s", workers, resp.StatusCode, raw)
+		}
+		var sr wire.SolveResponse
+		if err := json.Unmarshal(raw, &sr); err != nil {
+			t.Fatalf("workers=%d: bad response: %v", workers, err)
+		}
+		if sr.CacheHit {
+			t.Fatalf("workers=%d: response unexpectedly cache-served", workers)
+		}
+		if want == nil {
+			want = raw
+			continue
+		}
+		if !bytes.Equal(raw, want) {
+			t.Fatalf("workers=%d: response bytes differ from workers=%d:\n%s\nvs\n%s",
+				workers, counts[0], raw, want)
+		}
+	}
+}

@@ -61,6 +61,12 @@ type Config struct {
 	// paper's fixed HEFT mapping. The spelling is validated per request
 	// (cmd/schedd validates the flag at startup).
 	DefaultMapping string
+	// SearchWorkers bounds each solve's internal worker pools (local-search
+	// move evaluation and map-search candidate fan-out). ≤ 1 runs every
+	// solve sequentially. It never changes a response — only how fast it is
+	// computed — and composes with BatchWorkers (a batch of B requests at W
+	// search workers may run up to B·W goroutines in the scheduler).
+	SearchWorkers int
 }
 
 const (
@@ -313,6 +319,7 @@ func (s *Server) solveOne(ctx context.Context, wreq *wire.SolveRequest) (resp *w
 	if err != nil {
 		return nil, &wire.Error{Code: scherr.CodeInvalidRequest, Message: err.Error()}
 	}
+	req.SearchWorkers = s.cfg.SearchWorkers
 	res, err := s.solver.Solve(ctx, req)
 	if err != nil {
 		return nil, errorBody(err)

@@ -119,6 +119,14 @@ type Request struct {
 	// reported in Response.Mapping.
 	MapSearch bool
 
+	// SearchWorkers bounds the scheduler's worker pools: the local-search
+	// move evaluation and, under MapSearch, the candidate-policy fan-out.
+	// Values ≤ 1 run sequentially. The setting is pure mechanism — any
+	// worker count produces the identical response — so it does not enter
+	// the solve-cache key: a request solved with 4 workers is a cache hit
+	// for the same request with 1.
+	SearchWorkers int
+
 	// DeadlineFactor sets the deadline T = factor·D where D is the ASAP
 	// makespan; 0 means the paper's default tolerance of 2. Values below 1
 	// are rejected (T < D is infeasible by construction).
@@ -302,10 +310,14 @@ type solveEntry struct {
 }
 
 // normalizeOptions applies the paper defaults to the tuning fields so that
-// Options{} and Options{K: 3, Mu: 10} key identically.
+// Options{} and Options{K: 3, Mu: 10} key identically. SearchWorkers is
+// zeroed: it parallelizes the search without changing its result, so it
+// must never fork cache keys — the same solve at different worker counts
+// is one cache entry.
 func normalizeOptions(opt Options) Options {
 	opt.K = opt.EffectiveK()
 	opt.Mu = opt.EffectiveMu()
+	opt.SearchWorkers = 0
 	return opt
 }
 
@@ -574,6 +586,9 @@ func (s *Solver) Solve(ctx context.Context, req Request) (*Response, error) {
 	if err != nil {
 		return nil, err
 	}
+	if req.SearchWorkers > 0 {
+		opt.SearchWorkers = req.SearchWorkers
+	}
 	pol := req.MappingPolicy
 	if !pol.Valid() {
 		return nil, fmt.Errorf("cawosched: unknown mapping policy %d: %w", int(pol), ErrInvalidRequest)
@@ -700,38 +715,98 @@ func runCore(ctx context.Context, inst *Instance, zones *ZoneSet, opt Options, m
 // EFT candidate is feasible by construction whenever the supply was
 // generated from the request, so the search never returns a plan worse
 // than fixed-mapping scheduling.
+//
+// With opt.SearchWorkers > 1 the candidates' solves run concurrently
+// across a bounded pool. The planning pass stays sequential in policy
+// order regardless: building a mapped plan materializes link processors,
+// whose ids are assigned in first-use order (platform.Cluster.Link), so
+// racing the builds would make instance processor ids depend on goroutine
+// interleaving. The solves are independent, and the reduction walks the
+// policies in order, so the winner and errors match the sequential search
+// exactly — responses are byte-identical at any worker count.
 func (s *Solver) mapSearch(ctx context.Context, req Request, zones *ZoneSet, opt Options, variant string) (*Response, error) {
+	policies := greenheft.AllPolicies()
+	type polOutcome struct {
+		e       *planEntry
+		sched   *Schedule
+		st      Stats
+		planErr error // structural: aborts the whole search
+		err     error // per-candidate scheduling failure (or cancellation)
+	}
+	outcomes := make([]*polOutcome, len(policies))
+	mapped := make([]int, 0, len(policies))
+	for i, pol := range policies {
+		r := &polOutcome{}
+		outcomes[i] = r
+		r.e, _, r.planErr = s.planFor(ctx, req.Workflow, pol, zones)
+		if r.planErr != nil {
+			break // the reduction below returns at this index
+		}
+		mapped = append(mapped, i)
+	}
+	solve := func(i int) {
+		r := outcomes[i]
+		r.sched, r.st, r.err = runCore(ctx, r.e.inst, zones, opt, req.Marginal)
+	}
+	if workers := min(opt.SearchWorkers, len(mapped)); workers > 1 {
+		idxCh := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idxCh {
+					solve(i)
+				}
+			}()
+		}
+		for _, i := range mapped {
+			idxCh <- i
+		}
+		close(idxCh)
+		wg.Wait()
+	} else {
+		for _, i := range mapped {
+			solve(i)
+			if errors.Is(outcomes[i].err, ErrCanceled) {
+				break // the reduction below returns at this index
+			}
+		}
+	}
+
 	var best *Response
 	var firstErr error
-	for _, pol := range greenheft.AllPolicies() {
-		e, _, err := s.planFor(ctx, req.Workflow, pol, zones)
-		if err != nil {
-			return nil, err
+	for i, pol := range policies {
+		r := outcomes[i]
+		if r == nil {
+			break // unreachable: only indices past an aborting sequential eval
 		}
-		sched, st, err := runCore(ctx, e.inst, zones, opt, req.Marginal)
+		if r.planErr != nil {
+			return nil, r.planErr
+		}
 		switch {
-		case errors.Is(err, ErrCanceled):
-			return nil, err
-		case err != nil:
+		case errors.Is(r.err, ErrCanceled):
+			return nil, r.err
+		case r.err != nil:
 			if firstErr == nil {
-				firstErr = err
+				firstErr = r.err
 			}
 			continue
 		}
-		if best != nil && st.Cost >= best.Cost {
+		if best != nil && r.st.Cost >= best.Cost {
 			continue
 		}
 		best = &Response{
-			Schedule: sched,
-			Instance: e.inst,
+			Schedule: r.sched,
+			Instance: r.e.inst,
 			Zones:    zones,
-			Stats:    st,
+			Stats:    r.st,
 			Variant:  variant,
 			Mapping:  pol.String(),
-			D:        e.d,
+			D:        r.e.d,
 			Deadline: zones.T(),
-			Cost:     st.Cost,
-			ASAPCost: schedule.CarbonCostZones(e.inst, e.asap, zones),
+			Cost:     r.st.Cost,
+			ASAPCost: schedule.CarbonCostZones(r.e.inst, r.e.asap, zones),
 		}
 	}
 	if best == nil {
