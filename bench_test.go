@@ -23,6 +23,7 @@ import (
 	"repro/internal/power"
 	"repro/internal/rng"
 	"repro/internal/sim"
+	"repro/internal/tenancy"
 	"repro/internal/wfgen"
 )
 
@@ -621,6 +622,101 @@ func BenchmarkSolveCacheHit(b *testing.B) {
 		}
 		if !res.CacheHit {
 			b.Fatal("cache miss on a warmed request")
+		}
+	}
+}
+
+// ---- online scheduling (tenancy) ---------------------------------------
+
+// benchManager assembles a 2-zone tenancy manager over a simulated clock,
+// mirroring the schedd online configuration.
+func benchManager(b *testing.B) (*tenancy.Manager, *tenancy.SimClock) {
+	b.Helper()
+	cluster := cawosched.SmallZonedCluster(42, 2)
+	specs := make([]power.ZoneSpec, cluster.NumZones())
+	for z := range specs {
+		gmin, gmax := power.PlatformBounds(cluster.ZoneComputeIdle(z), cluster.ZoneComputeWork(z))
+		specs[z] = power.ZoneSpec{
+			Name: "z" + strconv.Itoa(z), Scenario: power.Scenarios()[z], Gmin: gmin, Gmax: gmax,
+		}
+	}
+	zs, err := power.GenerateZones(specs, 480, 24, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	clock := tenancy.NewSimClock(0)
+	m, err := tenancy.NewManager(tenancy.Config{
+		Solver: cawosched.NewSolver(cluster),
+		Supply: zs,
+		Clock:  clock,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m, clock
+}
+
+// BenchmarkAdmitWorkflow measures admission latency under a live ledger:
+// each iteration advances the clock one deadline window and admits a fresh
+// submission of the memoized workflow shape, so every pass solves against
+// a changed residual view and commits real reservations.
+func BenchmarkAdmitWorkflow(b *testing.B) {
+	m, clock := benchManager(b)
+	wf, err := cawosched.GenerateWorkflow(cawosched.Bacass, 100, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	// Warm the plan memo so iterations measure admission, not HEFT.
+	st, err := m.Submit(ctx, tenancy.SubmitRequest{Workflow: wf, DeadlineFactor: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	window := st.Deadline - st.SubmittedAt
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clock.Set(int64(i+1) * window)
+		if _, err := m.Submit(ctx, tenancy.SubmitRequest{Workflow: wf, DeadlineFactor: 3}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRebalanceAdmitted measures one rolling-horizon pass over a
+// backlog of admitted-but-unstarted workflows (the steady-state cost of
+// schedd's -rebalance-every loop).
+func BenchmarkRebalanceAdmitted(b *testing.B) {
+	m, clock := benchManager(b)
+	ctx := context.Background()
+	// A zero-slack foreground tenant depletes the green window, so the
+	// slack-rich backlog admitted behind it lands compactly; it is running
+	// by measurement time and the backlog is admitted-but-unstarted —
+	// exactly what a rolling-horizon pass re-solves.
+	fg, err := cawosched.GenerateWorkflow(cawosched.Bacass, 50, 11)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := m.Submit(ctx, tenancy.SubmitRequest{Workflow: fg, DeadlineFactor: 1}); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		wf, err := cawosched.GenerateWorkflow(cawosched.Bacass, 30, uint64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.Submit(ctx, tenancy.SubmitRequest{Workflow: wf, DeadlineFactor: 12}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	clock.Set(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := m.Rebalance(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Considered == 0 {
+			b.Fatal("rebalance pass considered no workflows")
 		}
 	}
 }

@@ -27,6 +27,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -41,7 +42,7 @@ func main() {
 		seed     = flag.Uint64("seed", 42, "corpus seed")
 		workers  = flag.Int("workers", 0, "parallel instances (0 = GOMAXPROCS)")
 		outDir   = flag.String("out", "", "artifact mode: CSV directory; sweep mode: JSONL results path (default results.jsonl)")
-		only     = flag.String("only", "all", "comma-separated artifacts: table1,fig1,...,fig8,table2,fig12,...,fig17,fig7,ablations,robustness,mapping or all (ablations/robustness/mapping only run when named explicitly)")
+		only     = flag.String("only", "all", "comma-separated artifacts: table1,fig1,...,fig8,table2,fig12,...,fig17,fig7,ablations,robustness,mapping,arrival or all (ablations/robustness/mapping/arrival only run when named explicitly)")
 		quiet    = flag.Bool("q", false, "suppress progress output")
 		saveTo   = flag.String("save", "", "persist the main corpus raw results to this JSON file")
 		parallel = flag.Int("parallel", 0, "sweep mode: run the full grid on N workers, streaming JSONL (0 = artifact mode)")
@@ -52,6 +53,9 @@ func main() {
 		zones    = flag.Int("zones", 1, "multi-zone scenario family: clusters split round-robin into N grid zones with rotated per-zone scenarios (1 = the paper's single-zone grid; also used by -only mapping)")
 		mappings = flag.String("mappings", "", `sweep mode: comma-separated mapping roster for the mapping-ablation family, e.g. "fixed,zonegreen,map-search" or "all" (empty = fixed mapping only; policy cells get /m<policy> job keys)`)
 		listVar  = flag.Bool("list-variants", false, "print the variant registry (canonical name per line) and exit")
+		arrRates = flag.String("arrival-rates", "0.5,1,2", "-only arrival: comma-separated load factors (expected arrivals per ASAP makespan; cells get /a<rate> job keys)")
+		arrZones = flag.String("arrival-zones", "2,4", "-only arrival: comma-separated zone counts to sweep")
+		arrivals = flag.Int("arrivals", 12, "-only arrival: Poisson trace length per cell")
 	)
 	flag.Parse()
 	if *listVar {
@@ -66,7 +70,8 @@ func main() {
 	if *parallel > 0 {
 		err = runSweep(ctx, *maxTasks, *seed, *parallel, *outDir, *resume, *seeds, *zones, *timeout, *variants, *mappings, *quiet)
 	} else {
-		err = run2(ctx, *maxTasks, *seed, *workers, *outDir, *only, *zones, *quiet, *saveTo)
+		err = run2(ctx, *maxTasks, *seed, *workers, *outDir, *only, *zones, *quiet, *saveTo,
+			arrivalOpts{rates: *arrRates, zones: *arrZones, arrivals: *arrivals})
 	}
 	if err != nil {
 		if errors.Is(err, cawosched.ErrCanceled) {
@@ -277,12 +282,59 @@ func runSweep(ctx context.Context, maxTasks int, seed uint64, parallel int, outP
 	return nil
 }
 
-// run keeps the original signature for tests; run2 adds result saving.
-func run(maxTasks int, seed uint64, workers int, outDir, only string, quiet bool) error {
-	return run2(context.Background(), maxTasks, seed, workers, outDir, only, 1, quiet, "")
+// arrivalOpts carries the -only arrival flag values into run2.
+type arrivalOpts struct {
+	rates    string
+	zones    string
+	arrivals int
 }
 
-func run2(ctx context.Context, maxTasks int, seed uint64, workers int, outDir, only string, zones int, quiet bool, saveTo string) error {
+func defaultArrivalOpts() arrivalOpts {
+	return arrivalOpts{rates: "0.5,1,2", zones: "2,4", arrivals: 12}
+}
+
+// parseFloatList parses a comma-separated list of numbers.
+func parseFloatList(s string) ([]float64, error) {
+	var out []float64
+	for _, raw := range strings.Split(s, ",") {
+		raw = strings.TrimSpace(raw)
+		if raw == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(raw, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad number %q", raw)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
+}
+
+// parseIntList parses a comma-separated list of integers.
+func parseIntList(s string) ([]int, error) {
+	fs, err := parseFloatList(s)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, len(fs))
+	for i, v := range fs {
+		out[i] = int(v)
+		if v != float64(out[i]) {
+			return nil, fmt.Errorf("bad integer %g", v)
+		}
+	}
+	return out, nil
+}
+
+// run keeps the original signature for tests; run2 adds result saving.
+func run(maxTasks int, seed uint64, workers int, outDir, only string, quiet bool) error {
+	return run2(context.Background(), maxTasks, seed, workers, outDir, only, 1, quiet, "", defaultArrivalOpts())
+}
+
+func run2(ctx context.Context, maxTasks int, seed uint64, workers int, outDir, only string, zones int, quiet bool, saveTo string, arr arrivalOpts) error {
 	want := map[string]bool{}
 	for _, name := range strings.Split(only, ",") {
 		want[strings.TrimSpace(name)] = true
@@ -502,6 +554,35 @@ func run2(ctx context.Context, maxTasks int, seed uint64, workers int, outDir, o
 		} else {
 			emit("zone_shift", t)
 		}
+	}
+
+	// The online arrival sweep (Poisson arrivals through the tenancy
+	// manager's admission control and rolling horizon) is opt-in: each
+	// cell simulates a full multi-workflow trace.
+	if want["arrival"] {
+		rates, err := parseFloatList(arr.rates)
+		if err != nil {
+			return fmt.Errorf("-arrival-rates: %w", err)
+		}
+		zoneCounts, err := parseIntList(arr.zones)
+		if err != nil {
+			return fmt.Errorf("-arrival-zones: %w", err)
+		}
+		specs := experiments.ArrivalGrid(maxTasks, seed, rates, zoneCounts, arr.arrivals)
+		fmt.Printf("running online arrival sweep: %d cells (%d load factors x %d zone counts)\n",
+			len(specs), len(rates), len(zoneCounts))
+		start := time.Now()
+		progress := func(done, total int) {
+			if !quiet && (done%4 == 0 || done == total) {
+				fmt.Printf("  %d/%d cells (%.0fs)\n", done, total, time.Since(start).Seconds())
+			}
+		}
+		results, err := experiments.RunArrivals(ctx, specs, workers, progress)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("arrival sweep done in %s\n\n", time.Since(start).Round(time.Second))
+		emit("arrival_frontier", experiments.ArrivalFrontier(results))
 	}
 
 	// Robustness studies (runtime noise, forecast error) are opt-in too.

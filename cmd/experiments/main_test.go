@@ -36,6 +36,37 @@ func TestRunTinyCorpusFigures(t *testing.T) {
 	}
 }
 
+func TestRunArrivalArtifact(t *testing.T) {
+	dir := t.TempDir()
+	// Two load factors × two zone counts, tiny workflows and traces so the
+	// online simulation stays fast.
+	arr := arrivalOpts{rates: "1,4", zones: "1,2", arrivals: 3}
+	if err := run2(context.Background(), 30, 42, 0, dir, "arrival", 1, true, "", arr); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "arrival_frontier.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv := string(data)
+	// Header plus one row per (rate, zones) cell.
+	if got := len(splitLines(data)); got != 5 {
+		t.Fatalf("arrival_frontier.csv has %d lines, want 5:\n%s", got, csv)
+	}
+	for _, key := range []string{"/a1|", "/a4|", "/z2/a1|", "/z2/a4|"} {
+		if !strings.Contains(csv, key) {
+			t.Errorf("frontier CSV missing cell %q:\n%s", key, csv)
+		}
+	}
+
+	if _, err := parseFloatList("1,,oops"); err == nil {
+		t.Error("bad -arrival-rates accepted")
+	}
+	if _, err := parseIntList("1.5"); err == nil {
+		t.Error("fractional -arrival-zones accepted")
+	}
+}
+
 func TestRunUnknownArtifact(t *testing.T) {
 	if err := run(100, 42, 0, "", "figZZ", true); err == nil {
 		t.Error("unknown artifact selection accepted")

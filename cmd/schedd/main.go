@@ -4,6 +4,14 @@
 // per-interval breakdowns. One solver — with its HEFT plan cache and
 // solve-response cache — fronts one target cluster for the whole process.
 //
+// With -supply-scenario the daemon additionally runs the multi-tenant
+// online scheduler: a periodic per-zone green supply forecast is generated
+// at startup, POST /v1/workflows admits workflows against the residual of
+// that forecast (cluster-state ledger, admission control), and an optional
+// rolling-horizon loop (-rebalance-every) periodically re-solves
+// admitted-but-unstarted workflows, committing only strictly cheaper
+// placements.
+//
 // Usage:
 //
 //	schedd [flags]
@@ -14,7 +22,8 @@
 // stops accepting connections, /healthz flips to 503 ("draining"), and
 // in-flight requests get -shutdown-grace to finish.
 //
-// See the README's "Running the service" section for curl examples.
+// See the README's "Running the service" and "Online scheduling" sections
+// for curl examples.
 package main
 
 import (
@@ -28,34 +37,69 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	cawosched "repro"
+	"repro/internal/power"
 	"repro/internal/server"
+	"repro/internal/tenancy"
 	"repro/internal/wire"
 )
 
+// options collects every flag-settable knob of the daemon.
+type options struct {
+	addr        string
+	clusterName string
+	clusterFile string
+	zones       int
+	mapping     string
+	seed        uint64
+	reqTimeout  time.Duration
+	batchWork   int
+	searchWork  int
+	maxBatch    int
+	maxQueue    int
+	grace       time.Duration
+	drainDelay  time.Duration
+
+	// Online scheduling (the tenancy layer). Empty supplyScenario leaves
+	// it disabled: /v1/workflows answers 501.
+	supplyScenario  string
+	supplyHorizon   int64
+	supplyIntervals int
+	supplySeed      uint64
+	timeUnit        time.Duration
+	rebalanceEvery  time.Duration
+}
+
 func main() {
-	var (
-		addr        = flag.String("addr", ":8080", "listen address")
-		clusterName = flag.String("cluster", "small", "target cluster: small (72 nodes) | large (144 nodes)")
-		clusterFile = flag.String("cluster-file", "", "load the target cluster from this JSON file (wire format, may carry per-group zones) instead of -cluster")
-		zones       = flag.Int("zones", 1, "split the -cluster platform round-robin into this many grid zones (ignored with -cluster-file)")
-		mapping     = flag.String("mapping", "", `default mapping for requests that set none: a policy name (heft | lowpower | energy | zonegreen | zoneenergy) or "map-search" (empty = heft)`)
-		seed        = flag.Uint64("seed", 42, "cluster link seed (ignored with -cluster-file)")
-		reqTimeout  = flag.Duration("request-timeout", 60*time.Second, "per-request solving deadline (0 = none)")
-		batchWork   = flag.Int("batch-workers", 0, "bounded worker pool for batched solves (0 = min(GOMAXPROCS, 16))")
-		searchWork  = flag.Int("search-workers", 0, "per-solve worker pool for the local search and the map-search fan-out (<= 1 = sequential; responses are identical at any count)")
-		maxBatch    = flag.Int("max-batch", 256, "maximum requests per batch body")
-		grace       = flag.Duration("shutdown-grace", 30*time.Second, "how long in-flight requests may finish after SIGINT/SIGTERM")
-		drainDelay  = flag.Duration("drain-delay", 0, "how long /healthz serves 503 (draining) before the listener closes, so load balancers can deregister")
-	)
+	var opt options
+	flag.StringVar(&opt.addr, "addr", ":8080", "listen address")
+	flag.StringVar(&opt.clusterName, "cluster", "small", "target cluster: small (72 nodes) | large (144 nodes)")
+	flag.StringVar(&opt.clusterFile, "cluster-file", "", "load the target cluster from this JSON file (wire format, may carry per-group zones) instead of -cluster")
+	flag.IntVar(&opt.zones, "zones", 1, "split the -cluster platform round-robin into this many grid zones (ignored with -cluster-file)")
+	flag.StringVar(&opt.mapping, "mapping", "", `default mapping for requests that set none: a policy name (heft | lowpower | energy | zonegreen | zoneenergy) or "map-search" (empty = heft)`)
+	flag.Uint64Var(&opt.seed, "seed", 42, "cluster link seed (ignored with -cluster-file)")
+	flag.DurationVar(&opt.reqTimeout, "request-timeout", 60*time.Second, "per-request solving deadline (0 = none)")
+	flag.IntVar(&opt.batchWork, "batch-workers", 0, "bounded worker pool for batched solves (0 = min(GOMAXPROCS, 16))")
+	flag.IntVar(&opt.searchWork, "search-workers", 0, "per-solve worker pool for the local search and the map-search fan-out (<= 1 = sequential; responses are identical at any count)")
+	flag.IntVar(&opt.maxBatch, "max-batch", 256, "maximum requests per batch body")
+	flag.IntVar(&opt.maxQueue, "max-queue", 0, "maximum batch items in flight across all batch requests before 429 (0 = 4096)")
+	flag.DurationVar(&opt.grace, "shutdown-grace", 30*time.Second, "how long in-flight requests may finish after SIGINT/SIGTERM")
+	flag.DurationVar(&opt.drainDelay, "drain-delay", 0, "how long /healthz serves 503 (draining) before the listener closes, so load balancers can deregister")
+	flag.StringVar(&opt.supplyScenario, "supply-scenario", "", `enable online scheduling (/v1/workflows) with this green supply shape: one scenario ("S1".."S4") for every zone, or a comma list with one per zone`)
+	flag.Int64Var(&opt.supplyHorizon, "supply-horizon", 4320, "period of the generated supply forecast, in model time units (it repeats beyond this)")
+	flag.IntVar(&opt.supplyIntervals, "supply-intervals", 24, "intervals per generated supply profile")
+	flag.Uint64Var(&opt.supplySeed, "supply-seed", 42, "supply forecast generation seed")
+	flag.DurationVar(&opt.timeUnit, "time-unit", 100*time.Millisecond, "wall-clock duration of one model time unit for the online scheduler")
+	flag.DurationVar(&opt.rebalanceEvery, "rebalance-every", 0, "period of the rolling-horizon re-solve loop (0 = disabled)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, *addr, *clusterName, *clusterFile, *zones, *mapping, *seed, *reqTimeout, *batchWork, *searchWork, *maxBatch, *grace, *drainDelay, nil); err != nil {
+	if err := run(ctx, opt, nil); err != nil {
 		fmt.Fprintln(os.Stderr, "schedd:", err)
 		os.Exit(1)
 	}
@@ -91,33 +135,117 @@ func buildCluster(clusterName, clusterFile string, zones int, seed uint64) (*caw
 	}
 }
 
+// buildSupply generates the periodic per-zone supply forecast from the
+// scenario spelling: one scenario applied to every zone, or a comma list
+// with exactly one per cluster zone. Per-zone power bounds come from the
+// cluster (the paper's platform-derived gmin/gmax).
+func buildSupply(cluster *cawosched.Cluster, scenario string, horizon int64, intervals int, seed uint64) (*power.ZoneSet, error) {
+	names := strings.Split(scenario, ",")
+	if len(names) == 1 && cluster.NumZones() > 1 {
+		names = make([]string, cluster.NumZones())
+		for z := range names {
+			names[z] = scenario
+		}
+	}
+	if len(names) != cluster.NumZones() {
+		return nil, fmt.Errorf("-supply-scenario lists %d scenarios for %d zones", len(names), cluster.NumZones())
+	}
+	if horizon <= 0 {
+		return nil, fmt.Errorf("-supply-horizon %d must be positive", horizon)
+	}
+	specs := make([]power.ZoneSpec, len(names))
+	for z, name := range names {
+		sc, err := power.ParseScenario(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		gmin, gmax := power.PlatformBounds(cluster.ZoneComputeIdle(z), cluster.ZoneComputeWork(z))
+		specs[z] = power.ZoneSpec{
+			Name:     fmt.Sprintf("z%d", z),
+			Scenario: sc,
+			Gmin:     gmin,
+			Gmax:     gmax,
+		}
+	}
+	return power.GenerateZones(specs, horizon, intervals, seed)
+}
+
+// rebalanceLoop runs the rolling horizon until ctx is canceled: every
+// period it re-solves admitted-but-unstarted workflows against the
+// current residual supply, committing only strictly cheaper placements.
+func rebalanceLoop(ctx context.Context, m *tenancy.Manager, every time.Duration) {
+	ticker := time.NewTicker(every)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			rep, err := m.Rebalance(ctx)
+			if err != nil {
+				if ctx.Err() == nil {
+					log.Printf("schedd: rebalance: %v", err)
+				}
+				continue
+			}
+			if rep.Moved > 0 {
+				log.Printf("schedd: rebalance t=%d: moved %d/%d placements, saved %d carbon", rep.Time, rep.Moved, rep.Considered, rep.Saved)
+			}
+		}
+	}
+}
+
 // run serves until ctx is canceled, then drains gracefully. If ready is
 // non-nil it receives the bound address once the listener is up (tests
 // pass ":0" and read the actual port from it).
-func run(ctx context.Context, addr, clusterName, clusterFile string, zones int, mapping string, seed uint64, reqTimeout time.Duration, batchWork, searchWork, maxBatch int, grace, drainDelay time.Duration, ready chan<- string) error {
-	cluster, label, err := buildCluster(clusterName, clusterFile, zones, seed)
+func run(ctx context.Context, opt options, ready chan<- string) error {
+	cluster, label, err := buildCluster(opt.clusterName, opt.clusterFile, opt.zones, opt.seed)
 	if err != nil {
 		return err
 	}
 	// Fail fast on an unknown default mapping instead of 400ing every
 	// request later.
-	if _, _, err := cawosched.ParseMapping(mapping); err != nil {
+	if _, _, err := cawosched.ParseMapping(opt.mapping); err != nil {
 		return err
 	}
+	reqTimeout := opt.reqTimeout
 	if reqTimeout == 0 {
 		// The flag documents 0 as "no deadline"; the server Config uses 0
 		// for "default", so translate.
 		reqTimeout = -1
 	}
-	srv := server.New(cawosched.NewSolver(cluster), server.Config{
+	solver := cawosched.NewSolver(cluster)
+
+	var manager *tenancy.Manager
+	if opt.supplyScenario != "" {
+		supply, err := buildSupply(cluster, opt.supplyScenario, opt.supplyHorizon, opt.supplyIntervals, opt.supplySeed)
+		if err != nil {
+			return err
+		}
+		manager, err = tenancy.NewManager(tenancy.Config{
+			Solver:        solver,
+			Supply:        supply,
+			Clock:         tenancy.NewWallClock(opt.timeUnit),
+			SearchWorkers: opt.searchWork,
+		})
+		if err != nil {
+			return err
+		}
+		log.Printf("schedd: online scheduling on (%d zones, horizon %d units, 1 unit = %s)",
+			supply.NumZones(), supply.T(), opt.timeUnit)
+	}
+
+	srv := server.New(solver, server.Config{
 		RequestTimeout: reqTimeout,
-		BatchWorkers:   batchWork,
-		MaxBatch:       maxBatch,
-		DefaultMapping: mapping,
-		SearchWorkers:  searchWork,
+		BatchWorkers:   opt.batchWork,
+		MaxBatch:       opt.maxBatch,
+		MaxQueue:       opt.maxQueue,
+		DefaultMapping: opt.mapping,
+		SearchWorkers:  opt.searchWork,
+		Manager:        manager,
 	})
 
-	ln, err := net.Listen("tcp", addr)
+	ln, err := net.Listen("tcp", opt.addr)
 	if err != nil {
 		return err
 	}
@@ -128,6 +256,18 @@ func run(ctx context.Context, addr, clusterName, clusterFile string, zones int, 
 	log.Printf("schedd: serving cluster %s (%d compute processors, %d zones) on %s", label, cluster.NumCompute(), cluster.NumZones(), ln.Addr())
 	if ready != nil {
 		ready <- ln.Addr().String()
+	}
+
+	loopCtx, stopLoop := context.WithCancel(context.Background())
+	defer stopLoop()
+	loopDone := make(chan struct{})
+	if manager != nil && opt.rebalanceEvery > 0 {
+		go func() {
+			defer close(loopDone)
+			rebalanceLoop(loopCtx, manager, opt.rebalanceEvery)
+		}()
+	} else {
+		close(loopDone)
 	}
 
 	errc := make(chan error, 1)
@@ -143,13 +283,16 @@ func run(ctx context.Context, addr, clusterName, clusterFile string, zones int, 
 	// positive -drain-delay — keep the listener open for that window so
 	// load balancer health probes actually observe the 503 and deregister
 	// before connections start being refused. Then http.Server.Shutdown
-	// waits for in-flight requests up to the grace period.
-	log.Printf("schedd: draining (delay %s, grace %s)", drainDelay, grace)
+	// waits for in-flight requests up to the grace period. The rolling
+	// horizon stops first so no rebalance pass races the drain.
+	log.Printf("schedd: draining (delay %s, grace %s)", opt.drainDelay, opt.grace)
 	srv.SetDraining()
-	if drainDelay > 0 {
-		time.Sleep(drainDelay)
+	stopLoop()
+	<-loopDone
+	if opt.drainDelay > 0 {
+		time.Sleep(opt.drainDelay)
 	}
-	sctx, cancel := context.WithTimeout(context.Background(), grace)
+	sctx, cancel := context.WithTimeout(context.Background(), opt.grace)
 	defer cancel()
 	if err := httpSrv.Shutdown(sctx); err != nil {
 		log.Printf("schedd: forced shutdown: %v", err)

@@ -67,8 +67,13 @@ func TestServeSmoke(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	ready := make(chan string, 1)
 	done := make(chan error, 1)
+	opt := options{
+		addr: "127.0.0.1:0", clusterName: "small", zones: 1, seed: 7,
+		reqTimeout: 30 * time.Second, batchWork: 2, searchWork: 2,
+		maxBatch: 16, grace: 5 * time.Second,
+	}
 	go func() {
-		done <- run(ctx, "127.0.0.1:0", "small", "", 1, "", 7, 30*time.Second, 2, 2, 16, 5*time.Second, 0, ready)
+		done <- run(ctx, opt, ready)
 	}()
 
 	var addr string
@@ -113,6 +118,139 @@ func TestServeSmoke(t *testing.T) {
 	}
 	if sr.Cost < 0 || len(sr.Schedule) == 0 {
 		t.Errorf("implausible solve response: %+v", sr)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("graceful shutdown returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+}
+
+// TestBuildSupply pins the supply-flag spellings: a single scenario fans
+// out to every zone, a comma list must match the zone count, and unknown
+// scenarios or horizons fail fast at startup.
+func TestBuildSupply(t *testing.T) {
+	cluster := cawosched.SmallZonedCluster(7, 3)
+	zs, err := buildSupply(cluster, "S2", 480, 24, 42)
+	if err != nil || zs.NumZones() != 3 || zs.T() != 480 {
+		t.Fatalf("single scenario: %v %+v", err, zs)
+	}
+	zs2, err := buildSupply(cluster, "S1, S2,S3", 480, 24, 42)
+	if err != nil || zs2.NumZones() != 3 {
+		t.Fatalf("comma list: %v", err)
+	}
+	if zs.Digest() == zs2.Digest() {
+		t.Error("distinct scenario lists generated identical supplies")
+	}
+	if _, err := buildSupply(cluster, "S1,S2", 480, 24, 42); err == nil {
+		t.Error("2 scenarios for 3 zones accepted")
+	}
+	if _, err := buildSupply(cluster, "S9", 480, 24, 42); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+	if _, err := buildSupply(cluster, "S1", 0, 24, 42); err == nil {
+		t.Error("zero horizon accepted")
+	}
+}
+
+// TestServeOnlineSmoke boots the daemon with online scheduling and the
+// rolling-horizon loop enabled, drives the submit/status/cancel flow over
+// HTTP, and shuts down gracefully with the loop running.
+func TestServeOnlineSmoke(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	opt := options{
+		addr: "127.0.0.1:0", clusterName: "small", zones: 2, seed: 7,
+		reqTimeout: 30 * time.Second, batchWork: 2, searchWork: 2,
+		maxBatch: 16, grace: 5 * time.Second,
+		supplyScenario: "S1,S3", supplyHorizon: 4320, supplyIntervals: 24,
+		supplySeed: 7, timeUnit: 50 * time.Millisecond,
+		rebalanceEvery: 20 * time.Millisecond,
+	}
+	go func() {
+		done <- run(ctx, opt, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("server exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+	base := "http://" + addr
+
+	resp, err := http.Get(base + "/v1/zones")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var zr wire.ZonesResponse
+	if err := json.NewDecoder(resp.Body).Decode(&zr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(zr.Names) != 2 || zr.Horizon != 4320 || zr.Digest == "" {
+		t.Fatalf("zones: %d %+v", resp.StatusCode, zr)
+	}
+
+	wf, err := cawosched.GenerateWorkflow(cawosched.Bacass, 30, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := json.Marshal(wire.SubmitWorkflowRequest{Workflow: wire.FromDAG(wf), DeadlineFactor: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Post(base+"/v1/workflows", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st wire.WorkflowResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated || st.ID == "" {
+		t.Fatalf("submit: %d %+v", resp.StatusCode, st)
+	}
+
+	// Let the wall clock and the rolling horizon tick at least once.
+	time.Sleep(60 * time.Millisecond)
+
+	resp, err = http.Get(base + "/v1/workflows/" + st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got wire.WorkflowResponse
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || got.ID != st.ID {
+		t.Fatalf("status: %d %+v", resp.StatusCode, got)
+	}
+	if got.Cost > got.AdmittedCost {
+		t.Errorf("rolling horizon increased cost: %d > admitted %d", got.Cost, got.AdmittedCost)
+	}
+
+	req, err := http.NewRequest(http.MethodDelete, base+"/v1/workflows/"+st.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel: %d", resp.StatusCode)
 	}
 
 	cancel()

@@ -31,6 +31,17 @@ const (
 	// the addressed component does not implement (ErrUnsupported), e.g.
 	// a multi-zone spec handed to the single-zone replay simulator.
 	CodeUnsupported = "unsupported"
+	// CodeAdmissionRejected: multi-tenant admission control refused the
+	// workflow — no placement on the cluster's residual capacity meets
+	// its deadline (ErrAdmissionRejected). 409: the conflict is with the
+	// reservations of other tenants, not with the request itself.
+	CodeAdmissionRejected = "admission_rejected"
+	// CodeOverloaded: the service shed the request because its bounded
+	// work queue is full (ErrOverloaded). 429 + Retry-After.
+	CodeOverloaded = "overloaded"
+	// CodeNotFound: the request references an unknown resource id, e.g. a
+	// workflow the tenancy ledger has no record of (ErrNotFound).
+	CodeNotFound = "not_found"
 	// CodeInternal: any failure the taxonomy does not classify.
 	CodeInternal = "internal"
 )
@@ -49,6 +60,15 @@ func Code(err error) string {
 		return CodeInvalidRequest
 	case errors.Is(err, ErrUnsupported):
 		return CodeUnsupported
+	case errors.Is(err, ErrNotFound):
+		return CodeNotFound
+	case errors.Is(err, ErrOverloaded):
+		return CodeOverloaded
+	case errors.Is(err, ErrAdmissionRejected):
+		// Checked before ErrInfeasibleDeadline: every AdmissionError also
+		// unwraps to the infeasible-deadline sentinel, but the admission
+		// classification is the more specific one.
+		return CodeAdmissionRejected
 	case errors.Is(err, ErrInfeasibleDeadline):
 		return CodeInfeasibleDeadline
 	case errors.Is(err, ErrBudgetExhausted):
@@ -78,6 +98,12 @@ func StatusForCode(code string) int {
 		return http.StatusBadRequest
 	case CodeInfeasibleDeadline, CodeBudgetExhausted:
 		return http.StatusUnprocessableEntity
+	case CodeAdmissionRejected:
+		return http.StatusConflict
+	case CodeOverloaded:
+		return http.StatusTooManyRequests
+	case CodeNotFound:
+		return http.StatusNotFound
 	case CodeUnsupported:
 		return http.StatusNotImplemented
 	case CodeDeadlineExceeded:

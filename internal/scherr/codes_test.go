@@ -28,12 +28,40 @@ func TestCodeClassifiesTaxonomy(t *testing.T) {
 		{context.DeadlineExceeded, CodeDeadlineExceeded},
 		{ErrUnsupported, CodeUnsupported},
 		{fmt.Errorf("replay simulator is single-zone: %w", ErrUnsupported), CodeUnsupported},
+		{ErrAdmissionRejected, CodeAdmissionRejected},
+		{&AdmissionError{ID: "wf-1", Deadline: 42}, CodeAdmissionRejected},
+		{&AdmissionError{Deadline: 7, Reason: &InfeasibleDeadlineError{Deadline: 7}}, CodeAdmissionRejected},
+		{ErrOverloaded, CodeOverloaded},
+		{fmt.Errorf("queue full: %w", ErrOverloaded), CodeOverloaded},
+		{ErrNotFound, CodeNotFound},
+		{&NotFoundError{Kind: "workflow", ID: "wf-9"}, CodeNotFound},
 		{errors.New("disk on fire"), ""},
 	}
 	for _, c := range cases {
 		if got := Code(c.err); got != c.code {
 			t.Errorf("Code(%v) = %q, want %q", c.err, got, c.code)
 		}
+	}
+}
+
+// TestAdmissionUnwrapsToInfeasible pins the contract of the tenancy
+// layer: an admission rejection is an infeasible deadline on the shared
+// view, so errors.Is holds for both sentinels, but the more specific
+// admission classification wins the stable code.
+func TestAdmissionUnwrapsToInfeasible(t *testing.T) {
+	reason := &InfeasibleDeadlineError{Deadline: 9, Node: 1, EST: 5, LST: 3}
+	err := &AdmissionError{ID: "wf-3", Deadline: 9, Reason: reason}
+	for _, sentinel := range []error{ErrAdmissionRejected, ErrInfeasibleDeadline} {
+		if !errors.Is(err, sentinel) {
+			t.Errorf("errors.Is(%v, %v) = false, want true", err, sentinel)
+		}
+	}
+	var detail *InfeasibleDeadlineError
+	if !errors.As(err, &detail) || detail.Node != 1 {
+		t.Errorf("errors.As did not surface the underlying reason: %v", err)
+	}
+	if got := Code(err); got != CodeAdmissionRejected {
+		t.Errorf("Code = %q, want %q", got, CodeAdmissionRejected)
 	}
 }
 
@@ -49,6 +77,9 @@ func TestHTTPStatusMapping(t *testing.T) {
 		{&CanceledError{Cause: context.Canceled}, StatusClientClosedRequest},
 		{&CanceledError{Cause: context.DeadlineExceeded}, http.StatusGatewayTimeout},
 		{ErrUnsupported, http.StatusNotImplemented},
+		{&AdmissionError{ID: "wf-1", Deadline: 42}, http.StatusConflict},
+		{ErrOverloaded, http.StatusTooManyRequests},
+		{&NotFoundError{Kind: "workflow", ID: "wf-9"}, http.StatusNotFound},
 		{errors.New("unclassified"), http.StatusInternalServerError},
 	}
 	for _, c := range cases {

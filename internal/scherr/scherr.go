@@ -40,6 +40,22 @@ var (
 	// ErrInvalidRequest the input is not wrong — the capability is
 	// missing, so the stable code maps to HTTP 501.
 	ErrUnsupported = errors.New("cawosched: unsupported")
+	// ErrAdmissionRejected reports that a submitted workflow was refused
+	// by multi-tenant admission control: no placement on the cluster's
+	// residual capacity (after every committed reservation of the other
+	// tenants) meets its deadline. Every AdmissionError also satisfies
+	// errors.Is(err, ErrInfeasibleDeadline) — the deadline is infeasible,
+	// just on the shared view instead of an empty cluster — but the code
+	// ("admission_rejected", HTTP 409) is distinct so clients can tell
+	// "retry later / relax the deadline" from "never feasible".
+	ErrAdmissionRejected = errors.New("cawosched: admission rejected")
+	// ErrOverloaded reports that the service shed a request because its
+	// bounded work queue is full (HTTP 429 + Retry-After). The request
+	// itself is fine; retry after backing off.
+	ErrOverloaded = errors.New("cawosched: service overloaded")
+	// ErrNotFound reports a reference to an unknown resource, e.g. a
+	// workflow id the tenancy ledger has no record of (HTTP 404).
+	ErrNotFound = errors.New("cawosched: not found")
 )
 
 // InfeasibleDeadlineError pinpoints the node whose start window is empty
@@ -91,6 +107,46 @@ func Canceled(cause error) error {
 	}
 	return &CanceledError{Cause: cause}
 }
+
+// AdmissionError reports why admission control refused a workflow. It
+// satisfies both errors.Is(err, ErrAdmissionRejected) and
+// errors.Is(err, ErrInfeasibleDeadline), plus errors.Is against the
+// underlying Reason when one is attached (e.g. the solver's
+// InfeasibleDeadlineError on the residual supply).
+type AdmissionError struct {
+	ID       string // the rejected workflow's assigned id ("" if none)
+	Deadline int64  // the absolute model-time deadline that cannot be met
+	Reason   error  // underlying cause (may be nil: no conflict-free slot)
+}
+
+func (e *AdmissionError) Error() string {
+	msg := fmt.Sprintf("cawosched: admission rejected: no placement on residual capacity meets deadline %d", e.Deadline)
+	if e.Reason != nil {
+		msg += ": " + e.Reason.Error()
+	}
+	return msg
+}
+
+func (e *AdmissionError) Unwrap() []error {
+	errs := []error{ErrAdmissionRejected, ErrInfeasibleDeadline}
+	if e.Reason != nil {
+		errs = append(errs, e.Reason)
+	}
+	return errs
+}
+
+// NotFoundError reports an unknown resource id. It satisfies
+// errors.Is(err, ErrNotFound).
+type NotFoundError struct {
+	Kind string // resource kind, e.g. "workflow"
+	ID   string
+}
+
+func (e *NotFoundError) Error() string {
+	return fmt.Sprintf("cawosched: %s %q not found", e.Kind, e.ID)
+}
+
+func (e *NotFoundError) Unwrap() error { return ErrNotFound }
 
 // UnknownVariantError reports a variant name that is not in the registry,
 // with the canonical spelling candidates. It satisfies

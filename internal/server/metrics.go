@@ -6,6 +6,8 @@ import (
 	"strings"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/tenancy"
 )
 
 // latencyBuckets are the upper bounds (seconds) of the solve-latency
@@ -77,8 +79,10 @@ type solverCounters struct {
 	SolveEntries int
 }
 
-// render emits the Prometheus text exposition format.
-func (m *metrics) render(sc solverCounters) string {
+// render emits the Prometheus text exposition format. tg carries the
+// tenancy ledger/admission gauges; nil (no manager configured) omits the
+// whole block.
+func (m *metrics) render(sc solverCounters, tg *tenancy.Gauges) string {
 	var b strings.Builder
 
 	names := make([]string, 0, len(m.handlers))
@@ -110,6 +114,28 @@ func (m *metrics) render(sc solverCounters) string {
 	fmt.Fprintf(&b, "schedd_solve_cache_misses_total %d\n", sc.SolveMisses)
 	b.WriteString("# TYPE schedd_solve_cache_entries gauge\n")
 	fmt.Fprintf(&b, "schedd_solve_cache_entries %d\n", sc.SolveEntries)
+
+	if tg != nil {
+		b.WriteString("# TYPE schedd_workflows gauge\n")
+		fmt.Fprintf(&b, "schedd_workflows{state=\"admitted\"} %d\n", tg.Admitted)
+		fmt.Fprintf(&b, "schedd_workflows{state=\"running\"} %d\n", tg.Running)
+		fmt.Fprintf(&b, "schedd_workflows{state=\"completed\"} %d\n", tg.Completed)
+		fmt.Fprintf(&b, "schedd_workflows{state=\"canceled\"} %d\n", tg.Canceled)
+		b.WriteString("# TYPE schedd_workflows_submitted_total counter\n")
+		fmt.Fprintf(&b, "schedd_workflows_submitted_total %d\n", tg.SubmittedTotal)
+		b.WriteString("# TYPE schedd_workflows_rejected_total counter\n")
+		fmt.Fprintf(&b, "schedd_workflows_rejected_total %d\n", tg.RejectedTotal)
+		b.WriteString("# TYPE schedd_workflows_canceled_total counter\n")
+		fmt.Fprintf(&b, "schedd_workflows_canceled_total %d\n", tg.CanceledTotal)
+		b.WriteString("# TYPE schedd_rebalance_passes_total counter\n")
+		fmt.Fprintf(&b, "schedd_rebalance_passes_total %d\n", tg.RebalancePasses)
+		b.WriteString("# TYPE schedd_rebalance_moves_total counter\n")
+		fmt.Fprintf(&b, "schedd_rebalance_moves_total %d\n", tg.RebalanceMoves)
+		b.WriteString("# TYPE schedd_ledger_claims gauge\n")
+		fmt.Fprintf(&b, "schedd_ledger_claims %d\n", tg.LedgerClaims)
+		b.WriteString("# TYPE schedd_ledger_reserved_units gauge\n")
+		fmt.Fprintf(&b, "schedd_ledger_reserved_units %d\n", tg.LedgerReservedUnits)
+	}
 
 	b.WriteString("# TYPE schedd_solve_latency_seconds histogram\n")
 	var cum int64

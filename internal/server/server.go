@@ -8,11 +8,18 @@
 //	POST /v1/solve        one workflow + deadline/profile → schedule, cost,
 //	                      per-interval carbon breakdown
 //	POST /v1/solve/batch  many solve requests fanned out over a bounded
-//	                      worker pool; per-request errors are in-band
+//	                      worker pool; per-request errors are in-band.
+//	                      A full queue is refused with 429 + Retry-After
+//	POST   /v1/workflows      submit to the multi-tenant online scheduler;
+//	                          an unmeetable deadline is 409 admission_rejected
+//	GET    /v1/workflows      list submitted workflows (admission order)
+//	GET    /v1/workflows/{id} status and committed placement of one workflow
+//	DELETE /v1/workflows/{id} cancel, releasing its future reservations
+//	GET  /v1/zones        the configured zone set: names, horizon, digest
 //	GET  /v1/variants     the canonical variant registry
 //	GET  /healthz         liveness/readiness ("ok", or "draining" + 503)
 //	GET  /metrics         Prometheus text: cache hit/miss counters, solve
-//	                      latency histogram, in-flight gauge
+//	                      latency histogram, in-flight gauge, ledger gauges
 //
 // Request bodies are JSON in the internal/wire format. Every error
 // response is {"error": {"code", "message"}} with a stable code from
@@ -38,6 +45,7 @@ import (
 	"repro/internal/power"
 	"repro/internal/schedule"
 	"repro/internal/scherr"
+	"repro/internal/tenancy"
 	"repro/internal/wire"
 )
 
@@ -67,12 +75,22 @@ type Config struct {
 	// computed — and composes with BatchWorkers (a batch of B requests at W
 	// search workers may run up to B·W goroutines in the scheduler).
 	SearchWorkers int
+	// MaxQueue bounds the number of batch items admitted but not yet
+	// finished, across all in-flight batch requests. A batch that would
+	// push the backlog past the bound is refused whole with 429 and a
+	// Retry-After header instead of queueing unboundedly (default 4096).
+	MaxQueue int
+	// Manager, if set, enables the /v1/workflows and /v1/zones endpoints:
+	// the multi-tenant online scheduler with its cluster-state ledger and
+	// admission control. Without it those endpoints answer 501.
+	Manager *tenancy.Manager
 }
 
 const (
 	defaultRequestTimeout = 60 * time.Second
 	defaultMaxBatch       = 256
 	defaultMaxBodyBytes   = 8 << 20
+	defaultMaxQueue       = 4096
 )
 
 func (c Config) withDefaults() Config {
@@ -91,6 +109,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = defaultMaxBodyBytes
 	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = defaultMaxQueue
+	}
 	return c
 }
 
@@ -101,8 +122,16 @@ type Server struct {
 	mux      *http.ServeMux
 	metrics  *metrics
 	batchSem chan struct{} // server-wide bounded pool for batched solves
-	inflight sync.WaitGroup
+	queued   atomic.Int64  // batch items admitted but not yet finished
 	draining atomic.Bool
+
+	// In-flight accounting for Drain. Not a WaitGroup: requests keep
+	// arriving while Drain waits, and WaitGroup forbids Add from zero
+	// concurrent with Wait; a guarded counter with a condition variable
+	// has no such constraint.
+	inflightMu   sync.Mutex
+	inflightN    int
+	inflightIdle *sync.Cond
 }
 
 // New returns a server front-ending the given solver.
@@ -111,11 +140,17 @@ func New(solver *cawosched.Solver, cfg Config) *Server {
 		solver:  solver,
 		cfg:     cfg.withDefaults(),
 		mux:     http.NewServeMux(),
-		metrics: newMetrics("solve", "batch", "variants", "healthz", "metrics"),
+		metrics: newMetrics("solve", "batch", "workflows", "zones", "variants", "healthz", "metrics"),
 	}
 	s.batchSem = make(chan struct{}, s.cfg.BatchWorkers)
+	s.inflightIdle = sync.NewCond(&s.inflightMu)
 	s.route("POST /v1/solve", "solve", s.handleSolve)
 	s.route("POST /v1/solve/batch", "batch", s.handleBatch)
+	s.route("POST /v1/workflows", "workflows", s.handleWorkflowSubmit)
+	s.route("GET /v1/workflows", "workflows", s.handleWorkflowList)
+	s.route("GET /v1/workflows/{id}", "workflows", s.handleWorkflowGet)
+	s.route("DELETE /v1/workflows/{id}", "workflows", s.handleWorkflowCancel)
+	s.route("GET /v1/zones", "zones", s.handleZones)
 	s.route("GET /v1/variants", "variants", s.handleVariants)
 	s.route("GET /healthz", "healthz", s.handleHealthz)
 	s.route("GET /metrics", "metrics", s.handleMetrics)
@@ -140,7 +175,11 @@ func (s *Server) Drain(ctx context.Context) error {
 	s.SetDraining()
 	done := make(chan struct{})
 	go func() {
-		s.inflight.Wait()
+		s.inflightMu.Lock()
+		for s.inflightN > 0 {
+			s.inflightIdle.Wait()
+		}
+		s.inflightMu.Unlock()
 		close(done)
 	}()
 	select {
@@ -148,6 +187,20 @@ func (s *Server) Drain(ctx context.Context) error {
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
+	}
+}
+
+// tryEnqueue reserves n batch-backlog slots, refusing (without partial
+// reservation) when the bound would be exceeded.
+func (s *Server) tryEnqueue(n int64) bool {
+	for {
+		cur := s.queued.Load()
+		if cur+n > int64(s.cfg.MaxQueue) {
+			return false
+		}
+		if s.queued.CompareAndSwap(cur, cur+n) {
+			return true
+		}
 	}
 }
 
@@ -167,8 +220,17 @@ func (w *statusWriter) WriteHeader(status int) {
 // counters.
 func (s *Server) route(pattern, name string, h http.HandlerFunc) {
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
-		s.inflight.Add(1)
-		defer s.inflight.Done()
+		s.inflightMu.Lock()
+		s.inflightN++
+		s.inflightMu.Unlock()
+		defer func() {
+			s.inflightMu.Lock()
+			s.inflightN--
+			if s.inflightN == 0 {
+				s.inflightIdle.Broadcast()
+			}
+			s.inflightMu.Unlock()
+		}()
 		s.metrics.inFlight.Add(1)
 		defer s.metrics.inFlight.Add(-1)
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
@@ -360,6 +422,20 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
+	// Backpressure: admit the batch only if its items fit in the bounded
+	// backlog; otherwise refuse the whole request now rather than holding
+	// the connection while an unbounded queue drains. The client owns the
+	// retry (Retry-After is a hint sized to the pool's drain rate).
+	if !s.tryEnqueue(int64(len(breq.Requests))) {
+		w.Header().Set("Retry-After", "1")
+		s.writeError(w, &wire.Error{
+			Code: scherr.CodeOverloaded,
+			Message: fmt.Sprintf("batch queue full (%d items in flight, limit %d): %s",
+				s.queued.Load(), s.cfg.MaxQueue, scherr.ErrOverloaded.Error()),
+		})
+		return
+	}
+	defer s.queued.Add(-int64(len(breq.Requests)))
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
 
@@ -409,6 +485,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	st := s.solver.Stats()
+	var tg *tenancy.Gauges
+	if s.cfg.Manager != nil {
+		g := s.cfg.Manager.Gauges()
+		tg = &g
+	}
 	text := s.metrics.render(solverCounters{
 		Solves:       st.Solves,
 		PlanHits:     st.PlanHits,
@@ -416,7 +497,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		SolveHits:    st.SolveHits,
 		SolveMisses:  st.SolveMisses,
 		SolveEntries: st.SolveEntries,
-	})
+	}, tg)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	w.WriteHeader(http.StatusOK)
 	fmt.Fprint(w, text)

@@ -1,0 +1,330 @@
+// Package tenancy turns the per-request solver into a stateful
+// multi-tenant scheduler: many workflows, arriving over time, compete for
+// the processors of one shared cluster.
+//
+// The package is built from three pieces:
+//
+//   - Ledger: a concurrency-safe record of committed reservations — one
+//     time-interval claim per scheduled node, per processor. A commit is
+//     all-or-nothing and refuses any overlap, so the ledger can never
+//     double-book a processor.
+//   - Residual view: the green power supply minus the power the committed
+//     reservations already draw, per grid zone. The existing core/greenheft
+//     pipeline solves new workflows against this view unchanged — tenants
+//     see less green energy where (and when) others burn it.
+//   - Manager: admission control and the rolling-horizon re-solve loop on
+//     top of the two (manager.go).
+//
+// Time is the discrete model-time axis of schedules and profiles; a Clock
+// maps "now" onto it (wall clock in schedd, simulated in tests).
+package tenancy
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Claim is one committed reservation: node-shaped work occupying a
+// processor for [Start, End) in absolute model time, drawing Work power
+// while it runs (the processor's work power; its idle floor is priced by
+// the owning workflow's cost accounting, not the ledger).
+type Claim struct {
+	Proc  int   // cluster processor id (compute or link)
+	Start int64 // absolute model time, inclusive
+	End   int64 // absolute model time, exclusive (End > Start)
+	Work  int64 // work power drawn while running (>= 0)
+}
+
+// ConflictError reports the first overlap that blocked a commit.
+type ConflictError struct {
+	Proc         int    // the double-booked processor
+	Start, End   int64  // the claim that could not be placed
+	Owner        string // who holds the blocking reservation
+	BlockedUntil int64  // end of the blocking reservation
+}
+
+func (e *ConflictError) Error() string {
+	return fmt.Sprintf("tenancy: processor %d busy until %d (held by %s): claim [%d, %d) overlaps",
+		e.Proc, e.BlockedUntil, e.Owner, e.Start, e.End)
+}
+
+// reservation is one committed claim in a per-processor timeline.
+type reservation struct {
+	start, end int64
+	work       int64
+	owner      string
+}
+
+// Ledger is the concurrency-safe cluster-state record of committed
+// reservations. All methods are safe for concurrent use; Commit is
+// atomic (all claims or none).
+type Ledger struct {
+	mu       sync.RWMutex
+	procs    map[int][]reservation       // per processor, sorted by start, non-overlapping
+	owners   map[string]map[int]struct{} // owner -> processors holding its claims
+	claims   int64
+	reserved int64 // Σ (end-start) over all committed claims
+}
+
+// NewLedger returns an empty ledger.
+func NewLedger() *Ledger {
+	return &Ledger{
+		procs:  make(map[int][]reservation),
+		owners: make(map[string]map[int]struct{}),
+	}
+}
+
+// firstOverlap returns the first reservation on proc overlapping
+// [start, end), or nil. Caller holds at least a read lock.
+func (l *Ledger) firstOverlap(proc int, start, end int64) *reservation {
+	rs := l.procs[proc]
+	// First reservation with end > start.
+	i := sort.Search(len(rs), func(i int) bool { return rs[i].end > start })
+	if i < len(rs) && rs[i].start < end {
+		return &rs[i]
+	}
+	return nil
+}
+
+// Conflicts returns the blocking reservation for the first of the claims
+// that overlaps a committed one, or nil when all could be committed as-is.
+func (l *Ledger) Conflicts(claims []Claim) *ConflictError {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.conflictsLocked(claims, 0)
+}
+
+func (l *Ledger) conflictsLocked(claims []Claim, delta int64) *ConflictError {
+	for _, c := range claims {
+		if c.End <= c.Start {
+			continue
+		}
+		if r := l.firstOverlap(c.Proc, c.Start+delta, c.End+delta); r != nil {
+			return &ConflictError{
+				Proc: c.Proc, Start: c.Start + delta, End: c.End + delta,
+				Owner: r.owner, BlockedUntil: r.end,
+			}
+		}
+	}
+	return nil
+}
+
+// Commit atomically books every claim for owner. Zero-length claims are
+// skipped. On any overlap — with an existing reservation or between the
+// new claims themselves — nothing is committed and the ConflictError
+// describes the first blocker.
+func (l *Ledger) Commit(owner string, claims []Claim) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.conflictsLocked(claims, 0); err != nil {
+		return err
+	}
+	// Overlaps among the new claims themselves (a malformed schedule
+	// would be caught by schedule.Validate upstream, but the ledger
+	// guards its own invariant).
+	byProc := make(map[int][]Claim)
+	for _, c := range claims {
+		if c.End <= c.Start {
+			continue
+		}
+		if c.Start < 0 {
+			return fmt.Errorf("tenancy: claim on processor %d starts at %d < 0", c.Proc, c.Start)
+		}
+		byProc[c.Proc] = append(byProc[c.Proc], c)
+	}
+	for proc, cs := range byProc {
+		sort.Slice(cs, func(i, j int) bool { return cs[i].Start < cs[j].Start })
+		for i := 1; i < len(cs); i++ {
+			if cs[i].Start < cs[i-1].End {
+				return &ConflictError{Proc: proc, Start: cs[i].Start, End: cs[i].End,
+					Owner: owner, BlockedUntil: cs[i-1].End}
+			}
+		}
+	}
+	for proc, cs := range byProc {
+		rs := l.procs[proc]
+		for _, c := range cs {
+			i := sort.Search(len(rs), func(i int) bool { return rs[i].start >= c.Start })
+			rs = append(rs, reservation{})
+			copy(rs[i+1:], rs[i:])
+			rs[i] = reservation{start: c.Start, end: c.End, work: c.Work, owner: owner}
+			l.claims++
+			l.reserved += c.End - c.Start
+		}
+		l.procs[proc] = rs
+		set, ok := l.owners[owner]
+		if !ok {
+			set = make(map[int]struct{})
+			l.owners[owner] = set
+		}
+		set[proc] = struct{}{}
+	}
+	return nil
+}
+
+// ReleaseFrom removes owner's share of the timeline from t onward: claims
+// starting at or after t are dropped, and a claim spanning t is truncated
+// to end at t (the work already performed stays booked). It returns the
+// number of proc-time units released. ReleaseFrom(owner, math.MinInt64)
+// releases everything the owner holds.
+func (l *Ledger) ReleaseFrom(owner string, t int64) int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var released int64
+	set := l.owners[owner]
+	for proc := range set {
+		rs := l.procs[proc]
+		out := rs[:0]
+		remaining := false
+		for _, r := range rs {
+			switch {
+			case r.owner != owner || r.end <= t:
+				out = append(out, r)
+				if r.owner == owner {
+					remaining = true
+				}
+			case r.start >= t:
+				released += r.end - r.start
+				l.claims--
+				l.reserved -= r.end - r.start
+			default: // spans t: truncate
+				released += r.end - t
+				l.reserved -= r.end - t
+				r.end = t
+				out = append(out, r)
+				remaining = true
+			}
+		}
+		l.procs[proc] = out
+		if !remaining {
+			delete(set, proc)
+		}
+	}
+	if len(set) == 0 {
+		delete(l.owners, owner)
+	}
+	return released
+}
+
+// OwnerClaims returns owner's committed claims, sorted by (proc, start).
+func (l *Ledger) OwnerClaims(owner string) []Claim {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	var out []Claim
+	procs := make([]int, 0, len(l.owners[owner]))
+	for proc := range l.owners[owner] {
+		procs = append(procs, proc)
+	}
+	sort.Ints(procs)
+	for _, proc := range procs {
+		for _, r := range l.procs[proc] {
+			if r.owner == owner {
+				out = append(out, Claim{Proc: proc, Start: r.start, End: r.end, Work: r.work})
+			}
+		}
+	}
+	return out
+}
+
+// FindOffset returns the smallest delta >= 0 such that every claim,
+// shifted by delta, commits without conflict and no shifted claim ends
+// after maxEnd. The search is conflict-driven: each round jumps delta to
+// the latest blocking reservation's end, so it terminates after at most
+// one round per blocking reservation. ok is false when no such delta
+// exists within the deadline.
+func (l *Ledger) FindOffset(claims []Claim, maxEnd int64) (delta int64, ok bool) {
+	var latest int64
+	for _, c := range claims {
+		if c.End > latest {
+			latest = c.End
+		}
+	}
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	for {
+		if latest+delta > maxEnd {
+			return 0, false
+		}
+		shift := int64(-1)
+		for _, c := range claims {
+			if c.End <= c.Start {
+				continue
+			}
+			if r := l.firstOverlap(c.Proc, c.Start+delta, c.End+delta); r != nil {
+				// The blocker ends after the shifted start (overlap), so
+				// r.end - c.Start > delta: monotone progress.
+				if s := r.end - c.Start; s > shift {
+					shift = s
+				}
+			}
+		}
+		if shift < 0 {
+			return delta, true
+		}
+		delta = shift
+	}
+}
+
+// NumClaims returns the number of committed reservations.
+func (l *Ledger) NumClaims() int64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.claims
+}
+
+// ReservedUnits returns the total committed proc-time units (Σ end-start
+// over all reservations, past and future).
+func (l *Ledger) ReservedUnits() int64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.reserved
+}
+
+// BusyUnits returns the committed proc-time units that fall within
+// [from, to) on processors with id < maxProc (pass the cluster's compute
+// count to measure compute utilization; 0 or negative means every
+// processor).
+func (l *Ledger) BusyUnits(maxProc int, from, to int64) int64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	var units int64
+	for proc, rs := range l.procs {
+		if maxProc > 0 && proc >= maxProc {
+			continue
+		}
+		for _, r := range rs {
+			lo, hi := r.start, r.end
+			if lo < from {
+				lo = from
+			}
+			if hi > to {
+				hi = to
+			}
+			if hi > lo {
+				units += hi - lo
+			}
+		}
+	}
+	return units
+}
+
+// Audit verifies the ledger invariant: every per-processor timeline is
+// sorted and strictly non-overlapping. It is the test hook behind the
+// "never double-books" guarantee.
+func (l *Ledger) Audit() error {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	for proc, rs := range l.procs {
+		for i, r := range rs {
+			if r.end <= r.start {
+				return fmt.Errorf("tenancy: processor %d reservation %d empty [%d, %d)", proc, i, r.start, r.end)
+			}
+			if i > 0 && rs[i-1].end > r.start {
+				return fmt.Errorf("tenancy: processor %d reservations overlap: [%d, %d) by %s then [%d, %d) by %s",
+					proc, rs[i-1].start, rs[i-1].end, rs[i-1].owner, r.start, r.end, r.owner)
+			}
+		}
+	}
+	return nil
+}
