@@ -19,6 +19,7 @@ import (
 	"repro/internal/exact"
 	"repro/internal/experiments"
 	"repro/internal/npc"
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/power"
 	"repro/internal/rng"
@@ -559,6 +560,25 @@ func BenchmarkPressWRLSZones(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := cawosched.RunZonesContext(context.Background(), inst, zs, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPressWRLSZonesTraced is BenchmarkPressWRLSZones with a full
+// observability context (metrics registry + tracer): the delta between the
+// two is the cost of tracing and metering a solve. Without the context the
+// instrumentation is a handful of nil checks, so the untraced benchmark
+// must stay within noise of its pre-observability baseline.
+func BenchmarkPressWRLSZonesTraced(b *testing.B) {
+	inst, zs := benchZonedInstance(b, 500, 3)
+	opt := cawosched.Options{Score: cawosched.ScorePressureW, Refined: true, LocalSearch: true}
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer(obs.DefaultTraceBuffer)
+	ctx := obs.WithTracer(obs.WithMeter(context.Background(), reg), tracer)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := cawosched.RunZonesContext(ctx, inst, zs, opt); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -32,9 +32,10 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -42,6 +43,7 @@ import (
 	"time"
 
 	cawosched "repro"
+	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/server"
 	"repro/internal/tenancy"
@@ -63,6 +65,12 @@ type options struct {
 	maxQueue    int
 	grace       time.Duration
 	drainDelay  time.Duration
+
+	// Observability.
+	debugAddr   string
+	traceBuffer int
+	slowSolve   time.Duration
+	logJSON     bool
 
 	// Online scheduling (the tenancy layer). Empty supplyScenario leaves
 	// it disabled: /v1/workflows answers 501.
@@ -89,6 +97,10 @@ func main() {
 	flag.IntVar(&opt.maxQueue, "max-queue", 0, "maximum batch items in flight across all batch requests before 429 (0 = 4096)")
 	flag.DurationVar(&opt.grace, "shutdown-grace", 30*time.Second, "how long in-flight requests may finish after SIGINT/SIGTERM")
 	flag.DurationVar(&opt.drainDelay, "drain-delay", 0, "how long /healthz serves 503 (draining) before the listener closes, so load balancers can deregister")
+	flag.StringVar(&opt.debugAddr, "debug-addr", "", "serve net/http/pprof, /metrics, and /debug/traces on this side address (empty = disabled; the main listener serves /metrics and /debug/traces regardless)")
+	flag.IntVar(&opt.traceBuffer, "trace-buffer", 0, "solve traces retained for GET /debug/traces (0 = 256)")
+	flag.DurationVar(&opt.slowSolve, "slow-solve", time.Second, "log requests at least this slow at warning level (negative = never)")
+	flag.BoolVar(&opt.logJSON, "log-json", false, "emit structured logs as JSON instead of text")
 	flag.StringVar(&opt.supplyScenario, "supply-scenario", "", `enable online scheduling (/v1/workflows) with this green supply shape: one scenario ("S1".."S4") for every zone, or a comma list with one per zone`)
 	flag.Int64Var(&opt.supplyHorizon, "supply-horizon", 4320, "period of the generated supply forecast, in model time units (it repeats beyond this)")
 	flag.IntVar(&opt.supplyIntervals, "supply-intervals", 24, "intervals per generated supply profile")
@@ -173,7 +185,7 @@ func buildSupply(cluster *cawosched.Cluster, scenario string, horizon int64, int
 // rebalanceLoop runs the rolling horizon until ctx is canceled: every
 // period it re-solves admitted-but-unstarted workflows against the
 // current residual supply, committing only strictly cheaper placements.
-func rebalanceLoop(ctx context.Context, m *tenancy.Manager, every time.Duration) {
+func rebalanceLoop(ctx context.Context, lg *slog.Logger, m *tenancy.Manager, every time.Duration) {
 	ticker := time.NewTicker(every)
 	defer ticker.Stop()
 	for {
@@ -184,21 +196,47 @@ func rebalanceLoop(ctx context.Context, m *tenancy.Manager, every time.Duration)
 			rep, err := m.Rebalance(ctx)
 			if err != nil {
 				if ctx.Err() == nil {
-					log.Printf("schedd: rebalance: %v", err)
+					lg.Error("rebalance failed", "err", err)
 				}
 				continue
 			}
 			if rep.Moved > 0 {
-				log.Printf("schedd: rebalance t=%d: moved %d/%d placements, saved %d carbon", rep.Time, rep.Moved, rep.Considered, rep.Saved)
+				lg.Info("rebalance pass",
+					"time", rep.Time, "moved", rep.Moved,
+					"considered", rep.Considered, "saved_units", rep.Saved)
 			}
 		}
 	}
+}
+
+// debugMux builds the side mux served on -debug-addr: the standard pprof
+// endpoints plus the same /metrics and /debug/traces views as the main
+// listener, so profilers and scrapers can stay off the serving port.
+func debugMux(srv *server.Server) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		srv.Registry().WriteText(w)
+	})
+	mux.Handle("/debug/traces", srv.Tracer())
+	return mux
 }
 
 // run serves until ctx is canceled, then drains gracefully. If ready is
 // non-nil it receives the bound address once the listener is up (tests
 // pass ":0" and read the actual port from it).
 func run(ctx context.Context, opt options, ready chan<- string) error {
+	var handler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
+	if opt.logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	}
+	lg := slog.New(handler)
+
 	cluster, label, err := buildCluster(opt.clusterName, opt.clusterFile, opt.zones, opt.seed)
 	if err != nil {
 		return err
@@ -231,8 +269,8 @@ func run(ctx context.Context, opt options, ready chan<- string) error {
 		if err != nil {
 			return err
 		}
-		log.Printf("schedd: online scheduling on (%d zones, horizon %d units, 1 unit = %s)",
-			supply.NumZones(), supply.T(), opt.timeUnit)
+		lg.Info("online scheduling on",
+			"zones", supply.NumZones(), "horizon_units", supply.T(), "time_unit", opt.timeUnit.String())
 	}
 
 	srv := server.New(solver, server.Config{
@@ -243,6 +281,9 @@ func run(ctx context.Context, opt options, ready chan<- string) error {
 		DefaultMapping: opt.mapping,
 		SearchWorkers:  opt.searchWork,
 		Manager:        manager,
+		Logger:         lg,
+		SlowSolve:      opt.slowSolve,
+		TraceBuffer:    opt.traceBuffer,
 	})
 
 	ln, err := net.Listen("tcp", opt.addr)
@@ -253,18 +294,40 @@ func run(ctx context.Context, opt options, ready chan<- string) error {
 		Handler:           srv,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	log.Printf("schedd: serving cluster %s (%d compute processors, %d zones) on %s", label, cluster.NumCompute(), cluster.NumZones(), ln.Addr())
+	lg.Info("serving", "cluster", label,
+		"compute_processors", cluster.NumCompute(), "zones", cluster.NumZones(),
+		"addr", ln.Addr().String())
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}
 
-	loopCtx, stopLoop := context.WithCancel(context.Background())
+	// Opt-in side listener for pprof and scraping off the serving port.
+	var debugSrv *http.Server
+	if opt.debugAddr != "" {
+		dln, err := net.Listen("tcp", opt.debugAddr)
+		if err != nil {
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		debugSrv = &http.Server{Handler: debugMux(srv), ReadHeaderTimeout: 10 * time.Second}
+		lg.Info("debug endpoints up", "addr", dln.Addr().String())
+		go func() {
+			if err := debugSrv.Serve(dln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				lg.Error("debug server failed", "err", err)
+			}
+		}()
+	}
+
+	// The rolling horizon runs outside any request, so it carries the
+	// server's registry and tracer explicitly: rebalance passes show up in
+	// /debug/traces and the stage histograms like request-driven work.
+	loopCtx, stopLoop := context.WithCancel(
+		obs.WithTracer(obs.WithMeter(context.Background(), srv.Registry()), srv.Tracer()))
 	defer stopLoop()
 	loopDone := make(chan struct{})
 	if manager != nil && opt.rebalanceEvery > 0 {
 		go func() {
 			defer close(loopDone)
-			rebalanceLoop(loopCtx, manager, opt.rebalanceEvery)
+			rebalanceLoop(loopCtx, lg, manager, opt.rebalanceEvery)
 		}()
 	} else {
 		close(loopDone)
@@ -285,7 +348,7 @@ func run(ctx context.Context, opt options, ready chan<- string) error {
 	// before connections start being refused. Then http.Server.Shutdown
 	// waits for in-flight requests up to the grace period. The rolling
 	// horizon stops first so no rebalance pass races the drain.
-	log.Printf("schedd: draining (delay %s, grace %s)", opt.drainDelay, opt.grace)
+	lg.Info("draining", "delay", opt.drainDelay.String(), "grace", opt.grace.String())
 	srv.SetDraining()
 	stopLoop()
 	<-loopDone
@@ -294,14 +357,17 @@ func run(ctx context.Context, opt options, ready chan<- string) error {
 	}
 	sctx, cancel := context.WithTimeout(context.Background(), opt.grace)
 	defer cancel()
+	if debugSrv != nil {
+		debugSrv.Shutdown(sctx)
+	}
 	if err := httpSrv.Shutdown(sctx); err != nil {
-		log.Printf("schedd: forced shutdown: %v", err)
+		lg.Error("forced shutdown", "err", err)
 		httpSrv.Close()
 		return err
 	}
 	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
-	log.Printf("schedd: stopped")
+	lg.Info("stopped")
 	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"io"
+	"net"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -12,6 +13,7 @@ import (
 	"time"
 
 	cawosched "repro"
+	"repro/internal/obs"
 	"repro/internal/wire"
 )
 
@@ -251,6 +253,233 @@ func TestServeOnlineSmoke(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("cancel: %d", resp.StatusCode)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("graceful shutdown returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+}
+
+// TestObservabilityEndToEnd boots the full daemon — online scheduling,
+// rolling horizon, and the -debug-addr side listener — drives a mix of
+// solve, batch, and workflow traffic, and then checks every observability
+// surface: a valid Prometheus exposition with carbon and stage families,
+// the request's trace (keyed by the client's X-Request-ID) with its stage
+// spans, per-stage timings on the wire, and pprof on the side listener.
+// freeAddr reserves an ephemeral port and releases it for the daemon to
+// bind: run only reports the main listener's address through ready, so the
+// test must know the debug address up front.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+func TestObservabilityEndToEnd(t *testing.T) {
+	debugAddr := freeAddr(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	opt := options{
+		addr: "127.0.0.1:0", debugAddr: debugAddr,
+		clusterName: "small", zones: 2, seed: 7,
+		reqTimeout: 30 * time.Second, batchWork: 2, searchWork: 2,
+		maxBatch: 16, grace: 5 * time.Second,
+		supplyScenario: "S1,S3", supplyHorizon: 4320, supplyIntervals: 24,
+		supplySeed: 7, timeUnit: 50 * time.Millisecond,
+		rebalanceEvery: 20 * time.Millisecond,
+		traceBuffer:    64, slowSolve: -1,
+	}
+	go func() {
+		done <- run(ctx, opt, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("server exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+	base := "http://" + addr
+
+	wf, err := cawosched.GenerateWorkflow(cawosched.Bacass, 30, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One traced solve with a client request ID.
+	sbody, err := json.Marshal(wire.SolveRequest{
+		Workflow: wire.FromDAG(wf), Variant: "pressWR-LS", DeadlineFactor: 1.5, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, base+"/v1/solve", strings.NewReader(string(sbody)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Request-ID", "obs-e2e-1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve: %d %s", resp.StatusCode, raw)
+	}
+	if got := resp.Header.Get("X-Request-ID"); got != "obs-e2e-1" {
+		t.Errorf("X-Request-ID echoed as %q", got)
+	}
+	var sr wire.SolveResponse
+	if err := json.Unmarshal(raw, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Timings) == 0 {
+		t.Error("solve response carries no stage timings")
+	}
+	stages := map[string]bool{}
+	for _, st := range sr.Timings {
+		stages[st.Stage] = true
+	}
+	for _, want := range []string{"plan", "supply", "cache", "schedule"} {
+		if !stages[want] {
+			t.Errorf("wire timings missing stage %q: %+v", want, sr.Timings)
+		}
+	}
+
+	// A small batch and a workflow submission to widen the traffic mix.
+	bbody, err := json.Marshal(wire.BatchRequest{Requests: []wire.SolveRequest{
+		{Workflow: wire.FromDAG(wf), Variant: "slack", Seed: 2},
+		{Workflow: wire.FromDAG(wf), Variant: "no-such", Seed: 3},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Post(base+"/v1/solve/batch", "application/json", strings.NewReader(string(bbody)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch: %d", resp.StatusCode)
+	}
+	wbody, err := json.Marshal(wire.SubmitWorkflowRequest{Workflow: wire.FromDAG(wf), DeadlineFactor: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Post(base+"/v1/workflows", "application/json", strings.NewReader(string(wbody)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit: %d", resp.StatusCode)
+	}
+	// Let the rolling horizon tick so rebalance metrics move.
+	time.Sleep(60 * time.Millisecond)
+
+	// The exposition parses and carries the new families.
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mraw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Errorf("metrics Content-Type %q", ct)
+	}
+	if err := obs.ValidateExposition(string(mraw)); err != nil {
+		t.Fatalf("invalid exposition: %v", err)
+	}
+	for _, want := range []string{
+		`schedd_solve_latency_seconds_count{outcome="ok"}`,
+		`schedd_solve_latency_seconds_count{outcome="error"}`,
+		`schedd_stage_latency_seconds_count{stage="schedule"}`,
+		"schedd_carbon_green_units_total{zone=",
+		"schedd_carbon_brown_units_total{zone=",
+		"schedd_workflows_submitted_total 1",
+		"schedd_rebalance_passes_total",
+		`schedd_tenant_cost_units{view="admitted"}`,
+		"schedd_build_info{go_version=",
+	} {
+		if !strings.Contains(string(mraw), want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+
+	// The traced solve is in /debug/traces under its request ID, with the
+	// stage spans nested below the solve span.
+	resp, err = http.Get(base + "/debug/traces?n=100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var traces obs.TracesResponse
+	if err := json.NewDecoder(resp.Body).Decode(&traces); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	var solveTrace *obs.Trace
+	for _, tr := range traces.Traces {
+		if tr.ID == "obs-e2e-1" {
+			solveTrace = tr
+		}
+	}
+	if solveTrace == nil {
+		t.Fatalf("no trace for request obs-e2e-1 among %d traces", len(traces.Traces))
+	}
+	var solveSpan *obs.SpanData
+	for _, c := range solveTrace.Root.Children {
+		if c.Name == "solve" {
+			solveSpan = c
+		}
+	}
+	if solveSpan == nil {
+		t.Fatal("traced request has no solve span")
+	}
+	names := map[string]bool{}
+	for _, c := range solveSpan.Children {
+		names[c.Name] = true
+	}
+	for _, want := range []string{"plan", "supply", "solve-cache", "schedule"} {
+		if !names[want] {
+			t.Errorf("solve span missing %q child (have %v)", want, names)
+		}
+	}
+
+	// The side listener serves pprof and the same metrics view.
+	dresp, err := http.Get("http://" + debugAddr + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatalf("debug listener: %v", err)
+	}
+	io.Copy(io.Discard, dresp.Body)
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		t.Errorf("pprof cmdline: %d", dresp.StatusCode)
+	}
+	dresp, err = http.Get("http://" + debugAddr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dmraw, _ := io.ReadAll(dresp.Body)
+	dresp.Body.Close()
+	if err := obs.ValidateExposition(string(dmraw)); err != nil {
+		t.Errorf("debug-listener exposition invalid: %v", err)
 	}
 
 	cancel()

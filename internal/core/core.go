@@ -26,6 +26,7 @@ import (
 	"fmt"
 
 	"repro/internal/ceg"
+	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/schedule"
 	"repro/internal/scherr"
@@ -59,14 +60,14 @@ func Run(ctx context.Context, inst *ceg.Instance, prof *power.Profile, opt Optio
 func RunZones(ctx context.Context, inst *ceg.Instance, zs *power.ZoneSet, opt Options) (*schedule.Schedule, Stats, error) {
 	var st Stats
 	T := zs.T()
-	s, err := GreedyZones(ctx, inst, zs, opt, &st)
+	gctx, gsp := obs.Start(ctx, "greedy")
+	s, err := GreedyZones(gctx, inst, zs, opt, &st)
+	greedyAttrs(gsp, &st, err)
 	if err != nil {
 		return nil, st, err
 	}
-	if opt.LocalSearch {
-		if err := LocalSearchZonesWorkers(ctx, inst, zs, s, opt.EffectiveMu(), opt.SearchWorkers, &st); err != nil {
-			return nil, st, err
-		}
+	if err := localSearchSpan(ctx, inst, zs, s, opt, &st); err != nil {
+		return nil, st, err
 	}
 	if err := schedule.Validate(inst, s, T); err != nil {
 		return nil, st, fmt.Errorf("core: produced invalid schedule: %w", err)
@@ -87,20 +88,60 @@ func RunMarginal(ctx context.Context, inst *ceg.Instance, prof *power.Profile, o
 func RunMarginalZones(ctx context.Context, inst *ceg.Instance, zs *power.ZoneSet, opt Options) (*schedule.Schedule, Stats, error) {
 	var st Stats
 	T := zs.T()
-	s, err := GreedyMarginalZones(ctx, inst, zs, opt, &st)
+	gctx, gsp := obs.Start(ctx, "greedy")
+	s, err := GreedyMarginalZones(gctx, inst, zs, opt, &st)
+	greedyAttrs(gsp, &st, err)
 	if err != nil {
 		return nil, st, err
 	}
-	if opt.LocalSearch {
-		if err := LocalSearchZonesWorkers(ctx, inst, zs, s, opt.EffectiveMu(), opt.SearchWorkers, &st); err != nil {
-			return nil, st, err
-		}
+	if err := localSearchSpan(ctx, inst, zs, s, opt, &st); err != nil {
+		return nil, st, err
 	}
 	if err := schedule.Validate(inst, s, T); err != nil {
 		return nil, st, fmt.Errorf("core: marginal greedy produced invalid schedule: %w", err)
 	}
 	st.Cost = schedule.CarbonCostZones(inst, s, zs)
 	return s, st, nil
+}
+
+// greedyAttrs records the greedy phase's introspection on its span.
+func greedyAttrs(sp *obs.Span, st *Stats, err error) {
+	if sp == nil {
+		return
+	}
+	if err == nil {
+		sp.SetAttr("cost", st.GreedyCost)
+		sp.SetAttr("intervals", st.Intervals)
+		sp.SetAttr("fallback_starts", st.FallbackStarts)
+	} else {
+		sp.SetAttr("error", err.Error())
+	}
+	sp.End()
+}
+
+// localSearchSpan runs the optional local-search phase under a
+// "local-search" span carrying the round/move/gain/scan counters. The
+// worker pool inside additionally reports nondeterministic mechanism
+// detail (speculation conflicts, timeline mode) on the same span.
+func localSearchSpan(ctx context.Context, inst *ceg.Instance, zs *power.ZoneSet, s *schedule.Schedule, opt Options, st *Stats) error {
+	if !opt.LocalSearch {
+		return nil
+	}
+	lctx, lsp := obs.Start(ctx, "local-search")
+	err := LocalSearchZonesWorkers(lctx, inst, zs, s, opt.EffectiveMu(), opt.SearchWorkers, st)
+	if lsp != nil {
+		if err == nil {
+			lsp.SetAttr("rounds", st.LSRounds)
+			lsp.SetAttr("moves", st.LSMoves)
+			lsp.SetAttr("gain", st.LSGain)
+			lsp.SetAttr("scans", st.LSScans)
+			lsp.SetAttr("workers", opt.SearchWorkers)
+		} else {
+			lsp.SetAttr("error", err.Error())
+		}
+		lsp.End()
+	}
+	return err
 }
 
 // Stats reports instrumentation from a scheduler run.
@@ -112,6 +153,12 @@ type Stats struct {
 	LSRounds       int   // local search rounds (including the final gainless one)
 	LSMoves        int   // accepted local search moves
 	LSGain         int64 // total cost reduction achieved by the local search
+	// LSScans counts task visits across all local-search rounds
+	// (rounds × tasks). It is deterministic — bit-identical at every
+	// worker count, like every other field; nondeterministic mechanism
+	// counters (speculation conflicts) are reported through the
+	// observability layer only, never here.
+	LSScans int
 	// Repushes counts stale-score heap re-insertions in GreedyDynamic:
 	// how often window updates actually perturbed the task order.
 	Repushes int

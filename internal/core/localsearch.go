@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/ceg"
+	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/schedule"
 )
@@ -116,6 +117,9 @@ func LocalSearchZones(ctx context.Context, inst *ceg.Instance, zs *power.ZoneSet
 					}
 				}
 				scans++
+				if st != nil {
+					st.LSScans++
+				}
 				dur := inst.Dur[v]
 				cur := s.Start[v]
 				lo, hi := moveWindow(inst, s, v, T, mu)
@@ -133,6 +137,10 @@ func LocalSearchZones(ctx context.Context, inst *ceg.Instance, zs *power.ZoneSet
 			}
 		}
 		if !improved {
+			if sp := obs.SpanFrom(ctx); sp != nil {
+				sp.SetAttr("zones", tls.NumZones())
+				sp.SetAttr("dense_zones", tls.DenseZones())
+			}
 			return nil
 		}
 		tls.Compact()
@@ -162,6 +170,9 @@ func LocalSearchUnitStep(ctx context.Context, inst *ceg.Instance, prof *power.Pr
 					}
 				}
 				scans++
+				if st != nil {
+					st.LSScans++
+				}
 				dur := inst.Dur[v]
 				cur := s.Start[v]
 				lo, hi := moveWindow(inst, s, v, T, mu)

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/ceg"
+	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/schedule"
 )
@@ -126,6 +127,11 @@ func LocalSearchZonesWorkers(ctx context.Context, inst *ceg.Instance, zs *power.
 	log := make([]lsMove, n)
 	var ver atomic.Int64
 
+	// conflictReevals counts speculative results the committer had to
+	// recompute on the authoritative state. The count depends on goroutine
+	// timing, so it is reported only through the observability layer —
+	// never in Stats, which is pinned bit-identical across worker counts.
+	conflictReevals := 0
 	scans := 0
 	for {
 		improved := false
@@ -184,6 +190,9 @@ func LocalSearchZonesWorkers(ctx context.Context, inst *ceg.Instance, zs *power.
 				}
 			}
 			scans++
+			if st != nil {
+				st.LSScans++
+			}
 			r, chOK := <-outs[idx%workers]
 			if !chOK {
 				// Unreachable before close(done): every worker sends one
@@ -195,6 +204,7 @@ func LocalSearchZonesWorkers(ctx context.Context, inst *ceg.Instance, zs *power.
 			if r.baseVer < commit && lsConflicts(inst, zoneOf, v, r.lo, r.hi+inst.Dur[v], log[r.baseVer:commit]) {
 				// A later commit invalidated the speculation; re-evaluate
 				// this one task on the authoritative state.
+				conflictReevals++
 				lo, hi := moveWindow(inst, s, v, T, mu)
 				_, work := inst.ProcPower(v)
 				cand, gain, ok = tls.Zone(zoneOf[v]).FirstImprovingMove(s.Start[v], lo, hi, inst.Dur[v], work)
@@ -220,6 +230,14 @@ func LocalSearchZonesWorkers(ctx context.Context, inst *ceg.Instance, zs *power.
 			return roundErr
 		}
 		if !improved {
+			if sp := obs.SpanFrom(ctx); sp != nil {
+				sp.SetAttr("zones", tls.NumZones())
+				sp.SetAttr("dense_zones", tls.DenseZones())
+				sp.SetAttr("conflict_reevals", conflictReevals)
+			}
+			obs.MeterFrom(ctx).Counter("schedd_search_conflict_reevals_total",
+				"speculative local-search results recomputed after a conflicting commit").
+				With().Add(int64(conflictReevals))
 			return nil
 		}
 		tls.Compact()

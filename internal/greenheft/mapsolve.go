@@ -9,6 +9,7 @@ import (
 	"repro/internal/ceg"
 	"repro/internal/core"
 	"repro/internal/dag"
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/power"
 	"repro/internal/schedule"
@@ -128,13 +129,30 @@ func MapAndSolve(ctx context.Context, d *dag.DAG, c *platform.Cluster, zs *power
 	}
 
 	// Solve pass: independent per candidate, so it may fan out.
+	candidates := obs.MeterFrom(ctx).Counter("schedd_mapsearch_candidates_total",
+		"map-search candidate mappings scheduled, by policy and outcome", "policy", "outcome")
 	solve := func(i int) {
 		e := evals[i]
+		cctx, csp := obs.Start(ctx, "map-candidate")
 		if opt.Marginal {
-			e.s, e.st, e.err = core.RunMarginalZones(ctx, e.inst, zs, opt.Sched)
+			e.s, e.st, e.err = core.RunMarginalZones(cctx, e.inst, zs, opt.Sched)
 		} else {
-			e.s, e.st, e.err = core.RunZones(ctx, e.inst, zs, opt.Sched)
+			e.s, e.st, e.err = core.RunZones(cctx, e.inst, zs, opt.Sched)
 		}
+		outcome := "ok"
+		if e.err != nil {
+			outcome = "error"
+		}
+		if csp != nil {
+			csp.SetAttr("policy", policies[i].String())
+			if e.err != nil {
+				csp.SetAttr("error", e.err.Error())
+			} else {
+				csp.SetAttr("cost", e.st.Cost)
+			}
+			csp.End()
+		}
+		candidates.With(policies[i].String(), outcome).Inc()
 	}
 	if workers := min(opt.Workers, len(mapped)); workers > 1 {
 		idxCh := make(chan int)

@@ -1,0 +1,380 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry is the unified metrics registry: counters, gauges, and
+// histograms with labels, rendered in the Prometheus text exposition
+// format (hand-rolled — the repository is dependency-free). Families are
+// created lazily and idempotently: asking for an existing name with the
+// same kind and label names returns the existing family, so independent
+// packages instrument themselves without coordination; a kind or
+// label-schema mismatch panics (a programming error, like prometheus's
+// duplicate-registration panic).
+//
+// A nil *Registry is the disabled instrument: every method on it, and on
+// every handle it returns, is a nil-receiver no-op.
+type Registry struct {
+	mu    sync.RWMutex
+	fams  map[string]*family
+	hooks []func()
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// family is one metric family: a name, a kind, a label schema, and the
+// series instantiated under it.
+type family struct {
+	name    string
+	help    string
+	kind    kind
+	labels  []string
+	buckets []float64 // histograms only
+
+	mu     sync.RWMutex
+	series map[string]*series // key: label values joined by \xff
+}
+
+// series is one labeled instance of a family.
+type series struct {
+	values []string
+	val    atomic.Int64 // counters and gauges
+
+	// Histograms: one count per bucket (+1 for +Inf) and the float64
+	// bits of the sample sum. There is no separate total-count cell: the
+	// exposition derives _count from the bucket counts in the same read
+	// pass, so a scrape racing an Observe can never render a _count that
+	// disagrees with the +Inf bucket.
+	counts []atomic.Int64
+	sum    atomic.Uint64
+}
+
+// seriesKey joins label values into a map key (label values may not
+// contain \xff, which no UTF-8 text does).
+func seriesKey(values []string) string { return strings.Join(values, "\xff") }
+
+func (r *Registry) family(name, help string, k kind, buckets []float64, labels []string) *family {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	f := r.fams[name]
+	r.mu.RUnlock()
+	if f == nil {
+		r.mu.Lock()
+		f = r.fams[name]
+		if f == nil {
+			f = &family{name: name, help: help, kind: k, labels: labels, buckets: buckets,
+				series: make(map[string]*series)}
+			r.fams[name] = f
+		}
+		r.mu.Unlock()
+	}
+	if f.kind != k || len(f.labels) != len(labels) {
+		panic(fmt.Sprintf("obs: metric %q re-registered as %s%v, was %s%v",
+			name, k, labels, f.kind, f.labels))
+	}
+	for i := range labels {
+		if f.labels[i] != labels[i] {
+			panic(fmt.Sprintf("obs: metric %q re-registered with labels %v, was %v", name, labels, f.labels))
+		}
+	}
+	return f
+}
+
+func (f *family) get(values []string) *series {
+	if f == nil {
+		return nil
+	}
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %q wants %d label values, got %d", f.name, len(f.labels), len(values)))
+	}
+	key := seriesKey(values)
+	f.mu.RLock()
+	s := f.series[key]
+	f.mu.RUnlock()
+	if s != nil {
+		return s
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s = f.series[key]; s == nil {
+		s = &series{values: append([]string(nil), values...)}
+		if f.kind == kindHistogram {
+			s.counts = make([]atomic.Int64, len(f.buckets)+1)
+		}
+		f.series[key] = s
+	}
+	return s
+}
+
+// ---- counters and gauges ----------------------------------------------
+
+// Counter is a monotone counter handle. Gauge shares the representation
+// but may go down.
+type Counter struct{ s *series }
+
+// Gauge is a settable instantaneous value handle.
+type Gauge struct{ s *series }
+
+// CounterVec is a labeled counter family handle.
+type CounterVec struct{ f *family }
+
+// GaugeVec is a labeled gauge family handle.
+type GaugeVec struct{ f *family }
+
+// Counter returns (creating if needed) the labeled counter family.
+func (r *Registry) Counter(name, help string, labels ...string) CounterVec {
+	return CounterVec{r.family(name, help, kindCounter, nil, labels)}
+}
+
+// Gauge returns (creating if needed) the labeled gauge family.
+func (r *Registry) Gauge(name, help string, labels ...string) GaugeVec {
+	return GaugeVec{r.family(name, help, kindGauge, nil, labels)}
+}
+
+// With resolves one labeled series (creating it if needed).
+func (v CounterVec) With(values ...string) Counter { return Counter{v.f.get(values)} }
+
+// With resolves one labeled series (creating it if needed).
+func (v GaugeVec) With(values ...string) Gauge { return Gauge{v.f.get(values)} }
+
+// Add increments the counter by d (d must be >= 0).
+func (c Counter) Add(d int64) {
+	if c.s != nil {
+		c.s.val.Add(d)
+	}
+}
+
+// Inc increments the counter by one.
+func (c Counter) Inc() { c.Add(1) }
+
+// Store overwrites the counter's value. It exists for snapshot-backed
+// counters that mirror an external monotone source (e.g. the solver's
+// lifetime cache statistics surfaced by a scrape hook); organic counters
+// should only Add.
+func (c Counter) Store(v int64) {
+	if c.s != nil {
+		c.s.val.Store(v)
+	}
+}
+
+// Set stores the gauge's value.
+func (g Gauge) Set(v int64) {
+	if g.s != nil {
+		g.s.val.Store(v)
+	}
+}
+
+// Add moves the gauge by d (negative to decrement).
+func (g Gauge) Add(d int64) {
+	if g.s != nil {
+		g.s.val.Add(d)
+	}
+}
+
+// ---- histograms --------------------------------------------------------
+
+// Histogram is one labeled histogram series handle.
+type Histogram struct {
+	f *family
+	s *series
+}
+
+// HistogramVec is a labeled histogram family handle.
+type HistogramVec struct{ f *family }
+
+// LatencyBuckets are the default upper bounds (seconds) for latency
+// histograms, straddling the paper's per-instance scheduling times
+// (sub-millisecond for small workflows, seconds for 30k-task ones).
+var LatencyBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 1, 5, 30}
+
+// Histogram returns (creating if needed) the labeled histogram family
+// with the given bucket upper bounds (nil selects LatencyBuckets). The
+// bounds must be strictly increasing; the +Inf bucket is implicit.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...string) HistogramVec {
+	if buckets == nil {
+		buckets = LatencyBuckets
+	}
+	return HistogramVec{r.family(name, help, kindHistogram, buckets, labels)}
+}
+
+// With resolves one labeled series (creating it if needed).
+func (v HistogramVec) With(values ...string) Histogram { return Histogram{v.f, v.f.get(values)} }
+
+// Observe records one sample.
+func (h Histogram) Observe(v float64) {
+	if h.s == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.f.buckets, v) // first bucket with bound >= v
+	h.s.counts[i].Add(1)
+	for {
+		old := h.s.sum.Load()
+		if h.s.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// ---- scrape hooks and exposition --------------------------------------
+
+// OnScrape registers fn to run at the start of every WriteText — the
+// place to refresh snapshot-backed gauges and counters (solver cache
+// statistics, tenancy ledger gauges) right before exposition.
+func (r *Registry) OnScrape(fn func()) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.hooks = append(r.hooks, fn)
+	r.mu.Unlock()
+}
+
+// WriteText renders the registry in the Prometheus text exposition
+// format (version 0.0.4): families sorted by name, each preceded by its
+// # HELP and # TYPE lines, histogram buckets cumulative and capped by
+// +Inf with consistent _sum/_count rows.
+func (r *Registry) WriteText(w io.Writer) {
+	if r == nil {
+		return
+	}
+	r.mu.RLock()
+	hooks := append([]func(){}, r.hooks...)
+	r.mu.RUnlock()
+	for _, fn := range hooks {
+		fn()
+	}
+
+	r.mu.RLock()
+	fams := make([]*family, 0, len(r.fams))
+	for _, f := range r.fams {
+		fams = append(fams, f)
+	}
+	r.mu.RUnlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	for _, f := range fams {
+		f.write(w)
+	}
+}
+
+// RenderText returns WriteText's output as a string.
+func (r *Registry) RenderText() string {
+	var b strings.Builder
+	r.WriteText(&b)
+	return b.String()
+}
+
+func (f *family) write(w io.Writer) {
+	f.mu.RLock()
+	all := make([]*series, 0, len(f.series))
+	for _, s := range f.series {
+		all = append(all, s)
+	}
+	f.mu.RUnlock()
+	if len(all) == 0 {
+		return
+	}
+	sort.Slice(all, func(i, j int) bool { return seriesKey(all[i].values) < seriesKey(all[j].values) })
+
+	if f.help != "" {
+		fmt.Fprintf(w, "# HELP %s %s\n", f.name, strings.ReplaceAll(f.help, "\n", " "))
+	}
+	fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind)
+	for _, s := range all {
+		switch f.kind {
+		case kindCounter, kindGauge:
+			fmt.Fprintf(w, "%s%s %d\n", f.name, f.labelString(s.values, "", ""), s.val.Load())
+		case kindHistogram:
+			var cum int64
+			for i, le := range f.buckets {
+				cum += s.counts[i].Load()
+				fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, f.labelString(s.values, "le", formatFloat(le)), cum)
+			}
+			cum += s.counts[len(f.buckets)].Load()
+			fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, f.labelString(s.values, "le", "+Inf"), cum)
+			fmt.Fprintf(w, "%s_sum%s %g\n", f.name, f.labelString(s.values, "", ""), math.Float64frombits(s.sum.Load()))
+			fmt.Fprintf(w, "%s_count%s %d\n", f.name, f.labelString(s.values, "", ""), cum)
+		}
+	}
+}
+
+// labelString renders {k1="v1",...}, optionally with one extra label
+// (the histogram "le"), or "" when there are no labels at all.
+func (f *family) labelString(values []string, extraKey, extraVal string) string {
+	if len(f.labels) == 0 && extraKey == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, name := range f.labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%s", name, quoteLabel(values[i]))
+	}
+	if extraKey != "" {
+		if len(f.labels) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%s", extraKey, quoteLabel(extraVal))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// quoteLabel escapes a label value per the exposition format: backslash,
+// double quote, and newline.
+func quoteLabel(v string) string {
+	var b strings.Builder
+	b.WriteByte('"')
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}
+
+// formatFloat renders a bucket bound without trailing zeros (0.025, 1, 30).
+func formatFloat(f float64) string {
+	s := fmt.Sprintf("%g", f)
+	return s
+}

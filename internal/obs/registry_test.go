@@ -1,0 +1,173 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// populated builds a registry exercising every metric kind, label
+// escaping, and a scrape hook.
+func populated() *Registry {
+	r := NewRegistry()
+	r.Counter("t_requests_total", "requests", "handler").With("solve").Add(3)
+	r.Counter("t_requests_total", "requests", "handler").With(`we"ird\na`).Inc()
+	r.Gauge("t_in_flight", "in-flight").With().Set(2)
+	h := r.Histogram("t_latency_seconds", "latency", nil, "outcome")
+	for _, v := range []float64{0.0001, 0.003, 0.2, 40} {
+		h.With("ok").Observe(v)
+	}
+	h.With("error").Observe(1.5)
+	r.OnScrape(func() { r.Gauge("t_hooked", "refreshed at scrape").With().Set(7) })
+	return r
+}
+
+// TestExpositionValid renders the populated registry and runs it through
+// the format validator — the same validator CI applies to a live scrape.
+func TestExpositionValid(t *testing.T) {
+	text := populated().RenderText()
+	if err := ValidateExposition(text); err != nil {
+		t.Fatalf("%v\n%s", err, text)
+	}
+	for _, want := range []string{
+		"# TYPE t_requests_total counter",
+		`t_requests_total{handler="solve"} 3`,
+		"# TYPE t_latency_seconds histogram",
+		`t_latency_seconds_bucket{outcome="ok",le="+Inf"} 4`,
+		`t_latency_seconds_count{outcome="ok"} 4`,
+		"t_hooked 7",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("missing %q in:\n%s", want, text)
+		}
+	}
+	// TYPE lines precede their samples.
+	ti := strings.Index(text, "# TYPE t_requests_total")
+	si := strings.Index(text, `t_requests_total{`)
+	if ti < 0 || si < ti {
+		t.Fatalf("TYPE after samples:\n%s", text)
+	}
+}
+
+// TestValidatorRejects feeds the validator malformed expositions.
+func TestValidatorRejects(t *testing.T) {
+	cases := map[string]string{
+		"sample before TYPE":  "a_total 1\n# TYPE a_total counter\n",
+		"duplicate TYPE":      "# TYPE a counter\n# TYPE a counter\na 1\n",
+		"duplicate series":    "# TYPE a counter\na{x=\"1\"} 1\na{x=\"1\"} 2\n",
+		"negative counter":    "# TYPE a counter\na -1\n",
+		"unquoted label":      "# TYPE a counter\na{x=1} 1\n",
+		"non-cumulative hist": "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n",
+		"missing +Inf":        "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+		"count mismatch":      "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 3\n",
+		"missing sum":         "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_count 1\n",
+		"unsorted le":         "# TYPE h histogram\nh_bucket{le=\"5\"} 1\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 1\nh_sum 0\nh_count 1\n",
+	}
+	for name, text := range cases {
+		if err := ValidateExposition(text); err == nil {
+			t.Errorf("%s: accepted:\n%s", name, text)
+		}
+	}
+}
+
+// TestValidatorAcceptsEscapes pins round-tripping of escaped label
+// values through render + parse.
+func TestValidatorAcceptsEscapes(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "", "path").With("a\\b\"c\nd").Inc()
+	text := r.RenderText()
+	if err := ValidateExposition(text); err != nil {
+		t.Fatalf("%v\n%s", err, text)
+	}
+}
+
+// TestRegistryIdempotent checks get-or-create semantics and the
+// mismatch panic.
+func TestRegistryIdempotent(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "help", "l").With("x").Add(1)
+	r.Counter("c_total", "help", "l").With("x").Add(1)
+	text := r.RenderText()
+	if !strings.Contains(text, `c_total{l="x"} 2`) {
+		t.Fatalf("re-resolved family did not share series:\n%s", text)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch did not panic")
+		}
+	}()
+	r.Gauge("c_total", "help", "l")
+}
+
+// TestNilRegistry pins the disabled path: every operation on a nil
+// registry (and the handles it returns) is a no-op.
+func TestNilRegistry(t *testing.T) {
+	var r *Registry
+	r.Counter("x_total", "").With().Inc()
+	r.Gauge("g", "").With().Set(4)
+	r.Histogram("h", "", nil).With().Observe(1)
+	r.OnScrape(func() { t.Fatal("hook ran on nil registry") })
+	if got := r.RenderText(); got != "" {
+		t.Fatalf("nil registry rendered %q", got)
+	}
+	if MeterFrom(context.Background()) != nil {
+		t.Fatal("empty context carries a meter")
+	}
+}
+
+// TestRegistryConcurrentScrape hammers one registry from concurrent
+// writers (counters, gauges, histograms, new series creation) while a
+// scraper renders and validates in a loop — the satellite -race test for
+// concurrent solves against a live /metrics scrape.
+func TestRegistryConcurrentScrape(t *testing.T) {
+	r := NewRegistry()
+	const writers = 8
+	const iters = 400
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // scraper
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := ValidateExposition(r.RenderText()); err != nil {
+				t.Errorf("scrape mid-write invalid: %v", err)
+				return
+			}
+		}
+	}()
+	var ww sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		ww.Add(1)
+		go func(w int) {
+			defer ww.Done()
+			c := r.Counter("cc_total", "", "worker")
+			g := r.Gauge("cg", "")
+			h := r.Histogram("ch_seconds", "", nil, "worker")
+			lbl := fmt.Sprintf("w%d", w)
+			for i := 0; i < iters; i++ {
+				c.With(lbl).Inc()
+				g.With().Add(1)
+				h.With(lbl).Observe(float64(i%7) / 100)
+				r.Counter("cc_total", "", "worker").With(fmt.Sprintf("w%d", i%3)).Inc()
+			}
+		}(w)
+	}
+	ww.Wait()
+	close(stop)
+	wg.Wait()
+
+	text := r.RenderText()
+	if err := ValidateExposition(text); err != nil {
+		t.Fatalf("final exposition invalid: %v\n%s", err, text)
+	}
+	if !strings.Contains(text, fmt.Sprintf("cg %d", writers*iters)) {
+		t.Fatalf("gauge lost increments:\n%s", text)
+	}
+}

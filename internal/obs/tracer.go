@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+)
+
+// Tracer collects completed traces into a bounded lock-free ring buffer:
+// writers claim a slot with one atomic increment and publish with one
+// atomic pointer store; readers snapshot with atomic loads. The newest
+// traces win — a full ring overwrites the oldest entries, so a long-lived
+// service holds the last N traces at constant memory.
+type Tracer struct {
+	slots []atomic.Pointer[Trace]
+	next  atomic.Uint64
+}
+
+// DefaultTraceBuffer is the ring capacity used when none is configured.
+const DefaultTraceBuffer = 256
+
+// NewTracer returns a tracer retaining the last n completed traces
+// (n <= 0 selects DefaultTraceBuffer).
+func NewTracer(n int) *Tracer {
+	if n <= 0 {
+		n = DefaultTraceBuffer
+	}
+	return &Tracer{slots: make([]atomic.Pointer[Trace], n)}
+}
+
+// add publishes one completed trace (called by the root span's End).
+func (t *Tracer) add(tr *Trace) {
+	i := t.next.Add(1) - 1
+	t.slots[i%uint64(len(t.slots))].Store(tr)
+}
+
+// Len returns how many traces the ring currently holds.
+func (t *Tracer) Len() int {
+	n := t.next.Load()
+	if n > uint64(len(t.slots)) {
+		return len(t.slots)
+	}
+	return int(n)
+}
+
+// Snapshot returns the retained traces, newest first. Concurrent writers
+// may overwrite slots mid-read; a slot is either a complete trace or
+// skipped, never torn.
+func (t *Tracer) Snapshot() []*Trace {
+	hi := t.next.Load()
+	n := uint64(len(t.slots))
+	lo := uint64(0)
+	if hi > n {
+		lo = hi - n
+	}
+	out := make([]*Trace, 0, hi-lo)
+	for i := hi; i > lo; i-- {
+		if tr := t.slots[(i-1)%n].Load(); tr != nil {
+			out = append(out, tr)
+		}
+	}
+	return out
+}
+
+// TracesResponse is the body of GET /debug/traces.
+type TracesResponse struct {
+	Traces []*Trace `json:"traces"` // newest first
+}
+
+// ServeHTTP serves the retained traces as JSON, newest first.
+// Query parameters:
+//
+//	n       return at most n traces (default 50)
+//	min_ms  only traces whose root span lasted at least this many
+//	        milliseconds (default 0)
+func (t *Tracer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	limit := 50
+	if v := r.URL.Query().Get("n"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			limit = n
+		}
+	}
+	var minMS float64
+	if v := r.URL.Query().Get("min_ms"); v != "" {
+		if f, err := strconv.ParseFloat(v, 64); err == nil && f > 0 {
+			minMS = f
+		}
+	}
+	resp := TracesResponse{Traces: []*Trace{}}
+	for _, tr := range t.Snapshot() {
+		if tr.Root.DurationMS < minMS {
+			continue
+		}
+		resp.Traces = append(resp.Traces, tr)
+		if len(resp.Traces) >= limit {
+			break
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(resp)
+}

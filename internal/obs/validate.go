@@ -1,0 +1,295 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ValidateExposition parses a Prometheus text exposition (version 0.0.4)
+// and checks its structural invariants line by line:
+//
+//   - every sample's family has a preceding # TYPE declaration, and no
+//     family is declared twice;
+//   - metric and label names are well-formed and label values are
+//     correctly quoted/escaped;
+//   - no series (name + full label set) appears twice;
+//   - counter and histogram sample values are non-negative and finite;
+//   - every histogram series has strictly increasing le bounds ending in
+//     +Inf, non-decreasing (cumulative) bucket counts, a _count equal to
+//     its +Inf bucket, and a _sum row.
+//
+// It is the shared validator behind the registry's unit tests and the
+// CI end-to-end scrape check.
+func ValidateExposition(text string) error {
+	types := map[string]string{}      // family -> kind
+	seen := map[string]bool{}         // rendered series incl. labels
+	hists := map[string]*histSeries{} // histogram series key -> state
+	order := []string{}               // histogram series in first-seen order
+	lines := strings.Split(text, "\n")
+	for ln, line := range lines {
+		if line == "" {
+			continue
+		}
+		lineNo := ln + 1
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) >= 2 && fields[1] == "TYPE" {
+				if len(fields) < 4 {
+					return fmt.Errorf("line %d: malformed TYPE: %q", lineNo, line)
+				}
+				name, kind := fields[2], fields[3]
+				if !validMetricName(name) {
+					return fmt.Errorf("line %d: bad metric name %q", lineNo, name)
+				}
+				switch kind {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("line %d: unknown TYPE %q", lineNo, kind)
+				}
+				if _, dup := types[name]; dup {
+					return fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, name)
+				}
+				types[name] = kind
+			}
+			continue
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		fam := familyOf(name, types)
+		kind, ok := types[fam]
+		if !ok {
+			return fmt.Errorf("line %d: sample %s precedes its TYPE declaration", lineNo, name)
+		}
+		key := name + "{" + canonicalLabels(labels) + "}"
+		if seen[key] {
+			return fmt.Errorf("line %d: duplicate series %s", lineNo, key)
+		}
+		seen[key] = true
+		if (kind == "counter" || kind == "histogram") && (value < 0 || math.IsNaN(value)) {
+			return fmt.Errorf("line %d: %s value %v negative or NaN in a %s", lineNo, name, value, kind)
+		}
+		if kind == "histogram" {
+			rest := map[string]string{}
+			le := ""
+			for k, v := range labels {
+				if k == "le" {
+					le = v
+				} else {
+					rest[k] = v
+				}
+			}
+			skey := fam + "{" + canonicalLabels(rest) + "}"
+			hs := hists[skey]
+			if hs == nil {
+				hs = &histSeries{key: skey}
+				hists[skey] = hs
+				order = append(order, skey)
+			}
+			switch {
+			case name == fam+"_bucket":
+				if le == "" {
+					return fmt.Errorf("line %d: %s without an le label", lineNo, name)
+				}
+				bound := math.Inf(1)
+				if le != "+Inf" {
+					bound, err = strconv.ParseFloat(le, 64)
+					if err != nil {
+						return fmt.Errorf("line %d: bad le %q: %v", lineNo, le, err)
+					}
+				}
+				hs.bounds = append(hs.bounds, bound)
+				hs.counts = append(hs.counts, value)
+			case name == fam+"_sum":
+				hs.haveSum = true
+			case name == fam+"_count":
+				hs.count = value
+				hs.haveCount = true
+			case name == fam:
+				return fmt.Errorf("line %d: bare sample %s for histogram family", lineNo, name)
+			}
+		}
+	}
+	for _, skey := range order {
+		hs := hists[skey]
+		if len(hs.bounds) == 0 {
+			return fmt.Errorf("histogram %s has no buckets", skey)
+		}
+		for i := 1; i < len(hs.bounds); i++ {
+			if hs.bounds[i] <= hs.bounds[i-1] {
+				return fmt.Errorf("histogram %s: le bounds not strictly increasing at index %d", skey, i)
+			}
+			if hs.counts[i] < hs.counts[i-1] {
+				return fmt.Errorf("histogram %s: bucket counts not cumulative at le=%v (%v < %v)",
+					skey, hs.bounds[i], hs.counts[i], hs.counts[i-1])
+			}
+		}
+		if !math.IsInf(hs.bounds[len(hs.bounds)-1], 1) {
+			return fmt.Errorf("histogram %s: last bucket is not +Inf", skey)
+		}
+		if !hs.haveSum {
+			return fmt.Errorf("histogram %s: missing _sum", skey)
+		}
+		if !hs.haveCount {
+			return fmt.Errorf("histogram %s: missing _count", skey)
+		}
+		if hs.count != hs.counts[len(hs.counts)-1] {
+			return fmt.Errorf("histogram %s: _count %v != +Inf bucket %v",
+				skey, hs.count, hs.counts[len(hs.counts)-1])
+		}
+	}
+	return nil
+}
+
+type histSeries struct {
+	key       string
+	bounds    []float64
+	counts    []float64
+	count     float64
+	haveSum   bool
+	haveCount bool
+}
+
+// familyOf strips the histogram sample suffixes when the base name is a
+// declared histogram family.
+func familyOf(name string, types map[string]string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suf)
+		if base != name && types[base] == "histogram" {
+			return base
+		}
+	}
+	return name
+}
+
+func canonicalLabels(labels map[string]string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + "=" + strconv.Quote(labels[k])
+	}
+	return strings.Join(parts, ",")
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := r == '_' || r == ':' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// parseSample parses `name{l1="v1",...} value` (labels optional).
+func parseSample(line string) (name string, labels map[string]string, value float64, err error) {
+	labels = map[string]string{}
+	i := 0
+	for i < len(line) && line[i] != '{' && line[i] != ' ' {
+		i++
+	}
+	name = line[:i]
+	if !validMetricName(name) {
+		return "", nil, 0, fmt.Errorf("bad metric name %q", name)
+	}
+	if i < len(line) && line[i] == '{' {
+		i++ // past '{'
+		for {
+			if i >= len(line) {
+				return "", nil, 0, fmt.Errorf("unterminated label set")
+			}
+			if line[i] == '}' {
+				i++
+				break
+			}
+			j := i
+			for j < len(line) && line[j] != '=' {
+				j++
+			}
+			lname := line[i:j]
+			if !validLabelName(lname) {
+				return "", nil, 0, fmt.Errorf("bad label name %q", lname)
+			}
+			if j+1 >= len(line) || line[j+1] != '"' {
+				return "", nil, 0, fmt.Errorf("label %s: value not quoted", lname)
+			}
+			// Scan the quoted, escaped value.
+			var val strings.Builder
+			k := j + 2
+			for {
+				if k >= len(line) {
+					return "", nil, 0, fmt.Errorf("label %s: unterminated value", lname)
+				}
+				c := line[k]
+				if c == '\\' {
+					if k+1 >= len(line) {
+						return "", nil, 0, fmt.Errorf("label %s: dangling escape", lname)
+					}
+					switch line[k+1] {
+					case '\\':
+						val.WriteByte('\\')
+					case '"':
+						val.WriteByte('"')
+					case 'n':
+						val.WriteByte('\n')
+					default:
+						return "", nil, 0, fmt.Errorf("label %s: bad escape \\%c", lname, line[k+1])
+					}
+					k += 2
+					continue
+				}
+				if c == '"' {
+					k++
+					break
+				}
+				val.WriteByte(c)
+				k++
+			}
+			if _, dup := labels[lname]; dup {
+				return "", nil, 0, fmt.Errorf("duplicate label %s", lname)
+			}
+			labels[lname] = val.String()
+			i = k
+			if i < len(line) && line[i] == ',' {
+				i++
+			}
+		}
+	}
+	rest := strings.TrimSpace(line[i:])
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", nil, 0, fmt.Errorf("want `value [timestamp]` after %s, got %q", name, rest)
+	}
+	if fields[0] == "+Inf" {
+		return name, labels, math.Inf(1), nil
+	}
+	value, err = strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("bad sample value %q: %v", fields[0], err)
+	}
+	return name, labels, value, nil
+}

@@ -101,6 +101,11 @@ func newTimeline(idle int64, prof *power.Profile) *Timeline {
 	return tl
 }
 
+// Dense reports whether the timeline uses the dense per-unit
+// representation (horizon ≤ denseHorizonLimit) rather than the sorted
+// sparse breakpoints — search introspection for the observability layer.
+func (tl *Timeline) Dense() bool { return tl.dense }
+
 // NewEmptyTimeline builds a timeline with no tasks placed: only the idle
 // floor of the platform draws power. Callers (e.g. branch-and-bound) add
 // tasks incrementally.

@@ -218,6 +218,19 @@ func (m *ZoneTimelines) TotalCost() int64 {
 	return cost
 }
 
+// DenseZones counts how many zone timelines currently use the dense
+// per-unit representation (vs sparse breakpoints) — search introspection
+// for the observability layer.
+func (m *ZoneTimelines) DenseZones() int {
+	n := 0
+	for _, tl := range m.tls {
+		if tl.Dense() {
+			n++
+		}
+	}
+	return n
+}
+
 // Compact merges equal-level segments in every zone's timeline.
 func (m *ZoneTimelines) Compact() {
 	for _, tl := range m.tls {

@@ -40,6 +40,10 @@ func TestSearchWorkersByteIdenticalResponses(t *testing.T) {
 		if sr.CacheHit {
 			t.Fatalf("workers=%d: response unexpectedly cache-served", workers)
 		}
+		if len(sr.Timings) == 0 {
+			t.Fatalf("workers=%d: response carries no stage timings", workers)
+		}
+		raw = stripTimings(t, raw)
 		if want == nil {
 			want = raw
 			continue
@@ -49,4 +53,21 @@ func TestSearchWorkersByteIdenticalResponses(t *testing.T) {
 				workers, counts[0], raw, want)
 		}
 	}
+}
+
+// stripTimings removes the timings field — wall-clock stage durations are
+// the one legitimately nondeterministic part of the response — and
+// re-serializes, so the byte comparison covers everything else.
+func stripTimings(t *testing.T, raw []byte) []byte {
+	t.Helper()
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatalf("re-parsing response: %v", err)
+	}
+	delete(m, "timings")
+	out, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
 }

@@ -1,155 +1,158 @@
 package server
 
 import (
-	"fmt"
-	"sort"
-	"strings"
-	"sync/atomic"
+	"runtime/debug"
 	"time"
 
+	cawosched "repro"
+	"repro/internal/obs"
+	"repro/internal/schedule"
 	"repro/internal/tenancy"
 )
 
-// latencyBuckets are the upper bounds (seconds) of the solve-latency
-// histogram, chosen to straddle the paper's per-instance scheduling times
-// (sub-millisecond for small workflows, seconds for 30k-task ones).
-var latencyBuckets = [numLatencyBuckets]float64{0.001, 0.005, 0.025, 0.1, 0.5, 1, 5, 30}
-
-const numLatencyBuckets = 8
-
-// handlerStats counts requests and error responses of one handler.
-type handlerStats struct {
-	requests atomic.Int64
-	errors   atomic.Int64 // responses with status >= 400
-}
-
-// metrics is the hand-rolled Prometheus-text instrumentation of the
-// service: per-handler request/error counters, an in-flight gauge, and a
-// solve-latency histogram. (No client library: the repository is
-// dependency-free, and the text exposition format is trivial to emit.)
+// metrics owns the server's obs.Registry and the handles of every
+// request-path metric. The registry is per-server (not a process global):
+// tests run many servers in one process, and every instrumented layer
+// below the handlers reaches the same registry through the request
+// context (obs.WithMeter), so solver, core, greenheft, and tenancy
+// metrics all land here without package-level coordination.
+//
+// Slow-moving counters that mirror snapshot sources — the solver's
+// lifetime cache statistics, the tenancy manager's gauges — are refreshed
+// by scrape hooks right before each exposition rather than on every
+// request.
 type metrics struct {
-	inFlight atomic.Int64
-	handlers map[string]*handlerStats // fixed key set, created at startup
+	reg *obs.Registry
 
-	latencyCounts [numLatencyBuckets + 1]atomic.Int64 // +1 for +Inf
-	latencySum    atomic.Int64                        // microseconds
-	latencyCount  atomic.Int64
+	requests obs.CounterVec   // schedd_requests_total{handler}
+	errors   obs.CounterVec   // schedd_request_errors_total{handler}
+	inFlight obs.Gauge        // schedd_in_flight_requests
+	latency  obs.HistogramVec // schedd_solve_latency_seconds{outcome}
+	green    obs.CounterVec   // schedd_carbon_green_units_total{zone}
+	brown    obs.CounterVec   // schedd_carbon_brown_units_total{zone}
 }
 
-func newMetrics(handlerNames ...string) *metrics {
-	m := &metrics{handlers: make(map[string]*handlerStats, len(handlerNames))}
-	for _, name := range handlerNames {
-		m.handlers[name] = &handlerStats{}
+func newMetrics(solver *cawosched.Solver, mgr *tenancy.Manager) *metrics {
+	reg := obs.NewRegistry()
+	m := &metrics{
+		reg: reg,
+		requests: reg.Counter("schedd_requests_total",
+			"finished HTTP requests by handler", "handler"),
+		errors: reg.Counter("schedd_request_errors_total",
+			"HTTP responses with status >= 400 by handler", "handler"),
+		inFlight: reg.Gauge("schedd_in_flight_requests",
+			"requests currently being served").With(),
+		latency: reg.Histogram("schedd_solve_latency_seconds",
+			"solve wall-clock latency (per item for batches) by outcome", nil, "outcome"),
+		green: reg.Counter("schedd_carbon_green_units_total",
+			"green energy units consumed by returned schedules, by zone", "zone"),
+		brown: reg.Counter("schedd_carbon_brown_units_total",
+			"brown (carbon) energy units consumed by returned schedules, by zone", "zone"),
+	}
+
+	goVersion, revision := buildIdentity()
+	reg.Gauge("schedd_build_info",
+		"build metadata; the value is always 1", "go_version", "revision").
+		With(goVersion, revision).Set(1)
+
+	// Solver lifetime counters, mirrored from its Stats snapshot at scrape
+	// time (Store, not Add: the snapshot is already cumulative).
+	solves := reg.Counter("schedd_solver_solves_total", "completed Solve calls").With()
+	planHits := reg.Counter("schedd_plan_cache_hits_total", "plans served from the fingerprint memo").With()
+	planMisses := reg.Counter("schedd_plan_cache_misses_total", "plans built by HEFT + instance construction").With()
+	solveHits := reg.Counter("schedd_solve_cache_hits_total", "solves served from the response cache").With()
+	solveMisses := reg.Counter("schedd_solve_cache_misses_total", "cacheable solves that ran the scheduler").With()
+	solveEntries := reg.Gauge("schedd_solve_cache_entries", "responses currently cached").With()
+	reg.OnScrape(func() {
+		st := solver.Stats()
+		solves.Store(st.Solves)
+		planHits.Store(st.PlanHits)
+		planMisses.Store(st.PlanMisses)
+		solveHits.Store(st.SolveHits)
+		solveMisses.Store(st.SolveMisses)
+		solveEntries.Set(int64(st.SolveEntries))
+	})
+
+	if mgr != nil {
+		workflows := reg.Gauge("schedd_workflows", "workflows by lifecycle state", "state")
+		submitted := reg.Counter("schedd_workflows_submitted_total", "accepted submissions").With()
+		rejected := reg.Counter("schedd_workflows_rejected_total", "admission rejections").With()
+		canceled := reg.Counter("schedd_workflows_canceled_total", "client cancellations").With()
+		rebalPasses := reg.Counter("schedd_rebalance_passes_total", "completed rolling-horizon passes").With()
+		rebalMoves := reg.Counter("schedd_rebalance_moves_total", "placements improved and re-committed").With()
+		saved := reg.Counter("schedd_rebalance_saved_units_total",
+			"carbon units saved by adopted rebalance moves").With()
+		claims := reg.Gauge("schedd_ledger_claims", "committed reservations").With()
+		reserved := reg.Gauge("schedd_ledger_reserved_units", "total proc-time units committed").With()
+		// The regret view: admitted vs current placement cost over the
+		// non-canceled fleet. current − admitted ≤ 0; its magnitude is the
+		// carbon recovered by the rolling horizon since admission.
+		tenantCost := reg.Gauge("schedd_tenant_cost_units",
+			"summed placement cost of non-canceled workflows, by view", "view")
+		reg.OnScrape(func() {
+			g := mgr.Gauges()
+			workflows.With("admitted").Set(g.Admitted)
+			workflows.With("running").Set(g.Running)
+			workflows.With("completed").Set(g.Completed)
+			workflows.With("canceled").Set(g.Canceled)
+			submitted.Store(g.SubmittedTotal)
+			rejected.Store(g.RejectedTotal)
+			canceled.Store(g.CanceledTotal)
+			rebalPasses.Store(g.RebalancePasses)
+			rebalMoves.Store(g.RebalanceMoves)
+			saved.Store(g.SavedUnits)
+			claims.Set(g.LedgerClaims)
+			reserved.Set(g.LedgerReservedUnits)
+			tenantCost.With("admitted").Set(g.AdmittedCostUnits)
+			tenantCost.With("current").Set(g.PlacementCostUnits)
+		})
 	}
 	return m
 }
 
-// observeRequest records one finished request of the named handler.
-func (m *metrics) observeRequest(handler string, status int) {
-	hs, ok := m.handlers[handler]
+// buildIdentity extracts the Go toolchain version and VCS revision for
+// schedd_build_info from the binary's embedded build information.
+func buildIdentity() (goVersion, revision string) {
+	goVersion, revision = "unknown", "unknown"
+	bi, ok := debug.ReadBuildInfo()
 	if !ok {
 		return
 	}
-	hs.requests.Add(1)
+	if bi.GoVersion != "" {
+		goVersion = bi.GoVersion
+	}
+	for _, s := range bi.Settings {
+		if s.Key == "vcs.revision" && s.Value != "" {
+			revision = s.Value
+		}
+	}
+	return
+}
+
+// observeRequest records one finished request of the named handler.
+func (m *metrics) observeRequest(handler string, status int) {
+	m.requests.With(handler).Inc()
 	if status >= 400 {
-		hs.errors.Add(1)
+		m.errors.With(handler).Inc()
 	}
 }
 
-// observeLatency records one solve (or batch) duration in the histogram.
-func (m *metrics) observeLatency(d time.Duration) {
-	sec := d.Seconds()
-	i := 0
-	for i < len(latencyBuckets) && sec > latencyBuckets[i] {
-		i++
-	}
-	m.latencyCounts[i].Add(1)
-	m.latencySum.Add(d.Microseconds())
-	m.latencyCount.Add(1)
+// observeLatency records one solve (or batch item) duration under its
+// outcome: "ok", "error", or "cache_hit".
+func (m *metrics) observeLatency(outcome string, d time.Duration) {
+	m.latency.With(outcome).Observe(d.Seconds())
 }
 
-// solverCounters is the slice of solver statistics the exposition embeds;
-// the server fills it from cawosched.Solver.Stats.
-type solverCounters struct {
-	Solves       int64
-	PlanHits     int64
-	PlanMisses   int64
-	SolveHits    int64
-	SolveMisses  int64
-	SolveEntries int
-}
-
-// render emits the Prometheus text exposition format. tg carries the
-// tenancy ledger/admission gauges; nil (no manager configured) omits the
-// whole block.
-func (m *metrics) render(sc solverCounters, tg *tenancy.Gauges) string {
-	var b strings.Builder
-
-	names := make([]string, 0, len(m.handlers))
-	for name := range m.handlers {
-		names = append(names, name)
+// observeCarbon folds one response's per-zone carbon breakdown into the
+// cumulative green/brown ledger.
+func (m *metrics) observeCarbon(zones []schedule.ZoneCost) {
+	for _, z := range zones {
+		var green, brown int64
+		for _, iv := range z.Intervals {
+			green += iv.Green
+			brown += iv.Brown
+		}
+		m.green.With(z.Zone).Add(green)
+		m.brown.With(z.Zone).Add(brown)
 	}
-	sort.Strings(names)
-	b.WriteString("# TYPE schedd_requests_total counter\n")
-	for _, name := range names {
-		fmt.Fprintf(&b, "schedd_requests_total{handler=%q} %d\n", name, m.handlers[name].requests.Load())
-	}
-	b.WriteString("# TYPE schedd_request_errors_total counter\n")
-	for _, name := range names {
-		fmt.Fprintf(&b, "schedd_request_errors_total{handler=%q} %d\n", name, m.handlers[name].errors.Load())
-	}
-
-	b.WriteString("# TYPE schedd_in_flight_requests gauge\n")
-	fmt.Fprintf(&b, "schedd_in_flight_requests %d\n", m.inFlight.Load())
-
-	b.WriteString("# TYPE schedd_solver_solves_total counter\n")
-	fmt.Fprintf(&b, "schedd_solver_solves_total %d\n", sc.Solves)
-	b.WriteString("# TYPE schedd_plan_cache_hits_total counter\n")
-	fmt.Fprintf(&b, "schedd_plan_cache_hits_total %d\n", sc.PlanHits)
-	b.WriteString("# TYPE schedd_plan_cache_misses_total counter\n")
-	fmt.Fprintf(&b, "schedd_plan_cache_misses_total %d\n", sc.PlanMisses)
-	b.WriteString("# TYPE schedd_solve_cache_hits_total counter\n")
-	fmt.Fprintf(&b, "schedd_solve_cache_hits_total %d\n", sc.SolveHits)
-	b.WriteString("# TYPE schedd_solve_cache_misses_total counter\n")
-	fmt.Fprintf(&b, "schedd_solve_cache_misses_total %d\n", sc.SolveMisses)
-	b.WriteString("# TYPE schedd_solve_cache_entries gauge\n")
-	fmt.Fprintf(&b, "schedd_solve_cache_entries %d\n", sc.SolveEntries)
-
-	if tg != nil {
-		b.WriteString("# TYPE schedd_workflows gauge\n")
-		fmt.Fprintf(&b, "schedd_workflows{state=\"admitted\"} %d\n", tg.Admitted)
-		fmt.Fprintf(&b, "schedd_workflows{state=\"running\"} %d\n", tg.Running)
-		fmt.Fprintf(&b, "schedd_workflows{state=\"completed\"} %d\n", tg.Completed)
-		fmt.Fprintf(&b, "schedd_workflows{state=\"canceled\"} %d\n", tg.Canceled)
-		b.WriteString("# TYPE schedd_workflows_submitted_total counter\n")
-		fmt.Fprintf(&b, "schedd_workflows_submitted_total %d\n", tg.SubmittedTotal)
-		b.WriteString("# TYPE schedd_workflows_rejected_total counter\n")
-		fmt.Fprintf(&b, "schedd_workflows_rejected_total %d\n", tg.RejectedTotal)
-		b.WriteString("# TYPE schedd_workflows_canceled_total counter\n")
-		fmt.Fprintf(&b, "schedd_workflows_canceled_total %d\n", tg.CanceledTotal)
-		b.WriteString("# TYPE schedd_rebalance_passes_total counter\n")
-		fmt.Fprintf(&b, "schedd_rebalance_passes_total %d\n", tg.RebalancePasses)
-		b.WriteString("# TYPE schedd_rebalance_moves_total counter\n")
-		fmt.Fprintf(&b, "schedd_rebalance_moves_total %d\n", tg.RebalanceMoves)
-		b.WriteString("# TYPE schedd_ledger_claims gauge\n")
-		fmt.Fprintf(&b, "schedd_ledger_claims %d\n", tg.LedgerClaims)
-		b.WriteString("# TYPE schedd_ledger_reserved_units gauge\n")
-		fmt.Fprintf(&b, "schedd_ledger_reserved_units %d\n", tg.LedgerReservedUnits)
-	}
-
-	b.WriteString("# TYPE schedd_solve_latency_seconds histogram\n")
-	var cum int64
-	for i, le := range latencyBuckets {
-		cum += m.latencyCounts[i].Load()
-		fmt.Fprintf(&b, "schedd_solve_latency_seconds_bucket{le=%q} %d\n", trimFloat(le), cum)
-	}
-	cum += m.latencyCounts[len(latencyBuckets)].Load()
-	fmt.Fprintf(&b, "schedd_solve_latency_seconds_bucket{le=\"+Inf\"} %d\n", cum)
-	fmt.Fprintf(&b, "schedd_solve_latency_seconds_sum %g\n", float64(m.latencySum.Load())/1e6)
-	fmt.Fprintf(&b, "schedd_solve_latency_seconds_count %d\n", m.latencyCount.Load())
-	return b.String()
-}
-
-func trimFloat(f float64) string {
-	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%f", f), "0"), ".")
 }

@@ -1,0 +1,230 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/wire"
+)
+
+// TestMetricsExpositionValid drives a mix of traffic — a computed solve, a
+// cache hit, and an error — then scrapes /metrics and checks that the
+// exposition parses under the Prometheus text-format rules and carries the
+// observability families added by the instrumented layers.
+func TestMetricsExpositionValid(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	// Computed solve, then the identical request again (cache hit).
+	for i := 0; i < 2; i++ {
+		resp, raw := postJSON(t, ts.Client(), ts.URL+"/v1/solve", pinnedWireRequest(t))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("solve %d: status %d: %s", i, resp.StatusCode, raw)
+		}
+	}
+	// An error, so the outcome="error" series exists.
+	bad := pinnedWireRequest(t)
+	bad.Variant = "no-such-variant"
+	if resp, _ := postJSON(t, ts.Client(), ts.URL+"/v1/solve", bad); resp.StatusCode == http.StatusOK {
+		t.Fatal("bad variant unexpectedly succeeded")
+	}
+
+	mresp, mraw := getBody(t, ts.Client(), ts.URL+"/metrics")
+	if ct := mresp.Header.Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Errorf("metrics Content-Type = %q", ct)
+	}
+	if err := obs.ValidateExposition(string(mraw)); err != nil {
+		t.Fatalf("exposition invalid: %v\n%s", err, mraw)
+	}
+	for _, want := range []string{
+		`schedd_solve_latency_seconds_count{outcome="ok"} 1`,
+		`schedd_solve_latency_seconds_count{outcome="cache_hit"} 1`,
+		`schedd_solve_latency_seconds_count{outcome="error"} 1`,
+		`schedd_stage_latency_seconds_count{stage="plan"}`,
+		`schedd_stage_latency_seconds_count{stage="schedule"}`,
+		`schedd_solves_total{variant="pressWR-LS",mapping="heft",outcome="ok"} 1`,
+		`schedd_solves_total{variant="pressWR-LS",mapping="heft",outcome="cache_hit"} 1`,
+		`schedd_carbon_green_units_total{zone=`,
+		`schedd_carbon_brown_units_total{zone=`,
+		`schedd_build_info{go_version=`,
+	} {
+		if !strings.Contains(string(mraw), want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+// TestRequestIDEcho: a client-supplied X-Request-ID is echoed back and keys
+// the request's trace; absent one, the server mints an ID.
+func TestRequestIDEcho(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	data, err := json.Marshal(pinnedWireRequest(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/solve", strings.NewReader(string(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Request-ID", "req-e2e-42")
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-ID"); got != "req-e2e-42" {
+		t.Errorf("X-Request-ID echoed as %q, want req-e2e-42", got)
+	}
+
+	// Without the header, the server mints one.
+	resp2, _ := postJSON(t, ts.Client(), ts.URL+"/v1/solve", pinnedWireRequest(t))
+	if resp2.Header.Get("X-Request-ID") == "" {
+		t.Error("no X-Request-ID minted for bare request")
+	}
+
+	// The supplied ID keys the trace in /debug/traces.
+	_, traw := getBody(t, ts.Client(), ts.URL+"/debug/traces")
+	var tresp obs.TracesResponse
+	if err := json.Unmarshal(traw, &tresp); err != nil {
+		t.Fatalf("parsing traces: %v\n%s", err, traw)
+	}
+	found := false
+	for _, tr := range tresp.Traces {
+		if tr.ID == "req-e2e-42" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no trace with the supplied request ID:\n%s", traw)
+	}
+}
+
+// TestDebugTraces pins the span tree of a traced solve: the root is the
+// route pattern, with a solve child carrying plan, supply, solve-cache, and
+// schedule stages; the schedule span nests the greedy and local-search
+// phases. A repeated request leaves a trace whose solve-cache span records
+// the hit.
+func TestDebugTraces(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for i := 0; i < 2; i++ {
+		resp, raw := postJSON(t, ts.Client(), ts.URL+"/v1/solve", pinnedWireRequest(t))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("solve %d: status %d: %s", i, resp.StatusCode, raw)
+		}
+		var sr wire.SolveResponse
+		if err := json.Unmarshal(raw, &sr); err != nil {
+			t.Fatal(err)
+		}
+		if len(sr.Timings) == 0 {
+			t.Fatalf("solve %d: response carries no stage timings", i)
+		}
+	}
+
+	_, traw := getBody(t, ts.Client(), ts.URL+"/debug/traces")
+	var tresp obs.TracesResponse
+	if err := json.Unmarshal(traw, &tresp); err != nil {
+		t.Fatalf("parsing traces: %v\n%s", err, traw)
+	}
+	traces := tresp.Traces
+	if len(traces) != 2 {
+		t.Fatalf("got %d traces, want 2:\n%s", len(traces), traw)
+	}
+
+	// Traces are served newest first: traces[1] is the computed solve with
+	// the full stage tree, traces[0] the cache hit.
+	root := traces[1].Root
+	if root.Name != "POST /v1/solve" {
+		t.Fatalf("root span %q, want POST /v1/solve", root.Name)
+	}
+	solve := childNamed(root, "solve")
+	if solve == nil {
+		t.Fatalf("no solve span under root:\n%s", traw)
+	}
+	for _, stage := range []string{"plan", "supply", "solve-cache", "schedule"} {
+		if childNamed(solve, stage) == nil {
+			t.Errorf("solve span missing %q child", stage)
+		}
+	}
+	sched := childNamed(solve, "schedule")
+	if sched != nil {
+		for _, phase := range []string{"greedy", "local-search"} {
+			if childNamed(sched, phase) == nil {
+				t.Errorf("schedule span missing %q child", phase)
+			}
+		}
+	}
+
+	// Newest trace: the cache hit, recorded on the solve-cache span.
+	solve2 := childNamed(traces[0].Root, "solve")
+	if solve2 == nil {
+		t.Fatalf("no solve span in second trace:\n%s", traw)
+	}
+	cache := childNamed(solve2, "solve-cache")
+	if cache == nil {
+		t.Fatal("second trace has no solve-cache span")
+	}
+	if hit, _ := cache.Attrs["hit"].(bool); !hit {
+		t.Errorf("second solve-cache span hit=%v, want true", cache.Attrs["hit"])
+	}
+
+	// min_ms filters: nothing here takes a minute.
+	_, fraw := getBody(t, ts.Client(), ts.URL+"/debug/traces?min_ms=60000")
+	var filtered obs.TracesResponse
+	if err := json.Unmarshal(fraw, &filtered); err != nil {
+		t.Fatal(err)
+	}
+	if len(filtered.Traces) != 0 {
+		t.Errorf("min_ms=60000 returned %d traces, want 0", len(filtered.Traces))
+	}
+}
+
+func childNamed(s *obs.SpanData, name string) *obs.SpanData {
+	for _, c := range s.Children {
+		if c.Name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// TestConcurrentScrape hammers /metrics and /debug/traces while solves are
+// in flight — meaningful under -race: render walks the same atomics and
+// span trees the request path is writing.
+func TestConcurrentScrape(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				req := pinnedWireRequest(t)
+				req.Seed = uint64(w*100 + i) // distinct seeds defeat the solve cache
+				resp, raw := postJSON(t, ts.Client(), ts.URL+"/v1/solve", req)
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("worker %d solve %d: status %d: %s", w, i, resp.StatusCode, raw)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			_, mraw := getBody(t, ts.Client(), ts.URL+"/metrics")
+			if err := obs.ValidateExposition(string(mraw)); err != nil {
+				t.Errorf("scrape %d invalid: %v", i, err)
+				return
+			}
+			getBody(t, ts.Client(), ts.URL+"/debug/traces")
+		}
+	}()
+	wg.Wait()
+}

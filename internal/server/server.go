@@ -35,6 +35,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"sync"
@@ -42,6 +43,7 @@ import (
 	"time"
 
 	cawosched "repro"
+	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/schedule"
 	"repro/internal/scherr"
@@ -84,6 +86,17 @@ type Config struct {
 	// the multi-tenant online scheduler with its cluster-state ledger and
 	// admission control. Without it those endpoints answer 501.
 	Manager *tenancy.Manager
+	// Logger, if set, emits one structured request log line per finished
+	// request (method, path, status, duration, request ID) and a warning
+	// for solves slower than SlowSolve. Nil disables request logging.
+	Logger *slog.Logger
+	// SlowSolve is the duration above which a solve-family request
+	// (solve, batch, workflow submit) is logged at warning level.
+	// 0 means the default of 1s; negative disables slow-solve logging.
+	SlowSolve time.Duration
+	// TraceBuffer is the capacity of the completed-trace ring served by
+	// GET /debug/traces (default obs.DefaultTraceBuffer).
+	TraceBuffer int
 }
 
 const (
@@ -112,6 +125,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxQueue <= 0 {
 		c.MaxQueue = defaultMaxQueue
 	}
+	if c.SlowSolve == 0 {
+		c.SlowSolve = time.Second
+	}
+	if c.TraceBuffer <= 0 {
+		c.TraceBuffer = obs.DefaultTraceBuffer
+	}
 	return c
 }
 
@@ -121,6 +140,7 @@ type Server struct {
 	cfg      Config
 	mux      *http.ServeMux
 	metrics  *metrics
+	tracer   *obs.Tracer
 	batchSem chan struct{} // server-wide bounded pool for batched solves
 	queued   atomic.Int64  // batch items admitted but not yet finished
 	draining atomic.Bool
@@ -137,11 +157,12 @@ type Server struct {
 // New returns a server front-ending the given solver.
 func New(solver *cawosched.Solver, cfg Config) *Server {
 	s := &Server{
-		solver:  solver,
-		cfg:     cfg.withDefaults(),
-		mux:     http.NewServeMux(),
-		metrics: newMetrics("solve", "batch", "workflows", "zones", "variants", "healthz", "metrics"),
+		solver: solver,
+		cfg:    cfg.withDefaults(),
+		mux:    http.NewServeMux(),
 	}
+	s.metrics = newMetrics(solver, s.cfg.Manager)
+	s.tracer = obs.NewTracer(s.cfg.TraceBuffer)
 	s.batchSem = make(chan struct{}, s.cfg.BatchWorkers)
 	s.inflightIdle = sync.NewCond(&s.inflightMu)
 	s.route("POST /v1/solve", "solve", s.handleSolve)
@@ -154,6 +175,7 @@ func New(solver *cawosched.Solver, cfg Config) *Server {
 	s.route("GET /v1/variants", "variants", s.handleVariants)
 	s.route("GET /healthz", "healthz", s.handleHealthz)
 	s.route("GET /metrics", "metrics", s.handleMetrics)
+	s.route("GET /debug/traces", "traces", s.handleTraces)
 	return s
 }
 
@@ -162,6 +184,14 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 
 // Solver returns the solver the server fronts (its Stats feed /metrics).
 func (s *Server) Solver() *cawosched.Solver { return s.solver }
+
+// Registry returns the server's metrics registry, so out-of-request
+// instrumented work (cmd/schedd's rebalance loop) and side listeners (the
+// -debug-addr mux) record into and scrape the same state.
+func (s *Server) Registry() *obs.Registry { return s.metrics.reg }
+
+// Tracer returns the server's trace ring (served by GET /debug/traces).
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
 
 // SetDraining marks the server as draining: /healthz starts returning 503
 // so load balancers stop routing new traffic, while accepted requests
@@ -215,9 +245,23 @@ func (w *statusWriter) WriteHeader(status int) {
 	w.ResponseWriter.WriteHeader(status)
 }
 
+// observed reports whether the handler takes part in tracing and request
+// logging. Scrape and liveness endpoints are exempt: a 5s-interval
+// healthz probe or Prometheus scrape would otherwise flush every solve
+// trace out of the ring and drown the request log.
+func observed(name string) bool {
+	switch name {
+	case "metrics", "healthz", "traces":
+		return false
+	}
+	return true
+}
+
 // route registers a handler with the shared instrumentation: in-flight
-// tracking for draining and the gauge, plus per-handler request/error
-// counters.
+// tracking for draining and the gauge, per-handler request/error
+// counters, and — for the substantive handlers — the request's
+// observability context (metrics registry, tracer, request ID), a root
+// trace span, and structured request/slow-solve logging.
 func (s *Server) route(pattern, name string, h http.HandlerFunc) {
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		s.inflightMu.Lock()
@@ -234,10 +278,50 @@ func (s *Server) route(pattern, name string, h http.HandlerFunc) {
 		s.metrics.inFlight.Add(1)
 		defer s.metrics.inFlight.Add(-1)
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		if !observed(name) {
+			h(sw, r)
+			s.metrics.observeRequest(name, sw.status)
+			return
+		}
+
+		// Accept the client's X-Request-ID (so traces and logs join with
+		// upstream systems), or mint one; either way echo it back.
+		reqID := r.Header.Get("X-Request-ID")
+		if reqID == "" {
+			reqID = obs.NewRequestID()
+		}
+		w.Header().Set("X-Request-ID", reqID)
+		ctx := obs.WithMeter(r.Context(), s.metrics.reg)
+		ctx = obs.WithTracer(ctx, s.tracer)
+		ctx = obs.WithRequestID(ctx, reqID)
+		ctx, sp := obs.Start(ctx, pattern)
+		r = r.WithContext(ctx)
+
+		start := time.Now()
 		h(sw, r)
+		dur := time.Since(start)
+		sp.SetAttr("status", sw.status)
+		sp.End()
 		s.metrics.observeRequest(name, sw.status)
+		if s.logger() != nil {
+			lg := s.logger().With(
+				"method", r.Method,
+				"path", r.URL.Path,
+				"status", sw.status,
+				"duration_ms", dur.Milliseconds(),
+				"request_id", reqID,
+			)
+			if s.cfg.SlowSolve > 0 && dur >= s.cfg.SlowSolve {
+				lg.Warn("slow request")
+			} else {
+				lg.Info("request")
+			}
+		}
 	})
 }
+
+// logger returns the configured request logger (nil disables logging).
+func (s *Server) logger() *slog.Logger { return s.cfg.Logger }
 
 // requestContext derives the request-scoped solving context: the client's
 // own context (canceled when it disconnects) bounded by the configured
@@ -363,6 +447,9 @@ func buildResponse(res *cawosched.Response) *wire.SolveResponse {
 	if res.Zones.Single() {
 		out.Intervals = zones[0].Intervals
 	}
+	for _, t := range res.Timings {
+		out.Timings = append(out.Timings, wire.StageTiming{Stage: t.Stage, Micros: t.Micros})
+	}
 	return out
 }
 
@@ -386,7 +473,22 @@ func (s *Server) solveOne(ctx context.Context, wreq *wire.SolveRequest) (resp *w
 	if err != nil {
 		return nil, errorBody(err)
 	}
-	return buildResponse(res), nil
+	out := buildResponse(res)
+	s.metrics.observeCarbon(out.Zones)
+	return out, nil
+}
+
+// solveOutcome classifies one solve for the latency histogram's
+// outcome label.
+func solveOutcome(resp *wire.SolveResponse, werr *wire.Error) string {
+	switch {
+	case werr != nil:
+		return "error"
+	case resp.CacheHit:
+		return "cache_hit"
+	default:
+		return "ok"
+	}
 }
 
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
@@ -398,7 +500,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	start := time.Now()
 	resp, werr := s.solveOne(ctx, &wreq)
-	s.metrics.observeLatency(time.Since(start))
+	s.metrics.observeLatency(solveOutcome(resp, werr), time.Since(start))
 	if werr != nil {
 		s.writeError(w, werr)
 		return
@@ -452,14 +554,17 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		go func(i int) {
 			defer wg.Done()
 			item := wire.BatchItem{Index: i}
+			start := time.Now()
 			select {
 			case s.batchSem <- struct{}{}:
-				start := time.Now()
 				item.Response, item.Error = s.solveOne(ctx, &breq.Requests[i])
-				s.metrics.observeLatency(time.Since(start))
+				s.metrics.observeLatency(solveOutcome(item.Response, item.Error), time.Since(start))
 				<-s.batchSem
 			case <-ctx.Done():
+				// A fast-failed item is still one observed batch item: its
+				// latency is the time spent queued before the cancellation.
 				item.Error = errorBody(scherr.Canceled(ctx.Err()))
+				s.metrics.observeLatency("error", time.Since(start))
 			}
 			results[i] = item
 		}(i)
@@ -484,21 +589,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	st := s.solver.Stats()
-	var tg *tenancy.Gauges
-	if s.cfg.Manager != nil {
-		g := s.cfg.Manager.Gauges()
-		tg = &g
-	}
-	text := s.metrics.render(solverCounters{
-		Solves:       st.Solves,
-		PlanHits:     st.PlanHits,
-		PlanMisses:   st.PlanMisses,
-		SolveHits:    st.SolveHits,
-		SolveMisses:  st.SolveMisses,
-		SolveEntries: st.SolveEntries,
-	}, tg)
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
-	fmt.Fprint(w, text)
+	s.metrics.reg.WriteText(w)
+}
+
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	s.tracer.ServeHTTP(w, r)
 }

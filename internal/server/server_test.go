@@ -160,7 +160,8 @@ func TestServerEndToEnd(t *testing.T) {
 		"schedd_solve_cache_misses_total 1",
 		"schedd_plan_cache_hits_total 1",
 		`schedd_requests_total{handler="solve"} 2`,
-		"schedd_solve_latency_seconds_count 2",
+		`schedd_solve_latency_seconds_count{outcome="ok"} 1`,
+		`schedd_solve_latency_seconds_count{outcome="cache_hit"} 1`,
 		"schedd_in_flight_requests",
 	} {
 		if !strings.Contains(string(mraw), want) {

@@ -5,9 +5,11 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	cawosched "repro"
 	"repro/internal/dag"
+	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/schedule"
 	"repro/internal/scherr"
@@ -93,6 +95,14 @@ type Gauges struct {
 	RebalanceMoves      int64 // placements improved and re-committed
 	LedgerClaims        int64 // committed reservations
 	LedgerReservedUnits int64 // Σ proc-time units committed
+
+	// Per-tenant carbon accounting: the admitted-vs-current cost view.
+	// PlacementCostUnits − AdmittedCostUnits is never positive (a
+	// rebalance only ever adopts strictly cheaper placements), and its
+	// magnitude is the realized regret recovered since admission.
+	AdmittedCostUnits  int64 // Σ admission-time placement cost, non-canceled workflows
+	PlacementCostUnits int64 // Σ current placement cost, non-canceled workflows
+	SavedUnits         int64 // Σ carbon saved by adopted rebalance moves, lifetime
 }
 
 // RebalanceReport summarizes one rolling-horizon pass.
@@ -160,6 +170,7 @@ type Manager struct {
 	canceledN  int64
 	rebalPass  int64
 	rebalMoves int64
+	savedUnits int64
 }
 
 // NewManager validates the configuration and returns an empty manager.
@@ -267,7 +278,41 @@ func (m *Manager) appendEvent(e Event) {
 // capacity is rejected with an error satisfying both
 // errors.Is(err, scherr.ErrAdmissionRejected) (stable code
 // "admission_rejected") and errors.Is(err, scherr.ErrInfeasibleDeadline).
+//
+// Under an observability-carrying context (internal/obs) the admission
+// runs inside an "admission" span (the solve and offset-search children
+// record under it), counts into schedd_admissions_total{outcome}, and
+// observes the schedd_stage_latency_seconds{stage="admission"} histogram.
 func (m *Manager) Submit(ctx context.Context, req SubmitRequest) (*WorkflowStatus, error) {
+	ctx, sp := obs.Start(ctx, "admission")
+	t0 := time.Now()
+	st, err := m.submit(ctx, req)
+	outcome := "admitted"
+	switch {
+	case errors.Is(err, scherr.ErrAdmissionRejected):
+		outcome = "rejected"
+	case err != nil:
+		outcome = "error"
+	}
+	if meter := obs.MeterFrom(ctx); meter != nil {
+		meter.Counter("schedd_admissions_total", "workflow admission decisions by outcome",
+			"outcome").With(outcome).Inc()
+		meter.Histogram("schedd_stage_latency_seconds",
+			"wall-clock latency of scheduler pipeline stages", nil, "stage").
+			With("admission").Observe(time.Since(t0).Seconds())
+	}
+	if sp != nil {
+		sp.SetAttr("outcome", outcome)
+		if st != nil {
+			sp.SetAttr("id", st.ID)
+			sp.SetAttr("cost", st.Cost)
+		}
+		sp.End()
+	}
+	return st, err
+}
+
+func (m *Manager) submit(ctx context.Context, req SubmitRequest) (*WorkflowStatus, error) {
 	if req.Workflow == nil {
 		return nil, fmt.Errorf("%w: missing workflow", scherr.ErrInvalidRequest)
 	}
@@ -320,7 +365,13 @@ func (m *Manager) Submit(ctx context.Context, req SubmitRequest) (*WorkflowStatu
 	}
 
 	claims := claimsOf(res.Instance, res.Schedule, now)
+	_, osp := obs.Start(ctx, "offset-search")
 	delta, ok := m.ledger.FindOffset(claims, deadline)
+	if osp != nil {
+		osp.SetAttr("offset", delta)
+		osp.SetAttr("found", ok)
+		osp.End()
+	}
 	if !ok {
 		m.rejected++
 		m.appendEvent(Event{Time: now, Kind: "reject", FP: req.Workflow.Fingerprint()})
@@ -449,7 +500,40 @@ func (m *Manager) Cancel(id string) (*WorkflowStatus, error) {
 // so a pass never increases the carbon cost of an already-admitted
 // workflow, and a placement is never lost (the old claims are restored
 // under the same lock when the re-solve does not improve on them).
+//
+// Like Submit, a pass runs inside a "rebalance" span when the context
+// carries observability, observes the rebalance stage histogram, and
+// accumulates schedd_rebalance_saved_units_total.
 func (m *Manager) Rebalance(ctx context.Context) (RebalanceReport, error) {
+	ctx, sp := obs.Start(ctx, "rebalance")
+	t0 := time.Now()
+	rep, err := m.rebalance(ctx)
+	if meter := obs.MeterFrom(ctx); meter != nil {
+		meter.Histogram("schedd_stage_latency_seconds",
+			"wall-clock latency of scheduler pipeline stages", nil, "stage").
+			With("rebalance").Observe(time.Since(t0).Seconds())
+		meter.Counter("schedd_rebalance_saved_units_total",
+			"carbon units saved by adopted rebalance moves").With().Add(rep.Saved)
+	}
+	if sp != nil {
+		sp.SetAttr("considered", rep.Considered)
+		sp.SetAttr("moved", rep.Moved)
+		sp.SetAttr("saved", rep.Saved)
+		if err != nil {
+			sp.SetAttr("error", err.Error())
+		}
+		if rep.Considered == 0 && err == nil {
+			// An idle pass: a fast -rebalance-every loop would flood the
+			// trace ring with these and evict real request traces.
+			sp.Discard()
+		} else {
+			sp.End()
+		}
+	}
+	return rep, err
+}
+
+func (m *Manager) rebalance(ctx context.Context) (RebalanceReport, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	now := m.clock.Now()
@@ -541,6 +625,7 @@ func (m *Manager) Rebalance(ctx context.Context) (RebalanceReport, error) {
 		rep.Moved++
 		rep.Saved += saved
 		m.rebalMoves++
+		m.savedUnits += saved
 		m.appendEvent(Event{
 			Time: now, Kind: "rebalance", ID: rec.id, FP: rec.wf.Fingerprint(),
 			Cost: newCost, PrevCost: oldCost, Placement: placementDigest(newClaims), Improved: true,
@@ -570,8 +655,13 @@ func (m *Manager) Gauges() Gauges {
 		RebalanceMoves:      m.rebalMoves,
 		LedgerClaims:        m.ledger.NumClaims(),
 		LedgerReservedUnits: m.ledger.ReservedUnits(),
+		SavedUnits:          m.savedUnits,
 	}
 	for _, rec := range m.recs {
+		if !rec.canceled {
+			g.AdmittedCostUnits += rec.admitCost
+			g.PlacementCostUnits += rec.cost
+		}
 		switch rec.state(now) {
 		case StateAdmitted:
 			g.Admitted++

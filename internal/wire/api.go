@@ -70,6 +70,16 @@ type SolveResponse struct {
 	// Zones is the per-zone carbon accounting (one entry per zone, in
 	// zone order); the zone Cost fields sum to Cost.
 	Zones []schedule.ZoneCost `json:"zones,omitempty"`
+	// Timings are the wall-clock durations of the solve's top-level
+	// stages (plan, supply, cache, map, schedule) — the one legitimately
+	// nondeterministic part of the response.
+	Timings []StageTiming `json:"timings,omitempty"`
+}
+
+// StageTiming is one top-level solve stage's wall-clock duration.
+type StageTiming struct {
+	Stage  string `json:"stage"`
+	Micros int64  `json:"micros"`
 }
 
 // Error is the uniform error body: a stable machine-readable code from

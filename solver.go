@@ -7,9 +7,11 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/greenheft"
+	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/schedule"
 	"repro/internal/scherr"
@@ -152,6 +154,11 @@ type Response struct {
 	ASAPCost int64     // carbon cost of the ASAP baseline under Profile
 	PlanHit  bool      // true if the HEFT plan came from the memo cache
 	CacheHit bool      // true if the whole response came from the solve cache
+	// Timings are the wall-clock durations of the solve's top-level
+	// stages (plan, supply, cache, map, schedule). Always measured (a
+	// handful of time.Now calls per request); never cached — a cache hit
+	// reports the hit's own timings, not the original solve's.
+	Timings []obs.StageTiming
 }
 
 // SolverStats is a snapshot of a solver's lifetime counters.
@@ -382,6 +389,7 @@ func (s *Solver) solveCachePut(key solveKey, wf *DAG, zones *ZoneSet, resp *Resp
 	stored := *resp
 	stored.Schedule = resp.Schedule.Clone()
 	stored.CacheHit = false
+	stored.Timings = nil // stale wall clock must never be served from cache
 	if e, ok := s.responses[key]; ok {
 		// Overwrite (e.g. a collision victim re-solved): freshest wins.
 		e.wf, e.zones, e.resp = wf, zones.Clone(), stored
@@ -572,16 +580,90 @@ func resolveOptions(req Request) (Options, string, error) {
 	return opt, opt.Name(), nil
 }
 
+// stageClock accumulates the wall-clock stage timings of one solve and
+// mirrors each stage into the context's schedd_stage_latency_seconds
+// histogram when a metrics registry is installed. The clock itself is a
+// few time.Now calls per request, so it runs unconditionally.
+type stageClock struct {
+	last    time.Time
+	timings []obs.StageTiming
+	hist    obs.HistogramVec
+}
+
+func startStages(ctx context.Context) *stageClock {
+	return &stageClock{
+		last: time.Now(),
+		hist: obs.MeterFrom(ctx).Histogram("schedd_stage_latency_seconds",
+			"wall-clock latency of scheduler pipeline stages", nil, "stage"),
+	}
+}
+
+// mark closes the current stage: everything since the previous mark (or
+// the clock's start) is attributed to it.
+func (c *stageClock) mark(stage string) {
+	now := time.Now()
+	d := now.Sub(c.last)
+	c.last = now
+	c.timings = append(c.timings, obs.StageTiming{Stage: stage, Micros: d.Microseconds()})
+	c.hist.With(stage).Observe(d.Seconds())
+}
+
 // Solve runs the full pipeline for one request — plan (memoized), profile,
 // schedule, validate — and returns the response. It is safe for concurrent
 // use. Canceling ctx aborts the run promptly (the hot loops poll the
 // context) with an error satisfying errors.Is(err, ErrCanceled) and
 // errors.Is(err, ctx.Err()).
+//
+// When the context carries observability (see internal/obs), the solve
+// runs under a "solve" span with plan/supply/cache/schedule children,
+// records per-stage latency histograms, and counts into
+// schedd_solves_total{variant,mapping,outcome}; with a bare context the
+// instrumentation is a handful of nil checks.
 func (s *Solver) Solve(ctx context.Context, req Request) (*Response, error) {
+	ctx, sp := obs.Start(ctx, "solve")
+	resp, err := s.doSolve(ctx, req)
+	if sp != nil {
+		if resp != nil {
+			sp.SetAttr("variant", resp.Variant)
+			sp.SetAttr("mapping", resp.Mapping)
+			sp.SetAttr("cost", resp.Cost)
+			sp.SetAttr("cache_hit", resp.CacheHit)
+			sp.SetAttr("plan_hit", resp.PlanHit)
+		}
+		if err != nil {
+			sp.SetAttr("error", err.Error())
+			if code := scherr.Code(err); code != "" {
+				sp.SetAttr("code", code)
+			}
+		}
+		sp.End()
+	}
+	if m := obs.MeterFrom(ctx); m != nil {
+		variant, mapping, outcome := req.Variant, "", "ok"
+		switch {
+		case err != nil:
+			outcome = "error"
+		case resp.CacheHit:
+			outcome = "cache_hit"
+		}
+		if resp != nil {
+			variant, mapping = resp.Variant, resp.Mapping
+		} else if variant == "" {
+			variant = DefaultVariant
+		}
+		m.Counter("schedd_solves_total", "completed solves by variant, mapping, and outcome",
+			"variant", "mapping", "outcome").With(variant, mapping, outcome).Inc()
+	}
+	return resp, err
+}
+
+// doSolve is Solve without the instrumentation envelope.
+func (s *Solver) doSolve(ctx context.Context, req Request) (*Response, error) {
 	s.solves.Add(1)
 	if err := scherr.Canceled(ctx.Err()); err != nil {
 		return nil, err
 	}
+	clock := startStages(ctx)
 	opt, variant, err := resolveOptions(req)
 	if err != nil {
 		return nil, err
@@ -607,22 +689,39 @@ func (s *Solver) Solve(ctx context.Context, req Request) (*Response, error) {
 	var asap *Schedule
 	var D int64
 	planHit := false
+	pctx, psp := obs.Start(ctx, "plan")
 	if req.Instance != nil {
 		inst = req.Instance
 		asap = ASAP(inst)
 		D = Makespan(inst, asap)
 	} else {
 		var e *planEntry
-		e, planHit, err = s.plan(ctx, req.Workflow)
+		e, planHit, err = s.plan(pctx, req.Workflow)
 		if err != nil {
+			psp.End()
 			return nil, err
 		}
 		inst, asap, D = e.inst, e.asap, e.d
 	}
-	zones, err := zonesFor(ctx, inst, req, D, false)
+	if psp != nil {
+		psp.SetAttr("hit", planHit)
+		psp.SetAttr("tasks", inst.N())
+		psp.End()
+	}
+	clock.mark("plan")
+
+	zctx, zsp := obs.Start(ctx, "supply")
+	zones, err := zonesFor(zctx, inst, req, D, false)
 	if err != nil {
+		zsp.End()
 		return nil, err
 	}
+	if zsp != nil {
+		zsp.SetAttr("zones", zones.NumZones())
+		zsp.SetAttr("horizon", zones.T())
+		zsp.End()
+	}
+	clock.mark("supply")
 	var prof *Profile
 	if zones.Single() {
 		prof = zones.Profile(0)
@@ -648,36 +747,66 @@ func (s *Solver) Solve(ctx context.Context, req Request) (*Response, error) {
 		if !req.MapSearch {
 			key.policy = pol
 		}
+		_, csp := obs.Start(ctx, "solve-cache")
 		if resp, ok := s.solveCacheGet(key, req.Workflow, zones); ok {
 			s.solveHits.Add(1)
+			csp.SetAttr("hit", true)
+			csp.End()
+			clock.mark("cache")
 			resp.PlanHit = planHit
 			resp.Zones = zones
 			resp.Profile = prof
+			resp.Timings = clock.timings
 			return resp, nil
 		}
 		s.solveMisses.Add(1)
+		csp.SetAttr("hit", false)
+		csp.End()
+		clock.mark("cache")
 	}
 
 	var resp *Response
 	if req.MapSearch {
-		resp, err = s.mapSearch(ctx, req, zones, opt, variant)
+		mctx, msp := obs.Start(ctx, "map-search")
+		resp, err = s.mapSearch(mctx, req, zones, opt, variant)
 		if err != nil {
+			msp.End()
 			return nil, err
 		}
+		if msp != nil {
+			msp.SetAttr("winner", resp.Mapping)
+			msp.End()
+		}
+		clock.mark("map")
 		resp.Profile = prof
 		resp.PlanHit = planHit
 	} else {
 		if pol != MapEFT {
-			me, mhit, err := s.planFor(ctx, req.Workflow, pol, zones)
+			mctx, msp := obs.Start(ctx, "map")
+			me, mhit, err := s.planFor(mctx, req.Workflow, pol, zones)
 			if err != nil {
+				msp.End()
 				return nil, err
 			}
+			if msp != nil {
+				msp.SetAttr("policy", pol.String())
+				msp.SetAttr("hit", mhit)
+				msp.End()
+			}
+			clock.mark("map")
 			inst, asap, D, planHit = me.inst, me.asap, me.d, mhit
 		}
-		sched, st, err := runCore(ctx, inst, zones, opt, req.Marginal)
+		sctx, ssp := obs.Start(ctx, "schedule")
+		sched, st, err := runCore(sctx, inst, zones, opt, req.Marginal)
 		if err != nil {
+			ssp.End()
 			return nil, err
 		}
+		if ssp != nil {
+			ssp.SetAttr("cost", st.Cost)
+			ssp.End()
+		}
+		clock.mark("schedule")
 		resp = &Response{
 			Schedule: sched,
 			Instance: inst,
@@ -693,6 +822,7 @@ func (s *Solver) Solve(ctx context.Context, req Request) (*Response, error) {
 			PlanHit:  planHit,
 		}
 	}
+	resp.Timings = clock.timings
 	if cacheable {
 		s.solveCachePut(key, req.Workflow, zones, resp)
 	}
@@ -744,9 +874,26 @@ func (s *Solver) mapSearch(ctx context.Context, req Request, zones *ZoneSet, opt
 		}
 		mapped = append(mapped, i)
 	}
+	candidates := obs.MeterFrom(ctx).Counter("schedd_mapsearch_candidates_total",
+		"map-search candidate mappings scheduled, by policy and outcome", "policy", "outcome")
 	solve := func(i int) {
 		r := outcomes[i]
-		r.sched, r.st, r.err = runCore(ctx, r.e.inst, zones, opt, req.Marginal)
+		cctx, csp := obs.Start(ctx, "map-candidate")
+		r.sched, r.st, r.err = runCore(cctx, r.e.inst, zones, opt, req.Marginal)
+		outcome := "ok"
+		if r.err != nil {
+			outcome = "error"
+		}
+		if csp != nil {
+			csp.SetAttr("policy", policies[i].String())
+			if r.err != nil {
+				csp.SetAttr("error", r.err.Error())
+			} else {
+				csp.SetAttr("cost", r.st.Cost)
+			}
+			csp.End()
+		}
+		candidates.With(policies[i].String(), outcome).Inc()
 	}
 	if workers := min(opt.SearchWorkers, len(mapped)); workers > 1 {
 		idxCh := make(chan int)
