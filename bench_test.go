@@ -646,6 +646,59 @@ func BenchmarkSolveCacheHit(b *testing.B) {
 	}
 }
 
+// benchContendedCache measures warmed cache hits under concurrent clients
+// spread over several hot keys — the scale-out serving workload. The hot
+// keys land on different shards, so the sharded configuration serves them
+// with independent locks while the single-shard configuration funnels all
+// clients through one mutex.
+func benchContendedCache(b *testing.B, opts ...cawosched.SolverOption) {
+	b.Helper()
+	const hotKeys = 8
+	wf, err := cawosched.GenerateWorkflow(cawosched.Methylseq, 60, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	solver := cawosched.NewSolver(cawosched.SmallCluster(42), opts...)
+	reqs := make([]cawosched.Request, hotKeys)
+	for k := range reqs {
+		reqs[k] = cawosched.Request{Workflow: wf, Variant: "pressWR-LS", Seed: uint64(k + 1)}
+		if _, err := solver.Solve(context.Background(), reqs[k]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetParallelism(4) // 4×GOMAXPROCS client goroutines
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		k := 0
+		for pb.Next() {
+			res, err := solver.Solve(context.Background(), reqs[k%hotKeys])
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !res.CacheHit {
+				b.Fatal("cache miss on a warmed request")
+			}
+			k++
+		}
+	})
+	b.StopTimer()
+	st := solver.Stats()
+	b.ReportMetric(float64(st.SolveContention)/float64(b.N), "contended/op")
+}
+
+// BenchmarkSolveCacheContended is the sharded configuration (the schedd
+// default: GOMAXPROCS-sized power-of-two shard count).
+func BenchmarkSolveCacheContended(b *testing.B) {
+	benchContendedCache(b, cawosched.WithCacheShards(16))
+}
+
+// BenchmarkSolveCacheContendedSingleShard funnels the identical workload
+// through one global cache mutex — the pre-sharding behavior, kept as the
+// contention baseline.
+func BenchmarkSolveCacheContendedSingleShard(b *testing.B) {
+	benchContendedCache(b, cawosched.WithCacheShards(1))
+}
+
 // ---- online scheduling (tenancy) ---------------------------------------
 
 // benchManager assembles a 2-zone tenancy manager over a simulated clock,

@@ -1,0 +1,311 @@
+package cawosched
+
+import (
+	"container/list"
+	"context"
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/greenheft"
+	"repro/internal/schedule"
+)
+
+// CacheTier is a pluggable external cache consulted between the
+// in-process solve-response cache and a full solve: Get/Put on serialized
+// solve records keyed by the hex solve-key digest. It is the seam that
+// lets a fleet of schedd instances share warm solves — the in-process
+// MemoryTier is the reference implementation; a peer tier (fanning Get
+// out to `schedd -cache-peers` style replicas) plugs in here without
+// touching the solver.
+//
+// Implementations must be safe for concurrent use and are treated as
+// caches, not sources of truth: a Get may miss arbitrarily, records that
+// fail validation against the requesting key are ignored, and Put is
+// fire-and-forget (a tier that drops writes only costs re-solves). Only
+// successful responses are ever stored. A coalesced herd consults the
+// tier once — the flight leader queries on behalf of every follower.
+type CacheTier interface {
+	// Get returns the record stored under key, if any.
+	Get(key string) ([]byte, bool)
+	// Put stores a record under key, overwriting any previous one.
+	Put(key string, value []byte)
+}
+
+// tierKey renders a solve key for the external tier: the hex FNV-1a
+// digest of every field that makes two solves interchangeable. Identical
+// builds compute identical keys, so schedd processes sharing a tier share
+// warm solves.
+func tierKey(key solveKey) string {
+	return strconv.FormatUint(key.sum(), 16)
+}
+
+// tierRecord is the serialized form of one cached solve: the full cache
+// key (so a digest collision is detected by field comparison, the
+// cross-process analogue of the in-memory caches' structural guards) plus
+// the response payload. The schedule travels as its start-time vector —
+// the instance itself is rebuilt from the local plan memo, which also
+// revalidates the workflow structurally.
+type tierRecord struct {
+	// Key fields (must equal the requesting key, else the record is
+	// ignored).
+	Fingerprint uint64 `json:"fp"`
+	ZoneDigest  uint64 `json:"zd"`
+	Deadline    int64  `json:"deadline"`
+	Score       int    `json:"score"`
+	Refined     bool   `json:"refined,omitempty"`
+	LocalSearch bool   `json:"ls,omitempty"`
+	K           int    `json:"k"`
+	Mu          int64  `json:"mu"`
+	Marginal    bool   `json:"marginal,omitempty"`
+	Policy      int    `json:"policy"`
+	MapSearch   bool   `json:"map_search,omitempty"`
+
+	// Payload.
+	Mapping  string  `json:"mapping"` // winning policy (rebuilds the instance)
+	Start    []int64 `json:"start"`
+	Stats    Stats   `json:"stats"`
+	D        int64   `json:"d"`
+	Cost     int64   `json:"cost"`
+	ASAPCost int64   `json:"asap_cost"`
+}
+
+// recordKey reconstructs the solve key a record was stored under.
+func (r *tierRecord) recordKey() solveKey {
+	return solveKey{
+		fp:       r.Fingerprint,
+		digest:   r.ZoneDigest,
+		deadline: r.Deadline,
+		opt: Options{
+			Score:       Score(r.Score),
+			Refined:     r.Refined,
+			LocalSearch: r.LocalSearch,
+			K:           r.K,
+			Mu:          r.Mu,
+		},
+		marginal:  r.Marginal,
+		policy:    greenheft.Policy(r.Policy),
+		mapSearch: r.MapSearch,
+	}
+}
+
+// tierPut serializes a fresh successful response into the tier.
+// Fire-and-forget: encoding is infallible for these types, and the tier
+// owns its durability.
+func (s *Solver) tierPut(key solveKey, resp *Response) {
+	rec := tierRecord{
+		Fingerprint: key.fp,
+		ZoneDigest:  key.digest,
+		Deadline:    key.deadline,
+		Score:       int(key.opt.Score),
+		Refined:     key.opt.Refined,
+		LocalSearch: key.opt.LocalSearch,
+		K:           key.opt.K,
+		Mu:          key.opt.Mu,
+		Marginal:    key.marginal,
+		Policy:      int(key.policy),
+		MapSearch:   key.mapSearch,
+		Mapping:     resp.Mapping,
+		Start:       resp.Schedule.Start,
+		Stats:       resp.Stats,
+		D:           resp.D,
+		Cost:        resp.Cost,
+		ASAPCost:    resp.ASAPCost,
+	}
+	data, err := json.Marshal(&rec)
+	if err != nil {
+		return
+	}
+	s.tier.Put(tierKey(key), data)
+}
+
+// tierGet consults the external tier for the key and, on a valid record,
+// rebuilds the full response: the instance comes from the local plan memo
+// under the record's winning mapping policy (re-planning is exactly what
+// the memo makes cheap, and it revalidates the workflow), and the
+// schedule is validated against the instance and horizon before the
+// response is trusted. Any failure — miss, decode error, key mismatch,
+// validation failure — is a plain miss: the caller falls through to a
+// real solve.
+func (s *Solver) tierGet(ctx context.Context, key solveKey, job *solveJob) (*Response, bool) {
+	data, ok := s.tier.Get(tierKey(key))
+	if !ok {
+		return nil, false
+	}
+	var rec tierRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return nil, false
+	}
+	if rec.recordKey() != key {
+		return nil, false // digest collision across processes
+	}
+	pol, err := greenheft.ParsePolicy(rec.Mapping)
+	if err != nil {
+		return nil, false
+	}
+	var pz *ZoneSet
+	if pol.ZoneAware() {
+		pz = job.zones
+	}
+	e, _, err := s.planFor(ctx, job.req.Workflow, pol, pz)
+	if err != nil {
+		return nil, false
+	}
+	sched := &Schedule{Start: append([]int64(nil), rec.Start...)}
+	if len(sched.Start) != len(e.asap.Start) {
+		return nil, false
+	}
+	if err := schedule.Validate(e.inst, sched, key.deadline); err != nil {
+		return nil, false
+	}
+	return &Response{
+		Schedule: sched,
+		Instance: e.inst,
+		Zones:    job.zones,
+		Profile:  job.prof,
+		Stats:    rec.Stats,
+		Variant:  job.variant,
+		Mapping:  rec.Mapping,
+		D:        rec.D,
+		Deadline: key.deadline,
+		Cost:     rec.Cost,
+		ASAPCost: rec.ASAPCost,
+		CacheHit: true,
+	}, true
+}
+
+// MemoryTier is the in-process CacheTier: a mutex-guarded LRU of
+// serialized records, bounded by entry count. It exists as the reference
+// implementation and the test double for the fleet seam; within one
+// process it adds nothing over the solver's own response cache (which
+// sits in front of it), so production deployments would plug a shared
+// remote tier into the same interface instead.
+type MemoryTier struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*list.Element
+	lru     *list.List // memEntry values; front = most recently used
+
+	gets, hits, puts int64
+}
+
+type memEntry struct {
+	key string
+	val []byte
+}
+
+// DefaultMemoryTierEntries bounds a MemoryTier built without an explicit
+// size.
+const DefaultMemoryTierEntries = 4096
+
+// NewMemoryTier returns an empty tier bounded to maxEntries records
+// (<= 0 selects DefaultMemoryTierEntries).
+func NewMemoryTier(maxEntries int) *MemoryTier {
+	if maxEntries <= 0 {
+		maxEntries = DefaultMemoryTierEntries
+	}
+	return &MemoryTier{
+		cap:     maxEntries,
+		entries: make(map[string]*list.Element),
+		lru:     list.New(),
+	}
+}
+
+// Get returns the record stored under key.
+func (t *MemoryTier) Get(key string) ([]byte, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.gets++
+	el, ok := t.entries[key]
+	if !ok {
+		return nil, false
+	}
+	t.hits++
+	t.lru.MoveToFront(el)
+	return el.Value.(memEntry).val, true
+}
+
+// Put stores value under key, evicting the least-recently-used record
+// when full. The value is copied; callers may reuse their buffer.
+func (t *MemoryTier) Put(key string, value []byte) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.puts++
+	val := append([]byte(nil), value...)
+	if el, ok := t.entries[key]; ok {
+		el.Value = memEntry{key: key, val: val}
+		t.lru.MoveToFront(el)
+		return
+	}
+	for len(t.entries) >= t.cap {
+		back := t.lru.Back()
+		if back == nil {
+			break
+		}
+		delete(t.entries, back.Value.(memEntry).key)
+		t.lru.Remove(back)
+	}
+	t.entries[key] = t.lru.PushFront(memEntry{key: key, val: val})
+}
+
+// Len returns the number of records currently held.
+func (t *MemoryTier) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.entries)
+}
+
+// Keys returns the keys currently held, in no particular order.
+func (t *MemoryTier) Keys() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	keys := make([]string, 0, len(t.entries))
+	for k := range t.entries {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// TierStats is a MemoryTier usage snapshot.
+type TierStats struct {
+	Gets, Hits, Puts int64
+	Entries          int
+}
+
+// Stats returns a snapshot of the tier's counters.
+func (t *MemoryTier) Stats() TierStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return TierStats{Gets: t.gets, Hits: t.hits, Puts: t.puts, Entries: len(t.entries)}
+}
+
+// ParseCacheTier resolves a CLI tier spec (`schedd -cache-tier`):
+//
+//	""            no tier (nil)
+//	"none"        no tier (nil)
+//	"memory"      in-process MemoryTier with the default bound
+//	"memory:N"    in-process MemoryTier bounded to N records
+//
+// The "peers:<host,...>" scheme is reserved for a future fleet tier that
+// shares warm solves across schedd instances; naming it today keeps the
+// flag's shape stable when it lands.
+func ParseCacheTier(spec string) (CacheTier, error) {
+	switch {
+	case spec == "" || spec == "none":
+		return nil, nil
+	case spec == "memory":
+		return NewMemoryTier(0), nil
+	case strings.HasPrefix(spec, "memory:"):
+		n, err := strconv.Atoi(strings.TrimPrefix(spec, "memory:"))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("cache tier %q: want memory:<entries> with a positive count", spec)
+		}
+		return NewMemoryTier(n), nil
+	case strings.HasPrefix(spec, "peers:"):
+		return nil, fmt.Errorf("cache tier %q: the peers tier is reserved but not implemented yet", spec)
+	default:
+		return nil, fmt.Errorf(`unknown cache tier %q (want "none", "memory", or "memory:<entries>")`, spec)
+	}
+}

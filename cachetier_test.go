@@ -1,0 +1,202 @@
+package cawosched_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	cawosched "repro"
+)
+
+// TestMemoryTier pins the reference tier implementation: bounded LRU of
+// opaque records with private copies.
+func TestMemoryTier(t *testing.T) {
+	tier := cawosched.NewMemoryTier(2)
+	tier.Put("a", []byte("1"))
+	tier.Put("b", []byte("2"))
+	if v, ok := tier.Get("a"); !ok || string(v) != "1" {
+		t.Fatalf("Get(a) = %q, %v", v, ok)
+	}
+	tier.Put("c", []byte("3")) // evicts b (a was just touched)
+	if _, ok := tier.Get("b"); ok {
+		t.Error("b survived eviction beyond the bound")
+	}
+	if _, ok := tier.Get("a"); !ok {
+		t.Error("recently used a was evicted")
+	}
+	if tier.Len() != 2 {
+		t.Errorf("Len = %d, want 2", tier.Len())
+	}
+	// Stored values are copies: mutating the caller's buffer is invisible.
+	buf := []byte("x")
+	tier.Put("a", buf)
+	buf[0] = 'y'
+	if v, _ := tier.Get("a"); string(v) != "x" {
+		t.Errorf("tier shares the caller's buffer: %q", v)
+	}
+	st := tier.Stats()
+	if st.Hits == 0 || st.Gets < st.Hits || st.Puts != 4 || st.Entries != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestParseCacheTier pins the `schedd -cache-tier` spec grammar.
+func TestParseCacheTier(t *testing.T) {
+	for _, spec := range []string{"", "none"} {
+		if tier, err := cawosched.ParseCacheTier(spec); err != nil || tier != nil {
+			t.Errorf("ParseCacheTier(%q) = %v, %v, want nil, nil", spec, tier, err)
+		}
+	}
+	if tier, err := cawosched.ParseCacheTier("memory"); err != nil || tier == nil {
+		t.Errorf("ParseCacheTier(memory) = %v, %v", tier, err)
+	}
+	if tier, err := cawosched.ParseCacheTier("memory:128"); err != nil || tier == nil {
+		t.Errorf("ParseCacheTier(memory:128) = %v, %v", tier, err)
+	}
+	for _, spec := range []string{"memory:0", "memory:-1", "memory:x", "redis://x", "peers:a,b"} {
+		if _, err := cawosched.ParseCacheTier(spec); err == nil {
+			t.Errorf("ParseCacheTier(%q) accepted", spec)
+		}
+	}
+}
+
+// TestSolverCacheTier is the fleet seam's acceptance property: two solvers
+// sharing one tier share warm solves — the second solver's first solve of
+// a key the first already solved is a tier hit with the identical
+// schedule, no scheduler run of its own.
+func TestSolverCacheTier(t *testing.T) {
+	wf, err := cawosched.GenerateWorkflow(cawosched.Methylseq, 60, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tier := cawosched.NewMemoryTier(0)
+	req := cawosched.Request{Workflow: wf, Variant: "pressWR-LS", Scenario: cawosched.S2, Seed: 17}
+
+	a := cawosched.NewSolver(cawosched.SmallCluster(17), cawosched.WithCacheTier(tier))
+	first, err := a.Solve(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.CacheHit {
+		t.Error("cold solve reported a hit")
+	}
+	if tier.Len() != 1 {
+		t.Fatalf("tier holds %d records after one solve, want 1", tier.Len())
+	}
+
+	// A second solver (another schedd instance) sharing the tier.
+	b := cawosched.NewSolver(cawosched.SmallCluster(17), cawosched.WithCacheTier(tier))
+	warm, err := b.Solve(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.CacheHit {
+		t.Error("shared-tier solve missed")
+	}
+	if st := b.Stats(); st.TierHits != 1 || st.SolveMisses != 1 || st.SolveHits != 0 {
+		t.Errorf("stats = %+v, want 1 tier hit on the 1 miss", st)
+	}
+	if warm.Cost != first.Cost || warm.ASAPCost != first.ASAPCost || warm.Deadline != first.Deadline || warm.Mapping != first.Mapping {
+		t.Errorf("tier response differs: cost %d/%d mapping %s/%s", first.Cost, warm.Cost, first.Mapping, warm.Mapping)
+	}
+	for v := range first.Schedule.Start {
+		if warm.Schedule.Start[v] != first.Schedule.Start[v] {
+			t.Fatalf("tier schedule moved node %d", v)
+		}
+	}
+
+	// The tier hit also populated b's in-process cache: the next request
+	// is a plain cache hit, not another tier consult.
+	again, err := b.Solve(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.CacheHit {
+		t.Error("post-tier request missed the in-process cache")
+	}
+	if st := b.Stats(); st.TierHits != 1 || st.SolveHits != 1 {
+		t.Errorf("stats = %+v, want the second hit served in-process", st)
+	}
+}
+
+// TestSolverCacheTierMapSearch round-trips a map-search response through
+// the tier: the stored record names the winning policy, and the receiving
+// solver rebuilds the winner's instance from its own plan memo.
+func TestSolverCacheTierMapSearch(t *testing.T) {
+	wf, err := cawosched.GenerateWorkflow(cawosched.Eager, 50, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tier := cawosched.NewMemoryTier(0)
+	req := cawosched.Request{Workflow: wf, Variant: "press", Scenario: cawosched.S3, Seed: 23, MapSearch: true}
+
+	a := cawosched.NewSolver(cawosched.SmallCluster(23), cawosched.WithCacheTier(tier))
+	first, err := a.Solve(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := cawosched.NewSolver(cawosched.SmallCluster(23), cawosched.WithCacheTier(tier))
+	warm, err := b.Solve(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.CacheHit || warm.Mapping != first.Mapping || warm.Cost != first.Cost {
+		t.Errorf("tier map-search round trip: hit=%v mapping %s/%s cost %d/%d",
+			warm.CacheHit, first.Mapping, warm.Mapping, first.Cost, warm.Cost)
+	}
+	for v := range first.Schedule.Start {
+		if warm.Schedule.Start[v] != first.Schedule.Start[v] {
+			t.Fatalf("tier map-search schedule moved node %d", v)
+		}
+	}
+}
+
+// TestSolverCacheTierGarbage: corrupt or mismatched tier records are
+// treated as misses, never served.
+func TestSolverCacheTierGarbage(t *testing.T) {
+	wf, err := cawosched.GenerateWorkflow(cawosched.Bacass, 40, 29)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tier := cawosched.NewMemoryTier(0)
+	a := cawosched.NewSolver(cawosched.SmallCluster(29), cawosched.WithCacheTier(tier))
+	req := cawosched.Request{Workflow: wf, Variant: "press", Scenario: cawosched.S1, Seed: 29}
+	if _, err := a.Solve(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+	if tier.Len() != 1 {
+		t.Fatalf("tier holds %d records, want 1", tier.Len())
+	}
+	// Overwrite every record with garbage; a fresh solver must fall back
+	// to a real solve without error.
+	for _, key := range tier.Keys() {
+		tier.Put(key, []byte("{not json"))
+	}
+	b := cawosched.NewSolver(cawosched.SmallCluster(29), cawosched.WithCacheTier(tier))
+	res, err := b.Solve(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CacheHit {
+		t.Error("garbage record served as a hit")
+	}
+	if st := b.Stats(); st.TierHits != 0 {
+		t.Errorf("stats = %+v, want 0 tier hits", st)
+	}
+
+	// Errors are never written to the tier.
+	inst, err := cawosched.PlanHEFT(wf, cawosched.SmallCluster(29))
+	if err != nil {
+		t.Fatal(err)
+	}
+	D := cawosched.ASAPMakespan(inst)
+	empty := cawosched.NewMemoryTier(0)
+	c := cawosched.NewSolver(cawosched.SmallCluster(29), cawosched.WithCacheTier(empty))
+	bad := cawosched.Request{Workflow: wf, Variant: "press", Profile: cawosched.ConstantProfile(D/2, 1)}
+	if _, err := c.Solve(context.Background(), bad); !errors.Is(err, cawosched.ErrInfeasibleDeadline) {
+		t.Fatalf("err = %v, want ErrInfeasibleDeadline", err)
+	}
+	if empty.Len() != 0 {
+		t.Errorf("failed solve left %d tier records", empty.Len())
+	}
+}

@@ -66,6 +66,13 @@ type options struct {
 	grace       time.Duration
 	drainDelay  time.Duration
 
+	// Caching/concurrency layer of the solver.
+	solveCacheLimit int
+	planCacheLimit  int
+	cacheShards     int
+	cacheTier       string
+	coalesce        bool
+
 	// Observability.
 	debugAddr   string
 	traceBuffer int
@@ -95,6 +102,11 @@ func main() {
 	flag.IntVar(&opt.searchWork, "search-workers", 0, "per-solve worker pool for the local search and the map-search fan-out (<= 1 = sequential; responses are identical at any count)")
 	flag.IntVar(&opt.maxBatch, "max-batch", 256, "maximum requests per batch body")
 	flag.IntVar(&opt.maxQueue, "max-queue", 0, "maximum batch items in flight across all batch requests before 429 (0 = 4096)")
+	flag.IntVar(&opt.solveCacheLimit, "solve-cache-limit", 4096, "maximum cached solve responses across shards (0 = response caching off)")
+	flag.IntVar(&opt.planCacheLimit, "plan-cache-limit", 4096, "maximum memoized plans across shards (0 = plan memoization off)")
+	flag.IntVar(&opt.cacheShards, "cache-shards", 0, "power-of-two shard count of the solver caches (0 = next power of two >= GOMAXPROCS; responses are identical at any count)")
+	flag.StringVar(&opt.cacheTier, "cache-tier", "", `external cache tier between the response cache and a full solve: "none" | "memory" | "memory:<entries>" (empty = none)`)
+	flag.BoolVar(&opt.coalesce, "coalesce", true, "coalesce concurrent identical solves onto one in-flight leader (singleflight)")
 	flag.DurationVar(&opt.grace, "shutdown-grace", 30*time.Second, "how long in-flight requests may finish after SIGINT/SIGTERM")
 	flag.DurationVar(&opt.drainDelay, "drain-delay", 0, "how long /healthz serves 503 (draining) before the listener closes, so load balancers can deregister")
 	flag.StringVar(&opt.debugAddr, "debug-addr", "", "serve net/http/pprof, /metrics, and /debug/traces on this side address (empty = disabled; the main listener serves /metrics and /debug/traces regardless)")
@@ -252,7 +264,28 @@ func run(ctx context.Context, opt options, ready chan<- string) error {
 		// for "default", so translate.
 		reqTimeout = -1
 	}
-	solver := cawosched.NewSolver(cluster)
+	// Validate the cache knobs up front: a typo'd tier spec or a negative
+	// limit should refuse to start, not misbehave under load.
+	if opt.solveCacheLimit < 0 {
+		return fmt.Errorf("-solve-cache-limit %d must be >= 0", opt.solveCacheLimit)
+	}
+	if opt.planCacheLimit < 0 {
+		return fmt.Errorf("-plan-cache-limit %d must be >= 0", opt.planCacheLimit)
+	}
+	if opt.cacheShards < 0 {
+		return fmt.Errorf("-cache-shards %d must be >= 0", opt.cacheShards)
+	}
+	tier, err := cawosched.ParseCacheTier(opt.cacheTier)
+	if err != nil {
+		return err
+	}
+	solver := cawosched.NewSolver(cluster,
+		cawosched.WithSolveCacheLimit(opt.solveCacheLimit),
+		cawosched.WithPlanCacheLimit(opt.planCacheLimit),
+		cawosched.WithCacheShards(opt.cacheShards),
+		cawosched.WithCoalescing(opt.coalesce),
+		cawosched.WithCacheTier(tier),
+	)
 
 	var manager *tenancy.Manager
 	if opt.supplyScenario != "" {
@@ -296,6 +329,7 @@ func run(ctx context.Context, opt options, ready chan<- string) error {
 	}
 	lg.Info("serving", "cluster", label,
 		"compute_processors", cluster.NumCompute(), "zones", cluster.NumZones(),
+		"cache_shards", solver.Stats().CacheShards, "coalesce", opt.coalesce,
 		"addr", ln.Addr().String())
 	if ready != nil {
 		ready <- ln.Addr().String()

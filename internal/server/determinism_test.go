@@ -4,9 +4,11 @@ import (
 	"bytes"
 	"encoding/json"
 	"net/http"
+	"net/http/httptest"
 	"runtime"
 	"testing"
 
+	cawosched "repro"
 	"repro/internal/wire"
 )
 
@@ -52,6 +54,89 @@ func TestSearchWorkersByteIdenticalResponses(t *testing.T) {
 			t.Fatalf("workers=%d: response bytes differ from workers=%d:\n%s\nvs\n%s",
 				workers, counts[0], raw, want)
 		}
+	}
+}
+
+// TestCacheShardsByteIdenticalResponses pins the scale-out face of the
+// same guarantee: servers whose solvers shard their caches 1, 4, and 16
+// ways (crossed with coalescing on/off) produce byte-identical wire
+// responses, cold and warm — sharding and singleflight are pure mechanism.
+// The warm pass additionally pins that the cache-served response equals
+// the computed one except for the cache_hit flag itself. Run under
+// -race -count=2 in CI.
+func TestCacheShardsByteIdenticalResponses(t *testing.T) {
+	wreq := pinnedWireRequest(t)
+
+	type variant struct {
+		shards   int
+		coalesce bool
+	}
+	variants := []variant{{1, true}, {4, true}, {16, true}, {4, false}}
+	var wantCold, wantWarm []byte
+	for _, v := range variants {
+		solver := cawosched.NewSolver(cawosched.SmallCluster(7),
+			cawosched.WithCacheShards(v.shards), cawosched.WithCoalescing(v.coalesce))
+		srv := New(solver, Config{})
+		ts := httptest.NewServer(srv)
+		t.Cleanup(ts.Close)
+
+		var cold, warm []byte
+		for pass := 0; pass < 2; pass++ {
+			resp, raw := postJSON(t, ts.Client(), ts.URL+"/v1/solve", wreq)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("shards=%d pass %d: status %d: %s", v.shards, pass, resp.StatusCode, raw)
+			}
+			var sr wire.SolveResponse
+			if err := json.Unmarshal(raw, &sr); err != nil {
+				t.Fatalf("shards=%d pass %d: bad response: %v", v.shards, pass, err)
+			}
+			if sr.CacheHit != (pass == 1) {
+				t.Fatalf("shards=%d pass %d: cache_hit = %v", v.shards, pass, sr.CacheHit)
+			}
+			if pass == 0 {
+				cold = stripTimings(t, raw)
+			} else {
+				warm = stripTimings(t, raw)
+			}
+		}
+		if st := solver.Stats(); st.SolveHits != 1 || st.SolveMisses != 1 {
+			t.Errorf("shards=%d: stats = %+v, want 1 hit / 1 miss at every shard count", v.shards, st)
+		}
+		switch {
+		case wantCold == nil:
+			wantCold, wantWarm = cold, warm
+		case !bytes.Equal(cold, wantCold):
+			t.Fatalf("shards=%d coalesce=%v: cold response differs:\n%s\nvs\n%s", v.shards, v.coalesce, cold, wantCold)
+		case !bytes.Equal(warm, wantWarm):
+			t.Fatalf("shards=%d coalesce=%v: warm response differs:\n%s\nvs\n%s", v.shards, v.coalesce, warm, wantWarm)
+		}
+	}
+
+	// Warm and cold responses agree on everything but the hit flags (the
+	// warm pass also hits the plan memo).
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(wantWarm, &m); err != nil {
+		t.Fatal(err)
+	}
+	if string(m["cache_hit"]) != "true" || string(m["plan_cache_hit"]) != "true" {
+		t.Fatalf("warm hit flags: cache_hit=%s plan_cache_hit=%s", m["cache_hit"], m["plan_cache_hit"])
+	}
+	m["cache_hit"] = json.RawMessage("false")
+	m["plan_cache_hit"] = json.RawMessage("false")
+	rewritten, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mc map[string]json.RawMessage
+	if err := json.Unmarshal(wantCold, &mc); err != nil {
+		t.Fatal(err)
+	}
+	recold, err := json.Marshal(mc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rewritten, recold) {
+		t.Errorf("warm response differs from cold beyond cache_hit:\n%s\nvs\n%s", rewritten, recold)
 	}
 }
 

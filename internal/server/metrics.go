@@ -62,7 +62,19 @@ func newMetrics(solver *cawosched.Solver, mgr *tenancy.Manager) *metrics {
 	planMisses := reg.Counter("schedd_plan_cache_misses_total", "plans built by HEFT + instance construction").With()
 	solveHits := reg.Counter("schedd_solve_cache_hits_total", "solves served from the response cache").With()
 	solveMisses := reg.Counter("schedd_solve_cache_misses_total", "cacheable solves that ran the scheduler").With()
+	solveCoalesced := reg.Counter("schedd_solve_coalesced_total",
+		"solves served by joining a concurrent identical in-flight solve").With()
+	tierHits := reg.Counter("schedd_cache_tier_hits_total", "solves served from the external cache tier").With()
 	solveEntries := reg.Gauge("schedd_solve_cache_entries", "responses currently cached").With()
+	solveCapacity := reg.Gauge("schedd_solve_cache_capacity",
+		"solve-response cache entry bound (0 = caching disabled)").With()
+	planEntries := reg.Gauge("schedd_plan_cache_entries", "plans currently memoized").With()
+	planCapacity := reg.Gauge("schedd_plan_cache_capacity",
+		"plan memo entry bound (0 = memoization disabled)").With()
+	cacheShards := reg.Gauge("schedd_cache_shards", "power-of-two shard count of both solver caches").With()
+	contention := reg.Counter("schedd_cache_shard_contention_total",
+		"shard-lock acquisitions that found the lock already held, by cache", "cache")
+	planContention, solveContention := contention.With("plan"), contention.With("solve")
 	reg.OnScrape(func() {
 		st := solver.Stats()
 		solves.Store(st.Solves)
@@ -70,7 +82,15 @@ func newMetrics(solver *cawosched.Solver, mgr *tenancy.Manager) *metrics {
 		planMisses.Store(st.PlanMisses)
 		solveHits.Store(st.SolveHits)
 		solveMisses.Store(st.SolveMisses)
+		solveCoalesced.Store(st.SolveCoalesced)
+		tierHits.Store(st.TierHits)
 		solveEntries.Set(int64(st.SolveEntries))
+		solveCapacity.Set(int64(st.SolveCapacity))
+		planEntries.Set(int64(st.PlanEntries))
+		planCapacity.Set(int64(st.PlanCapacity))
+		cacheShards.Set(int64(st.CacheShards))
+		planContention.Store(st.PlanContention)
+		solveContention.Store(st.SolveContention)
 	})
 
 	if mgr != nil {

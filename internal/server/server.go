@@ -441,6 +441,7 @@ func buildResponse(res *cawosched.Response) *wire.SolveResponse {
 		ASAPCost:     res.ASAPCost,
 		PlanCacheHit: res.PlanHit,
 		CacheHit:     res.CacheHit,
+		Coalesced:    res.Coalesced,
 		Schedule:     schedule.Export(res.Instance, res.Schedule),
 		Zones:        zones,
 	}

@@ -59,6 +59,10 @@ type SolveResponse struct {
 	ASAPCost     int64  `json:"asap_cost"`     // carbon cost of the ASAP baseline
 	PlanCacheHit bool   `json:"plan_cache_hit"`
 	CacheHit     bool   `json:"cache_hit"` // whole response served from the solve cache
+	// Coalesced reports that this response was shared from a concurrent
+	// identical request's in-flight solve (singleflight): identical to the
+	// leader's answer, but this request ran no scheduler of its own.
+	Coalesced bool `json:"coalesced,omitempty"`
 
 	// Schedule lists every node (tasks and communications) ordered by
 	// (proc, start, node).

@@ -160,12 +160,14 @@ func TestSolverPlanOrderIndependence(t *testing.T) {
 
 // TestSolveResponseCacheEviction pins the LRU bound: with a limit of 2,
 // the least-recently-used entry is evicted, recently-touched entries stay.
+// Shard count 1 so recency is global — the exact pre-sharding LRU — since
+// a 2-entry cache split across many shards would pick victims per shard.
 func TestSolveResponseCacheEviction(t *testing.T) {
 	wf, err := cawosched.GenerateWorkflow(cawosched.Eager, 40, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
-	solver := cawosched.NewSolver(cawosched.SmallCluster(5))
+	solver := cawosched.NewSolver(cawosched.SmallCluster(5), cawosched.WithCacheShards(1))
 	solver.SetSolveCacheLimit(2)
 	reqFor := func(variant string) cawosched.Request {
 		return cawosched.Request{Workflow: wf, Variant: variant, Scenario: cawosched.S4, Seed: 5}

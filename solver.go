@@ -153,7 +153,12 @@ type Response struct {
 	Cost     int64     // carbon cost of Schedule
 	ASAPCost int64     // carbon cost of the ASAP baseline under Profile
 	PlanHit  bool      // true if the HEFT plan came from the memo cache
-	CacheHit bool      // true if the whole response came from the solve cache
+	CacheHit bool      // true if the whole response came from the solve cache (or the external tier)
+	// Coalesced is true when this response was shared from a concurrent
+	// identical request's in-flight solve (singleflight follower): the
+	// schedule is identical to the leader's, but this request ran no
+	// scheduler of its own.
+	Coalesced bool
 	// Timings are the wall-clock durations of the solve's top-level
 	// stages (plan, supply, cache, map, schedule). Always measured (a
 	// handful of time.Now calls per request); never cached — a cache hit
@@ -163,12 +168,31 @@ type Response struct {
 
 // SolverStats is a snapshot of a solver's lifetime counters.
 type SolverStats struct {
-	Solves       int64 // completed Solve calls (including failed ones)
-	PlanHits     int64 // Plan requests served from the fingerprint cache
-	PlanMisses   int64 // Plan requests that ran HEFT + instance construction
-	SolveHits    int64 // Solve calls served from the solve-response cache
-	SolveMisses  int64 // cacheable Solve calls that ran the scheduler
-	SolveEntries int   // responses currently held by the solve cache
+	Solves      int64 // completed Solve calls (including failed ones)
+	PlanHits    int64 // Plan requests served from the fingerprint cache
+	PlanMisses  int64 // Plan requests that ran HEFT + instance construction
+	SolveHits   int64 // Solve calls served from the solve-response cache
+	SolveMisses int64 // cacheable Solve calls not served by the in-process response cache
+	// SolveCoalesced counts requests served by joining a concurrent
+	// identical in-flight solve: the follower side of the singleflight.
+	// A coalesced request counts neither a hit nor a miss — the leader
+	// already counted the one miss the herd cost.
+	SolveCoalesced int64
+	// TierHits counts solves served from the external cache tier (0
+	// without a configured tier).
+	TierHits     int64
+	SolveEntries int // responses currently held by the solve cache
+	// SolveCapacity is the solve cache's total entry bound (0 = disabled).
+	SolveCapacity int
+	PlanEntries   int // plans currently memoized
+	PlanCapacity  int // plan memo's total entry bound (0 = disabled)
+	CacheShards   int // power-of-two shard count of both caches
+	// PlanContention / SolveContention count shard-lock acquisitions that
+	// found the lock already held — the residual contention sharding did
+	// not eliminate. Pure mechanism: workload-order dependent, never part
+	// of any determinism contract.
+	PlanContention  int64
+	SolveContention int64
 }
 
 // Solver is the concurrency-safe request/response entry point: one solver
@@ -180,31 +204,49 @@ type SolverStats struct {
 type Solver struct {
 	cluster *Cluster
 
-	mu    sync.Mutex
-	plans map[planKey]*planEntry
+	// First cache level: memoized plans, sharded (see solvercache.go).
+	planShards []planShard
+	planCap    atomic.Int64 // total bound across shards
 
-	// Second cache level: whole solve responses, LRU-bounded, keyed by
-	// (workflow fingerprint, profile digest, deadline, normalized options,
-	// greedy flavor). See solveCacheGet/solveCachePut.
-	cmu       sync.Mutex
-	solveCap  int
-	responses map[solveKey]*solveEntry
-	lru       *list.List // *solveEntry values; front = most recently used
+	// Second cache level: whole solve responses, LRU-bounded per shard,
+	// keyed by (workflow fingerprint, profile digest, deadline, normalized
+	// options, greedy flavor). See solveCacheGet/solveCachePut.
+	solveShards []solveShard
+	solveCap    atomic.Int64 // total bound across shards
 
-	solves      atomic.Int64
-	planHits    atomic.Int64
-	planMisses  atomic.Int64
-	solveHits   atomic.Int64
-	solveMisses atomic.Int64
+	// Singleflight: concurrent identical cacheable solves coalesce onto
+	// one in-flight leader (see joinFlight). The table is tiny — one entry
+	// per distinct key currently being solved — so one mutex suffices.
+	coalesce bool
+	fmu      sync.Mutex
+	flights  map[solveKey]*flight
+
+	// Optional external cache tier between the in-process response cache
+	// and a full solve (see CacheTier).
+	tier CacheTier
+
+	solves          atomic.Int64
+	planHits        atomic.Int64
+	planMisses      atomic.Int64
+	solveHits       atomic.Int64
+	solveMisses     atomic.Int64
+	solveCoalesced  atomic.Int64
+	tierHits        atomic.Int64
+	planContention  atomic.Int64
+	solveContention atomic.Int64
+
+	// testLeaderGate, when set (tests only), runs on the leader's
+	// goroutine right after it wins the flight election and before it
+	// consults the tier or solves — the hook the coalescing tests use to
+	// hold a leader in flight while followers pile up.
+	testLeaderGate func()
 }
 
-// maxPlans bounds the plan cache. When full, an arbitrary entry is evicted
-// on insert — a simple bound that keeps a long-lived service from growing
-// without limit while never evicting the entries a steady workload reuses
-// fastest (those are re-admitted on the next miss).
+// maxPlans is the default plan-memo bound (total entries across shards).
 const maxPlans = 4096
 
-// defaultSolveCache bounds the solve-response cache (LRU entries).
+// defaultSolveCache bounds the solve-response cache (total LRU entries
+// across shards).
 const defaultSolveCache = 4096
 
 // planKey identifies one memoized plan: which workflow, under which
@@ -251,41 +293,64 @@ func (e *planEntry) build(cluster *Cluster) {
 	})
 }
 
-// NewSolver returns a solver bound to the given target cluster.
-func NewSolver(cluster *Cluster) *Solver {
-	return &Solver{
-		cluster:   cluster,
-		plans:     make(map[planKey]*planEntry),
-		solveCap:  defaultSolveCache,
-		responses: make(map[solveKey]*solveEntry),
-		lru:       list.New(),
+// NewSolver returns a solver bound to the given target cluster. Options
+// tune the caching/concurrency layer (shard count, cache bounds,
+// coalescing, external tier); the zero-option solver shards both caches
+// by GOMAXPROCS and coalesces concurrent identical solves.
+func NewSolver(cluster *Cluster, opts ...SolverOption) *Solver {
+	cfg := solverConfig{
+		shards:   defaultCacheShards(),
+		solveCap: defaultSolveCache,
+		planCap:  maxPlans,
+		coalesce: true,
 	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	s := &Solver{
+		cluster:     cluster,
+		planShards:  make([]planShard, cfg.shards),
+		solveShards: make([]solveShard, cfg.shards),
+		coalesce:    cfg.coalesce,
+		flights:     make(map[solveKey]*flight),
+		tier:        cfg.tier,
+	}
+	s.planCap.Store(int64(cfg.planCap))
+	s.solveCap.Store(int64(cfg.solveCap))
+	for i := range s.planShards {
+		s.planShards[i].entries = make(map[planKey]*planEntry)
+		s.planShards[i].cap = shardShare(cfg.planCap, i, cfg.shards)
+	}
+	for i := range s.solveShards {
+		s.solveShards[i].responses = make(map[solveKey]*solveEntry)
+		s.solveShards[i].lru = list.New()
+		s.solveShards[i].cap = shardShare(cfg.solveCap, i, cfg.shards)
+	}
+	return s
 }
 
 // Cluster returns the target platform the solver plans against.
 func (s *Solver) Cluster() *Cluster { return s.cluster }
 
-// Stats returns a snapshot of the solver's counters.
+// Stats returns a snapshot of the solver's counters. Entry counts sum the
+// cache shards, so the accounting is identical at every shard count.
 func (s *Solver) Stats() SolverStats {
-	s.cmu.Lock()
-	entries := len(s.responses)
-	s.cmu.Unlock()
 	return SolverStats{
-		Solves:       s.solves.Load(),
-		PlanHits:     s.planHits.Load(),
-		PlanMisses:   s.planMisses.Load(),
-		SolveHits:    s.solveHits.Load(),
-		SolveMisses:  s.solveMisses.Load(),
-		SolveEntries: entries,
+		Solves:          s.solves.Load(),
+		PlanHits:        s.planHits.Load(),
+		PlanMisses:      s.planMisses.Load(),
+		SolveHits:       s.solveHits.Load(),
+		SolveMisses:     s.solveMisses.Load(),
+		SolveCoalesced:  s.solveCoalesced.Load(),
+		TierHits:        s.tierHits.Load(),
+		SolveEntries:    s.solveEntriesCount(),
+		SolveCapacity:   int(s.solveCap.Load()),
+		PlanEntries:     s.planEntries(),
+		PlanCapacity:    int(s.planCap.Load()),
+		CacheShards:     len(s.solveShards),
+		PlanContention:  s.planContention.Load(),
+		SolveContention: s.solveContention.Load(),
 	}
-}
-
-// ResetPlans drops every memoized plan (e.g. after a batch of one-off
-// workflows). Counters and the solve-response cache are unaffected.
-func (s *Solver) ResetPlans() {
-	s.mu.Lock()
-	s.plans = make(map[planKey]*planEntry)
-	s.mu.Unlock()
 }
 
 // solveKey identifies one cacheable solve: which workflow, against which
@@ -328,82 +393,6 @@ func normalizeOptions(opt Options) Options {
 	return opt
 }
 
-// SetSolveCacheLimit bounds the solve-response cache to at most n entries,
-// evicting least-recently-used responses if it currently holds more.
-// n <= 0 disables and clears the cache. The default limit is 4096.
-func (s *Solver) SetSolveCacheLimit(n int) {
-	s.cmu.Lock()
-	defer s.cmu.Unlock()
-	s.solveCap = n
-	for len(s.responses) > 0 && len(s.responses) > n {
-		s.evictOldestLocked()
-	}
-}
-
-// ResetSolveCache drops every cached response. Counters are unaffected.
-func (s *Solver) ResetSolveCache() {
-	s.cmu.Lock()
-	s.responses = make(map[solveKey]*solveEntry)
-	s.lru = list.New()
-	s.cmu.Unlock()
-}
-
-func (s *Solver) evictOldestLocked() {
-	back := s.lru.Back()
-	if back == nil {
-		return
-	}
-	e := back.Value.(*solveEntry)
-	s.lru.Remove(back)
-	delete(s.responses, e.key)
-}
-
-// solveCacheGet returns a cached response for the key, guarded against
-// fingerprint/digest collisions by structural comparison with the
-// request's actual workflow and zone set. The returned response carries a
-// fresh Schedule clone, so callers may mutate it without poisoning the
-// cache.
-func (s *Solver) solveCacheGet(key solveKey, wf *DAG, zones *ZoneSet) (*Response, bool) {
-	s.cmu.Lock()
-	defer s.cmu.Unlock()
-	e, ok := s.responses[key]
-	if !ok || !e.wf.Equal(wf) || !e.zones.EqualZoneSet(zones) {
-		return nil, false
-	}
-	s.lru.MoveToFront(e.elem)
-	resp := e.resp
-	resp.Schedule = e.resp.Schedule.Clone()
-	resp.CacheHit = true
-	return &resp, true
-}
-
-// solveCachePut stores a successful response under the key, evicting the
-// least-recently-used entry when the cache is full. The cache keeps its own
-// Schedule clone so later caller mutations cannot corrupt it.
-func (s *Solver) solveCachePut(key solveKey, wf *DAG, zones *ZoneSet, resp *Response) {
-	s.cmu.Lock()
-	defer s.cmu.Unlock()
-	if s.solveCap <= 0 {
-		return
-	}
-	stored := *resp
-	stored.Schedule = resp.Schedule.Clone()
-	stored.CacheHit = false
-	stored.Timings = nil // stale wall clock must never be served from cache
-	if e, ok := s.responses[key]; ok {
-		// Overwrite (e.g. a collision victim re-solved): freshest wins.
-		e.wf, e.zones, e.resp = wf, zones.Clone(), stored
-		s.lru.MoveToFront(e.elem)
-		return
-	}
-	for len(s.responses) >= s.solveCap {
-		s.evictOldestLocked()
-	}
-	e := &solveEntry{key: key, wf: wf, zones: zones.Clone(), resp: stored}
-	e.elem = s.lru.PushFront(e)
-	s.responses[key] = e
-}
-
 // plan returns the memoized legacy (HEFT) entry for the workflow.
 func (s *Solver) plan(ctx context.Context, wf *DAG) (*planEntry, bool, error) {
 	return s.planFor(ctx, wf, greenheft.EFT, nil)
@@ -430,19 +419,7 @@ func (s *Solver) planFor(ctx context.Context, wf *DAG, pol greenheft.Policy, zon
 		pz = zones
 		key.zd = zones.Digest()
 	}
-	s.mu.Lock()
-	e, hit := s.plans[key]
-	if !hit {
-		e = &planEntry{wf: wf, policy: pol, zones: pz}
-		if len(s.plans) >= maxPlans {
-			for k := range s.plans {
-				delete(s.plans, k)
-				break
-			}
-		}
-		s.plans[key] = e
-	}
-	s.mu.Unlock()
+	e, hit := s.planLookup(key, wf, pol, pz)
 	if hit && (!e.wf.Equal(wf) || (pz != nil && !pz.EqualZoneSet(e.zones))) {
 		// Fingerprint/digest collision: serve this request uncached rather
 		// than return another workflow's (or another forecast's) plan.
@@ -727,48 +704,195 @@ func (s *Solver) doSolve(ctx context.Context, req Request) (*Response, error) {
 		prof = zones.Profile(0)
 	}
 
+	job := &solveJob{
+		req: req, opt: opt, variant: variant, pol: pol,
+		inst: inst, asap: asap, D: D, planHit: planHit,
+		zones: zones, prof: prof,
+	}
+
+	// Prebuilt-instance requests are not cacheable (instances carry no
+	// fingerprint): straight to the scheduler.
+	if req.Instance != nil {
+		resp, err := s.compute(ctx, clock, job)
+		if err != nil {
+			return nil, err
+		}
+		resp.Timings = clock.timings
+		return resp, nil
+	}
+
 	// Second cache level: identical (workflow, zones, mapping, variant)
 	// requests are served straight from the solve-response cache — before
 	// any non-EFT mapping pass runs, so a warmed hit never pays for
 	// rebuilding a mapped plan the stored response already embodies.
-	// Prebuilt-instance requests are not cacheable (instances carry no
-	// fingerprint).
-	var key solveKey
-	cacheable := req.Instance == nil
-	if cacheable {
-		key = solveKey{
-			fp:        req.Workflow.Fingerprint(),
-			digest:    zones.Digest(),
-			deadline:  zones.T(),
-			opt:       normalizeOptions(opt),
-			marginal:  req.Marginal,
-			mapSearch: req.MapSearch,
+	key := solveKey{
+		fp:        req.Workflow.Fingerprint(),
+		digest:    zones.Digest(),
+		deadline:  zones.T(),
+		opt:       normalizeOptions(opt),
+		marginal:  req.Marginal,
+		mapSearch: req.MapSearch,
+	}
+	if !req.MapSearch {
+		key.policy = pol
+	}
+	_, csp := obs.Start(ctx, "solve-cache")
+	if resp, ok := s.solveCacheGet(key, req.Workflow, zones); ok {
+		s.solveHits.Add(1)
+		csp.SetAttr("hit", true)
+		csp.End()
+		clock.mark("cache")
+		return finishShared(resp, job, clock), nil
+	}
+	csp.SetAttr("hit", false)
+	csp.End()
+	clock.mark("cache")
+
+	// Singleflight: a thundering herd of identical requests costs one
+	// solve — the first becomes the leader, the rest block on its flight
+	// and share the response. Error results propagate to every follower
+	// but are never cached; a follower whose own context dies detaches
+	// without disturbing the leader.
+	for {
+		f, leader := s.joinFlight(key, req.Workflow, zones)
+		if leader {
+			return s.leadSolve(ctx, clock, key, f, job)
 		}
-		if !req.MapSearch {
-			key.policy = pol
-		}
-		_, csp := obs.Start(ctx, "solve-cache")
-		if resp, ok := s.solveCacheGet(key, req.Workflow, zones); ok {
-			s.solveHits.Add(1)
-			csp.SetAttr("hit", true)
-			csp.End()
-			clock.mark("cache")
-			resp.PlanHit = planHit
-			resp.Zones = zones
-			resp.Profile = prof
+		if f == nil {
+			// Coalescing disabled, or a digest-colliding request is in
+			// flight: solve solo (the put below overwrites collision
+			// victims, freshest wins — exactly the cache's own policy).
+			s.solveMisses.Add(1)
+			resp, err := s.compute(ctx, clock, job)
+			if err != nil {
+				return nil, err
+			}
+			s.solveCachePut(key, req.Workflow, zones, resp)
 			resp.Timings = clock.timings
 			return resp, nil
 		}
-		s.solveMisses.Add(1)
-		csp.SetAttr("hit", false)
-		csp.End()
-		clock.mark("cache")
+
+		// Follower: wait for the leader's published result (or our own
+		// cancellation, which detaches without killing the leader).
+		s.solveCoalesced.Add(1)
+		_, wsp := obs.Start(ctx, "coalesce")
+		select {
+		case <-f.done:
+			if f.err != nil {
+				if wsp != nil {
+					wsp.SetAttr("error", f.err.Error())
+					wsp.End()
+				}
+				if errors.Is(f.err, ErrCanceled) && ctx.Err() == nil {
+					// The leader's own context died, not ours: re-run the
+					// election — one of the surviving followers becomes
+					// the new leader and the herd still costs one solve.
+					clock.mark("coalesce")
+					continue
+				}
+				return nil, f.err
+			}
+			if wsp != nil {
+				wsp.End()
+			}
+			clock.mark("coalesce")
+			resp := *f.resp
+			resp.Schedule = f.resp.Schedule.Clone()
+			resp.Coalesced = true
+			return finishShared(&resp, job, clock), nil
+		case <-ctx.Done():
+			if wsp != nil {
+				wsp.SetAttr("detached", true)
+				wsp.End()
+			}
+			return nil, scherr.Canceled(ctx.Err())
+		}
+	}
+}
+
+// solveJob carries one request's resolved state — everything doSolve
+// derives before the cache consult — through the coalescing and compute
+// paths.
+type solveJob struct {
+	req     Request
+	opt     Options
+	variant string
+	pol     MappingPolicy
+	inst    *Instance
+	asap    *Schedule
+	D       int64
+	planHit bool
+	zones   *ZoneSet
+	prof    *Profile
+}
+
+// finishShared completes a response that came from a shared source (cache
+// hit, tier hit, or a coalesced leader's flight) with this request's own
+// per-request fields: its plan-consult outcome, its supply view, and its
+// own wall-clock timings.
+func finishShared(resp *Response, job *solveJob, clock *stageClock) *Response {
+	resp.PlanHit = job.planHit
+	resp.Zones = job.zones
+	resp.Profile = job.prof
+	resp.Timings = clock.timings
+	return resp
+}
+
+// leadSolve is the leader side of a coalesced solve: consult the external
+// tier (if any), otherwise run the scheduler; publish the outcome to the
+// flight's followers; cache successes. The flight is always finished —
+// even when the solve panics, followers receive an error instead of
+// hanging (the panic still propagates on the leader's own request).
+func (s *Solver) leadSolve(ctx context.Context, clock *stageClock, key solveKey, f *flight, job *solveJob) (resp *Response, err error) {
+	s.solveMisses.Add(1)
+	if s.testLeaderGate != nil {
+		s.testLeaderGate()
+	}
+	published := false
+	defer func() {
+		if !published {
+			s.finishFlight(key, f, nil, errLeaderAborted)
+		}
+	}()
+
+	if s.tier != nil {
+		tresp, ok := s.tierGet(ctx, key, job)
+		clock.mark("tier")
+		if ok {
+			s.tierHits.Add(1)
+			s.solveCachePut(key, job.req.Workflow, job.zones, tresp)
+			published = true
+			s.finishFlight(key, f, sharedCopy(tresp), nil)
+			return finishShared(tresp, job, clock), nil
+		}
 	}
 
+	resp, err = s.compute(ctx, clock, job)
+	if err != nil {
+		published = true
+		s.finishFlight(key, f, nil, err) // propagate, never cache
+		return nil, err
+	}
+	s.solveCachePut(key, job.req.Workflow, job.zones, resp)
+	if s.tier != nil {
+		s.tierPut(key, resp)
+	}
+	published = true
+	s.finishFlight(key, f, sharedCopy(resp), nil)
+	resp.Timings = clock.timings
+	return resp, nil
+}
+
+// compute runs the scheduling work of one request — the map-search or
+// fixed-mapping pipeline — and assembles the response. It is the part of
+// a solve that coalescing shares and the caches memoize.
+func (s *Solver) compute(ctx context.Context, clock *stageClock, job *solveJob) (*Response, error) {
+	req, opt, zones, prof := job.req, job.opt, job.zones, job.prof
+	inst, asap, D, planHit := job.inst, job.asap, job.D, job.planHit
 	var resp *Response
 	if req.MapSearch {
 		mctx, msp := obs.Start(ctx, "map-search")
-		resp, err = s.mapSearch(mctx, req, zones, opt, variant)
+		resp, err := s.mapSearch(mctx, req, zones, opt, job.variant)
 		if err != nil {
 			msp.End()
 			return nil, err
@@ -780,51 +904,47 @@ func (s *Solver) doSolve(ctx context.Context, req Request) (*Response, error) {
 		clock.mark("map")
 		resp.Profile = prof
 		resp.PlanHit = planHit
-	} else {
-		if pol != MapEFT {
-			mctx, msp := obs.Start(ctx, "map")
-			me, mhit, err := s.planFor(mctx, req.Workflow, pol, zones)
-			if err != nil {
-				msp.End()
-				return nil, err
-			}
-			if msp != nil {
-				msp.SetAttr("policy", pol.String())
-				msp.SetAttr("hit", mhit)
-				msp.End()
-			}
-			clock.mark("map")
-			inst, asap, D, planHit = me.inst, me.asap, me.d, mhit
-		}
-		sctx, ssp := obs.Start(ctx, "schedule")
-		sched, st, err := runCore(sctx, inst, zones, opt, req.Marginal)
+		return resp, nil
+	}
+	if job.pol != MapEFT {
+		mctx, msp := obs.Start(ctx, "map")
+		me, mhit, err := s.planFor(mctx, req.Workflow, job.pol, zones)
 		if err != nil {
-			ssp.End()
+			msp.End()
 			return nil, err
 		}
-		if ssp != nil {
-			ssp.SetAttr("cost", st.Cost)
-			ssp.End()
+		if msp != nil {
+			msp.SetAttr("policy", job.pol.String())
+			msp.SetAttr("hit", mhit)
+			msp.End()
 		}
-		clock.mark("schedule")
-		resp = &Response{
-			Schedule: sched,
-			Instance: inst,
-			Zones:    zones,
-			Profile:  prof,
-			Stats:    st,
-			Variant:  variant,
-			Mapping:  pol.String(),
-			D:        D,
-			Deadline: zones.T(),
-			Cost:     st.Cost,
-			ASAPCost: schedule.CarbonCostZones(inst, asap, zones),
-			PlanHit:  planHit,
-		}
+		clock.mark("map")
+		inst, asap, D, planHit = me.inst, me.asap, me.d, mhit
 	}
-	resp.Timings = clock.timings
-	if cacheable {
-		s.solveCachePut(key, req.Workflow, zones, resp)
+	sctx, ssp := obs.Start(ctx, "schedule")
+	sched, st, err := runCore(sctx, inst, zones, opt, req.Marginal)
+	if err != nil {
+		ssp.End()
+		return nil, err
+	}
+	if ssp != nil {
+		ssp.SetAttr("cost", st.Cost)
+		ssp.End()
+	}
+	clock.mark("schedule")
+	resp = &Response{
+		Schedule: sched,
+		Instance: inst,
+		Zones:    zones,
+		Profile:  prof,
+		Stats:    st,
+		Variant:  job.variant,
+		Mapping:  job.pol.String(),
+		D:        D,
+		Deadline: zones.T(),
+		Cost:     st.Cost,
+		ASAPCost: schedule.CarbonCostZones(inst, asap, zones),
+		PlanHit:  planHit,
 	}
 	return resp, nil
 }
