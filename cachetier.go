@@ -27,11 +27,20 @@ import (
 // fire-and-forget (a tier that drops writes only costs re-solves). Only
 // successful responses are ever stored. A coalesced herd consults the
 // tier once — the flight leader queries on behalf of every follower.
+//
+// Both methods take the request's context so a remote tier can honor the
+// caller's cancellation and deadline: a canceled or expired context must
+// degrade Get to a miss (never an error, never a block) and may drop the
+// Put. MemoryTier ignores the context; PeerTier bounds every network hop
+// with it.
 type CacheTier interface {
-	// Get returns the record stored under key, if any.
-	Get(key string) ([]byte, bool)
-	// Put stores a record under key, overwriting any previous one.
-	Put(key string, value []byte)
+	// Get returns the record stored under key, if any. A canceled ctx is
+	// a miss.
+	Get(ctx context.Context, key string) ([]byte, bool)
+	// Put stores a record under key, overwriting any previous one. Put
+	// must not block the caller on slow storage (it is called on the
+	// solve path with the response already computed).
+	Put(ctx context.Context, key string, value []byte)
 }
 
 // tierKey renders a solve key for the external tier: the hex FNV-1a
@@ -94,7 +103,7 @@ func (r *tierRecord) recordKey() solveKey {
 // tierPut serializes a fresh successful response into the tier.
 // Fire-and-forget: encoding is infallible for these types, and the tier
 // owns its durability.
-func (s *Solver) tierPut(key solveKey, resp *Response) {
+func (s *Solver) tierPut(ctx context.Context, key solveKey, resp *Response) {
 	rec := tierRecord{
 		Fingerprint: key.fp,
 		ZoneDigest:  key.digest,
@@ -118,7 +127,7 @@ func (s *Solver) tierPut(key solveKey, resp *Response) {
 	if err != nil {
 		return
 	}
-	s.tier.Put(tierKey(key), data)
+	s.tier.Put(ctx, tierKey(key), data)
 }
 
 // tierGet consults the external tier for the key and, on a valid record,
@@ -130,7 +139,7 @@ func (s *Solver) tierPut(key solveKey, resp *Response) {
 // validation failure — is a plain miss: the caller falls through to a
 // real solve.
 func (s *Solver) tierGet(ctx context.Context, key solveKey, job *solveJob) (*Response, bool) {
-	data, ok := s.tier.Get(tierKey(key))
+	data, ok := s.tier.Get(ctx, tierKey(key))
 	if !ok {
 		return nil, false
 	}
@@ -213,8 +222,9 @@ func NewMemoryTier(maxEntries int) *MemoryTier {
 	}
 }
 
-// Get returns the record stored under key.
-func (t *MemoryTier) Get(key string) ([]byte, bool) {
+// Get returns the record stored under key. The context is ignored: the
+// lookup is a local map access.
+func (t *MemoryTier) Get(_ context.Context, key string) ([]byte, bool) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.gets++
@@ -228,8 +238,9 @@ func (t *MemoryTier) Get(key string) ([]byte, bool) {
 }
 
 // Put stores value under key, evicting the least-recently-used record
-// when full. The value is copied; callers may reuse their buffer.
-func (t *MemoryTier) Put(key string, value []byte) {
+// when full. The value is copied; callers may reuse their buffer. The
+// context is ignored.
+func (t *MemoryTier) Put(_ context.Context, key string, value []byte) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.puts++
@@ -283,14 +294,15 @@ func (t *MemoryTier) Stats() TierStats {
 
 // ParseCacheTier resolves a CLI tier spec (`schedd -cache-tier`):
 //
-//	""            no tier (nil)
-//	"none"        no tier (nil)
-//	"memory"      in-process MemoryTier with the default bound
-//	"memory:N"    in-process MemoryTier bounded to N records
-//
-// The "peers:<host,...>" scheme is reserved for a future fleet tier that
-// shares warm solves across schedd instances; naming it today keeps the
-// flag's shape stable when it lands.
+//	""                       no tier (nil)
+//	"none"                   no tier (nil)
+//	"memory"                 in-process MemoryTier with the default bound
+//	"memory:N"               in-process MemoryTier bounded to N records
+//	"peers:h1,h2[:mem=N]"    distributed PeerTier over the listed schedd
+//	                         instances (every fleet member lists the same
+//	                         hosts, itself included, so the hash ring is
+//	                         identical everywhere); mem=N bounds the local
+//	                         store this instance contributes to the ring
 func ParseCacheTier(spec string) (CacheTier, error) {
 	switch {
 	case spec == "" || spec == "none":
@@ -304,8 +316,40 @@ func ParseCacheTier(spec string) (CacheTier, error) {
 		}
 		return NewMemoryTier(n), nil
 	case strings.HasPrefix(spec, "peers:"):
-		return nil, fmt.Errorf("cache tier %q: the peers tier is reserved but not implemented yet", spec)
+		hosts, entries, err := parsePeersSpec(strings.TrimPrefix(spec, "peers:"))
+		if err != nil {
+			return nil, fmt.Errorf("cache tier %q: %w", spec, err)
+		}
+		return NewPeerTier(hosts, PeerTierOptions{LocalEntries: entries})
 	default:
-		return nil, fmt.Errorf(`unknown cache tier %q (want "none", "memory", or "memory:<entries>")`, spec)
+		return nil, fmt.Errorf(`unknown cache tier %q (want "none", "memory", "memory:<entries>", or "peers:<host,...>[:mem=<entries>]")`, spec)
 	}
+}
+
+// parsePeersSpec splits the body of a "peers:" tier spec into its host
+// list and the optional local-store bound from a trailing ":mem=N".
+func parsePeersSpec(body string) (hosts []string, entries int, err error) {
+	if i := strings.LastIndex(body, ":mem="); i >= 0 && !strings.Contains(body[i:], ",") {
+		entries, err = strconv.Atoi(body[i+len(":mem="):])
+		if err != nil || entries <= 0 {
+			return nil, 0, fmt.Errorf("bad mem= suffix: want mem=<entries> with a positive count")
+		}
+		body = body[:i]
+	}
+	seen := make(map[string]bool)
+	for _, host := range strings.Split(body, ",") {
+		host = strings.TrimSpace(host)
+		if host == "" {
+			continue
+		}
+		if seen[host] {
+			return nil, 0, fmt.Errorf("duplicate peer host %q", host)
+		}
+		seen[host] = true
+		hosts = append(hosts, host)
+	}
+	if len(hosts) == 0 {
+		return nil, 0, fmt.Errorf("empty peer host list")
+	}
+	return hosts, entries, nil
 }

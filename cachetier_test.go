@@ -3,6 +3,7 @@ package cawosched_test
 import (
 	"context"
 	"errors"
+	"strings"
 	"testing"
 
 	cawosched "repro"
@@ -11,17 +12,18 @@ import (
 // TestMemoryTier pins the reference tier implementation: bounded LRU of
 // opaque records with private copies.
 func TestMemoryTier(t *testing.T) {
+	ctx := context.Background()
 	tier := cawosched.NewMemoryTier(2)
-	tier.Put("a", []byte("1"))
-	tier.Put("b", []byte("2"))
-	if v, ok := tier.Get("a"); !ok || string(v) != "1" {
+	tier.Put(ctx, "a", []byte("1"))
+	tier.Put(ctx, "b", []byte("2"))
+	if v, ok := tier.Get(ctx, "a"); !ok || string(v) != "1" {
 		t.Fatalf("Get(a) = %q, %v", v, ok)
 	}
-	tier.Put("c", []byte("3")) // evicts b (a was just touched)
-	if _, ok := tier.Get("b"); ok {
+	tier.Put(ctx, "c", []byte("3")) // evicts b (a was just touched)
+	if _, ok := tier.Get(ctx, "b"); ok {
 		t.Error("b survived eviction beyond the bound")
 	}
-	if _, ok := tier.Get("a"); !ok {
+	if _, ok := tier.Get(ctx, "a"); !ok {
 		t.Error("recently used a was evicted")
 	}
 	if tier.Len() != 2 {
@@ -29,9 +31,9 @@ func TestMemoryTier(t *testing.T) {
 	}
 	// Stored values are copies: mutating the caller's buffer is invisible.
 	buf := []byte("x")
-	tier.Put("a", buf)
+	tier.Put(ctx, "a", buf)
 	buf[0] = 'y'
-	if v, _ := tier.Get("a"); string(v) != "x" {
+	if v, _ := tier.Get(ctx, "a"); string(v) != "x" {
 		t.Errorf("tier shares the caller's buffer: %q", v)
 	}
 	st := tier.Stats()
@@ -40,22 +42,63 @@ func TestMemoryTier(t *testing.T) {
 	}
 }
 
-// TestParseCacheTier pins the `schedd -cache-tier` spec grammar.
+// TestParseCacheTier pins the `schedd -cache-tier` spec grammar across
+// every form: none/memory/memory:N/peers:..., with each malformed spec
+// yielding a named error.
 func TestParseCacheTier(t *testing.T) {
-	for _, spec := range []string{"", "none"} {
-		if tier, err := cawosched.ParseCacheTier(spec); err != nil || tier != nil {
-			t.Errorf("ParseCacheTier(%q) = %v, %v, want nil, nil", spec, tier, err)
+	cases := []struct {
+		spec    string
+		want    string // "" → nil tier, "memory"/"peers" → concrete type
+		wantErr string // substring of the expected error ("" → no error)
+	}{
+		{spec: "", want: ""},
+		{spec: "none", want: ""},
+		{spec: "memory", want: "memory"},
+		{spec: "memory:128", want: "memory"},
+		{spec: "memory:0", wantErr: "positive count"},
+		{spec: "memory:-1", wantErr: "positive count"},
+		{spec: "memory:x", wantErr: "positive count"},
+		{spec: "redis://x", wantErr: "unknown cache tier"},
+		{spec: "peers:a,b", want: "peers"},
+		{spec: "peers:h1:8080,h2:8080:mem=256", want: "peers"},
+		{spec: "peers:", wantErr: "empty peer host list"},
+		{spec: "peers:,,", wantErr: "empty peer host list"},
+		{spec: "peers::mem=64", wantErr: "empty peer host list"},
+		{spec: "peers:a,b,a", wantErr: `duplicate peer host "a"`},
+		{spec: "peers:a,b:mem=0", wantErr: "bad mem= suffix"},
+		{spec: "peers:a,b:mem=-5", wantErr: "bad mem= suffix"},
+		{spec: "peers:a,b:mem=lots", wantErr: "bad mem= suffix"},
+	}
+	for _, tc := range cases {
+		tier, err := cawosched.ParseCacheTier(tc.spec)
+		if tc.wantErr != "" {
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("ParseCacheTier(%q) err = %v, want it to name %q", tc.spec, err, tc.wantErr)
+			}
+			continue
 		}
-	}
-	if tier, err := cawosched.ParseCacheTier("memory"); err != nil || tier == nil {
-		t.Errorf("ParseCacheTier(memory) = %v, %v", tier, err)
-	}
-	if tier, err := cawosched.ParseCacheTier("memory:128"); err != nil || tier == nil {
-		t.Errorf("ParseCacheTier(memory:128) = %v, %v", tier, err)
-	}
-	for _, spec := range []string{"memory:0", "memory:-1", "memory:x", "redis://x", "peers:a,b"} {
-		if _, err := cawosched.ParseCacheTier(spec); err == nil {
-			t.Errorf("ParseCacheTier(%q) accepted", spec)
+		if err != nil {
+			t.Errorf("ParseCacheTier(%q) failed: %v", tc.spec, err)
+			continue
+		}
+		switch tc.want {
+		case "":
+			if tier != nil {
+				t.Errorf("ParseCacheTier(%q) = %T, want nil", tc.spec, tier)
+			}
+		case "memory":
+			if _, ok := tier.(*cawosched.MemoryTier); !ok {
+				t.Errorf("ParseCacheTier(%q) = %T, want *MemoryTier", tc.spec, tier)
+			}
+		case "peers":
+			pt, ok := tier.(*cawosched.PeerTier)
+			if !ok {
+				t.Errorf("ParseCacheTier(%q) = %T, want *PeerTier", tc.spec, tier)
+				continue
+			}
+			if got := len(pt.Peers()); got != 2 {
+				t.Errorf("ParseCacheTier(%q) ring has %d peers, want 2", tc.spec, got)
+			}
 		}
 	}
 }
@@ -170,7 +213,7 @@ func TestSolverCacheTierGarbage(t *testing.T) {
 	// Overwrite every record with garbage; a fresh solver must fall back
 	// to a real solve without error.
 	for _, key := range tier.Keys() {
-		tier.Put(key, []byte("{not json"))
+		tier.Put(context.Background(), key, []byte("{not json"))
 	}
 	b := cawosched.NewSolver(cawosched.SmallCluster(29), cawosched.WithCacheTier(tier))
 	res, err := b.Solve(context.Background(), req)

@@ -15,16 +15,26 @@
 //	       -hot-ratio, else a cold key of its own. -batch groups requests
 //	       into /v1/solve/batch bodies; -map-search turns every request
 //	       into the two-pass mapping search.
+//	fleet  -peers in-process schedd instances sharing one consistent-hash
+//	       peer ring (the `-cache-tier peers:` deployment in miniature).
+//	       Hot keys are warmed on peer 0 only, then the mixed stream is
+//	       routed round-robin across all peers: every other peer's first
+//	       sight of a hot key must be a cross-process tier hit. The
+//	       report adds the fleet's per-peer-summed tier counters and the
+//	       tier hit rate (tier hits / tier lookups).
 //
 // Rates are computed from the response bodies themselves (cache_hit and
 // coalesced flags), so in-process and remote targets are measured
 // identically. A positive -min-coalesce-rate makes the run fail when the
-// measured coalesce rate falls below it (the CI smoke gate).
+// measured coalesce rate falls below it (the CI smoke gate);
+// -min-tier-hit-rate is the same gate for the fleet scenario's tier hit
+// rate, which also fails the run on any tier error or timeout.
 //
 // Usage:
 //
 //	schedbench -scenario herd -concurrency 16 -waves 8 -out bench.json
 //	schedbench -scenario mixed -requests 400 -hot-ratio 0.8 -addr http://host:8080
+//	schedbench -scenario fleet -peers 3 -requests 300 -min-tier-hit-rate 0.05
 package main
 
 import (
@@ -67,12 +77,14 @@ type options struct {
 	timeout     time.Duration
 	out         string
 	minCoalesce float64
+	peers       int
+	minTierHit  float64
 }
 
 func main() {
 	var opt options
 	flag.StringVar(&opt.addr, "addr", "", "base URL of a running schedd (empty = spin up an in-process server)")
-	flag.StringVar(&opt.scenario, "scenario", "herd", "traffic shape: herd | mixed")
+	flag.StringVar(&opt.scenario, "scenario", "herd", "traffic shape: herd | mixed | fleet")
 	flag.IntVar(&opt.concurrency, "concurrency", 16, "concurrent clients (herd: requests per wave)")
 	flag.IntVar(&opt.waves, "waves", 8, "herd: waves of identical requests, each on a fresh solve key")
 	flag.IntVar(&opt.requests, "requests", 256, "mixed: total requests")
@@ -90,6 +102,8 @@ func main() {
 	flag.DurationVar(&opt.timeout, "timeout", 60*time.Second, "per-request client timeout")
 	flag.StringVar(&opt.out, "out", "", "write the JSON report here (empty = stdout)")
 	flag.Float64Var(&opt.minCoalesce, "min-coalesce-rate", 0, "fail when the measured coalesce rate is below this (0 = no gate)")
+	flag.IntVar(&opt.peers, "peers", 3, "fleet: in-process schedd instances sharing the peer ring")
+	flag.Float64Var(&opt.minTierHit, "min-tier-hit-rate", 0, "fleet: fail when the tier hit rate is below this or any tier error/timeout occurred (0 = no gate)")
 	flag.Parse()
 
 	rep, err := run(opt)
@@ -114,6 +128,18 @@ func main() {
 			rep.CoalesceRate, opt.minCoalesce)
 		os.Exit(1)
 	}
+	if opt.minTierHit > 0 {
+		if rep.TierHitRate < opt.minTierHit {
+			fmt.Fprintf(os.Stderr, "schedbench: tier hit rate %.3f below the -min-tier-hit-rate gate %.3f\n",
+				rep.TierHitRate, opt.minTierHit)
+			os.Exit(1)
+		}
+		if rep.TierErrors+rep.TierTimeouts > 0 {
+			fmt.Fprintf(os.Stderr, "schedbench: fleet recorded %d tier errors and %d timeouts, want none\n",
+				rep.TierErrors, rep.TierTimeouts)
+			os.Exit(1)
+		}
+	}
 }
 
 // report is the committed JSON artifact: one run's configuration and
@@ -129,6 +155,7 @@ type report struct {
 	MapSearch   bool    `json:"map_search,omitempty"`
 	Variant     string  `json:"variant"`
 	Tasks       int     `json:"tasks"`
+	Peers       int     `json:"peers,omitempty"`
 
 	Requests    int     `json:"requests"`
 	Errors      int     `json:"errors"`
@@ -136,9 +163,17 @@ type report struct {
 	CacheHits   int     `json:"cache_hits"`
 	WallSeconds float64 `json:"wall_seconds"`
 
+	// Fleet-scenario tier counters, summed over every peer's PeerTier
+	// (lookups actually sent to ring owners and their outcomes).
+	TierGets     int64 `json:"tier_gets,omitempty"`
+	TierHits     int64 `json:"tier_hits,omitempty"`
+	TierErrors   int64 `json:"tier_errors,omitempty"`
+	TierTimeouts int64 `json:"tier_timeouts,omitempty"`
+
 	ThroughputRPS float64 `json:"throughput_rps"`
 	CoalesceRate  float64 `json:"coalesce_rate"`
 	CacheHitRate  float64 `json:"cache_hit_rate"`
+	TierHitRate   float64 `json:"tier_hit_rate,omitempty"`
 	LatencyMsP50  float64 `json:"latency_ms_p50"`
 	LatencyMsP95  float64 `json:"latency_ms_p95"`
 	LatencyMsP99  float64 `json:"latency_ms_p99"`
@@ -155,12 +190,6 @@ type sample struct {
 // run executes one scenario and aggregates the report. Split from main so
 // the harness is testable in-process.
 func run(opt options) (*report, error) {
-	base, client, cleanup, err := target(opt)
-	if err != nil {
-		return nil, err
-	}
-	defer cleanup()
-
 	wf, err := cawosched.GenerateWorkflow(cawosched.Methylseq, opt.tasks, opt.seed)
 	if err != nil {
 		return nil, err
@@ -173,6 +202,15 @@ func run(opt options) (*report, error) {
 		}
 		return r
 	}
+	if opt.scenario == "fleet" {
+		return runFleet(opt, reqFor)
+	}
+
+	base, client, cleanup, err := target(opt)
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
 
 	var samples []sample
 	var wall time.Duration
@@ -182,12 +220,153 @@ func run(opt options) (*report, error) {
 	case "mixed":
 		samples, wall, err = runMixed(opt, base, client, reqFor)
 	default:
-		err = fmt.Errorf("unknown scenario %q (want herd or mixed)", opt.scenario)
+		err = fmt.Errorf("unknown scenario %q (want herd, mixed, or fleet)", opt.scenario)
 	}
 	if err != nil {
 		return nil, err
 	}
 	return summarize(opt, samples, wall), nil
+}
+
+// benchCluster resolves the in-process target cluster by name.
+func benchCluster(opt options) (*cawosched.Cluster, error) {
+	switch opt.cluster {
+	case "small":
+		return cawosched.SmallZonedCluster(opt.seed, opt.zones), nil
+	case "large":
+		return cawosched.LargeZonedCluster(opt.seed, opt.zones), nil
+	default:
+		return nil, fmt.Errorf("unknown cluster %q (want small or large)", opt.cluster)
+	}
+}
+
+// runFleet boots -peers in-process schedd instances sharing one peer
+// ring, warms the hot keys on peer 0 only, then drives the mixed request
+// stream round-robin across all peers: every other peer's first sight of
+// a hot key is served over the ring. It returns a finished report — the
+// fleet's tier counters come from the tiers themselves, which the
+// per-target summarize path has no access to.
+func runFleet(opt options, reqFor func(uint64) *wire.SolveRequest) (*report, error) {
+	if opt.addr != "" {
+		return nil, fmt.Errorf("fleet is in-process only; -addr is not supported")
+	}
+	if opt.peers < 2 {
+		return nil, fmt.Errorf("fleet needs -peers >= 2, got %d", opt.peers)
+	}
+	if opt.hotKeys < 1 || opt.hotRatio < 0 || opt.hotRatio > 1 {
+		return nil, fmt.Errorf("want -hot-keys >= 1 and -hot-ratio in [0,1]")
+	}
+	cluster, err := benchCluster(opt)
+	if err != nil {
+		return nil, err
+	}
+	tiers := make([]*cawosched.PeerTier, opt.peers)
+	bases := make([]string, opt.peers)
+	clients := make([]*http.Client, opt.peers)
+	hosts := make([]string, opt.peers)
+	for i := range tiers {
+		tier, err := cawosched.NewPeerTier(nil, cawosched.PeerTierOptions{})
+		if err != nil {
+			return nil, err
+		}
+		solver := cawosched.NewSolver(cluster,
+			cawosched.WithCacheShards(opt.shards),
+			cawosched.WithCoalescing(opt.coalesce),
+			cawosched.WithCacheTier(tier),
+		)
+		ts := httptest.NewServer(server.New(solver, server.Config{
+			SearchWorkers: 4,
+			BatchWorkers:  opt.concurrency,
+			PeerTier:      tier,
+		}))
+		defer ts.Close()
+		client := ts.Client()
+		client.Timeout = opt.timeout
+		if tr, ok := client.Transport.(*http.Transport); ok {
+			tr.MaxIdleConns = opt.concurrency + 2
+			tr.MaxIdleConnsPerHost = opt.concurrency + 2
+		}
+		tiers[i], bases[i], clients[i] = tier, ts.URL, client
+		hosts[i] = ts.Listener.Addr().String()
+	}
+	// Every instance ranks the same host list, so the ring agrees fleet-wide.
+	for _, tier := range tiers {
+		if err := tier.SetPeers(hosts); err != nil {
+			return nil, err
+		}
+	}
+
+	// Warm the hot keys on peer 0 only; their records ship asynchronously
+	// to each key's ring owner, so wait for all of them to land before the
+	// timed window opens.
+	for k := 0; k < opt.hotKeys; k++ {
+		if s := postSolve(clients[0], bases[0], reqFor(uint64(k+1))); s.err != nil {
+			return nil, fmt.Errorf("warming hot key %d: %w", k, s.err)
+		}
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		total := 0
+		for _, tier := range tiers {
+			total += tier.Local().Len()
+		}
+		if total >= opt.hotKeys {
+			break
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("only %d of %d warm records reached the ring", total, opt.hotKeys)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// The mixed deterministic stream, routed round-robin across peers.
+	reqs := make([]*wire.SolveRequest, opt.requests)
+	lcg := opt.seed*6364136223846793005 + 1442695040888963407
+	cold := uint64(3_000_000_019)
+	for i := range reqs {
+		lcg = lcg*6364136223846793005 + 1442695040888963407
+		if float64(lcg>>11)/float64(1<<53) < opt.hotRatio {
+			reqs[i] = reqFor(uint64(int(lcg>>54)%opt.hotKeys) + 1)
+		} else {
+			cold++
+			reqs[i] = reqFor(cold)
+		}
+	}
+	samples := make([]sample, len(reqs))
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for c := 0; c < opt.concurrency; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				p := i % opt.peers
+				samples[i] = postSolve(clients[p], bases[p], reqs[i])
+			}
+		}()
+	}
+	start := time.Now()
+	for i := range reqs {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	wall := time.Since(start)
+
+	rep := summarize(opt, samples, wall)
+	rep.Peers = opt.peers
+	for _, tier := range tiers {
+		for _, ps := range tier.Stats() {
+			rep.TierGets += ps.Gets
+			rep.TierHits += ps.Hits
+			rep.TierErrors += ps.Errors
+			rep.TierTimeouts += ps.Timeouts
+		}
+	}
+	if rep.TierGets > 0 {
+		rep.TierHitRate = float64(rep.TierHits) / float64(rep.TierGets)
+	}
+	return rep, nil
 }
 
 // target resolves the base URL and client: the remote -addr, or a fresh
@@ -200,14 +379,9 @@ func target(opt options) (base string, client *http.Client, cleanup func(), err 
 		tr.MaxIdleConnsPerHost = opt.concurrency + 2
 		return strings.TrimRight(opt.addr, "/"), &http.Client{Timeout: opt.timeout, Transport: tr}, func() {}, nil
 	}
-	var cluster *cawosched.Cluster
-	switch opt.cluster {
-	case "small":
-		cluster = cawosched.SmallZonedCluster(opt.seed, opt.zones)
-	case "large":
-		cluster = cawosched.LargeZonedCluster(opt.seed, opt.zones)
-	default:
-		return "", nil, nil, fmt.Errorf("unknown cluster %q (want small or large)", opt.cluster)
+	cluster, err := benchCluster(opt)
+	if err != nil {
+		return "", nil, nil, err
 	}
 	solver := cawosched.NewSolver(cluster,
 		cawosched.WithCacheShards(opt.shards),

@@ -117,6 +117,42 @@ func TestMixedMapSearch(t *testing.T) {
 	}
 }
 
+// TestFleetScenario is the peer-ring acceptance smoke: hot keys warmed
+// on peer 0 only must reach the other peers through the tier — at least
+// one cross-process tier hit per non-warming peer — with zero request
+// errors and zero tier errors or timeouts.
+func TestFleetScenario(t *testing.T) {
+	opt := baseOptions()
+	opt.scenario = "fleet"
+	opt.peers = 3
+	opt.concurrency = 4
+	opt.requests = 60
+	rep, err := run(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Peers != 3 || rep.Requests != opt.requests {
+		t.Fatalf("report = %+v, want 3 peers, %d requests", rep, opt.requests)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("request errors = %d, want 0", rep.Errors)
+	}
+	if rep.TierErrors != 0 || rep.TierTimeouts != 0 {
+		t.Fatalf("tier errors = %d, timeouts = %d, want 0/0", rep.TierErrors, rep.TierTimeouts)
+	}
+	// Each of the two non-warming peers sees each hot key cold exactly
+	// once and must fetch it over the ring.
+	if want := int64(opt.hotKeys * (opt.peers - 1)); rep.TierHits < want {
+		t.Errorf("tier hits = %d, want >= %d (each non-warming peer's first sight of each hot key)", rep.TierHits, want)
+	}
+	if rep.TierGets < rep.TierHits {
+		t.Errorf("tier gets %d < hits %d", rep.TierGets, rep.TierHits)
+	}
+	if rep.TierHitRate <= 0 || rep.TierHitRate > 1 {
+		t.Errorf("tier hit rate = %v, want in (0,1]", rep.TierHitRate)
+	}
+}
+
 // TestRunRejectsBadConfig pins the error paths.
 func TestRunRejectsBadConfig(t *testing.T) {
 	for _, mod := range []func(*options){
@@ -125,6 +161,9 @@ func TestRunRejectsBadConfig(t *testing.T) {
 		func(o *options) { o.concurrency = 1 },
 		func(o *options) { o.scenario = "mixed"; o.hotRatio = 1.5 },
 		func(o *options) { o.scenario = "mixed"; o.hotKeys = 0 },
+		func(o *options) { o.scenario = "fleet"; o.peers = 1 },
+		func(o *options) { o.scenario = "fleet"; o.peers = 2; o.addr = "http://x" },
+		func(o *options) { o.scenario = "fleet"; o.peers = 2; o.hotKeys = 0 },
 	} {
 		opt := baseOptions()
 		mod(&opt)

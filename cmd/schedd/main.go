@@ -105,7 +105,7 @@ func main() {
 	flag.IntVar(&opt.solveCacheLimit, "solve-cache-limit", 4096, "maximum cached solve responses across shards (0 = response caching off)")
 	flag.IntVar(&opt.planCacheLimit, "plan-cache-limit", 4096, "maximum memoized plans across shards (0 = plan memoization off)")
 	flag.IntVar(&opt.cacheShards, "cache-shards", 0, "power-of-two shard count of the solver caches (0 = next power of two >= GOMAXPROCS; responses are identical at any count)")
-	flag.StringVar(&opt.cacheTier, "cache-tier", "", `external cache tier between the response cache and a full solve: "none" | "memory" | "memory:<entries>" (empty = none)`)
+	flag.StringVar(&opt.cacheTier, "cache-tier", "", `external cache tier between the response cache and a full solve: "none" | "memory" | "memory:<entries>" | "peers:<host,...>[:mem=<entries>]" — list every fleet member, this instance included, identically on every peer (empty = none)`)
 	flag.BoolVar(&opt.coalesce, "coalesce", true, "coalesce concurrent identical solves onto one in-flight leader (singleflight)")
 	flag.DurationVar(&opt.grace, "shutdown-grace", 30*time.Second, "how long in-flight requests may finish after SIGINT/SIGTERM")
 	flag.DurationVar(&opt.drainDelay, "drain-delay", 0, "how long /healthz serves 503 (draining) before the listener closes, so load balancers can deregister")
@@ -279,6 +279,9 @@ func run(ctx context.Context, opt options, ready chan<- string) error {
 	if err != nil {
 		return err
 	}
+	// A peers: tier additionally gets the fleet cache-exchange endpoints
+	// and per-peer /metrics families wired through server.Config.
+	peerTier, _ := tier.(*cawosched.PeerTier)
 	solver := cawosched.NewSolver(cluster,
 		cawosched.WithSolveCacheLimit(opt.solveCacheLimit),
 		cawosched.WithPlanCacheLimit(opt.planCacheLimit),
@@ -317,6 +320,7 @@ func run(ctx context.Context, opt options, ready chan<- string) error {
 		Logger:         lg,
 		SlowSolve:      opt.slowSolve,
 		TraceBuffer:    opt.traceBuffer,
+		PeerTier:       peerTier,
 	})
 
 	ln, err := net.Listen("tcp", opt.addr)

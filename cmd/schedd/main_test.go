@@ -3,6 +3,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net"
 	"net/http"
@@ -130,6 +131,155 @@ func TestServeSmoke(t *testing.T) {
 		}
 	case <-time.After(10 * time.Second):
 		t.Fatal("server did not shut down")
+	}
+}
+
+// tierMetricSum extracts the summed value of a labeled counter family
+// from a Prometheus exposition.
+func tierMetricSum(t *testing.T, exposition, family string) float64 {
+	t.Helper()
+	var sum float64
+	for _, line := range strings.Split(exposition, "\n") {
+		if !strings.HasPrefix(line, family+"{") {
+			continue
+		}
+		fields := strings.Fields(line)
+		var v float64
+		if _, err := fmt.Sscanf(fields[len(fields)-1], "%g", &v); err != nil {
+			t.Fatalf("parsing %q: %v", line, err)
+		}
+		sum += v
+	}
+	return sum
+}
+
+func scrapeMetrics(t *testing.T, addr string) string {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return string(raw)
+}
+
+// TestServeFleetSmoke is the daemon-level fleet acceptance test: two
+// schedd processes' worth of daemons sharing a peers: ring. A request
+// solved on A is served on B as a cross-process tier hit with zero tier
+// errors; then A is killed mid-run and every further request on B still
+// answers 200 — lookups for A-owned keys degrade to local misses and A's
+// breaker opens.
+func TestServeFleetSmoke(t *testing.T) {
+	addrA, addrB := freeAddr(t), freeAddr(t)
+	spec := "peers:" + addrA + "," + addrB
+	boot := func(addr string) (context.CancelFunc, chan error) {
+		ctx, cancel := context.WithCancel(context.Background())
+		ready := make(chan string, 1)
+		done := make(chan error, 1)
+		opt := options{
+			addr: addr, clusterName: "small", zones: 1, seed: 7,
+			reqTimeout: 30 * time.Second, batchWork: 2, searchWork: 2,
+			maxBatch: 16, grace: 5 * time.Second,
+			solveCacheLimit: 1024, planCacheLimit: 1024,
+			cacheTier: spec, coalesce: true,
+		}
+		go func() { done <- run(ctx, opt, ready) }()
+		select {
+		case <-ready:
+		case err := <-done:
+			t.Fatalf("daemon %s exited early: %v", addr, err)
+		case <-time.After(10 * time.Second):
+			t.Fatalf("daemon %s never became ready", addr)
+		}
+		return cancel, done
+	}
+	cancelA, doneA := boot(addrA)
+	cancelB, doneB := boot(addrB)
+	defer func() {
+		cancelB()
+		select {
+		case <-doneB:
+		case <-time.After(10 * time.Second):
+			t.Error("daemon B did not shut down")
+		}
+	}()
+
+	wf, err := cawosched.GenerateWorkflow(cawosched.Bacass, 30, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solve := func(addr string, seed uint64) wire.SolveResponse {
+		t.Helper()
+		body, err := json.Marshal(wire.SolveRequest{Workflow: wire.FromDAG(wf), Variant: "slack", Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post("http://"+addr+"/v1/solve", "application/json", strings.NewReader(string(body)))
+		if err != nil {
+			t.Fatalf("solve on %s: %v", addr, err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("solve on %s: %d %s", addr, resp.StatusCode, raw)
+		}
+		var sr wire.SolveResponse
+		if err := json.Unmarshal(raw, &sr); err != nil {
+			t.Fatal(err)
+		}
+		return sr
+	}
+
+	// Solve on A, wait for the async record shipment, then solve the same
+	// request on B: a cross-process tier hit.
+	if sr := solve(addrA, 1); sr.CacheHit {
+		t.Error("cold solve on A reported a hit")
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for tierMetricSum(t, scrapeMetrics(t, addrA), "schedd_cache_tier_puts_total") < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("A never shipped its record to the ring owner")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if sr := solve(addrB, 1); !sr.CacheHit {
+		t.Error("B's first solve of A's request was not a cross-process hit")
+	}
+	mB := scrapeMetrics(t, addrB)
+	if hits := tierMetricSum(t, mB, "schedd_cache_tier_hits_total"); hits < 1 {
+		t.Errorf("B tier hits = %g, want >= 1", hits)
+	}
+	if !strings.Contains(mB, "schedd_solver_tier_hits_total 1") {
+		t.Error("B's solver counter missed the tier hit")
+	}
+	if errs := tierMetricSum(t, mB, "schedd_cache_tier_errors_total") +
+		tierMetricSum(t, mB, "schedd_cache_tier_timeouts_total"); errs != 0 {
+		t.Errorf("healthy fleet recorded %g tier errors/timeouts on B", errs)
+	}
+
+	// Kill A mid-run. Every further request on B must still answer 200 —
+	// A-owned keys degrade to local misses — and A's breaker on B opens
+	// once enough lookups have failed.
+	cancelA()
+	select {
+	case err := <-doneA:
+		if err != nil {
+			t.Fatalf("daemon A shutdown: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon A did not shut down")
+	}
+	breakerOpen := false
+	for seed := uint64(100); seed < 140; seed++ {
+		solve(addrB, seed) // must not error whoever owns the key
+		if strings.Contains(scrapeMetrics(t, addrB), `schedd_cache_tier_breaker_open{peer="`+addrA+`"} 1`) {
+			breakerOpen = true
+			break
+		}
+	}
+	if !breakerOpen {
+		t.Error("A's breaker on B never opened after 40 solves against a dead peer")
 	}
 }
 

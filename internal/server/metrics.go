@@ -32,7 +32,7 @@ type metrics struct {
 	brown    obs.CounterVec   // schedd_carbon_brown_units_total{zone}
 }
 
-func newMetrics(solver *cawosched.Solver, mgr *tenancy.Manager) *metrics {
+func newMetrics(solver *cawosched.Solver, mgr *tenancy.Manager, tier *cawosched.PeerTier) *metrics {
 	reg := obs.NewRegistry()
 	m := &metrics{
 		reg: reg,
@@ -64,7 +64,7 @@ func newMetrics(solver *cawosched.Solver, mgr *tenancy.Manager) *metrics {
 	solveMisses := reg.Counter("schedd_solve_cache_misses_total", "cacheable solves that ran the scheduler").With()
 	solveCoalesced := reg.Counter("schedd_solve_coalesced_total",
 		"solves served by joining a concurrent identical in-flight solve").With()
-	tierHits := reg.Counter("schedd_cache_tier_hits_total", "solves served from the external cache tier").With()
+	tierHits := reg.Counter("schedd_solver_tier_hits_total", "solves served from the external cache tier").With()
 	solveEntries := reg.Gauge("schedd_solve_cache_entries", "responses currently cached").With()
 	solveCapacity := reg.Gauge("schedd_solve_cache_capacity",
 		"solve-response cache entry bound (0 = caching disabled)").With()
@@ -92,6 +92,41 @@ func newMetrics(solver *cawosched.Solver, mgr *tenancy.Manager) *metrics {
 		planContention.Store(st.PlanContention)
 		solveContention.Store(st.SolveContention)
 	})
+
+	if tier != nil {
+		// Per-peer tier counters, mirrored from the tier's Stats snapshot
+		// at scrape time. The label is the peer host exactly as spelled in
+		// the -cache-tier spec, so dashboards join across the fleet.
+		tierGets := reg.Counter("schedd_cache_tier_gets_total",
+			"lookup requests sent to each cache-tier peer", "peer")
+		tierPeerHits := reg.Counter("schedd_cache_tier_hits_total",
+			"cache-tier peer lookups answered with a record", "peer")
+		tierErrors := reg.Counter("schedd_cache_tier_errors_total",
+			"cache-tier peer requests failed by transport error or bad status", "peer")
+		tierTimeouts := reg.Counter("schedd_cache_tier_timeouts_total",
+			"cache-tier peer requests abandoned at the per-peer timeout", "peer")
+		tierPuts := reg.Counter("schedd_cache_tier_puts_total",
+			"records shipped to each cache-tier peer", "peer")
+		tierDrops := reg.Counter("schedd_cache_tier_put_drops_total",
+			"record shipments dropped (breaker open or async slots busy), by peer", "peer")
+		tierBreaker := reg.Gauge("schedd_cache_tier_breaker_open",
+			"1 while the peer's circuit breaker is open (lookups short-circuit to misses)", "peer")
+		reg.OnScrape(func() {
+			for _, ps := range tier.Stats() {
+				tierGets.With(ps.Peer).Store(ps.Gets)
+				tierPeerHits.With(ps.Peer).Store(ps.Hits)
+				tierErrors.With(ps.Peer).Store(ps.Errors)
+				tierTimeouts.With(ps.Peer).Store(ps.Timeouts)
+				tierPuts.With(ps.Peer).Store(ps.Puts)
+				tierDrops.With(ps.Peer).Store(ps.Drops)
+				open := int64(0)
+				if ps.BreakerOpen {
+					open = 1
+				}
+				tierBreaker.With(ps.Peer).Set(open)
+			}
+		})
+	}
 
 	if mgr != nil {
 		workflows := reg.Gauge("schedd_workflows", "workflows by lifecycle state", "state")

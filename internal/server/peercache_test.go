@@ -1,0 +1,170 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	cawosched "repro"
+	"repro/internal/wire"
+)
+
+// doRequest issues one method/URL/body request and returns status + body.
+func doRequest(t testing.TB, client *http.Client, method, url, contentType string, body []byte) (int, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp.StatusCode, buf.Bytes()
+}
+
+// TestPeerCacheHandlers pins the cache-exchange endpoints: round-trip
+// through the tier-local store, 404 on miss, 400 on malformed keys or
+// empty bodies, 501 without a peer tier.
+func TestPeerCacheHandlers(t *testing.T) {
+	tier, err := cawosched.NewPeerTier(nil, cawosched.PeerTierOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	solver := cawosched.NewSolver(cawosched.SmallCluster(7), cawosched.WithCacheTier(tier))
+	ts := httptest.NewServer(New(solver, Config{PeerTier: tier}))
+	defer ts.Close()
+	client := ts.Client()
+	url := ts.URL + wire.CachePathPrefix
+
+	record := []byte(`{"fp":1}`)
+	if status, body := doRequest(t, client, http.MethodPut, url+"abc123", wire.CacheContentType, record); status != http.StatusNoContent {
+		t.Fatalf("PUT = %d: %s", status, body)
+	}
+	if data, ok := tier.Local().Get(context.Background(), "abc123"); !ok || string(data) != string(record) {
+		t.Fatalf("store after PUT: %q, %v", data, ok)
+	}
+	if status, body := doRequest(t, client, http.MethodGet, url+"abc123", "", nil); status != http.StatusOK || string(body) != string(record) {
+		t.Errorf("GET = %d, %q; want 200 with the record", status, body)
+	}
+	status, body := doRequest(t, client, http.MethodGet, url+"feedface", "", nil)
+	if status != http.StatusNotFound || !strings.Contains(string(body), "not_found") {
+		t.Errorf("GET miss = %d, %s; want 404 not_found", status, body)
+	}
+	for _, key := range []string{"UPPER", "0123456789abcdef0", "nothex!"} {
+		if status, _ := doRequest(t, client, http.MethodGet, url+key, "", nil); status != http.StatusBadRequest {
+			t.Errorf("GET %q = %d, want 400", key, status)
+		}
+		if status, _ := doRequest(t, client, http.MethodPut, url+key, wire.CacheContentType, record); status != http.StatusBadRequest {
+			t.Errorf("PUT %q = %d, want 400", key, status)
+		}
+	}
+	if status, _ := doRequest(t, client, http.MethodPut, url+"abc123", wire.CacheContentType, nil); status != http.StatusBadRequest {
+		t.Errorf("empty-body PUT = %d, want 400", status)
+	}
+
+	// Without a peer tier the endpoints answer 501 unsupported.
+	_, plain := newTestServer(t, Config{})
+	status, body = doRequest(t, plain.Client(), http.MethodGet, plain.URL+wire.CachePathPrefix+"abc123", "", nil)
+	if status != http.StatusNotImplemented || !strings.Contains(string(body), "unsupported") {
+		t.Errorf("no-tier GET = %d, %s; want 501 unsupported", status, body)
+	}
+}
+
+// TestServerFleetCacheExchange is the tentpole acceptance test at the
+// server layer: two schedd instances sharing a peer ring share warm
+// solves — instance B's first sight of a request instance A already
+// solved is a tier hit (CacheHit over the wire, TierHits in stats,
+// per-peer hit on /metrics), with zero tier errors or timeouts.
+func TestServerFleetCacheExchange(t *testing.T) {
+	newInstance := func() (*cawosched.PeerTier, *cawosched.Solver, *httptest.Server) {
+		tier, err := cawosched.NewPeerTier(nil, cawosched.PeerTierOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		solver := cawosched.NewSolver(cawosched.SmallCluster(7), cawosched.WithCacheTier(tier))
+		ts := httptest.NewServer(New(solver, Config{PeerTier: tier}))
+		t.Cleanup(ts.Close)
+		return tier, solver, ts
+	}
+	tierA, _, tsA := newInstance()
+	tierB, solverB, tsB := newInstance()
+	hosts := []string{tsA.Listener.Addr().String(), tsB.Listener.Addr().String()}
+	for _, tier := range []*cawosched.PeerTier{tierA, tierB} {
+		if err := tier.SetPeers(hosts); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Solve on A; the record ships asynchronously to the key's ring owner.
+	resp, raw := postJSON(t, tsA.Client(), tsA.URL+"/v1/solve", pinnedWireRequest(t))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve on A: %d: %s", resp.StatusCode, raw)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for tierA.Local().Len()+tierB.Local().Len() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("record never landed on a ring owner")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// The same request on B is served from the ring, not re-solved.
+	resp, raw = postJSON(t, tsB.Client(), tsB.URL+"/v1/solve", pinnedWireRequest(t))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve on B: %d: %s", resp.StatusCode, raw)
+	}
+	var got wire.SolveResponse
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !got.CacheHit {
+		t.Error("B's first solve of A's request was not a tier hit")
+	}
+	if st := solverB.Stats(); st.TierHits != 1 {
+		t.Errorf("B solver stats = %+v, want 1 tier hit", st)
+	}
+	var hits int64
+	for _, ps := range tierB.Stats() {
+		hits += ps.Hits
+		if ps.Errors != 0 || ps.Timeouts != 0 {
+			t.Errorf("peer %s: %+v, want zero errors/timeouts", ps.Peer, ps)
+		}
+		if ps.BreakerOpen {
+			t.Errorf("peer %s breaker open on a healthy fleet", ps.Peer)
+		}
+	}
+	if hits != 1 {
+		t.Errorf("B's tier recorded %d hits, want 1", hits)
+	}
+
+	// B's /metrics expose the per-peer families and the breaker gauge.
+	mresp, mbody := getBody(t, tsB.Client(), tsB.URL+"/metrics")
+	if mresp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: %d", mresp.StatusCode)
+	}
+	text := string(mbody)
+	for _, want := range []string{
+		"schedd_cache_tier_gets_total{peer=",
+		"schedd_cache_tier_hits_total{peer=",
+		"schedd_cache_tier_errors_total{peer=",
+		"schedd_cache_tier_timeouts_total{peer=",
+		"schedd_cache_tier_breaker_open{peer=",
+		"schedd_solver_tier_hits_total 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}

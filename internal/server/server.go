@@ -97,6 +97,12 @@ type Config struct {
 	// TraceBuffer is the capacity of the completed-trace ring served by
 	// GET /debug/traces (default obs.DefaultTraceBuffer).
 	TraceBuffer int
+	// PeerTier, if set, enables the fleet cache-exchange endpoints
+	// (GET/PUT /internal/v1/cache/{key}) backed by the tier's local store,
+	// and mirrors the tier's per-peer counters and breaker state onto
+	// /metrics. Set it to the *cawosched.PeerTier the solver was built
+	// with; without it the endpoints answer 501.
+	PeerTier *cawosched.PeerTier
 }
 
 const (
@@ -161,7 +167,7 @@ func New(solver *cawosched.Solver, cfg Config) *Server {
 		cfg:    cfg.withDefaults(),
 		mux:    http.NewServeMux(),
 	}
-	s.metrics = newMetrics(solver, s.cfg.Manager)
+	s.metrics = newMetrics(solver, s.cfg.Manager, s.cfg.PeerTier)
 	s.tracer = obs.NewTracer(s.cfg.TraceBuffer)
 	s.batchSem = make(chan struct{}, s.cfg.BatchWorkers)
 	s.inflightIdle = sync.NewCond(&s.inflightMu)
@@ -173,6 +179,8 @@ func New(solver *cawosched.Solver, cfg Config) *Server {
 	s.route("DELETE /v1/workflows/{id}", "workflows", s.handleWorkflowCancel)
 	s.route("GET /v1/zones", "zones", s.handleZones)
 	s.route("GET /v1/variants", "variants", s.handleVariants)
+	s.route("GET /internal/v1/cache/{key}", "peercache", s.handlePeerCacheGet)
+	s.route("PUT /internal/v1/cache/{key}", "peercache", s.handlePeerCachePut)
 	s.route("GET /healthz", "healthz", s.handleHealthz)
 	s.route("GET /metrics", "metrics", s.handleMetrics)
 	s.route("GET /debug/traces", "traces", s.handleTraces)
@@ -248,10 +256,12 @@ func (w *statusWriter) WriteHeader(status int) {
 // observed reports whether the handler takes part in tracing and request
 // logging. Scrape and liveness endpoints are exempt: a 5s-interval
 // healthz probe or Prometheus scrape would otherwise flush every solve
-// trace out of the ring and drown the request log.
+// trace out of the ring and drown the request log. Peer cache-exchange
+// requests are exempt for the same reason — a busy fleet makes one per
+// cross-process miss, and they would bury the solve traces they serve.
 func observed(name string) bool {
 	switch name {
-	case "metrics", "healthz", "traces":
+	case "metrics", "healthz", "traces", "peercache":
 		return false
 	}
 	return true

@@ -1,0 +1,39 @@
+package wire
+
+// The peer cache-exchange protocol: schedd fleet members move serialized
+// solve records between their cache-tier local stores over plain HTTP.
+//
+//	GET /internal/v1/cache/<key>   200 + record bytes | 404 (miss)
+//	PUT /internal/v1/cache/<key>   204 (stored)
+//
+// The key is the hex FNV-1a digest of the solve key (cawosched.tierKey);
+// record bytes are the tierRecord JSON and travel opaquely — the
+// consuming solver re-validates them structurally before serving, so the
+// protocol needs no schema version: a skewed peer's record simply fails
+// validation and degrades to a miss. The endpoints live under /internal/
+// because they are fleet-internal: exposing them publicly only risks
+// cache poisoning of records that would fail validation anyway, but a
+// deployment should still keep them off the load balancer.
+
+// CachePathPrefix is the URL prefix of the peer cache-exchange
+// endpoints; the tier key follows directly after it.
+const CachePathPrefix = "/internal/v1/cache/"
+
+// CacheContentType is the media type of peer cache record bodies.
+const CacheContentType = "application/json"
+
+// ValidCacheKey reports whether key is a well-formed tier key: 1–16
+// lowercase hex digits (a 64-bit digest rendered by strconv.FormatUint).
+// Handlers reject anything else before touching the store.
+func ValidCacheKey(key string) bool {
+	if len(key) == 0 || len(key) > 16 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}

@@ -137,6 +137,61 @@ func TestShardedCacheBound(t *testing.T) {
 	}
 }
 
+// TestShardCountAboveLimit is the zero-capacity-shard regression pin.
+// With more shards than the entry limit, shardShare used to give most
+// shards capacity 0, so any key routed to one of them was silently never
+// cached — a repeat solve of the same request missed forever. The fix
+// clamps key routing to an effective power-of-two shard count bounded by
+// the limit: with limit 4 every key must be cacheable at any shard
+// count, and shards=16 must behave exactly like shards=4.
+func TestShardCountAboveLimit(t *testing.T) {
+	wf, err := cawosched.GenerateWorkflow(cawosched.Bacass, 40, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solver := cawosched.NewSolver(cawosched.SmallCluster(12),
+		cawosched.WithCacheShards(16), cawosched.WithSolveCacheLimit(4))
+	// Back-to-back repeats of many distinct keys: each second solve must
+	// hit, whichever shard its key routes to.
+	for seed := uint64(0); seed < 20; seed++ {
+		req := cawosched.Request{Workflow: wf, Variant: "press", Scenario: cawosched.S1, Seed: seed}
+		if _, err := solver.Solve(context.Background(), req); err != nil {
+			t.Fatal(err)
+		}
+		res, err := solver.Solve(context.Background(), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.CacheHit {
+			t.Fatalf("seed %d: immediate repeat missed the 4-entry cache at 16 shards", seed)
+		}
+	}
+	if st := solver.Stats(); st.SolveHits != 20 || st.SolveMisses != 20 || st.SolveEntries > 4 {
+		t.Errorf("stats = %+v, want 20 hits, 20 misses, <= 4 entries", st)
+	}
+
+	// Behavioral equivalence: at limit 4, a 16-shard solver routes keys
+	// exactly like a 4-shard one, so a mixed workload produces identical
+	// responses, hit flags, and cache counters.
+	reqs := shardWorkload(t)
+	limits := []cawosched.SolverOption{cawosched.WithSolveCacheLimit(4), cawosched.WithPlanCacheLimit(4)}
+	base := runShardWorkload(t, reqs, 0, append([]cawosched.SolverOption{cawosched.WithCacheShards(4)}, limits...)...)
+	got := runShardWorkload(t, reqs, 0, append([]cawosched.SolverOption{cawosched.WithCacheShards(16)}, limits...)...)
+	for i := range reqs {
+		if got.costs[i] != base.costs[i] || got.cacheHits[i] != base.cacheHits[i] {
+			t.Errorf("request %d: cost/hit %d/%v, want %d/%v",
+				i, got.costs[i], got.cacheHits[i], base.costs[i], base.cacheHits[i])
+		}
+	}
+	gs, bs := got.stats, base.stats
+	gs.CacheShards, bs.CacheShards = 0, 0
+	gs.PlanContention, bs.PlanContention = 0, 0
+	gs.SolveContention, bs.SolveContention = 0, 0
+	if gs != bs {
+		t.Errorf("stats = %+v, want %+v (16 shards at limit 4 must equal 4 shards)", gs, bs)
+	}
+}
+
 // TestPlanCacheLimit: the new plan-memo bound caps memoized plans; 0
 // disables memoization entirely (every plan request rebuilds).
 func TestPlanCacheLimit(t *testing.T) {

@@ -205,14 +205,18 @@ type Solver struct {
 	cluster *Cluster
 
 	// First cache level: memoized plans, sharded (see solvercache.go).
+	// planEff is the effective shard count keys are routed over — at most
+	// the entry limit, so no shard is left with zero capacity.
 	planShards []planShard
 	planCap    atomic.Int64 // total bound across shards
+	planEff    atomic.Int64 // power-of-two count of shards receiving keys
 
 	// Second cache level: whole solve responses, LRU-bounded per shard,
 	// keyed by (workflow fingerprint, profile digest, deadline, normalized
 	// options, greedy flavor). See solveCacheGet/solveCachePut.
 	solveShards []solveShard
 	solveCap    atomic.Int64 // total bound across shards
+	solveEff    atomic.Int64 // power-of-two count of shards receiving keys
 
 	// Singleflight: concurrent identical cacheable solves coalesce onto
 	// one in-flight leader (see joinFlight). The table is tiny — one entry
@@ -317,14 +321,22 @@ func NewSolver(cluster *Cluster, opts ...SolverOption) *Solver {
 	}
 	s.planCap.Store(int64(cfg.planCap))
 	s.solveCap.Store(int64(cfg.solveCap))
+	planEff := effectiveShards(cfg.shards, cfg.planCap)
+	solveEff := effectiveShards(cfg.shards, cfg.solveCap)
+	s.planEff.Store(int64(planEff))
+	s.solveEff.Store(int64(solveEff))
 	for i := range s.planShards {
 		s.planShards[i].entries = make(map[planKey]*planEntry)
-		s.planShards[i].cap = shardShare(cfg.planCap, i, cfg.shards)
+		if i < planEff {
+			s.planShards[i].cap = shardShare(cfg.planCap, i, planEff)
+		}
 	}
 	for i := range s.solveShards {
 		s.solveShards[i].responses = make(map[solveKey]*solveEntry)
 		s.solveShards[i].lru = list.New()
-		s.solveShards[i].cap = shardShare(cfg.solveCap, i, cfg.shards)
+		if i < solveEff {
+			s.solveShards[i].cap = shardShare(cfg.solveCap, i, solveEff)
+		}
 	}
 	return s
 }
@@ -875,7 +887,7 @@ func (s *Solver) leadSolve(ctx context.Context, clock *stageClock, key solveKey,
 	}
 	s.solveCachePut(key, job.req.Workflow, job.zones, resp)
 	if s.tier != nil {
-		s.tierPut(key, resp)
+		s.tierPut(ctx, key, resp)
 	}
 	published = true
 	s.finishFlight(key, f, sharedCopy(resp), nil)

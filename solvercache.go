@@ -24,7 +24,11 @@ import (
 // hit/miss counters, and entry accounting are identical at every shard
 // count (Stats sums the shards); the only observable difference is which
 // entry a full cache evicts first, because recency is tracked per shard.
-// Shard count 1 reproduces the pre-sharding global LRU exactly.
+// Shard count 1 reproduces the pre-sharding global LRU exactly. When an
+// entry limit is smaller than the shard count, keys are routed over only
+// the first effectiveShards(shards, limit) shards, so a tiny cache still
+// admits every key instead of silently dropping the ones that hash to a
+// zero-capacity shard.
 
 // defaultCacheShards picks the shard count for a new solver: the next
 // power of two at or above GOMAXPROCS, clamped to [1, 64]. One shard per
@@ -45,6 +49,26 @@ func normalizeShards(n int) int {
 	p := 1
 	for p < n {
 		p <<= 1
+	}
+	return p
+}
+
+// effectiveShards returns how many of a cache's shards actually receive
+// keys under an entry limit: the largest power of two that is at most
+// min(shards, limit), so every active shard holds at least one entry.
+// Without the clamp a limit below the shard count would leave some
+// shards with capacity 0 — and because the key→shard mapping is fixed,
+// every key hashing there would silently never be cached (found as a
+// pre-clamp bug: -solve-cache-limit 4 on a 16-shard solver dropped 3 of
+// 4 puts). limit <= 0 (caching disabled) keeps the full shard array; the
+// caps are all zero anyway.
+func effectiveShards(shards, limit int) int {
+	if limit <= 0 || limit >= shards {
+		return shards
+	}
+	p := 1
+	for p*2 <= limit {
+		p *= 2
 	}
 	return p
 }
@@ -175,7 +199,7 @@ type planShard struct {
 }
 
 func (s *Solver) planShardFor(key planKey) *planShard {
-	return &s.planShards[key.sum()&uint64(len(s.planShards)-1)]
+	return &s.planShards[key.sum()&uint64(s.planEff.Load()-1)]
 }
 
 // planLookup returns the memoized entry for the key, inserting a fresh
@@ -211,13 +235,20 @@ func (s *Solver) SetPlanCacheLimit(n int) {
 	if n < 0 {
 		n = 0
 	}
+	eff := effectiveShards(len(s.planShards), n)
 	s.planCap.Store(int64(n))
+	s.planEff.Store(int64(eff))
 	for i := range s.planShards {
 		shard := &s.planShards[i]
-		cap := shardShare(n, i, len(s.planShards))
+		cap := 0
+		if i < eff {
+			cap = shardShare(n, i, eff)
+		}
 		lockContended(&shard.mu, &s.planContention)
 		shard.cap = cap
 		if cap <= 0 {
+			// Inactive (or disabled) shard: drop its entries — with the
+			// shrunken mask no lookup will ever reach them again.
 			shard.entries = make(map[planKey]*planEntry)
 		} else {
 			for k := range shard.entries {
@@ -256,9 +287,9 @@ func (s *Solver) planEntries() int {
 
 // shardShare splits a total capacity n across k shards: every shard gets
 // n/k, and the remainder goes to the lowest-indexed shards, so the shares
-// sum to exactly n. Limits far below the shard count leave some shards
-// with no capacity at all — bound a tiny cache with WithCacheShards(1)
-// (which is also the exact pre-sharding LRU).
+// sum to exactly n. Callers pass the *effective* shard count (see
+// effectiveShards), which is clamped so that k <= n: every active shard
+// has capacity for at least one entry and every key is cacheable.
 func shardShare(n, i, k int) int {
 	share := n / k
 	if i < n%k {
@@ -279,7 +310,7 @@ type solveShard struct {
 }
 
 func (s *Solver) solveShardFor(key solveKey) *solveShard {
-	return &s.solveShards[key.sum()&uint64(len(s.solveShards)-1)]
+	return &s.solveShards[key.sum()&uint64(s.solveEff.Load()-1)]
 }
 
 func (sh *solveShard) evictOldestLocked() {
@@ -349,10 +380,15 @@ func (s *Solver) SetSolveCacheLimit(n int) {
 	if n < 0 {
 		n = 0
 	}
+	eff := effectiveShards(len(s.solveShards), n)
 	s.solveCap.Store(int64(n))
+	s.solveEff.Store(int64(eff))
 	for i := range s.solveShards {
 		sh := &s.solveShards[i]
-		cap := shardShare(n, i, len(s.solveShards))
+		cap := 0
+		if i < eff {
+			cap = shardShare(n, i, eff)
+		}
 		lockContended(&sh.mu, &s.solveContention)
 		sh.cap = cap
 		for len(sh.responses) > 0 && len(sh.responses) > cap {
